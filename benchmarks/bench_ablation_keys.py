@@ -1,0 +1,57 @@
+"""Ablation: grouping-key strictness and the Weighted-Sum extension.
+
+DESIGN.md calls out the grouping key as the central design choice separating
+the algorithm variants: LM-MIN keys on (top-k sequence, bottom score),
+LM-SUM on (sequence, all scores) and AV-* on the sequence alone.  This bench
+quantifies the consequences on the same instance — number of intermediate
+groups, objective, group-size spread — and times the §6 Weighted-Sum
+extension.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import grd_av, grd_lm
+from repro.metrics import five_point_summary
+
+
+def test_ablation_weighted_sum_runtime(benchmark, yahoo_quality):
+    """Time the Weighted-Sum extension (paper §6) under LM."""
+    result = benchmark(grd_lm, yahoo_quality, 10, 5, "weighted-sum")
+    assert result.aggregation.name == "weighted-sum"
+
+
+def test_ablation_key_strictness(benchmark, yahoo_quality):
+    """Stricter keys produce more intermediate groups and smaller groups."""
+
+    def run_all():
+        return {
+            "LM-MIN (sequence + bottom score)": grd_lm(yahoo_quality, 10, 5, "min"),
+            "LM-SUM (sequence + all scores)": grd_lm(yahoo_quality, 10, 5, "sum"),
+            "AV-MIN (sequence only)": grd_av(yahoo_quality, 10, 5, "min"),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for label, result in results.items():
+        summary = five_point_summary(result.group_sizes)
+        rows.append(
+            {
+                "variant": label,
+                "intermediate_groups": result.extras["n_intermediate_groups"],
+                "objective": result.objective,
+                "min_size": summary.minimum,
+                "median_size": summary.median,
+                "max_size": summary.maximum,
+            }
+        )
+    report("Ablation: grouping-key strictness (200 users, 100 items, l=10, k=5)", rows)
+    lm_min = results["LM-MIN (sequence + bottom score)"]
+    lm_sum = results["LM-SUM (sequence + all scores)"]
+    av_min = results["AV-MIN (sequence only)"]
+    assert (
+        av_min.extras["n_intermediate_groups"]
+        <= lm_min.extras["n_intermediate_groups"]
+        <= lm_sum.extras["n_intermediate_groups"]
+    )

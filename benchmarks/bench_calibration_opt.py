@@ -1,0 +1,59 @@
+"""Calibration against the optimum (the role of OPT-* / CPLEX in the paper).
+
+The paper plots OPT-LM-* and OPT-AV-* alongside the greedy algorithms on
+small instances to show the greedy objective tracks the optimum.  Our exact
+solvers handle up to 16 users, so this bench sweeps small instances and
+checks the Theorem 2/3 absolute-error bounds, and times the exact solvers
+themselves.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.datasets import synthetic_yahoo_music
+from repro.exact import optimal_groups_branch_and_bound, optimal_groups_dp, optimal_groups_ilp
+from repro.experiments import optimal_calibration
+
+
+def test_exact_dp_runtime(benchmark):
+    """Time the subset-DP optimal solver on a 12-user instance."""
+    ratings = synthetic_yahoo_music(12, 20, rng=0)
+    result = benchmark(optimal_groups_dp, ratings, 4, 3)
+    assert result.extras["optimal"]
+
+
+def test_exact_ilp_runtime(benchmark):
+    """Time the HiGHS set-partitioning ILP on a 12-user instance."""
+    ratings = synthetic_yahoo_music(12, 20, rng=0)
+    result = benchmark(optimal_groups_ilp, ratings, 4, 3)
+    assert result.n_groups <= 4
+
+
+def test_exact_bnb_runtime(benchmark):
+    """Time the branch-and-bound solver on a 12-user instance."""
+    ratings = synthetic_yahoo_music(12, 20, rng=0)
+    result = benchmark(optimal_groups_branch_and_bound, ratings, 4, 3)
+    assert result.extras["optimal"]
+
+
+def test_calibration_reproduce_series(benchmark):
+    """GRD tracks OPT within the published error bounds on small instances."""
+    panels = benchmark.pedantic(
+        optimal_calibration,
+        kwargs=dict(n_users=12, n_items=20, n_groups=4, top_k_values=(1, 2, 3),
+                    repeats=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    report("Calibration: GRD vs Baseline vs OPT on exactly solvable instances", panels)
+    for panel in panels:
+        algorithms = panel.algorithms()
+        grd_name = next(a for a in algorithms if a.startswith("GRD"))
+        opt_name = next(a for a in algorithms if a.startswith("OPT"))
+        grd = panel.series_for(grd_name).y_values
+        opt = panel.series_for(opt_name).y_values
+        for x_value, grd_value, opt_value in zip(panel.series_for(grd_name).x_values, grd, opt):
+            assert grd_value <= opt_value + 1e-9
+            if panel.metadata["semantics"] == "lm":
+                bound = 5.0 if panel.metadata["aggregation"] in ("min", "max") else 5.0 * x_value
+                assert opt_value - grd_value <= bound + 1e-9

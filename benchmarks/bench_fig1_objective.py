@@ -1,0 +1,45 @@
+"""Figure 1(a-c): objective value under LM-Max vs #users / #items / #groups.
+
+Times the two algorithms the panel compares at the paper's default quality
+instance (200 users, 100 items, 10 groups, k=5) and prints the full
+reproduced sweep series.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.baselines import baseline_clustering
+from repro.core import grd_lm_max
+from repro.experiments import figure1
+
+
+def test_fig1_grd_lm_max_runtime(benchmark, yahoo_quality):
+    """Time GRD-LM-MAX on the default quality instance."""
+    result = benchmark(grd_lm_max, yahoo_quality, 10, 5)
+    assert result.n_groups <= 10
+
+
+def test_fig1_baseline_lm_max_runtime(benchmark, yahoo_quality):
+    """Time Baseline-LM-MAX (clustering) on the default quality instance."""
+    result = benchmark(
+        baseline_clustering, yahoo_quality, 10, 5,
+        semantics="lm", aggregation="max", rng=0,
+    )
+    assert result.n_groups <= 10
+
+
+def test_fig1_reproduce_series(benchmark, yahoo_quality):
+    """Regenerate and print Figure 1(a-c); check the qualitative shape."""
+    panels = benchmark.pedantic(
+        figure1, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Figure 1: objective value under LM-Max (Yahoo!-Music-like data)", panels)
+    for panel in panels:
+        grd = panel.series_for("GRD-LM-MAX")
+        baseline = panel.series_for("Baseline-LM-MAX")
+        # GRD dominates the clustering baseline at every sweep point.
+        assert all(g >= b for g, b in zip(grd.y_values, baseline.y_values))
+    # Figure 1(c): the objective grows with the number of allowed groups.
+    fig1c = panels[2].series_for("GRD-LM-MAX")
+    assert fig1c.y_values[-1] >= fig1c.y_values[0]

@@ -1,0 +1,43 @@
+"""Figure 2(a-b): objective value vs top-k under LM-Min and LM-Sum."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import grd_lm_min, grd_lm_sum
+from repro.experiments import figure2
+
+
+def test_fig2_grd_lm_min_topk_runtime(benchmark, yahoo_quality):
+    """Time GRD-LM-MIN with a deeper list (k=25) on the quality instance."""
+    result = benchmark(grd_lm_min, yahoo_quality, 10, 25)
+    assert result.k == 25
+
+
+def test_fig2_grd_lm_sum_topk_runtime(benchmark, yahoo_quality):
+    """Time GRD-LM-SUM with a deeper list (k=25) on the quality instance."""
+    result = benchmark(grd_lm_sum, yahoo_quality, 10, 25)
+    assert result.k == 25
+
+
+def test_fig2_reproduce_series(benchmark, yahoo_quality):
+    """Regenerate Figure 2 and check the Min-vs-Sum trends against the paper."""
+    panels = benchmark.pedantic(
+        figure2, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Figure 2: objective vs top-k (LM-Min and LM-Sum)", panels)
+    min_panel, sum_panel = panels
+    grd_min = min_panel.series_for("GRD-LM-MIN").y_values
+    grd_sum = sum_panel.series_for("GRD-LM-SUM").y_values
+    # Min aggregation: deeper lists can only lower the bottom item's score.
+    assert grd_min[-1] <= grd_min[0]
+    # Sum aggregation: deeper lists accumulate more score.
+    assert grd_sum[-1] >= grd_sum[0]
+    # GRD beats the baseline throughout.
+    for panel in panels:
+        algorithms = panel.algorithms()
+        grd_name = next(a for a in algorithms if a.startswith("GRD"))
+        baseline_name = next(a for a in algorithms if a.startswith("Baseline"))
+        grd = panel.series_for(grd_name).y_values
+        baseline = panel.series_for(baseline_name).y_values
+        assert sum(grd) >= sum(baseline)

@@ -1,0 +1,46 @@
+"""Figure 4(a-c): runtime of LM-Min group formation vs #users / #items / #groups.
+
+The bench scale keeps the ratios of the paper's sweeps (users quadruple,
+items quadruple, groups grow by orders of magnitude) on instances sized for
+this container; the claims being reproduced are about growth shape — GRD
+linear in users and groups, flat in items, and well below the clustering
+baseline everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.core import grd_lm_min
+from repro.experiments import figure4
+
+
+def test_fig4_grd_lm_min_scalability_runtime(benchmark, yahoo_scalability):
+    """Time GRD-LM-MIN at the bench scalability defaults (2000 x 400)."""
+    result = benchmark(grd_lm_min, yahoo_scalability, 10, 5)
+    assert result.n_users == 2000
+
+
+def test_fig4_reproduce_series(benchmark):
+    """Regenerate Figure 4(a-c) and check the scaling shapes."""
+    panels = benchmark.pedantic(
+        figure4, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Figure 4: run time under LM-Min (Yahoo!-Music-like data)", panels)
+    users_panel, items_panel, groups_panel = panels
+
+    grd_users = users_panel.series_for("GRD-LM-MIN").y_values
+    base_users = users_panel.series_for("Baseline-LM-MIN").y_values
+    # GRD is consistently faster than the baseline.
+    assert all(g <= b for g, b in zip(grd_users, base_users))
+    # Roughly linear growth in users: an 8x user increase should not blow up
+    # the runtime by more than ~24x (allowing constant-factor noise).
+    assert grd_users[-1] <= max(24 * grd_users[0], grd_users[0] + 0.5)
+
+    grd_items = items_panel.series_for("GRD-LM-MIN").y_values
+    # Insensitive to the catalogue size (paper: independent of m).
+    assert grd_items[-1] <= max(6 * grd_items[0], grd_items[0] + 0.5)
+
+    grd_groups = groups_panel.series_for("GRD-LM-MIN").y_values
+    assert np.all(np.asarray(grd_groups) >= 0.0)

@@ -1,0 +1,36 @@
+"""Figure 5(a-d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import grd_av_sum, grd_lm_sum
+from repro.experiments import figure5
+
+
+def test_fig5_grd_lm_sum_deep_list_runtime(benchmark, yahoo_scalability):
+    """Time GRD-LM-SUM with a deep list (k=100) at scalability scale."""
+    result = benchmark(grd_lm_sum, yahoo_scalability, 10, 100)
+    assert result.k == 100
+
+
+def test_fig5_grd_av_sum_deep_list_runtime(benchmark, yahoo_scalability):
+    """Time GRD-AV-SUM with a deep list (k=100) at scalability scale."""
+    result = benchmark(grd_av_sum, yahoo_scalability, 10, 100)
+    assert result.k == 100
+
+
+def test_fig5_reproduce_series(benchmark):
+    """Regenerate Figure 5(a-d) and check GRD stays below the baseline."""
+    panels = benchmark.pedantic(
+        figure5, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Figure 5: run time vs top-k (LM/AV x Min/Sum)", panels)
+    assert len(panels) == 4
+    for panel in panels:
+        algorithms = panel.algorithms()
+        grd_name = next(a for a in algorithms if a.startswith("GRD"))
+        baseline_name = next(a for a in algorithms if a.startswith("Baseline"))
+        grd = panel.series_for(grd_name).y_values
+        baseline = panel.series_for(baseline_name).y_values
+        assert sum(grd) <= sum(baseline)

@@ -1,0 +1,30 @@
+"""Figure 6(a-c): runtime of AV-Min group formation vs #users / #items / #groups."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import grd_av_min
+from repro.experiments import figure6
+
+
+def test_fig6_grd_av_min_scalability_runtime(benchmark, yahoo_scalability):
+    """Time GRD-AV-MIN at the bench scalability defaults (2000 x 400)."""
+    result = benchmark(grd_av_min, yahoo_scalability, 10, 5)
+    assert result.n_users == 2000
+
+
+def test_fig6_reproduce_series(benchmark):
+    """Regenerate Figure 6(a-c) and check the scaling shapes."""
+    panels = benchmark.pedantic(
+        figure6, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Figure 6: run time under AV-Min (Yahoo!-Music-like data)", panels)
+    users_panel, items_panel, groups_panel = panels
+    for panel in (users_panel, items_panel, groups_panel):
+        grd = panel.series_for("GRD-AV-MIN").y_values
+        baseline = panel.series_for("Baseline-AV-MIN").y_values
+        assert all(g <= b for g, b in zip(grd, baseline))
+    # Runtime is insensitive to the number of items for GRD (paper Fig. 6(b)).
+    grd_items = items_panel.series_for("GRD-AV-MIN").y_values
+    assert grd_items[-1] <= max(6 * grd_items[0], grd_items[0] + 0.5)

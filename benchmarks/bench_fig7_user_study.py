@@ -1,0 +1,34 @@
+"""Figure 7(a-c): the (simulated) Amazon Mechanical Turk user study."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import figure7
+from repro.userstudy import UserStudyConfig, run_user_study
+
+
+def test_fig7_user_study_runtime(benchmark):
+    """Time one full run of the two-phase simulated study."""
+    config = UserStudyConfig(seed=7)
+    study = benchmark.pedantic(run_user_study, args=(config,), rounds=1, iterations=1)
+    assert len(study.conditions) == 6
+
+
+def test_fig7_reproduce_panels(benchmark):
+    """Regenerate Figure 7 and check the headline claims."""
+    panels = benchmark.pedantic(figure7, kwargs=dict(seed=7), rounds=1, iterations=1)
+    report("Figure 7: simulated user study (GRD-LM vs Baseline-LM)", panels)
+    panel_a = next(p for p in panels if p.experiment_id == "fig7a")
+    # Figure 7(a): a clear majority of (simulated) raters prefer GRD-LM.
+    for series in panel_a.series:
+        values = dict(zip(series.x_values, series.y_values))
+        assert values["GRD-LM"] > values["Baseline-LM"]
+    # Figures 7(b, c): GRD's mean satisfaction is at least the baseline's for
+    # every sample type.
+    for panel_id in ("fig7b", "fig7c"):
+        panel = next(p for p in panels if p.experiment_id == panel_id)
+        grd_series = next(s for s in panel.series if s.algorithm.startswith("GRD"))
+        base_series = next(s for s in panel.series if s.algorithm.startswith("Baseline"))
+        for grd_value, base_value in zip(grd_series.y_values, base_series.y_values):
+            assert grd_value >= base_value - 0.15

@@ -1,0 +1,29 @@
+"""Table 3: dataset descriptions (paper statistics vs synthetic stand-ins)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.datasets import synthetic_yahoo_music
+from repro.experiments import table3
+
+
+def test_table3_generation_runtime(benchmark):
+    """Time generating a quality-experiment-sized synthetic Yahoo! matrix."""
+    matrix = benchmark(synthetic_yahoo_music, 200, 100, 1.0, 0)
+    assert matrix.is_complete
+
+
+def test_table3_reproduce_rows(benchmark):
+    """Regenerate Table 3 and check the paper's headline statistics appear."""
+    rows = benchmark.pedantic(
+        table3, kwargs=dict(synthetic_n_users=500, synthetic_n_items=200, seed=0),
+        rounds=1, iterations=1,
+    )
+    report("Table 3: dataset descriptions", rows)
+    paper_yahoo = next(row for row in rows if "Yahoo" in row["dataset"] and "paper" in row["dataset"])
+    assert paper_yahoo["n_users"] == 200_000
+    paper_movielens = next(row for row in rows if "MovieLens" in row["dataset"] and "paper" in row["dataset"])
+    assert paper_movielens["n_items"] == 10_681
+    synthetic = [row for row in rows if "synthetic" in row["dataset"]]
+    assert len(synthetic) == 2

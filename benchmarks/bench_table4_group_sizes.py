@@ -1,0 +1,47 @@
+"""Table 4: distribution of average group size (LM / AV x Max / Sum)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core import grd_av_sum, grd_lm_sum
+from repro.experiments import table4
+
+
+def test_table4_grd_lm_sum_runtime(benchmark, yahoo_quality):
+    """Time GRD-LM-SUM (the strictest grouping key) on the quality instance."""
+    result = benchmark(grd_lm_sum, yahoo_quality, 10, 5)
+    assert result.n_groups <= 10
+
+
+def test_table4_reproduce_rows(benchmark):
+    """Regenerate Table 4 and check the paper's qualitative claims."""
+    rows = benchmark.pedantic(
+        table4, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+    )
+    report("Table 4: distribution of average group size", rows)
+
+    def quantiles(algorithm: str) -> dict[str, float]:
+        return {
+            row["quantile"]: row["avg_group_size"]
+            for row in rows
+            if row["algorithm"] == algorithm
+        }
+
+    lm_max, lm_sum = quantiles("GRD-LM-MAX"), quantiles("GRD-LM-SUM")
+    av_max, av_sum = quantiles("GRD-AV-MAX"), quantiles("GRD-AV-SUM")
+    # Five-point summaries are ordered.
+    for summary in (lm_max, lm_sum, av_max, av_sum):
+        assert summary["Minimum"] <= summary["Median"] <= summary["Maximum"]
+    # Paper: AV only needs a shared sequence, so its smallest groups are no
+    # smaller than LM's (AV groups vary less in size).
+    assert av_max["Minimum"] >= lm_max["Minimum"]
+    assert av_sum["Minimum"] >= lm_sum["Minimum"]
+
+
+def test_table4_av_groups_balanced(yahoo_quality):
+    """AV group sizes at the default instance stay reasonably balanced."""
+    result = grd_av_sum(yahoo_quality, 10, 5)
+    sizes = sorted(result.group_sizes)
+    assert sizes[0] >= 1
+    assert sizes[-1] <= yahoo_quality.n_users * 0.75

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every module in this directory regenerates one table or figure of the paper
+(see ``DESIGN.md`` for the experiment index).  Each module does two things:
+
+* uses ``pytest-benchmark`` to time the central operation of the experiment
+  (the group-formation call the figure's runtime or quality depends on);
+* prints the reproduced rows/series — the same numbers the paper plots — so
+  running ``pytest benchmarks/ --benchmark-only -s`` yields a textual version
+  of every figure and table.
+
+The "bench" experiment scale is used throughout: sweeps keep the ratios of
+the paper's sweeps but are sized to finish on a laptop-class container.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import synthetic_movielens, synthetic_yahoo_music
+from repro.experiments import format_experiment, format_table_rows
+
+
+@pytest.fixture(scope="session")
+def yahoo_quality():
+    """Yahoo!-Music-like instance at the paper's quality-experiment defaults."""
+    return synthetic_yahoo_music(n_users=200, n_items=100, rng=0)
+
+
+@pytest.fixture(scope="session")
+def movielens_quality():
+    """MovieLens-like instance at the paper's quality-experiment defaults."""
+    return synthetic_movielens(n_users=200, n_items=100, rng=0)
+
+
+@pytest.fixture(scope="session")
+def yahoo_scalability():
+    """Yahoo!-Music-like instance at the bench scalability defaults."""
+    return synthetic_yahoo_music(n_users=2000, n_items=400, rng=0)
+
+
+def report(title: str, panels) -> None:
+    """Print reproduced figure panels (or table rows) under a banner."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    if isinstance(panels, list) and panels and isinstance(panels[0], dict):
+        print(format_table_rows(panels))
+        return
+    for panel in panels:
+        print(format_experiment(panel))
+        print()

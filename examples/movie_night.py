@@ -1,0 +1,68 @@
+"""Movie night: compare LM and AV semantics (and aggregations) on one population.
+
+A streaming service wants to split 200 subscribers into 10 watch parties and
+recommend 5 titles to each.  Which group recommendation semantics should the
+group *formation* anticipate?  This example forms groups under every
+semantics/aggregation combination, evaluates each grouping under its own
+objective, and also cross-evaluates: how do LM-formed groups fare if the
+recommender actually uses AV, and vice versa — illustrating the paper's core
+point that formation should embed the semantics that will be used.
+
+Run with::
+
+    python examples/movie_night.py
+"""
+
+from __future__ import annotations
+
+from repro import form_groups
+from repro.core import evaluate_partition
+from repro.datasets import synthetic_movielens
+from repro.metrics import average_group_satisfaction, five_point_summary
+
+N_SUBSCRIBERS = 200
+N_PARTIES = 10
+TITLES_PER_PARTY = 5
+
+
+def main() -> None:
+    ratings = synthetic_movielens(N_SUBSCRIBERS, 100, rng=8)
+
+    print("Grouping quality under each formation objective")
+    print("-" * 76)
+    results = {}
+    for semantics in ("lm", "av"):
+        for aggregation in ("min", "sum"):
+            result = form_groups(
+                ratings, N_PARTIES, k=TITLES_PER_PARTY,
+                semantics=semantics, aggregation=aggregation,
+            )
+            results[(semantics, aggregation)] = result
+            sizes = five_point_summary(result.group_sizes)
+            print(
+                f"{result.algorithm:<12} objective {result.objective:>9.1f} | "
+                f"avg satisfaction {average_group_satisfaction(ratings, result):>6.2f} | "
+                f"sizes min/med/max {sizes.minimum:.0f}/{sizes.median:.0f}/{sizes.maximum:.0f}"
+            )
+
+    print()
+    print("Cross-evaluation: forming under one semantics, recommending under another")
+    print("-" * 76)
+    for formed_with in ("lm", "av"):
+        partition = results[(formed_with, "min")].members_partition()
+        for served_with in ("lm", "av"):
+            evaluation = evaluate_partition(
+                ratings.values, partition, k=TITLES_PER_PARTY,
+                semantics=served_with, aggregation="min",
+                algorithm=f"formed-{formed_with.upper()}/served-{served_with.upper()}",
+            )
+            print(f"{evaluation.algorithm:<28} objective {evaluation.objective:>9.1f}")
+    print()
+    print(
+        "Forming groups with the same semantics the recommender will use is "
+        "never worse, and usually strictly better — the paper's central argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

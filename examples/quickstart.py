@@ -1,0 +1,52 @@
+"""Quickstart: form recommendation-aware groups in a few lines.
+
+Generates a synthetic rating matrix, forms groups under the Least Misery
+semantics with the paper's greedy algorithm, and prints each group's members,
+its recommended top-k list and its satisfaction, plus a comparison with the
+clustering baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import form_groups
+from repro.datasets import synthetic_yahoo_music
+
+
+def main() -> None:
+    # A complete user x item rating matrix (1-5 scale). Real deployments would
+    # load sparse ratings and complete them with repro.recsys.complete_matrix.
+    ratings = synthetic_yahoo_music(n_users=120, n_items=60, rng=42)
+
+    greedy = form_groups(
+        ratings, max_groups=6, k=5, semantics="lm", aggregation="min",
+        algorithm="greedy",
+    )
+    baseline = form_groups(
+        ratings, max_groups=6, k=5, semantics="lm", aggregation="min",
+        algorithm="baseline-kmeans", rng=0,
+    )
+
+    print(greedy.summary())
+    print(baseline.summary())
+    print()
+    print(f"{'group':>5} | {'size':>4} | {'satisfaction':>12} | recommended items")
+    print("-" * 70)
+    for index, group in enumerate(greedy.groups):
+        items = ", ".join(str(ratings.item_ids[item]) for item in group.items)
+        print(f"{index:>5} | {group.size:>4} | {group.satisfaction:>12.2f} | {items}")
+
+    improvement = greedy.objective - baseline.objective
+    print()
+    print(
+        f"GRD-LM-MIN improves the aggregate satisfaction by {improvement:.1f} "
+        f"({greedy.objective:.1f} vs {baseline.objective:.1f}) over the "
+        "semantics-agnostic clustering baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

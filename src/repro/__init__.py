@@ -1,0 +1,77 @@
+"""repro — reproduction of "From Group Recommendations to Group Formation".
+
+Roy, Lakshmanan and Liu (SIGMOD 2015) study the *group formation* problem:
+given the users of a recommender system, a group recommendation semantics
+(Least Misery or Aggregate Voting) and a budget of ℓ groups, partition the
+users so that the groups are as satisfied as possible with the top-k lists
+that will be recommended to them.  This package implements the paper's
+algorithms and everything they stand on:
+
+* the group recommendation substrate (semantics, aggregation functions,
+  top-k lists for a given group) — :mod:`repro.core`;
+* the greedy group-formation algorithms GRD-LM-* and GRD-AV-* with their
+  absolute-error guarantees — :mod:`repro.core.greedy_lm`,
+  :mod:`repro.core.greedy_av`;
+* exact optimal solvers playing the role of the paper's CPLEX IP —
+  :mod:`repro.exact`;
+* the Kendall-Tau + clustering baselines — :mod:`repro.baselines`;
+* collaborative-filtering rating prediction for completing sparse data —
+  :mod:`repro.recsys`;
+* dataset loaders and calibrated synthetic generators — :mod:`repro.datasets`;
+* evaluation metrics, the simulated user study and the experiment harness
+  regenerating every table and figure — :mod:`repro.metrics`,
+  :mod:`repro.userstudy`, :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import form_groups
+>>> from repro.datasets import clustered_population
+>>> ratings = clustered_population(n_users=100, n_items=40, rng=0)
+>>> result = form_groups(ratings, max_groups=5, k=3, semantics="lm",
+...                      aggregation="min")
+>>> result.n_groups <= 5 and result.objective > 0
+True
+"""
+
+from repro.core import (
+    Group,
+    GroupFormationResult,
+    GroupRecommender,
+    Semantics,
+    available_algorithms,
+    evaluate_partition,
+    form_groups,
+    grd_av,
+    grd_av_max,
+    grd_av_min,
+    grd_av_sum,
+    grd_lm,
+    grd_lm_max,
+    grd_lm_min,
+    grd_lm_sum,
+)
+from repro.recsys import RatingMatrix, RatingScale, complete_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "form_groups",
+    "available_algorithms",
+    "grd_lm",
+    "grd_lm_min",
+    "grd_lm_max",
+    "grd_lm_sum",
+    "grd_av",
+    "grd_av_min",
+    "grd_av_max",
+    "grd_av_sum",
+    "evaluate_partition",
+    "Group",
+    "GroupFormationResult",
+    "GroupRecommender",
+    "Semantics",
+    "RatingMatrix",
+    "RatingScale",
+    "complete_matrix",
+]

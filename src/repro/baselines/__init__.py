@@ -1,0 +1,39 @@
+"""Baseline group-formation algorithms the paper compares against.
+
+The paper's baselines (``Baseline-LM`` and ``Baseline-AV``) adapt the user
+clustering of Ntoutsi et al.: compute the Kendall-Tau distance between every
+pair of users from their item rankings, cluster the users into ℓ groups, and
+only then apply the group recommendation semantics to each cluster.  Because
+the clustering step is agnostic to the semantics, these baselines are both
+slower and qualitatively weaker than the GRD algorithms — which is exactly
+the comparison the experiments reproduce.
+
+* :mod:`repro.baselines.kendall` — Kendall-Tau rank distance.
+* :mod:`repro.baselines.clustering` — k-medoids over a distance matrix and
+  Lloyd's k-means over rank vectors (the two natural readings of the paper's
+  "K-means clustering over Kendall-Tau distances").
+* :mod:`repro.baselines.pipeline` — the end-to-end baseline.
+* :mod:`repro.baselines.random_partition` — a random balanced partition used
+  as a sanity-check lower bound.
+"""
+
+from repro.baselines.clustering import kmeans_rank_vectors, kmedoids
+from repro.baselines.kendall import (
+    kendall_tau_distance,
+    kendall_tau_distance_from_ratings,
+    pairwise_kendall_matrix,
+    rank_vector,
+)
+from repro.baselines.pipeline import baseline_clustering
+from repro.baselines.random_partition import random_partition_baseline
+
+__all__ = [
+    "kendall_tau_distance",
+    "kendall_tau_distance_from_ratings",
+    "pairwise_kendall_matrix",
+    "rank_vector",
+    "kmedoids",
+    "kmeans_rank_vectors",
+    "baseline_clustering",
+    "random_partition_baseline",
+]

@@ -1,0 +1,169 @@
+"""Clustering primitives used by the baseline group-formation pipeline.
+
+Two flavours are provided because the paper's description ("we use K-means
+clustering [over Kendall-Tau distances] to form a set of ℓ user groups")
+admits two reasonable implementations:
+
+* :func:`kmedoids` — PAM-style k-medoids over an arbitrary pre-computed
+  distance matrix (the literal reading: cluster with the exact Kendall-Tau
+  distances);
+* :func:`kmeans_rank_vectors` — Lloyd's k-means with k-means++ seeding over
+  each user's *rank vector* (the Euclidean embedding whose squared distance
+  is the Spearman footrule analogue of Kendall-Tau); much faster and used for
+  the larger scalability runs.
+
+Both return a label per user; empty clusters are repaired by stealing a
+random point so the downstream partition never contains empty groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["kmedoids", "kmeans_rank_vectors"]
+
+
+def _repair_empty_clusters(
+    labels: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Ensure every cluster id in ``range(n_clusters)`` that should exist has
+    at least one member, by moving random points from the largest clusters.
+
+    Only clusters that can be populated are repaired: when there are fewer
+    points than clusters the surplus cluster ids simply stay empty (the
+    caller drops them).
+    """
+    labels = labels.copy()
+    n_points = labels.size
+    for cluster in range(min(n_clusters, n_points)):
+        if np.any(labels == cluster):
+            continue
+        counts = np.bincount(labels, minlength=n_clusters)
+        donor_cluster = int(np.argmax(counts))
+        donor_points = np.nonzero(labels == donor_cluster)[0]
+        if donor_points.size <= 1:
+            continue
+        chosen = int(rng.choice(donor_points))
+        labels[chosen] = cluster
+    return labels
+
+
+def kmedoids(
+    distances: np.ndarray,
+    n_clusters: int,
+    max_iter: int = 100,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """PAM-style k-medoids clustering over a pre-computed distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` non-negative distance matrix.
+    n_clusters:
+        Number of clusters ℓ.
+    max_iter:
+        Maximum alternation rounds (the paper's default is 100).
+    rng:
+        Seed or generator for the initial medoid choice and tie handling.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer label in ``[0, n_clusters)`` per point.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"distances must be a square matrix, got {distances.shape}")
+    n_points = distances.shape[0]
+    n_clusters = require_positive_int(n_clusters, "n_clusters")
+    max_iter = require_positive_int(max_iter, "max_iter")
+    generator = ensure_rng(rng)
+
+    if n_clusters >= n_points:
+        return np.arange(n_points)
+
+    medoids = generator.choice(n_points, size=n_clusters, replace=False)
+    labels = np.argmin(distances[:, medoids], axis=1)
+    for _ in range(max_iter):
+        new_medoids = medoids.copy()
+        for cluster in range(n_clusters):
+            members = np.nonzero(labels == cluster)[0]
+            if members.size == 0:
+                continue
+            within = distances[np.ix_(members, members)].sum(axis=1)
+            new_medoids[cluster] = members[int(np.argmin(within))]
+        new_labels = np.argmin(distances[:, new_medoids], axis=1)
+        if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
+            break
+        medoids, labels = new_medoids, new_labels
+    return _repair_empty_clusters(labels, n_clusters, generator)
+
+
+def kmeans_rank_vectors(
+    points: np.ndarray,
+    n_clusters: int,
+    max_iter: int = 100,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Lloyd's k-means with k-means++ seeding over Euclidean rank vectors.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of rank vectors (or any Euclidean embedding).
+    n_clusters:
+        Number of clusters ℓ.
+    max_iter:
+        Maximum Lloyd iterations.
+    rng:
+        Seed or generator for seeding and empty-cluster repair.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer label in ``[0, n_clusters)`` per point.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be a 2-D array, got shape {points.shape}")
+    n_points = points.shape[0]
+    n_clusters = require_positive_int(n_clusters, "n_clusters")
+    max_iter = require_positive_int(max_iter, "max_iter")
+    generator = ensure_rng(rng)
+
+    if n_clusters >= n_points:
+        return np.arange(n_points)
+
+    # k-means++ seeding.
+    centers = np.empty((n_clusters, points.shape[1]))
+    first = int(generator.integers(n_points))
+    centers[0] = points[first]
+    closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
+    for idx in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 1e-12:
+            centers[idx] = points[int(generator.integers(n_points))]
+        else:
+            probabilities = closest_sq / total
+            chosen = int(generator.choice(n_points, p=probabilities))
+            centers[idx] = points[chosen]
+        closest_sq = np.minimum(
+            closest_sq, ((points - centers[idx]) ** 2).sum(axis=1)
+        )
+
+    labels = np.full(n_points, -1, dtype=int)
+    for _iteration in range(max_iter):
+        squared = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = np.argmin(squared, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(n_clusters):
+            members = points[labels == cluster]
+            if members.size:
+                centers[cluster] = members.mean(axis=0)
+    return _repair_empty_clusters(labels, n_clusters, generator)

@@ -1,0 +1,64 @@
+"""Random balanced partition baseline.
+
+Not part of the paper's evaluation, but a useful sanity check: any proposed
+algorithm should comfortably beat a partition formed with no regard for
+preferences at all, and the gap quantifies how much structure a dataset has.
+The random baseline assigns users to ``max_groups`` groups in a shuffled
+round-robin fashion, producing groups whose sizes differ by at most one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.core.greedy_framework import as_complete_values
+from repro.core.grouping import GroupFormationResult, evaluate_partition
+from repro.core.semantics import Semantics, get_semantics
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["random_partition_baseline"]
+
+
+def random_partition_baseline(
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    semantics: Semantics | str = "lm",
+    aggregation: Aggregation | str = "min",
+    rng: int | np.random.Generator | None = None,
+) -> GroupFormationResult:
+    """Partition users uniformly at random into balanced groups and score it.
+
+    Parameters
+    ----------
+    ratings:
+        Complete rating matrix.
+    max_groups:
+        Group budget ℓ; the partition uses ``min(ℓ, n_users)`` groups.
+    k, semantics, aggregation:
+        Evaluation parameters (see :func:`repro.core.formation.form_groups`).
+    rng:
+        Seed or generator controlling the shuffle.
+    """
+    values = as_complete_values(ratings)
+    max_groups = require_positive_int(max_groups, "max_groups")
+    generator = ensure_rng(rng)
+    n_users = values.shape[0]
+    n_groups = min(max_groups, n_users)
+    order = generator.permutation(n_users)
+    blocks = [order[start::n_groups].tolist() for start in range(n_groups)]
+    blocks = [block for block in blocks if block]
+    semantics = get_semantics(semantics)
+    result = evaluate_partition(
+        values,
+        blocks,
+        k=k,
+        semantics=semantics,
+        aggregation=aggregation,
+        algorithm=f"Random-{semantics.short_name}",
+        max_groups=max_groups,
+    )
+    return result

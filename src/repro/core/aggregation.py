@@ -1,0 +1,174 @@
+"""Group-satisfaction aggregation over a recommended top-k list (paper §2.3, §6).
+
+Once a group's top-k item list and the per-item group scores (under LM or AV
+semantics) are known, an *aggregation function* collapses the ``k`` scores
+into the group's satisfaction with the list:
+
+* **Max** — the score of the very top item, ``sc(g, i^1)``.
+* **Min** — the score of the bottom (k-th) item, ``sc(g, i^k)``.
+* **Sum** — the sum of scores over the whole list.
+* **Weighted Sum** (paper §6 extension) — a positional weighting of the Sum,
+  with weights inversely proportional to the position or its logarithm
+  (DCG-style).
+
+All aggregators receive the list of group scores *in recommended rank order*
+(position 1 first) so positional weights are well defined.  When ``k == 1``
+all aggregations coincide, as noted in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Aggregation",
+    "MaxAggregation",
+    "MinAggregation",
+    "SumAggregation",
+    "WeightedSumAggregation",
+    "get_aggregation",
+]
+
+
+class Aggregation(ABC):
+    """Base class for top-k score aggregation functions."""
+
+    #: Canonical lower-case name (``"min"``, ``"max"``, ``"sum"``, ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def aggregate(self, scores_in_rank_order: Sequence[float]) -> float:
+        """Collapse the ranked list of group scores into a satisfaction value.
+
+        Parameters
+        ----------
+        scores_in_rank_order:
+            Group scores of the recommended items, best item first.  Must be
+            non-empty.
+        """
+
+    def _validate(self, scores: Sequence[float]) -> np.ndarray:
+        array = np.asarray(list(scores), dtype=float)
+        if array.size == 0:
+            raise ValueError(f"{type(self).__name__} requires a non-empty score list")
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(
+            other, "__dict__", None
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class MaxAggregation(Aggregation):
+    """Satisfaction is the score of the top (first) recommended item."""
+
+    name = "max"
+
+    def aggregate(self, scores_in_rank_order: Sequence[float]) -> float:
+        scores = self._validate(scores_in_rank_order)
+        return float(scores[0])
+
+
+class MinAggregation(Aggregation):
+    """Satisfaction is the score of the bottom (k-th) recommended item."""
+
+    name = "min"
+
+    def aggregate(self, scores_in_rank_order: Sequence[float]) -> float:
+        scores = self._validate(scores_in_rank_order)
+        return float(scores[-1])
+
+
+class SumAggregation(Aggregation):
+    """Satisfaction is the sum of scores over the whole recommended list."""
+
+    name = "sum"
+
+    def aggregate(self, scores_in_rank_order: Sequence[float]) -> float:
+        scores = self._validate(scores_in_rank_order)
+        return float(scores.sum())
+
+
+class WeightedSumAggregation(Aggregation):
+    """Positionally weighted Sum aggregation (paper §6, "weights at the item
+    list level").
+
+    Parameters
+    ----------
+    scheme:
+        ``"inverse"`` gives position ``p`` (1-based) weight ``1 / p``;
+        ``"log"`` gives the DCG-style weight ``1 / log2(p + 1)``.
+    normalize:
+        When ``True`` the weights are scaled to sum to ``k`` so that the
+        weighted value stays on the same scale as plain Sum aggregation
+        (useful when comparing objective values across aggregators).
+    """
+
+    name = "weighted-sum"
+
+    def __init__(self, scheme: str = "inverse", normalize: bool = False) -> None:
+        if scheme not in {"inverse", "log"}:
+            raise ValueError(
+                f"scheme must be 'inverse' or 'log', got {scheme!r}"
+            )
+        self.scheme = scheme
+        self.normalize = bool(normalize)
+
+    def weights(self, k: int) -> np.ndarray:
+        """The positional weight vector for a list of length ``k``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        positions = np.arange(1, k + 1, dtype=float)
+        if self.scheme == "inverse":
+            weights = 1.0 / positions
+        else:
+            weights = 1.0 / np.log2(positions + 1.0)
+        if self.normalize:
+            weights = weights * (k / weights.sum())
+        return weights
+
+    def aggregate(self, scores_in_rank_order: Sequence[float]) -> float:
+        scores = self._validate(scores_in_rank_order)
+        return float((scores * self.weights(scores.size)).sum())
+
+
+_FACTORIES = {
+    "max": MaxAggregation,
+    "min": MinAggregation,
+    "sum": SumAggregation,
+    "weighted-sum": WeightedSumAggregation,
+    "weighted-sum-inverse": lambda: WeightedSumAggregation(scheme="inverse"),
+    "weighted-sum-log": lambda: WeightedSumAggregation(scheme="log"),
+}
+
+
+def get_aggregation(name: str | Aggregation) -> Aggregation:
+    """Resolve an aggregation name or instance to an :class:`Aggregation`.
+
+    Accepts ``"min"``, ``"max"``, ``"sum"``, ``"weighted-sum"``,
+    ``"weighted-sum-inverse"``, ``"weighted-sum-log"`` (case-insensitive), or
+    an existing :class:`Aggregation` instance (returned unchanged).
+
+    Examples
+    --------
+    >>> get_aggregation("Min").name
+    'min'
+    >>> get_aggregation(SumAggregation()).name
+    'sum'
+    """
+    if isinstance(name, Aggregation):
+        return name
+    key = str(name).strip().lower()
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown aggregation {name!r}; expected one of: {known}")
+    return _FACTORIES[key]()

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so downstream
+applications can catch a single base class.  The specific subclasses mirror
+the main failure modes of the public API: malformed rating data, invalid
+group-formation parameters, and infeasible exact-solver instances.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RatingDataError",
+    "GroupFormationError",
+    "InfeasibleInstanceError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class RatingDataError(ReproError):
+    """Raised when rating data is malformed or inconsistent.
+
+    Examples include duplicate ``(user, item)`` pairs with conflicting
+    ratings, ratings outside the declared scale, or an empty rating matrix
+    fed to an algorithm that needs at least one user and one item.
+    """
+
+
+class GroupFormationError(ReproError):
+    """Raised when group-formation parameters are invalid for the instance.
+
+    For instance requesting ``k`` larger than the number of items, or a group
+    budget ``max_groups`` smaller than 1.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """Raised by exact solvers when the instance admits no feasible partition."""
+
+
+class SolverError(ReproError):
+    """Raised when an exact solver backend fails unexpectedly."""

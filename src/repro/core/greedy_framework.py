@@ -1,0 +1,360 @@
+"""Shared machinery of the greedy group-formation algorithms (paper §4, §5).
+
+All four published algorithms — GRD-LM-MIN, GRD-LM-SUM, GRD-AV-MIN and
+GRD-AV-SUM — plus their Max-aggregation and Weighted-Sum variants used in the
+experiments share the same three-step skeleton:
+
+1. **Intermediate groups.**  Hash every user on a key derived from her top-k
+   preference sequence (and, depending on the variant, some of its scores).
+   Users with equal keys form an intermediate group.  A heap stores one
+   satisfaction score per intermediate group.
+2. **Greedy selection.**  Pop the ``ℓ - 1`` intermediate groups with the
+   highest scores; each becomes a final group whose recommended list is the
+   shared top-k sequence.
+3. **Left-over group.**  All remaining users are merged into the ℓ-th group,
+   whose top-k list and satisfaction are computed with the group recommender
+   under the chosen semantics.
+
+The variants differ only in (a) the hashing key and (b) how a user's top-k
+scores contribute to the intermediate group's heap score, which is what
+:class:`GreedyVariant` captures.  The public entry points in
+:mod:`repro.core.greedy_lm` and :mod:`repro.core.greedy_av` are thin wrappers
+that instantiate the right variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation, get_aggregation
+from repro.core.errors import GroupFormationError
+from repro.core.group_recommender import group_satisfaction
+from repro.core.grouping import Group, GroupFormationResult
+from repro.core.preferences import top_k_table
+from repro.core.semantics import Semantics, get_semantics
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import require_positive_int
+
+__all__ = ["GreedyVariant", "run_greedy", "as_complete_values", "make_variant"]
+
+
+def as_complete_values(ratings: RatingMatrix | np.ndarray) -> np.ndarray:
+    """Return a complete ``(n_users, n_items)`` float array from either input type.
+
+    Raises :class:`~repro.core.errors.GroupFormationError` if any rating is
+    missing, since the formation algorithms need full preference information.
+    """
+    if isinstance(ratings, RatingMatrix):
+        values = ratings.values
+    else:
+        values = np.asarray(ratings, dtype=float)
+    if values.ndim != 2:
+        raise GroupFormationError(
+            f"ratings must be a 2-D user x item array, got shape {values.shape}"
+        )
+    if np.isnan(values).any():
+        raise GroupFormationError(
+            "group formation requires a complete rating matrix; fill missing "
+            "ratings with repro.recsys.complete_matrix first"
+        )
+    return values
+
+
+@dataclass(frozen=True)
+class GreedyVariant:
+    """Configuration of one greedy algorithm variant.
+
+    Attributes
+    ----------
+    name:
+        Algorithm name recorded on results, e.g. ``"GRD-LM-MIN"``.
+    semantics:
+        Group recommendation semantics (LM or AV).
+    aggregation:
+        Top-k score aggregation (min / max / sum / weighted-sum).
+    key_fn:
+        Maps a user's ``(top_k_items, top_k_scores)`` to the hashable bucket
+        key.  LM variants include the aggregation-relevant score(s) in the
+        key; AV variants key on the item sequence alone (paper §5).
+    user_value_fn:
+        Maps a user's top-k scores to that user's contribution to the bucket
+        heap score.
+    combine:
+        ``"first"`` — the heap score of a bucket is the (identical)
+        contribution of any member (LM variants); ``"sum"`` — it is the sum
+        of member contributions (AV variants).
+    """
+
+    name: str
+    semantics: Semantics
+    aggregation: Aggregation
+    key_fn: Callable[[np.ndarray, np.ndarray], bytes]
+    user_value_fn: Callable[[np.ndarray], float]
+    combine: str
+
+    def __post_init__(self) -> None:
+        if self.combine not in {"first", "sum"}:
+            raise ValueError(f"combine must be 'first' or 'sum', got {self.combine!r}")
+
+
+def _aggregation_value(aggregation: Aggregation, scores: np.ndarray) -> float:
+    """A single user's aggregated value of her own top-k scores."""
+    return aggregation.aggregate(scores.tolist())
+
+
+def make_variant(
+    semantics: Semantics | str, aggregation: Aggregation | str
+) -> GreedyVariant:
+    """Build the :class:`GreedyVariant` for a semantics/aggregation combination.
+
+    The published algorithms correspond to::
+
+        make_variant("lm", "min")   # GRD-LM-MIN   (Algorithm 1)
+        make_variant("lm", "sum")   # GRD-LM-SUM
+        make_variant("av", "min")   # GRD-AV-MIN
+        make_variant("av", "sum")   # GRD-AV-SUM
+
+    Max aggregation (used by the paper's quality experiments, e.g.
+    GRD-LM-MAX in Figure 1) and the Weighted-Sum extension of §6 follow the
+    same pattern: the LM key carries the score(s) the aggregation depends on,
+    the AV key carries only the item sequence.
+    """
+    semantics = get_semantics(semantics)
+    aggregation = get_aggregation(aggregation)
+    name = f"GRD-{semantics.short_name}-{aggregation.name.upper()}"
+
+    def user_value(scores: np.ndarray, _agg: Aggregation = aggregation) -> float:
+        return _aggregation_value(_agg, scores)
+
+    if semantics is Semantics.LEAST_MISERY:
+        if aggregation.name == "min":
+
+            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+                return items.tobytes() + scores[-1:].tobytes()
+
+        elif aggregation.name == "max":
+
+            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+                return items.tobytes() + scores[:1].tobytes()
+
+        else:  # sum / weighted-sum: every score matters for the LM value.
+
+            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+                return items.tobytes() + scores.tobytes()
+
+        combine = "first"
+    else:
+        # Aggregate voting: grouping on the item sequence alone (§5) — the
+        # scores of individual members are summed, not matched.
+        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+            return items.tobytes()
+
+        combine = "sum"
+
+    return GreedyVariant(
+        name=name,
+        semantics=semantics,
+        aggregation=aggregation,
+        key_fn=key_fn,
+        user_value_fn=user_value,
+        combine=combine,
+    )
+
+
+def run_greedy(
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int,
+    variant: GreedyVariant,
+) -> GroupFormationResult:
+    """Run the three-step greedy framework for one variant.
+
+    Parameters
+    ----------
+    ratings:
+        Complete rating matrix (``RatingMatrix`` or raw array).
+    max_groups:
+        The group budget ℓ (at most this many groups are formed).
+    k:
+        Length of the recommended top-k list per group.
+    variant:
+        The algorithm variant produced by :func:`make_variant`.
+
+    Returns
+    -------
+    GroupFormationResult
+        Groups in formation order (the ``ℓ - 1`` greedily selected groups
+        first, the left-over group last), the objective value, and timing /
+        bookkeeping information in ``extras``:
+
+        ``n_intermediate_groups``
+            number of distinct hash keys (intermediate groups) in step 1;
+        ``last_group_pseudocode_score``
+            the score Algorithm 1 line 18 would assign to the left-over group
+            (min / sum of the members' personal scores) — the reported
+            objective instead uses the group's *actual* satisfaction with the
+            list it is recommended;
+        ``formation_seconds`` / ``recommendation_seconds``
+            wall-clock split between forming groups and producing their
+            top-k lists.
+    """
+    values = as_complete_values(ratings)
+    n_users, n_items = values.shape
+    max_groups = require_positive_int(max_groups, "max_groups")
+    k = require_positive_int(k, "k")
+    if k > n_items:
+        raise GroupFormationError(
+            f"k={k} exceeds the number of items ({n_items})"
+        )
+
+    watch = Stopwatch()
+    with watch.lap("formation"):
+        items_table, scores_table = top_k_table(values, k)
+
+        # Step 1: intermediate groups — hash users on the variant's key.
+        buckets: dict[bytes, list[int]] = {}
+        bucket_scores: dict[bytes, float] = {}
+        bucket_rep: dict[bytes, int] = {}
+        for user in range(n_users):
+            items_row = items_table[user]
+            scores_row = scores_table[user]
+            key = variant.key_fn(items_row, scores_row)
+            contribution = variant.user_value_fn(scores_row)
+            if key not in buckets:
+                buckets[key] = [user]
+                bucket_rep[key] = user
+                bucket_scores[key] = contribution
+            else:
+                buckets[key].append(user)
+                if variant.combine == "sum":
+                    bucket_scores[key] += contribution
+                # combine == "first": all members share the same contribution.
+
+        # Step 2: greedily select the (ℓ - 1) intermediate groups with the
+        # highest scores.  Ties break on the smallest representative user
+        # index for determinism.
+        heap = [
+            (-bucket_scores[key], bucket_rep[key], key) for key in buckets
+        ]
+        heapq.heapify(heap)
+        selected_keys: list[bytes] = []
+        while heap and len(selected_keys) < max_groups - 1:
+            _, _, key = heapq.heappop(heap)
+            selected_keys.append(key)
+        remaining_users = sorted(
+            user for _, _, key in heap for user in buckets[key]
+        )
+
+    groups: list[Group] = []
+    with watch.lap("recommendation"):
+        for key in selected_keys:
+            members = tuple(sorted(buckets[key]))
+            rep = bucket_rep[key]
+            rec_items = tuple(int(i) for i in items_table[rep])
+            rec_scores = tuple(
+                variant.semantics.item_score(values, np.asarray(members), item)
+                for item in rec_items
+            )
+            satisfaction = variant.aggregation.aggregate(rec_scores)
+            groups.append(
+                Group(
+                    members=members,
+                    items=rec_items,
+                    item_scores=rec_scores,
+                    satisfaction=satisfaction,
+                )
+            )
+
+        # Budget filling: when every intermediate group was selected (no users
+        # remain for an ℓ-th group) and fewer than min(ℓ, n) groups exist,
+        # split homogeneous selected groups until the budget is used.  The
+        # paper observes that "Obj is maximized when all ℓ groups are formed"
+        # and Theorem 2's domination argument assumes ℓ greedy groups exist;
+        # because every member of a selected group shares the key the group
+        # was hashed on, splitting never lowers a group's LM satisfaction and
+        # preserves the summed AV satisfaction, so this step only helps.
+        if not remaining_users:
+            target_groups = min(max_groups, n_users)
+            while len(groups) < target_groups:
+                splittable = [i for i, g in enumerate(groups) if g.size > 1]
+                if not splittable:
+                    break
+                source_idx = max(splittable, key=lambda i: groups[i].satisfaction)
+                source = groups[source_idx]
+                remaining_members = source.members[:-1]
+                moved_member = (source.members[-1],)
+                rebuilt = []
+                for members in (remaining_members, moved_member):
+                    scores = tuple(
+                        variant.semantics.item_score(values, np.asarray(members), item)
+                        for item in source.items
+                    )
+                    rebuilt.append(
+                        Group(
+                            members=members,
+                            items=source.items,
+                            item_scores=scores,
+                            satisfaction=variant.aggregation.aggregate(scores),
+                        )
+                    )
+                groups[source_idx] = rebuilt[0]
+                groups.append(rebuilt[1])
+
+        last_group_pseudocode_score = None
+        if remaining_users:
+            members = tuple(remaining_users)
+            items, scores, satisfaction = group_satisfaction(
+                values, members, k, variant.semantics, variant.aggregation
+            )
+            groups.append(
+                Group(
+                    members=members,
+                    items=items,
+                    item_scores=scores,
+                    satisfaction=satisfaction,
+                )
+            )
+            # The score Algorithm 1 (line 18) would assign: aggregate each
+            # remaining user's *personal* top-k scores, then combine per the
+            # semantics (min across users for LM, sum for AV).
+            personal = np.array(
+                [variant.user_value_fn(scores_table[user]) for user in remaining_users]
+            )
+            if variant.semantics is Semantics.LEAST_MISERY:
+                last_group_pseudocode_score = float(personal.min())
+            else:
+                last_group_pseudocode_score = float(personal.sum())
+
+    objective = float(sum(group.satisfaction for group in groups))
+    extras = {
+        "n_intermediate_groups": len(buckets),
+        "last_group_pseudocode_score": last_group_pseudocode_score,
+        "formation_seconds": watch.laps.get("formation", 0.0),
+        "recommendation_seconds": watch.laps.get("recommendation", 0.0),
+    }
+    return GroupFormationResult(
+        groups=groups,
+        objective=objective,
+        algorithm=variant.name,
+        semantics=variant.semantics,
+        aggregation=variant.aggregation,
+        k=k,
+        max_groups=max_groups,
+        extras=extras,
+    )
+
+
+def run_greedy_for(
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int,
+    semantics: Semantics | str,
+    aggregation: Aggregation | str,
+) -> GroupFormationResult:
+    """Convenience wrapper: build the variant and run it in one call."""
+    return run_greedy(ratings, max_groups, k, make_variant(semantics, aggregation))

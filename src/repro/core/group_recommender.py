@@ -1,0 +1,154 @@
+"""Group recommendation engine: top-k lists and satisfaction for a *given* group.
+
+This is the substrate the paper assumes exists (§1, §2): given a group of
+users, a semantics (LM or AV), and a list length ``k``, produce the top-k
+item list recommended to the group and the group's satisfaction with it under
+a chosen aggregation.  The group-formation algorithms call into this module
+to evaluate the groups they build (most importantly the left-over ℓ-th
+group), and the experiment harness uses it to score groupings produced by the
+baselines and the exact solvers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation, get_aggregation
+from repro.core.errors import GroupFormationError
+from repro.core.semantics import Semantics, get_semantics
+from repro.recsys.matrix import RatingMatrix
+
+__all__ = [
+    "group_item_scores",
+    "recommend_top_k",
+    "group_satisfaction",
+    "GroupRecommender",
+]
+
+
+def group_item_scores(
+    values: np.ndarray, members: Sequence[int], semantics: Semantics | str
+) -> np.ndarray:
+    """Group preference score of every item for the group ``members``.
+
+    Thin wrapper over :meth:`Semantics.item_scores` accepting semantics names.
+    """
+    return get_semantics(semantics).item_scores(
+        np.asarray(values, dtype=float), np.asarray(members, dtype=int)
+    )
+
+
+def recommend_top_k(
+    values: np.ndarray,
+    members: Sequence[int],
+    k: int,
+    semantics: Semantics | str,
+) -> tuple[tuple[int, ...], tuple[float, ...]]:
+    """Top-``k`` item list recommended to the group under ``semantics``.
+
+    Items are ranked by group score descending with ties broken by ascending
+    item index (the library-wide tie-break).  Returns the item indices and
+    their group scores, both in recommended rank order.
+
+    Parameters
+    ----------
+    values:
+        Complete ``(n_users, n_items)`` rating array.
+    members:
+        Positional user indices of the group (non-empty).
+    k:
+        Length of the recommended list, ``1 <= k <= n_items``.
+    semantics:
+        ``"lm"`` / ``"av"`` or a :class:`~repro.core.semantics.Semantics`.
+    """
+    values = np.asarray(values, dtype=float)
+    n_items = values.shape[1]
+    if not 1 <= k <= n_items:
+        raise GroupFormationError(
+            f"k must be between 1 and the number of items ({n_items}), got {k}"
+        )
+    scores = group_item_scores(values, members, semantics)
+    order = np.argsort(-scores, kind="stable")[:k]
+    return (
+        tuple(int(item) for item in order),
+        tuple(float(scores[item]) for item in order),
+    )
+
+
+def group_satisfaction(
+    values: np.ndarray,
+    members: Sequence[int],
+    k: int,
+    semantics: Semantics | str,
+    aggregation: Aggregation | str,
+) -> tuple[tuple[int, ...], tuple[float, ...], float]:
+    """Recommended list, its group scores, and the aggregated satisfaction.
+
+    Returns
+    -------
+    (items, scores, satisfaction):
+        The recommended item indices in rank order, their group scores, and
+        the aggregation of those scores (``gs(I^k_g)`` in the paper).
+    """
+    items, scores = recommend_top_k(values, members, k, semantics)
+    satisfaction = get_aggregation(aggregation).aggregate(scores)
+    return items, scores, satisfaction
+
+
+class GroupRecommender:
+    """Object-oriented facade over the group recommendation primitives.
+
+    Binds a complete :class:`~repro.recsys.matrix.RatingMatrix` and a
+    semantics so that applications can repeatedly query recommendations for
+    different groups without re-validating inputs.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.recsys import RatingMatrix
+    >>> ratings = RatingMatrix(np.array([[5.0, 1.0, 3.0], [4.0, 2.0, 3.0]]))
+    >>> rec = GroupRecommender(ratings, semantics="lm")
+    >>> rec.recommend([0, 1], k=2)
+    ((0, 2), (4.0, 3.0))
+    """
+
+    def __init__(self, ratings: RatingMatrix, semantics: Semantics | str = "lm") -> None:
+        if not ratings.is_complete:
+            raise GroupFormationError(
+                "GroupRecommender requires a complete rating matrix; run "
+                "repro.recsys.complete_matrix first"
+            )
+        self.ratings = ratings
+        self.semantics = get_semantics(semantics)
+
+    def item_scores(self, members: Sequence[int]) -> np.ndarray:
+        """Group preference score of every item for ``members``."""
+        return self.semantics.item_scores(
+            self.ratings.values, np.asarray(members, dtype=int)
+        )
+
+    def recommend(
+        self, members: Sequence[int], k: int
+    ) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        """Top-``k`` items and group scores for ``members``."""
+        return recommend_top_k(self.ratings.values, members, k, self.semantics)
+
+    def satisfaction(
+        self, members: Sequence[int], k: int, aggregation: Aggregation | str = "min"
+    ) -> float:
+        """Aggregated group satisfaction of ``members`` with their top-``k`` list."""
+        _, _, value = group_satisfaction(
+            self.ratings.values, members, k, self.semantics, aggregation
+        )
+        return value
+
+    def recommend_labels(
+        self, members: Sequence[int], k: int
+    ) -> list[tuple[object, float]]:
+        """Top-``k`` recommendation as ``(item_label, group_score)`` pairs."""
+        items, scores = self.recommend(members, k)
+        return [
+            (self.ratings.item_ids[item], score) for item, score in zip(items, scores)
+        ]

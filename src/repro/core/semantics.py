@@ -1,0 +1,111 @@
+"""Group recommendation semantics (paper §2.2).
+
+A *semantics* turns the individual preference ratings of a group's members
+into a single group preference score per item:
+
+* **Least Misery (LM)** — the group's score for an item is the minimum rating
+  of that item across the members ("a group is only as happy as its least
+  happy member").
+* **Aggregate Voting (AV)** — the group's score for an item is the sum of the
+  members' ratings for that item.
+
+Both are implemented as vectorised operations over the rating matrix so that
+the group recommender and the exact solvers can score candidate groups
+cheaply.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.errors import GroupFormationError
+
+__all__ = ["Semantics", "get_semantics"]
+
+
+class Semantics(Enum):
+    """The two group recommendation semantics studied in the paper."""
+
+    LEAST_MISERY = "lm"
+    AGGREGATE_VOTING = "av"
+
+    @property
+    def short_name(self) -> str:
+        """Short identifier used in algorithm names (``"LM"`` / ``"AV"``)."""
+        return "LM" if self is Semantics.LEAST_MISERY else "AV"
+
+    def item_scores(self, values: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """Group preference score of every item for the group ``members``.
+
+        Parameters
+        ----------
+        values:
+            Complete ``(n_users, n_items)`` rating array.
+        members:
+            1-D array of positional user indices forming the group; must be
+            non-empty.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length ``n_items`` array: ``min`` over members for LM, ``sum``
+            over members for AV (Definitions 1 and 2 of the paper).
+        """
+        members = np.asarray(members, dtype=int)
+        if members.size == 0:
+            raise GroupFormationError("cannot score items for an empty group")
+        rows = values[members]
+        if np.isnan(rows).any():
+            raise GroupFormationError(
+                "group semantics require complete ratings for every member; "
+                "run repro.recsys.complete_matrix first"
+            )
+        if self is Semantics.LEAST_MISERY:
+            return rows.min(axis=0)
+        return rows.sum(axis=0)
+
+    def item_score(self, values: np.ndarray, members: np.ndarray, item: int) -> float:
+        """Group preference score of a single ``item`` for the group."""
+        members = np.asarray(members, dtype=int)
+        if members.size == 0:
+            raise GroupFormationError("cannot score an item for an empty group")
+        column = values[members, item]
+        if self is Semantics.LEAST_MISERY:
+            return float(column.min())
+        return float(column.sum())
+
+
+_ALIASES = {
+    "lm": Semantics.LEAST_MISERY,
+    "least_misery": Semantics.LEAST_MISERY,
+    "least-misery": Semantics.LEAST_MISERY,
+    "leastmisery": Semantics.LEAST_MISERY,
+    "av": Semantics.AGGREGATE_VOTING,
+    "aggregate_voting": Semantics.AGGREGATE_VOTING,
+    "aggregate-voting": Semantics.AGGREGATE_VOTING,
+    "aggregatevoting": Semantics.AGGREGATE_VOTING,
+}
+
+
+def get_semantics(name: str | Semantics) -> Semantics:
+    """Resolve a semantics name or instance to a :class:`Semantics` member.
+
+    Accepts ``"lm"``, ``"av"``, the long names (``"least_misery"``,
+    ``"aggregate_voting"``) in any case, or an existing :class:`Semantics`.
+
+    Examples
+    --------
+    >>> get_semantics("LM") is Semantics.LEAST_MISERY
+    True
+    >>> get_semantics(Semantics.AGGREGATE_VOTING).short_name
+    'AV'
+    """
+    if isinstance(name, Semantics):
+        return name
+    key = str(name).strip().lower()
+    if key not in _ALIASES:
+        known = ", ".join(sorted(set(_ALIASES)))
+        raise ValueError(f"unknown semantics {name!r}; expected one of: {known}")
+    return _ALIASES[key]

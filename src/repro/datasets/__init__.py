@@ -1,0 +1,63 @@
+"""Datasets: loaders for the paper's real datasets and calibrated synthetic
+generators usable offline.
+
+The paper evaluates on three data sources: the Yahoo! Music Webscope ratings
+snapshot, the MovieLens 10M ratings, and a Flickr itinerary log of New York
+City used to seed the user study.  None of those can be downloaded in this
+environment, so each loader is paired with a synthetic generator calibrated
+to the statistics the paper (or the dataset's documentation) reports — see
+the substitution table in ``DESIGN.md``.  The group-formation algorithms only
+consume a user x item rating matrix on a bounded scale, so preserving the
+scale, sparsity, preference clustering and popularity skew preserves the
+behaviour being studied.
+"""
+
+from repro.datasets.flickr_pois import (
+    FlickrItinerary,
+    extract_top_pois,
+    poi_rating_matrix,
+    synthetic_flickr_log,
+)
+from repro.datasets.movielens import load_movielens_ratings, synthetic_movielens
+from repro.datasets.paper_examples import (
+    paper_example_1,
+    paper_example_2,
+    paper_example_4,
+    paper_example_5,
+)
+from repro.datasets.samples import (
+    pairwise_topk_similarity,
+    select_dissimilar_sample,
+    select_random_sample,
+    select_similar_sample,
+)
+from repro.datasets.synthetic import (
+    archetype_population,
+    clustered_population,
+    synthetic_ratings,
+    uniform_random_ratings,
+)
+from repro.datasets.yahoo_music import load_yahoo_music_ratings, synthetic_yahoo_music
+
+__all__ = [
+    "synthetic_ratings",
+    "archetype_population",
+    "clustered_population",
+    "uniform_random_ratings",
+    "load_movielens_ratings",
+    "synthetic_movielens",
+    "load_yahoo_music_ratings",
+    "synthetic_yahoo_music",
+    "FlickrItinerary",
+    "synthetic_flickr_log",
+    "extract_top_pois",
+    "poi_rating_matrix",
+    "pairwise_topk_similarity",
+    "select_similar_sample",
+    "select_dissimilar_sample",
+    "select_random_sample",
+    "paper_example_1",
+    "paper_example_2",
+    "paper_example_4",
+    "paper_example_5",
+]

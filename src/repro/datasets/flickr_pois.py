@@ -1,0 +1,141 @@
+"""Flickr-style point-of-interest (POI) itinerary log for the user study.
+
+The paper's user study (§7.3) starts from a public Flickr log of New York
+City: each row of the log is one user's itinerary — the POIs they
+photographed within a 12-hour window — from which the 10 most popular POIs
+are extracted and rated by Amazon Mechanical Turk workers.  This module
+provides the same pipeline on synthetic data:
+
+* :func:`synthetic_flickr_log` generates itineraries with a skewed POI
+  popularity distribution (a few landmark POIs appear in most itineraries);
+* :func:`extract_top_pois` returns the ``n`` most visited POIs;
+* :func:`poi_rating_matrix` converts visit behaviour into 1–5 preference
+  ratings over the selected POIs (visit frequency plus persona noise), which
+  is the worker-preference input of the user-study protocol in
+  :mod:`repro.userstudy`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.recsys.matrix import RatingMatrix, RatingScale
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "FlickrItinerary",
+    "synthetic_flickr_log",
+    "extract_top_pois",
+    "poi_rating_matrix",
+]
+
+
+@dataclass(frozen=True)
+class FlickrItinerary:
+    """One itinerary: the POIs one user visited within a 12-hour window.
+
+    Attributes
+    ----------
+    user:
+        User identifier.
+    pois:
+        POI identifiers visited, in visit order (may repeat across windows
+        but not within one itinerary).
+    """
+
+    user: str
+    pois: tuple[str, ...]
+
+
+def synthetic_flickr_log(
+    n_users: int = 200,
+    n_pois: int = 40,
+    mean_itinerary_length: float = 5.0,
+    popularity_skew: float = 1.2,
+    rng: int | np.random.Generator | None = None,
+) -> list[FlickrItinerary]:
+    """Generate a synthetic city itinerary log.
+
+    POIs are assigned Zipf-like popularity weights; each user's itinerary
+    samples POIs without replacement proportionally to popularity, so a
+    handful of "landmark" POIs dominate — the property that makes a clear
+    top-10 emerge, as in the real NYC log.
+    """
+    n_users = require_positive_int(n_users, "n_users")
+    n_pois = require_positive_int(n_pois, "n_pois")
+    generator = ensure_rng(rng)
+    popularity = 1.0 / np.power(np.arange(1, n_pois + 1), popularity_skew)
+    popularity = popularity / popularity.sum()
+    poi_ids = [f"poi_{idx:03d}" for idx in range(n_pois)]
+
+    log: list[FlickrItinerary] = []
+    for user_idx in range(n_users):
+        length = int(np.clip(generator.poisson(mean_itinerary_length), 1, n_pois))
+        visited = generator.choice(
+            n_pois, size=length, replace=False, p=popularity
+        )
+        log.append(
+            FlickrItinerary(
+                user=f"user_{user_idx:04d}",
+                pois=tuple(poi_ids[int(p)] for p in visited),
+            )
+        )
+    return log
+
+
+def extract_top_pois(log: list[FlickrItinerary], n: int = 10) -> list[str]:
+    """The ``n`` most frequently visited POIs, most popular first.
+
+    Ties are broken alphabetically for determinism.
+    """
+    n = require_positive_int(n, "n")
+    counts: Counter[str] = Counter()
+    for itinerary in log:
+        counts.update(set(itinerary.pois))
+    ranked = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    return [poi for poi, _ in ranked[:n]]
+
+
+def poi_rating_matrix(
+    log: list[FlickrItinerary],
+    pois: list[str],
+    scale: RatingScale | None = None,
+    noise: float = 0.7,
+    rng: int | np.random.Generator | None = None,
+) -> RatingMatrix:
+    """Convert itinerary behaviour into a complete user x POI rating matrix.
+
+    A user's base preference for a POI is high if they visited it (with a
+    small bonus for visiting it early in the itinerary) and moderate-to-low
+    otherwise; Gaussian noise then differentiates users who behaved
+    identically.  The result is the 1–5 preference matrix the user-study
+    protocol feeds to the group-formation algorithms.
+    """
+    if not log:
+        raise ValueError("the itinerary log is empty")
+    if not pois:
+        raise ValueError("pois must contain at least one POI")
+    scale = scale if scale is not None else RatingScale(1.0, 5.0)
+    generator = ensure_rng(rng)
+    poi_index = {poi: idx for idx, poi in enumerate(pois)}
+
+    values = np.empty((len(log), len(pois)))
+    for row, itinerary in enumerate(log):
+        base = np.full(len(pois), 2.0)
+        for position, poi in enumerate(itinerary.pois):
+            if poi in poi_index:
+                # Visited POIs are liked; earlier visits a bit more.
+                bonus = max(0.0, 1.0 - 0.1 * position)
+                base[poi_index[poi]] = 4.0 + bonus
+        values[row] = base + generator.normal(0.0, noise, size=len(pois))
+    values = scale.round_to_scale(scale.clip(values))
+    return RatingMatrix(
+        values,
+        user_ids=[itinerary.user for itinerary in log],
+        item_ids=list(pois),
+        scale=scale,
+    )

@@ -1,0 +1,130 @@
+"""MovieLens: loader for the real ratings files plus a calibrated synthetic stand-in.
+
+The paper's quality experiments on MovieLens use the 10M ratings dataset
+(71,567 users, 10,681 movies, 1–5 stars).  :func:`load_movielens_ratings`
+parses the two common on-disk formats (``ratings.dat`` with ``::``
+separators, and the older tab-separated ``u.data``) so the real data can be
+dropped in when available.  :func:`synthetic_movielens` generates a matrix
+with MovieLens-like statistics for offline use: mean rating ≈ 3.5, strong
+item-popularity skew, and a moderately clustered user population.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import RatingDataError
+from repro.datasets.synthetic import synthetic_ratings
+from repro.recsys.matrix import RatingMatrix, RatingScale
+
+__all__ = ["load_movielens_ratings", "synthetic_movielens"]
+
+#: Headline statistics of the MovieLens 10M dataset as reported in the
+#: paper's Table 3 (number of users and items).
+MOVIELENS_10M_STATS = {"n_users": 71_567, "n_items": 10_681, "scale": (1.0, 5.0)}
+
+
+def _parse_line(line: str) -> tuple[str, str, float] | None:
+    """Parse one ratings line in either ``::``- or tab/space-separated format."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    if "::" in line:
+        parts = line.split("::")
+    elif "\t" in line:
+        parts = line.split("\t")
+    else:
+        parts = line.split()
+    if len(parts) < 3:
+        raise RatingDataError(f"cannot parse MovieLens ratings line: {line!r}")
+    user, item, rating = parts[0], parts[1], float(parts[2])
+    return user, item, rating
+
+
+def load_movielens_ratings(
+    path: str | Path,
+    max_rows: int | None = None,
+    scale: RatingScale | None = None,
+) -> RatingMatrix:
+    """Load a MovieLens ratings file into a :class:`RatingMatrix`.
+
+    Parameters
+    ----------
+    path:
+        Path to ``ratings.dat`` (MovieLens 1M/10M, ``UserID::MovieID::Rating::
+        Timestamp``) or ``u.data`` (MovieLens 100K, tab separated).
+    max_rows:
+        Optionally stop after this many rating rows (useful for smoke tests
+        on the very large files).
+    scale:
+        Rating scale; defaults to 1–5.
+
+    Returns
+    -------
+    RatingMatrix
+        Sparse matrix with user/item labels taken from the file's ids.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RatingDataError(f"MovieLens ratings file not found: {path}")
+    triples: list[tuple[str, str, float]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            parsed = _parse_line(line)
+            if parsed is None:
+                continue
+            triples.append(parsed)
+            if max_rows is not None and len(triples) >= max_rows:
+                break
+    if not triples:
+        raise RatingDataError(f"no ratings found in {path}")
+    return RatingMatrix.from_triples(
+        triples, scale=scale if scale is not None else RatingScale(1.0, 5.0)
+    )
+
+
+def synthetic_movielens(
+    n_users: int = 2000,
+    n_items: int = 500,
+    density: float = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> RatingMatrix:
+    """MovieLens-like synthetic ratings (long-tail popularity, 1–5 stars).
+
+    Movie tastes are somewhat less polarised than music tastes, so the
+    generator uses more archetypes with slightly lower fidelity than the
+    Yahoo! Music stand-in (see
+    :func:`repro.datasets.synthetic.archetype_population`).  When a sparse
+    matrix is requested (``density < 1``) the latent-factor generator is used
+    instead so the collaborative-filtering substrate has smooth structure to
+    recover.  The defaults are sized for the paper's experiment presets
+    rather than the full 10M-rating dataset.
+    """
+    from repro.datasets.synthetic import archetype_population
+    from repro.utils.rng import ensure_rng
+
+    generator = ensure_rng(rng)
+    if density < 1.0:
+        return synthetic_ratings(
+            n_users=n_users,
+            n_items=n_items,
+            density=density,
+            n_clusters=12,
+            n_factors=8,
+            cluster_spread=0.45,
+            noise=0.7,
+            mean_rating=3.5,
+            popularity_skew=0.6,
+            rng=generator,
+        )
+    return archetype_population(
+        n_users=n_users,
+        n_items=n_items,
+        n_archetypes=14,
+        fidelity=0.9,
+        dislike_rate=0.07,
+        popularity_skew=0.7,
+        rng=generator,
+    )

@@ -1,0 +1,145 @@
+"""Similar / dissimilar / random user samples (user-study Phase 1, §7.3).
+
+The user study forms three 10-user samples from the 50 raters collected in
+Phase 1 using the pairwise similarity the paper defines over the top-10
+ranked item lists::
+
+    sim(u, u') = (1 / 10) * sum_j sim(u, u', j)
+    sim(u, u', j) = 1 - |sc(u, i_j) - sc(u', i_j)| / 5   if both rank item i_j at position j
+                  = 0                                     otherwise
+
+i.e. two users are similar when they place the *same* item at the same rank
+with close ratings.  The "similar" sample picks users with high aggregate
+pairwise similarity, the "dissimilar" sample picks users with the smallest
+aggregate pairwise similarity, and the "random" sample is uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy_framework import as_complete_values
+from repro.core.preferences import top_k_table
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "pairwise_topk_similarity",
+    "select_similar_sample",
+    "select_dissimilar_sample",
+    "select_random_sample",
+]
+
+
+def pairwise_topk_similarity(
+    ratings: RatingMatrix | np.ndarray,
+    positions: int = 10,
+    rating_spread: float = 5.0,
+) -> np.ndarray:
+    """Pairwise user similarity over aligned top-``positions`` item lists.
+
+    Implements the paper's formula: position ``j`` contributes
+    ``1 - |sc(u, i_j) - sc(u', i_j)| / rating_spread`` when both users rank
+    the same item at position ``j`` and 0 otherwise; the contributions are
+    averaged over the ``positions`` ranks.
+
+    Returns a symmetric ``(n_users, n_users)`` matrix with unit diagonal.
+    """
+    values = as_complete_values(ratings)
+    positions = min(require_positive_int(positions, "positions"), values.shape[1])
+    items, scores = top_k_table(values, positions)
+    n_users = values.shape[0]
+
+    similarity = np.eye(n_users)
+    for i in range(n_users):
+        # Matching positions: same item at the same rank for both users.
+        same_item = items[i][None, :] == items  # (n_users, positions)
+        gaps = np.abs(scores[i][None, :] - scores)
+        contributions = np.where(same_item, 1.0 - gaps / rating_spread, 0.0)
+        similarity[i] = contributions.mean(axis=1)
+        similarity[i, i] = 1.0
+    return (similarity + similarity.T) / 2.0
+
+
+def _aggregate_similarity(similarity: np.ndarray, members: list[int]) -> float:
+    """Mean pairwise similarity within ``members`` (1.0 for singletons)."""
+    if len(members) < 2:
+        return 1.0
+    index = np.ix_(members, members)
+    block = similarity[index]
+    n = len(members)
+    return float((block.sum() - np.trace(block)) / (n * (n - 1)))
+
+
+def select_similar_sample(
+    ratings: RatingMatrix | np.ndarray,
+    size: int = 10,
+    positions: int = 10,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Greedily pick ``size`` users with high aggregate pairwise similarity.
+
+    A seed user is chosen as the one with the highest total similarity to
+    everyone else (deterministic unless ``rng`` is supplied to randomise tie
+    breaks), then users are added one at a time maximising average similarity
+    to the already-selected set.
+    """
+    values = as_complete_values(ratings)
+    size = require_positive_int(size, "size")
+    n_users = values.shape[0]
+    if size > n_users:
+        raise ValueError(f"cannot select {size} users from {n_users}")
+    similarity = pairwise_topk_similarity(values, positions=positions)
+    generator = ensure_rng(rng)
+
+    totals = similarity.sum(axis=1)
+    jitter = generator.random(n_users) * 1e-9
+    seed = int(np.argmax(totals + jitter))
+    selected = [seed]
+    while len(selected) < size:
+        candidates = [u for u in range(n_users) if u not in selected]
+        gains = [similarity[u, selected].mean() for u in candidates]
+        selected.append(candidates[int(np.argmax(gains))])
+    return sorted(selected)
+
+
+def select_dissimilar_sample(
+    ratings: RatingMatrix | np.ndarray,
+    size: int = 10,
+    positions: int = 10,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Greedily pick ``size`` users with the smallest aggregate pairwise similarity."""
+    values = as_complete_values(ratings)
+    size = require_positive_int(size, "size")
+    n_users = values.shape[0]
+    if size > n_users:
+        raise ValueError(f"cannot select {size} users from {n_users}")
+    similarity = pairwise_topk_similarity(values, positions=positions)
+    generator = ensure_rng(rng)
+
+    totals = similarity.sum(axis=1)
+    jitter = generator.random(n_users) * 1e-9
+    seed = int(np.argmin(totals + jitter))
+    selected = [seed]
+    while len(selected) < size:
+        candidates = [u for u in range(n_users) if u not in selected]
+        costs = [similarity[u, selected].mean() for u in candidates]
+        selected.append(candidates[int(np.argmin(costs))])
+    return sorted(selected)
+
+
+def select_random_sample(
+    ratings: RatingMatrix | np.ndarray,
+    size: int = 10,
+    rng: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Uniformly random sample of ``size`` users."""
+    values = as_complete_values(ratings)
+    size = require_positive_int(size, "size")
+    n_users = values.shape[0]
+    if size > n_users:
+        raise ValueError(f"cannot select {size} users from {n_users}")
+    generator = ensure_rng(rng)
+    return sorted(int(u) for u in generator.choice(n_users, size=size, replace=False))

@@ -1,0 +1,109 @@
+"""Yahoo! Music: loader for the Webscope ratings format plus a synthetic stand-in.
+
+The paper's main scalability dataset is a snapshot of the Yahoo! Music
+community's song ratings (about 200,000 users and 136,736 songs after the
+standard trimming to ≥ 20 ratings per user and per song, on a 1–5 scale).
+The Webscope distribution is licence-gated, so :func:`synthetic_yahoo_music`
+generates a matrix with the same scale and a more fragmented taste structure
+than MovieLens (music preferences cluster by genre more sharply than movie
+preferences), and :func:`load_yahoo_music_ratings` parses the tab-separated
+``user<TAB>song<TAB>rating`` text format for users who do have the data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import RatingDataError
+from repro.datasets.synthetic import synthetic_ratings
+from repro.recsys.matrix import RatingMatrix, RatingScale
+
+__all__ = ["load_yahoo_music_ratings", "synthetic_yahoo_music"]
+
+#: Headline statistics reported in the paper's Table 3.
+YAHOO_MUSIC_STATS = {"n_users": 200_000, "n_items": 136_736, "scale": (1.0, 5.0)}
+
+
+def load_yahoo_music_ratings(
+    path: str | Path,
+    max_rows: int | None = None,
+    scale: RatingScale | None = None,
+) -> RatingMatrix:
+    """Load a Yahoo! Music Webscope ratings file (``user\\tsong\\trating``).
+
+    Parameters
+    ----------
+    path:
+        Path to the tab-separated ratings file.
+    max_rows:
+        Optionally stop after this many rows.
+    scale:
+        Rating scale; defaults to 1–5.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RatingDataError(f"Yahoo! Music ratings file not found: {path}")
+    triples: list[tuple[str, str, float]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) < 3:
+                raise RatingDataError(f"cannot parse Yahoo! Music line: {line!r}")
+            triples.append((parts[0], parts[1], float(parts[2])))
+            if max_rows is not None and len(triples) >= max_rows:
+                break
+    if not triples:
+        raise RatingDataError(f"no ratings found in {path}")
+    return RatingMatrix.from_triples(
+        triples, scale=scale if scale is not None else RatingScale(1.0, 5.0)
+    )
+
+
+def synthetic_yahoo_music(
+    n_users: int = 2000,
+    n_items: int = 500,
+    density: float = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> RatingMatrix:
+    """Yahoo!-Music-like synthetic ratings (strong genre archetypes, 1–5 scale).
+
+    Music preferences are sharply polarised along genre lines: large blocks
+    of listeners rate the same hit songs identically, which is what gives the
+    paper's greedy algorithms sizeable groups sharing exact top-k sequences.
+    The generator therefore draws users from a moderate number of
+    high-fidelity archetypes (see
+    :func:`repro.datasets.synthetic.archetype_population`); the latent-factor
+    generator remains available via :func:`repro.datasets.synthetic.synthetic_ratings`
+    when a sparse matrix for the CF substrate is requested.
+    """
+    from repro.datasets.synthetic import archetype_population
+    from repro.utils.rng import ensure_rng
+
+    generator = ensure_rng(rng)
+    if density < 1.0:
+        return synthetic_ratings(
+            n_users=n_users,
+            n_items=n_items,
+            density=density,
+            n_clusters=20,
+            n_factors=10,
+            cluster_spread=0.3,
+            noise=0.55,
+            mean_rating=3.2,
+            popularity_skew=0.8,
+            rng=generator,
+        )
+    return archetype_population(
+        n_users=n_users,
+        n_items=n_items,
+        n_archetypes=10,
+        fidelity=0.93,
+        dislike_rate=0.05,
+        popularity_skew=0.9,
+        rng=generator,
+    )

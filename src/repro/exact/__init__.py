@@ -1,0 +1,33 @@
+"""Optimal (exact) group-formation algorithms.
+
+The paper calibrates its greedy algorithms against an integer-programming
+optimum solved with IBM CPLEX on small instances (Appendix A).  CPLEX is
+proprietary, so this subpackage provides three interchangeable exact solvers
+built only on the scientific Python stack:
+
+* :mod:`repro.exact.brute_force` — dynamic programming over user subsets
+  (``O(ℓ · 3^n)``); the reference implementation used by the tests.
+* :mod:`repro.exact.ilp` — a set-partitioning integer linear program solved
+  with ``scipy.optimize.milp`` (HiGHS); one binary variable per candidate
+  group, mirroring the role the CPLEX IP plays in the paper.
+* :mod:`repro.exact.branch_and_bound` — a branch-and-bound over user → group
+  assignments with semantics-aware upper bounds; usually faster than the DP
+  on instances with strong structure.
+
+All three are exponential in the number of users and intended for the same
+role as in the paper: a reference optimum on small instances (the paper's IP
+"does not complete in a reasonable time beyond 200 users, 100 items and 10
+groups"; our solvers default to refusing more than 16 users).
+"""
+
+from repro.exact.branch_and_bound import optimal_groups_branch_and_bound
+from repro.exact.brute_force import enumerate_partitions, optimal_groups_dp, subset_scores
+from repro.exact.ilp import optimal_groups_ilp
+
+__all__ = [
+    "optimal_groups_dp",
+    "optimal_groups_ilp",
+    "optimal_groups_branch_and_bound",
+    "subset_scores",
+    "enumerate_partitions",
+]

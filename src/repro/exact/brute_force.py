@@ -1,0 +1,216 @@
+"""Exact group formation by dynamic programming over user subsets.
+
+The optimal grouping maximises the sum of group satisfactions over a
+partition of the users into at most ℓ blocks.  Because group satisfaction is
+an arbitrary set function of the block (it depends on the block's top-k list
+under the chosen semantics), the textbook approach is:
+
+1. score every non-empty subset ``S`` of users with the group recommender —
+   ``score(S) = gs(I^k_S)``;
+2. run the set-partition DP ``f[j][mask] = max over blocks S ⊆ mask
+   containing the lowest set bit of mask of f[j-1][mask \\ S] + score(S)``;
+3. the optimum is ``max_j f[j][full_mask]``.
+
+The DP costs ``O(ℓ · 3^n)`` plus ``O(2^n)`` group evaluations, so the solver
+refuses instances beyond ``max_users`` (16 by default).  This mirrors the
+role of the paper's CPLEX IP: a reference optimum for calibrating the greedy
+algorithms on small instances (e.g. the worked Examples 1, 2 and 5, and the
+200-user quality experiments in scaled-down form).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation, get_aggregation
+from repro.core.errors import GroupFormationError
+from repro.core.greedy_framework import as_complete_values
+from repro.core.group_recommender import group_satisfaction
+from repro.core.grouping import GroupFormationResult, evaluate_partition
+from repro.core.semantics import Semantics, get_semantics
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.validation import require_positive_int
+
+__all__ = ["subset_scores", "optimal_groups_dp", "enumerate_partitions"]
+
+#: Hard cap on instance size for the exact solvers; beyond this the memory
+#: and time for the 2^n subset enumeration become unreasonable.
+DEFAULT_MAX_USERS = 16
+
+
+def _mask_members(mask: int) -> tuple[int, ...]:
+    """Positional user indices contained in the bitmask ``mask``."""
+    members = []
+    user = 0
+    while mask:
+        if mask & 1:
+            members.append(user)
+        mask >>= 1
+        user += 1
+    return tuple(members)
+
+
+def subset_scores(
+    values: np.ndarray,
+    k: int,
+    semantics: Semantics | str,
+    aggregation: Aggregation | str,
+) -> np.ndarray:
+    """Group satisfaction of every non-empty subset of users.
+
+    Returns an array of length ``2**n_users`` where entry ``mask`` is the
+    satisfaction of the group whose members are the set bits of ``mask``
+    (entry 0 is ``-inf`` as a sentinel for the empty set).
+    """
+    values = np.asarray(values, dtype=float)
+    n_users = values.shape[0]
+    scores = np.full(1 << n_users, -np.inf)
+    for mask in range(1, 1 << n_users):
+        members = _mask_members(mask)
+        _, _, satisfaction = group_satisfaction(
+            values, members, k, semantics, aggregation
+        )
+        scores[mask] = satisfaction
+    return scores
+
+
+def enumerate_partitions(
+    n_users: int, max_groups: int
+) -> Iterator[list[tuple[int, ...]]]:
+    """Yield every partition of ``0..n_users-1`` into at most ``max_groups`` blocks.
+
+    Partitions are generated in "restricted growth string" order, so each
+    partition appears exactly once.  Used by tests as an independent oracle
+    against the DP solver on tiny instances.
+    """
+    require_positive_int(n_users, "n_users")
+    require_positive_int(max_groups, "max_groups")
+
+    def recurse(user: int, blocks: list[list[int]]) -> Iterator[list[tuple[int, ...]]]:
+        if user == n_users:
+            yield [tuple(block) for block in blocks]
+            return
+        for block in blocks:
+            block.append(user)
+            yield from recurse(user + 1, blocks)
+            block.pop()
+        if len(blocks) < max_groups:
+            blocks.append([user])
+            yield from recurse(user + 1, blocks)
+            blocks.pop()
+
+    yield from recurse(0, [])
+
+
+def optimal_groups_dp(
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    semantics: Semantics | str = "lm",
+    aggregation: Aggregation | str = "min",
+    max_users: int = DEFAULT_MAX_USERS,
+) -> GroupFormationResult:
+    """Optimal group formation via subset DP (``OPT-LM-*`` / ``OPT-AV-*``).
+
+    Parameters
+    ----------
+    ratings:
+        Complete rating matrix.
+    max_groups:
+        Group budget ℓ.
+    k:
+        Recommended list length.
+    semantics, aggregation:
+        Objective definition.
+    max_users:
+        Safety cap; instances with more users raise
+        :class:`~repro.core.errors.GroupFormationError` instead of silently
+        taking hours.
+
+    Returns
+    -------
+    GroupFormationResult
+        The optimal partition; ``extras["optimal"]`` is ``True`` and
+        ``extras["n_subsets_scored"]`` records the enumeration size.
+    """
+    values = as_complete_values(ratings)
+    semantics = get_semantics(semantics)
+    aggregation = get_aggregation(aggregation)
+    max_groups = require_positive_int(max_groups, "max_groups")
+    n_users = values.shape[0]
+    if n_users > max_users:
+        raise GroupFormationError(
+            f"exact DP solver is limited to {max_users} users, got {n_users}; "
+            "use the greedy algorithms for larger instances"
+        )
+
+    scores = subset_scores(values, k, semantics, aggregation)
+    full_mask = (1 << n_users) - 1
+    n_groups_cap = min(max_groups, n_users)
+
+    # f[j][mask]: best value partitioning exactly the users in `mask` into
+    # exactly j non-empty blocks; choice[j][mask] records the block used.
+    minus_inf = -np.inf
+    f = [dict[int, float]() for _ in range(n_groups_cap + 1)]
+    choice = [dict[int, int]() for _ in range(n_groups_cap + 1)]
+    f[0][0] = 0.0
+
+    for j in range(1, n_groups_cap + 1):
+        previous = f[j - 1]
+        current = f[j]
+        current_choice = choice[j]
+        for mask, base in previous.items():
+            remaining = full_mask & ~mask
+            if remaining == 0:
+                continue
+            low_bit = remaining & (-remaining)
+            # Enumerate every subset of `remaining` that contains `low_bit`
+            # (forcing the lowest unassigned user into the new block avoids
+            # generating the same partition in every block order).
+            rest = remaining & ~low_bit
+            sub = rest
+            while True:
+                block = sub | low_bit
+                value = base + scores[block]
+                new_mask = mask | block
+                if value > current.get(new_mask, minus_inf):
+                    current[new_mask] = value
+                    current_choice[new_mask] = block
+                if sub == 0:
+                    break
+                sub = (sub - 1) & rest
+
+    best_value = minus_inf
+    best_j = None
+    for j in range(1, n_groups_cap + 1):
+        value = f[j].get(full_mask, minus_inf)
+        if value > best_value:
+            best_value = value
+            best_j = j
+    if best_j is None:
+        raise GroupFormationError("exact DP failed to cover all users")
+
+    # Reconstruct the partition by walking the recorded choices backwards.
+    blocks: list[tuple[int, ...]] = []
+    mask = full_mask
+    j = best_j
+    while j > 0:
+        block = choice[j][mask]
+        blocks.append(_mask_members(block))
+        mask &= ~block
+        j -= 1
+    blocks.reverse()
+
+    result = evaluate_partition(
+        values,
+        blocks,
+        k=k,
+        semantics=semantics,
+        aggregation=aggregation,
+        algorithm=f"OPT-{semantics.short_name}-{aggregation.name.upper()}",
+        max_groups=max_groups,
+        extras={"optimal": True, "n_subsets_scored": int((1 << n_users) - 1)},
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Experiment harness reproducing every table and figure of the paper's §7.
+
+* :mod:`repro.experiments.config` — named presets: the paper's default
+  parameters, scaled-down "bench" presets sized for this container, and tiny
+  "smoke" presets used by the tests.
+* :mod:`repro.experiments.runner` — dataset factories, the algorithm matrix
+  (GRD / Baseline / OPT) and generic parameter sweeps.
+* :mod:`repro.experiments.figures` — one function per figure (1–7).
+* :mod:`repro.experiments.tables` — Tables 3 and 4.
+* :mod:`repro.experiments.reporting` — plain-text rendering of the results
+  (the library never needs matplotlib; benchmarks print the same rows/series
+  the paper plots).
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    get_scale,
+    quality_defaults,
+    scalability_defaults,
+)
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    optimal_calibration,
+)
+from repro.experiments.reporting import format_experiment, format_table_rows
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepSeries,
+    make_dataset,
+    run_algorithms,
+    sweep,
+)
+from repro.experiments.tables import table3, table4
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "quality_defaults",
+    "scalability_defaults",
+    "ExperimentResult",
+    "SweepSeries",
+    "make_dataset",
+    "run_algorithms",
+    "sweep",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "optimal_calibration",
+    "table3",
+    "table4",
+    "format_experiment",
+    "format_table_rows",
+]

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness and the CLI print the same rows/series the paper
+plots, in aligned text tables, so the reproduction can be compared to the
+paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["format_experiment", "format_table_rows"]
+
+
+def format_table_rows(
+    rows: Sequence[Mapping[str, Any]], float_format: str = "{:.3f}"
+) -> str:
+    """Render a list of homogeneous dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[idx]) for line in rendered))
+        for idx, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[idx]) for idx, col in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(line[idx].ljust(widths[idx]) for idx in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_experiment(result: ExperimentResult, float_format: str = "{:.3f}") -> str:
+    """Render one figure panel as a text table (x value per row, one column
+    per algorithm), headed by the panel's title and fixed parameters."""
+    x_values = result.series[0].x_values if result.series else []
+    rows = []
+    for idx, x in enumerate(x_values):
+        row: dict[str, Any] = {result.x_label: x}
+        for series in result.series:
+            value = series.y_values[idx] if idx < len(series.y_values) else float("nan")
+            row[series.algorithm] = value
+        rows.append(row)
+    header = (
+        f"[{result.experiment_id}] {result.title}\n"
+        f"y-axis: {result.y_label}\n"
+        f"parameters: {result.metadata.get('defaults', {})} "
+        f"(dataset={result.metadata.get('dataset')}, "
+        f"semantics={result.metadata.get('semantics')}, "
+        f"aggregation={result.metadata.get('aggregation')})"
+    )
+    return header + "\n" + format_table_rows(rows, float_format=float_format)

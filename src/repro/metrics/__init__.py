@@ -1,0 +1,51 @@
+"""Quality metrics used by the experimental evaluation (paper §7).
+
+* :mod:`repro.metrics.objective` — objective values, gaps to the optimum and
+  the absolute-error check behind Theorems 2 and 3.
+* :mod:`repro.metrics.satisfaction` — the "average group satisfaction over
+  the top-k list" measure of Figure 3, and per-user satisfaction with a
+  group's recommendation.
+* :mod:`repro.metrics.group_size` — five-point summaries of group-size
+  distributions (Table 4).
+* :mod:`repro.metrics.ndcg` — NDCG-based user satisfaction (paper §6,
+  "weights at the user level").
+* :mod:`repro.metrics.ranking` — rank-correlation helpers (Kendall-Tau,
+  Spearman) shared with the baselines.
+"""
+
+from repro.metrics.group_size import (
+    FivePointSummary,
+    average_five_point_summary,
+    five_point_summary,
+    group_size_distribution,
+)
+from repro.metrics.ndcg import dcg, group_mean_ndcg, idcg, user_ndcg
+from repro.metrics.objective import absolute_error, objective_value, optimality_gap
+from repro.metrics.ranking import (
+    kendall_tau_distance,
+    spearman_footrule,
+    spearman_rho,
+)
+from repro.metrics.satisfaction import (
+    average_group_satisfaction,
+    user_satisfaction_with_group,
+)
+
+__all__ = [
+    "objective_value",
+    "optimality_gap",
+    "absolute_error",
+    "average_group_satisfaction",
+    "user_satisfaction_with_group",
+    "FivePointSummary",
+    "five_point_summary",
+    "average_five_point_summary",
+    "group_size_distribution",
+    "dcg",
+    "idcg",
+    "user_ndcg",
+    "group_mean_ndcg",
+    "kendall_tau_distance",
+    "spearman_rho",
+    "spearman_footrule",
+]

@@ -1,0 +1,95 @@
+"""Group-size distribution summaries (paper Table 4).
+
+Table 4 characterises how balanced the formed groups are with a five-point
+summary of the group sizes — minimum, first quartile, median, third quartile
+and maximum — averaged over three repeated runs.  Balanced groups matter in
+practice (a grouping that dumps almost everyone into one left-over group is
+useless even if its objective is high), so the same summary is exposed here
+for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import GroupFormationResult
+
+__all__ = [
+    "FivePointSummary",
+    "five_point_summary",
+    "average_five_point_summary",
+    "group_size_distribution",
+]
+
+
+@dataclass(frozen=True)
+class FivePointSummary:
+    """Minimum, quartiles and maximum of a sample (the box-plot summary).
+
+    Attributes mirror the rows of the paper's Table 4.
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view in Table 4 row order."""
+        return {
+            "Minimum": self.minimum,
+            "Q1": self.q1,
+            "Median": self.median,
+            "Q3": self.q3,
+            "Maximum": self.maximum,
+        }
+
+    def is_ordered(self) -> bool:
+        """Sanity check: min <= Q1 <= median <= Q3 <= max."""
+        return self.minimum <= self.q1 <= self.median <= self.q3 <= self.maximum
+
+
+def five_point_summary(sizes: Sequence[int] | Sequence[float]) -> FivePointSummary:
+    """Five-point summary of a non-empty sample of group sizes."""
+    array = np.asarray(list(sizes), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty list of group sizes")
+    return FivePointSummary(
+        minimum=float(array.min()),
+        q1=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        q3=float(np.percentile(array, 75)),
+        maximum=float(array.max()),
+    )
+
+
+def average_five_point_summary(
+    size_samples: Iterable[Sequence[int]],
+) -> FivePointSummary:
+    """Average the five-point summaries of several repeated runs.
+
+    This is exactly how Table 4 is built: the experiment is repeated three
+    times and each quantile is averaged across repetitions ("average minimum
+    size, average 25% percentile, ...").
+    """
+    summaries = [five_point_summary(sizes) for sizes in size_samples]
+    if not summaries:
+        raise ValueError("need at least one run to average")
+    return FivePointSummary(
+        minimum=float(np.mean([s.minimum for s in summaries])),
+        q1=float(np.mean([s.q1 for s in summaries])),
+        median=float(np.mean([s.median for s in summaries])),
+        q3=float(np.mean([s.q3 for s in summaries])),
+        maximum=float(np.mean([s.maximum for s in summaries])),
+    )
+
+
+def group_size_distribution(
+    results: Iterable[GroupFormationResult],
+) -> FivePointSummary:
+    """Averaged five-point summary of group sizes over repeated formation runs."""
+    return average_five_point_summary(result.group_sizes for result in results)

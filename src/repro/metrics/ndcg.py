@@ -1,0 +1,84 @@
+"""NDCG-based user satisfaction (paper §6, "weights at the user level").
+
+The paper suggests measuring how satisfied an individual user is with the
+list recommended to her group using Normalized Discounted Cumulative Gain:
+the gain of each recommended item is the user's own rating, discounted by
+the logarithm of its position, and normalised by the ideal DCG the user
+would get from her personal top-k list.  The group-level extension simply
+averages member NDCG, after which any group recommendation semantics can be
+applied — here we expose the building blocks plus the group mean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.greedy_framework import as_complete_values
+from repro.core.preferences import top_k_items
+from repro.recsys.matrix import RatingMatrix
+
+__all__ = ["dcg", "idcg", "user_ndcg", "group_mean_ndcg"]
+
+
+def dcg(gains_in_rank_order: Sequence[float]) -> float:
+    """Discounted cumulative gain of a ranked list of gains.
+
+    Position ``p`` (1-based) is discounted by ``1 / log2(p + 1)``.
+    """
+    gains = np.asarray(list(gains_in_rank_order), dtype=float)
+    if gains.size == 0:
+        raise ValueError("cannot compute DCG of an empty list")
+    discounts = 1.0 / np.log2(np.arange(2, gains.size + 2))
+    return float((gains * discounts).sum())
+
+
+def idcg(row: np.ndarray, k: int) -> float:
+    """Ideal DCG for a user: the DCG of her own top-``k`` items."""
+    row = np.asarray(row, dtype=float)
+    ideal_items = top_k_items(row, k)
+    return dcg(row[ideal_items])
+
+
+def user_ndcg(row: np.ndarray, recommended_items: Sequence[int]) -> float:
+    """NDCG of a recommended list for one user.
+
+    Parameters
+    ----------
+    row:
+        The user's complete rating row (gains).
+    recommended_items:
+        Item indices of the list recommended to the user's group, best first.
+
+    Returns
+    -------
+    float
+        DCG of the user's ratings over the recommended list divided by the
+        user's ideal DCG at the same depth; in ``(0, 1]`` for positive rating
+        scales.
+    """
+    row = np.asarray(row, dtype=float)
+    items = [int(i) for i in recommended_items]
+    if not items:
+        raise ValueError("recommended_items must be non-empty")
+    achieved = dcg(row[items])
+    ideal = idcg(row, len(items))
+    if ideal <= 0:
+        return 0.0
+    return float(achieved / ideal)
+
+
+def group_mean_ndcg(
+    ratings: RatingMatrix | np.ndarray,
+    members: Sequence[int],
+    recommended_items: Sequence[int],
+) -> float:
+    """Mean NDCG of the recommended list across the group's members."""
+    values = as_complete_values(ratings)
+    members = [int(m) for m in members]
+    if not members:
+        raise ValueError("members must be non-empty")
+    return float(
+        np.mean([user_ndcg(values[member], recommended_items) for member in members])
+    )

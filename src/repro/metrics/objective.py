@@ -1,0 +1,58 @@
+"""Objective-value metrics and optimality gaps.
+
+The primary quality measure of the paper's experiments is the objective
+function value ``Obj`` — the sum over formed groups of the group's
+satisfaction with its recommended top-k list.  These helpers compare the
+objective reached by an algorithm with the optimum (when an exact solver can
+produce it) and verify the absolute-error guarantee of the greedy LM
+algorithms (Definition 3, Theorems 2 and 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.grouping import GroupFormationResult
+
+__all__ = ["objective_value", "optimality_gap", "absolute_error"]
+
+
+def objective_value(result: GroupFormationResult) -> float:
+    """The objective ``Obj`` of a formed grouping (sum of group satisfactions)."""
+    return float(result.objective)
+
+
+def absolute_error(
+    result: GroupFormationResult, optimal: GroupFormationResult
+) -> float:
+    """``|Obj(result) - Obj(optimal)|`` — the absolute error of Definition 3."""
+    _check_compatible(result, optimal)
+    return abs(float(optimal.objective) - float(result.objective))
+
+
+def optimality_gap(
+    result: GroupFormationResult, optimal: GroupFormationResult
+) -> float:
+    """Relative gap ``(Obj(optimal) - Obj(result)) / Obj(optimal)``.
+
+    Returns 0 when the optimum is 0 (both objectives are then necessarily
+    equal for non-negative rating scales).
+    """
+    _check_compatible(result, optimal)
+    if optimal.objective == 0:
+        return 0.0
+    return float((optimal.objective - result.objective) / optimal.objective)
+
+
+def _check_compatible(
+    result: GroupFormationResult, optimal: GroupFormationResult
+) -> None:
+    """Guard against comparing results computed under different objectives."""
+    if (
+        result.semantics is not optimal.semantics
+        or result.aggregation.name != optimal.aggregation.name
+        or result.k != optimal.k
+    ):
+        raise ValueError(
+            "cannot compare results computed under different objectives: "
+            f"({result.semantics.value}, {result.aggregation.name}, k={result.k}) vs "
+            f"({optimal.semantics.value}, {optimal.aggregation.name}, k={optimal.k})"
+        )

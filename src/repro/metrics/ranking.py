@@ -1,0 +1,61 @@
+"""Rank-correlation helpers shared by the baselines and the analysis code.
+
+Re-exports the Kendall-Tau distance used by the clustering baseline and adds
+two further classical measures — Spearman's rho over rating rows and the
+Spearman footrule over rankings — which the tests use to cross-check the
+Kendall implementation (all three must agree on which pairs of users are
+"close" and which are "far").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.kendall import kendall_tau_distance, rank_vector
+
+__all__ = ["kendall_tau_distance", "spearman_rho", "spearman_footrule"]
+
+
+def spearman_rho(row_a: np.ndarray, row_b: np.ndarray) -> float:
+    """Spearman rank correlation between two complete rating rows.
+
+    Ranks are derived with the library-wide tie-break (ascending item index),
+    so the value is deterministic for integer rating data.  Returns a value
+    in ``[-1, 1]``; 1 means identical rankings.
+    """
+    ranks_a = rank_vector(np.asarray(row_a, dtype=float))
+    ranks_b = rank_vector(np.asarray(row_b, dtype=float))
+    if ranks_a.size != ranks_b.size:
+        raise ValueError("rating rows must have the same length")
+    if ranks_a.size < 2:
+        return 1.0
+    a = ranks_a - ranks_a.mean()
+    b = ranks_b - ranks_b.mean()
+    denom = np.sqrt((a**2).sum() * (b**2).sum())
+    if denom == 0:
+        return 1.0
+    return float((a * b).sum() / denom)
+
+
+def spearman_footrule(ranking_a: np.ndarray, ranking_b: np.ndarray) -> float:
+    """Normalised Spearman footrule distance between two rankings.
+
+    The footrule is the total displacement of items between the two rankings,
+    normalised by its maximum (``floor(m^2 / 2)``), giving a value in
+    ``[0, 1]`` comparable to the Kendall-Tau distance.
+    """
+    a = np.asarray(ranking_a, dtype=int)
+    b = np.asarray(ranking_b, dtype=int)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("rankings must be 1-D and of equal length")
+    m = a.size
+    if m < 2:
+        return 0.0
+    if set(a.tolist()) != set(b.tolist()):
+        raise ValueError("rankings must be permutations of the same item set")
+    position_a = np.empty(m, dtype=int)
+    position_b = np.empty(m, dtype=int)
+    position_a[a] = np.arange(m)
+    position_b[b] = np.arange(m)
+    displacement = np.abs(position_a - position_b).sum()
+    return float(displacement / ((m * m) // 2))

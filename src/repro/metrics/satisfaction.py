@@ -1,0 +1,90 @@
+"""Satisfaction metrics beyond the raw objective value.
+
+Figure 3 of the paper reports the *average group satisfaction over the
+recommended top-k list*::
+
+    (1 / ℓ) * sum_{x=1..ℓ} sum_{j=1..k} sc(g_x, i^j)
+
+where ``sc(g_x, i^j)`` is the group score of the j-th recommended item — and,
+for AV semantics, the *average* (per-member) group score, so that the value
+stays on the rating scale regardless of group size (the paper notes the
+maximum possible value is 25 for k = 5 on a 1–5 scale).
+
+:func:`user_satisfaction_with_group` measures how happy an individual member
+is with the list recommended to her group, which is the quantity the user
+study elicits from workers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.greedy_framework import as_complete_values
+from repro.core.group_recommender import recommend_top_k
+from repro.core.grouping import GroupFormationResult
+from repro.core.semantics import Semantics, get_semantics
+from repro.recsys.matrix import RatingMatrix
+
+__all__ = ["average_group_satisfaction", "user_satisfaction_with_group"]
+
+
+def average_group_satisfaction(
+    ratings: RatingMatrix | np.ndarray,
+    result: GroupFormationResult,
+    per_member: bool = True,
+) -> float:
+    """Average, over groups, of the summed group scores of the top-k list.
+
+    Parameters
+    ----------
+    ratings:
+        The complete rating matrix the grouping was formed on.
+    result:
+        A :class:`~repro.core.grouping.GroupFormationResult` whose groups
+        carry their recommended items.
+    per_member:
+        When ``True`` (default) AV group scores are divided by the group
+        size, putting the measure on the rating scale as in Figure 3.  LM
+        scores are already on the rating scale and are never normalised.
+
+    Returns
+    -------
+    float
+        ``(1/ℓ) * Σ_x Σ_j sc(g_x, i^j)``.
+    """
+    values = as_complete_values(ratings)
+    if not result.groups:
+        return 0.0
+    total = 0.0
+    for group in result.groups:
+        scores = np.asarray(group.item_scores, dtype=float)
+        if per_member and result.semantics is Semantics.AGGREGATE_VOTING:
+            scores = scores / group.size
+        total += float(scores.sum())
+    return total / len(result.groups)
+
+
+def user_satisfaction_with_group(
+    ratings: RatingMatrix | np.ndarray,
+    user: int,
+    members: Sequence[int],
+    k: int,
+    semantics: Semantics | str,
+) -> float:
+    """Mean personal rating of ``user`` over the list recommended to her group.
+
+    The group's top-k list is computed under ``semantics`` for ``members``
+    (which must include ``user``); the returned value is the user's own mean
+    rating of those k items — the natural notion of individual satisfaction
+    the user study asks workers to report, on the original rating scale.
+    """
+    values = as_complete_values(ratings)
+    members = [int(m) for m in members]
+    if int(user) not in members:
+        raise ValueError(f"user {user} is not a member of the given group")
+    semantics = get_semantics(semantics)
+    items, _ = recommend_top_k(values, members, k, semantics)
+    personal = values[int(user), list(items)]
+    return float(personal.mean())

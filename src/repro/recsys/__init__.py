@@ -1,0 +1,54 @@
+"""Recommender-system substrate: rating data and rating prediction.
+
+The group-formation algorithms of the paper operate on *complete* preference
+information: every user has an (observed or predicted) rating for every item.
+Real rating datasets such as MovieLens or Yahoo! Music are sparse, so the
+paper applies "standard pre-processing for collaborative filtering and rating
+prediction".  This subpackage provides that substrate:
+
+* :class:`repro.recsys.matrix.RatingMatrix` — the central user x item rating
+  container (sparse or complete) shared by every other subpackage.
+* :mod:`repro.recsys.knn` — user-based and item-based k-nearest-neighbour
+  collaborative filtering.
+* :mod:`repro.recsys.mf` — regularised matrix factorisation trained with SGD.
+* :mod:`repro.recsys.predict` — the completion pipeline that fills missing
+  ratings and clips them to the rating scale.
+* :mod:`repro.recsys.evaluation` — hold-out splits, cross-validation folds,
+  RMSE / MAE.
+"""
+
+from repro.recsys.evaluation import (
+    EvaluationReport,
+    cross_validation_folds,
+    evaluate_predictor,
+    mae,
+    rmse,
+    train_test_split,
+)
+from repro.recsys.knn import ItemKNNPredictor, UserKNNPredictor
+from repro.recsys.matrix import RatingMatrix, RatingScale
+from repro.recsys.mf import MatrixFactorizationPredictor
+from repro.recsys.predict import (
+    GlobalMeanPredictor,
+    ItemMeanPredictor,
+    UserMeanPredictor,
+    complete_matrix,
+)
+
+__all__ = [
+    "RatingMatrix",
+    "RatingScale",
+    "UserKNNPredictor",
+    "ItemKNNPredictor",
+    "MatrixFactorizationPredictor",
+    "GlobalMeanPredictor",
+    "UserMeanPredictor",
+    "ItemMeanPredictor",
+    "complete_matrix",
+    "train_test_split",
+    "cross_validation_folds",
+    "evaluate_predictor",
+    "EvaluationReport",
+    "rmse",
+    "mae",
+]

@@ -1,0 +1,144 @@
+"""Regularised matrix factorisation trained with stochastic gradient descent.
+
+The biased matrix-factorisation model (Koren-style) predicts
+
+``r_hat(u, i) = mu + b_u + b_i + p_u . q_i``
+
+and is trained by SGD on the observed entries with L2 regularisation.  It is
+the second "standard" rating predictor offered by the substrate (alongside
+the kNN predictors in :mod:`repro.recsys.knn`) for completing sparse rating
+matrices before group formation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import RatingDataError
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["MatrixFactorizationPredictor"]
+
+
+class MatrixFactorizationPredictor:
+    """Biased matrix factorisation with SGD training.
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality of the user and item factor vectors.
+    n_epochs:
+        Number of passes over the observed ratings.
+    learning_rate:
+        SGD step size.
+    regularization:
+        L2 penalty applied to biases and factors.
+    rng:
+        Seed or generator controlling factor initialisation and the
+        per-epoch shuffling of training triples.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.recsys import RatingMatrix
+    >>> values = np.array([[5, 4, np.nan], [4, np.nan, 2.0], [1, 2, 5.0]])
+    >>> model = MatrixFactorizationPredictor(n_factors=2, n_epochs=30, rng=0)
+    >>> _ = model.fit(RatingMatrix(values))
+    >>> 1.0 <= model.predict(0, 2) <= 5.0
+    True
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 16,
+        n_epochs: int = 30,
+        learning_rate: float = 0.01,
+        regularization: float = 0.05,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.n_factors = require_positive_int(n_factors, "n_factors")
+        self.n_epochs = require_positive_int(n_epochs, "n_epochs")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if regularization < 0:
+            raise ValueError(
+                f"regularization must be non-negative, got {regularization}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.regularization = float(regularization)
+        self._rng = ensure_rng(rng)
+        self._ratings: RatingMatrix | None = None
+        self.training_loss_: list[float] = []
+
+    def fit(self, ratings: RatingMatrix) -> "MatrixFactorizationPredictor":
+        """Train factors and biases on the observed entries of ``ratings``."""
+        self._ratings = ratings
+        n_users, n_items = ratings.shape
+        scale = 1.0 / np.sqrt(self.n_factors)
+        self._mu = ratings.global_mean()
+        self._bu = np.zeros(n_users)
+        self._bi = np.zeros(n_items)
+        self._p = self._rng.normal(0.0, scale, size=(n_users, self.n_factors))
+        self._q = self._rng.normal(0.0, scale, size=(n_items, self.n_factors))
+
+        rows, cols = np.nonzero(ratings.known_mask)
+        targets = ratings.values[rows, cols]
+        n_obs = rows.size
+        if n_obs == 0:
+            raise RatingDataError("cannot fit matrix factorisation on zero ratings")
+
+        lr, reg = self.learning_rate, self.regularization
+        self.training_loss_ = []
+        order = np.arange(n_obs)
+        for _ in range(self.n_epochs):
+            self._rng.shuffle(order)
+            squared_error = 0.0
+            for idx in order:
+                u, i, r = int(rows[idx]), int(cols[idx]), float(targets[idx])
+                pred = (
+                    self._mu
+                    + self._bu[u]
+                    + self._bi[i]
+                    + float(self._p[u] @ self._q[i])
+                )
+                err = r - pred
+                squared_error += err * err
+                self._bu[u] += lr * (err - reg * self._bu[u])
+                self._bi[i] += lr * (err - reg * self._bi[i])
+                pu = self._p[u].copy()
+                self._p[u] += lr * (err * self._q[i] - reg * pu)
+                self._q[i] += lr * (err * pu - reg * self._q[i])
+            self.training_loss_.append(squared_error / n_obs)
+        return self
+
+    def _require_fitted(self) -> RatingMatrix:
+        if self._ratings is None:
+            raise RatingDataError(
+                "MatrixFactorizationPredictor must be fitted before predicting"
+            )
+        return self._ratings
+
+    def predict(self, user: int, item: int) -> float:
+        """Predict the rating of ``user`` for ``item`` (clipped to scale)."""
+        ratings = self._require_fitted()
+        estimate = (
+            self._mu
+            + self._bu[user]
+            + self._bi[item]
+            + float(self._p[user] @ self._q[item])
+        )
+        return float(ratings.scale.clip(estimate))
+
+    def predict_all(self) -> np.ndarray:
+        """Dense predictions for every ``(user, item)`` pair (observed kept)."""
+        ratings = self._require_fitted()
+        estimates = (
+            self._mu
+            + self._bu[:, None]
+            + self._bi[None, :]
+            + self._p @ self._q.T
+        )
+        estimates = np.where(ratings.known_mask, ratings.values, estimates)
+        return np.asarray(ratings.scale.clip(estimates))

@@ -1,0 +1,162 @@
+"""Rating-completion pipeline and simple mean predictors.
+
+The group-formation problem assumes every user has a preference score for
+every item (observed or predicted, paper §2.1).  :func:`complete_matrix` is
+the bridge: it takes a sparse :class:`~repro.recsys.matrix.RatingMatrix`, a
+predictor, and returns a complete matrix whose missing entries were filled by
+the predictor and clipped to the rating scale.
+
+The mean predictors here double as baselines for the collaborative-filtering
+evaluation and as fallbacks inside the kNN / matrix-factorisation predictors
+when neighbourhood information is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.errors import RatingDataError
+from repro.recsys.matrix import RatingMatrix
+
+__all__ = [
+    "RatingPredictor",
+    "GlobalMeanPredictor",
+    "UserMeanPredictor",
+    "ItemMeanPredictor",
+    "complete_matrix",
+]
+
+
+class RatingPredictor(Protocol):
+    """Protocol implemented by every rating predictor in :mod:`repro.recsys`.
+
+    A predictor is fitted on a (typically sparse) rating matrix and can then
+    predict a rating for any ``(user, item)`` positional pair, or densely for
+    the whole matrix via :meth:`predict_all`.
+    """
+
+    def fit(self, ratings: RatingMatrix) -> "RatingPredictor":
+        """Fit the predictor on observed ratings and return ``self``."""
+        ...
+
+    def predict(self, user: int, item: int) -> float:
+        """Predict the rating of positional ``user`` for positional ``item``."""
+        ...
+
+    def predict_all(self) -> np.ndarray:
+        """Predict the full ``(n_users, n_items)`` rating array."""
+        ...
+
+
+class _FittedMixin:
+    """Shared guard for predictors that require :meth:`fit` before use."""
+
+    _ratings: RatingMatrix | None = None
+
+    def _require_fitted(self) -> RatingMatrix:
+        if self._ratings is None:
+            raise RatingDataError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+        return self._ratings
+
+
+class GlobalMeanPredictor(_FittedMixin):
+    """Predict the global mean rating for every missing entry."""
+
+    def fit(self, ratings: RatingMatrix) -> "GlobalMeanPredictor":
+        self._ratings = ratings
+        self._mean = ratings.global_mean()
+        return self
+
+    def predict(self, user: int, item: int) -> float:
+        self._require_fitted()
+        return float(self._mean)
+
+    def predict_all(self) -> np.ndarray:
+        ratings = self._require_fitted()
+        return np.full(ratings.shape, self._mean)
+
+
+class UserMeanPredictor(_FittedMixin):
+    """Predict each user's mean observed rating for every item."""
+
+    def fit(self, ratings: RatingMatrix) -> "UserMeanPredictor":
+        self._ratings = ratings
+        self._user_means = ratings.user_means()
+        return self
+
+    def predict(self, user: int, item: int) -> float:
+        self._require_fitted()
+        return float(self._user_means[user])
+
+    def predict_all(self) -> np.ndarray:
+        ratings = self._require_fitted()
+        return np.repeat(self._user_means[:, None], ratings.n_items, axis=1)
+
+
+class ItemMeanPredictor(_FittedMixin):
+    """Predict each item's mean observed rating for every user."""
+
+    def fit(self, ratings: RatingMatrix) -> "ItemMeanPredictor":
+        self._ratings = ratings
+        self._item_means = ratings.item_means()
+        return self
+
+    def predict(self, user: int, item: int) -> float:
+        self._require_fitted()
+        return float(self._item_means[item])
+
+    def predict_all(self) -> np.ndarray:
+        ratings = self._require_fitted()
+        return np.repeat(self._item_means[None, :], ratings.n_users, axis=0)
+
+
+def complete_matrix(
+    ratings: RatingMatrix,
+    predictor: RatingPredictor | None = None,
+    round_to_scale: bool = False,
+) -> RatingMatrix:
+    """Fill every missing rating using ``predictor`` and return a complete matrix.
+
+    Parameters
+    ----------
+    ratings:
+        Possibly sparse rating matrix.
+    predictor:
+        Any object implementing :class:`RatingPredictor`.  Defaults to
+        :class:`~repro.recsys.knn.ItemKNNPredictor`, the conventional choice
+        for explicit-feedback movie/music data.  The predictor is fitted on
+        ``ratings`` inside this function.
+    round_to_scale:
+        When ``True`` the filled entries are rounded to integer rating levels,
+        matching datasets whose observed ratings are integers.  Observed
+        entries are never modified either way.
+
+    Returns
+    -------
+    RatingMatrix
+        A complete matrix (``is_complete`` is ``True``) sharing labels and
+        scale with the input.
+    """
+    if ratings.is_complete:
+        return ratings.copy()
+    if predictor is None:
+        from repro.recsys.knn import ItemKNNPredictor
+
+        predictor = ItemKNNPredictor()
+    predictor.fit(ratings)
+    predicted = np.asarray(predictor.predict_all(), dtype=float)
+    if predicted.shape != ratings.shape:
+        raise RatingDataError(
+            f"predictor returned shape {predicted.shape}, expected {ratings.shape}"
+        )
+    predicted = ratings.scale.clip(predicted)
+    if round_to_scale:
+        predicted = ratings.scale.round_to_scale(predicted)
+    filled = np.where(ratings.known_mask, ratings.values, predicted)
+    if np.isnan(filled).any():
+        raise RatingDataError("predictor produced NaN for at least one missing entry")
+    return ratings.with_values(filled)

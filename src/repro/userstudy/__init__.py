@@ -1,0 +1,43 @@
+"""Simulated Amazon Mechanical Turk user study (paper §7.3).
+
+The paper's study cannot be re-run without AMT workers, so this subpackage
+simulates it end-to-end with persona-driven synthetic raters whose
+satisfaction responses are a noisy monotone function of how well a group's
+recommended list matches their own preferences — the exact quantity the
+group-formation algorithms compete on:
+
+* :mod:`repro.userstudy.worker_model` — simulated workers: POI preference
+  elicitation (Phase 1) and satisfaction responses on a 1–5 scale (Phase 2).
+* :mod:`repro.userstudy.protocol` — the two-phase protocol: collect ratings
+  from 50 workers, build similar / dissimilar / random 10-user samples, form
+  ℓ = 3 groups with GRD-LM and Baseline-LM under Min and Sum aggregation,
+  then collect satisfaction ratings and method preferences from fresh
+  workers.
+* :mod:`repro.userstudy.analysis` — means, standard errors, Welch t-tests
+  and preference percentages (Figure 7).
+"""
+
+from repro.userstudy.analysis import (
+    SampleStatistics,
+    preference_percentages,
+    sample_statistics,
+    welch_t_test,
+)
+from repro.userstudy.protocol import (
+    UserStudyConfig,
+    UserStudyResult,
+    run_user_study,
+)
+from repro.userstudy.worker_model import SimulatedWorker, generate_workers
+
+__all__ = [
+    "SimulatedWorker",
+    "generate_workers",
+    "UserStudyConfig",
+    "UserStudyResult",
+    "run_user_study",
+    "SampleStatistics",
+    "sample_statistics",
+    "welch_t_test",
+    "preference_percentages",
+]

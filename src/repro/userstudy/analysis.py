@@ -1,0 +1,84 @@
+"""Statistical analysis of the (simulated) user study.
+
+The paper reports, per user sample and aggregation function, the mean worker
+satisfaction of GRD-LM and Baseline-LM with standard error bars, plus the
+overall percentage of workers preferring each method (Figure 7).  This module
+provides those summaries and a Welch two-sample t-test used to check the
+"with statistical significance" claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "SampleStatistics",
+    "sample_statistics",
+    "welch_t_test",
+    "preference_percentages",
+]
+
+
+@dataclass(frozen=True)
+class SampleStatistics:
+    """Mean, standard deviation, standard error and size of one response sample."""
+
+    mean: float
+    std: float
+    stderr: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {"mean": self.mean, "std": self.std, "stderr": self.stderr, "n": self.n}
+
+
+def sample_statistics(values: Sequence[float]) -> SampleStatistics:
+    """Summary statistics of a non-empty list of satisfaction responses."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    std = float(array.std(ddof=1)) if array.size > 1 else 0.0
+    stderr = std / float(np.sqrt(array.size)) if array.size > 1 else 0.0
+    return SampleStatistics(
+        mean=float(array.mean()), std=std, stderr=stderr, n=int(array.size)
+    )
+
+
+def welch_t_test(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> tuple[float, float]:
+    """Welch's unequal-variance t-test between two response samples.
+
+    Returns ``(t_statistic, p_value)`` for the two-sided alternative.  If
+    either sample has fewer than two observations or both have zero variance
+    the test is undefined and ``(0.0, 1.0)`` is returned.
+    """
+    a = np.asarray(list(sample_a), dtype=float)
+    b = np.asarray(list(sample_b), dtype=float)
+    if a.size < 2 or b.size < 2:
+        return 0.0, 1.0
+    if np.allclose(a.std(), 0.0) and np.allclose(b.std(), 0.0):
+        return 0.0, 1.0
+    result = stats.ttest_ind(a, b, equal_var=False)
+    return float(result.statistic), float(result.pvalue)
+
+
+def preference_percentages(preference_counts: dict[str, int]) -> dict[str, float]:
+    """Convert per-method preference counts into percentages summing to 100.
+
+    Parameters
+    ----------
+    preference_counts:
+        Mapping from method name to the number of workers who preferred it.
+    """
+    total = sum(preference_counts.values())
+    if total <= 0:
+        raise ValueError("preference counts must contain at least one vote")
+    return {
+        method: 100.0 * count / total for method, count in preference_counts.items()
+    }

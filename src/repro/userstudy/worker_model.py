@@ -1,0 +1,194 @@
+"""Simulated AMT workers for the user-study reproduction.
+
+A :class:`SimulatedWorker` owns a latent preference vector over the study's
+POIs.  Phase 1 elicits integer 1–5 ratings from that vector (with elicitation
+noise), and Phase 2 produces a 1–5 satisfaction response for a proposed
+grouping: the worker imagines being one of the sample's individuals (as the
+paper instructs), looks at the list recommended to that individual's group,
+and reports higher satisfaction the better the list matches that individual's
+stated preferences.  The response is a monotone map of the mean preference
+for the recommended items plus response noise, so the study discriminates
+between algorithms precisely along the dimension they optimise — without
+baking in which algorithm should win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.recsys.matrix import RatingMatrix, RatingScale
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["SimulatedWorker", "generate_workers", "workers_rating_matrix"]
+
+
+@dataclass
+class SimulatedWorker:
+    """One simulated study participant.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable identifier, e.g. ``"worker_007"``.
+    latent_preferences:
+        Real-valued preference per POI (higher = more preferred), on an
+        unbounded latent scale before elicitation noise and rounding.
+    elicitation_noise:
+        Standard deviation of the noise added when the worker converts her
+        latent preference into an explicit 1–5 rating.
+    response_noise:
+        Standard deviation of the noise on Phase-2 satisfaction responses.
+    """
+
+    worker_id: str
+    latent_preferences: np.ndarray
+    elicitation_noise: float = 0.4
+    response_noise: float = 0.35
+
+    def elicit_ratings(
+        self, scale: RatingScale, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Phase-1 explicit ratings of every POI on the given scale."""
+        noisy = self.latent_preferences + rng.normal(
+            0.0, self.elicitation_noise, size=self.latent_preferences.shape
+        )
+        return np.asarray(scale.round_to_scale(noisy), dtype=float)
+
+    def grouping_response(
+        self,
+        sample_values: np.ndarray,
+        groups,
+        scale: RatingScale,
+        rng: np.random.Generator,
+    ) -> float:
+        """Phase-2 satisfaction (1–5) with an entire formed grouping.
+
+        The paper's HIT shows the worker the sample individuals' preference
+        table and the groups formed by an (anonymised) method, and asks for
+        her satisfaction *with the formed groups*.  The simulated response is
+        therefore holistic: for every group the worker checks how well the
+        recommended list matches that group's members (their mean rating of
+        the recommended items), averages this over the groups, and reports
+        the result with response noise, clipped to the rating scale.
+
+        Parameters
+        ----------
+        sample_values:
+            Complete rating array of the sample individuals shown in the HIT.
+        groups:
+            Iterable of :class:`repro.core.grouping.Group` (or any objects
+            exposing ``members`` and ``items``).
+        scale:
+            Response scale (1–5 in the paper).
+        rng:
+            Noise source.
+        """
+        groups = list(groups)
+        if not groups:
+            raise ValueError("groups must be non-empty")
+        per_group = []
+        for group in groups:
+            items = list(group.items)
+            if not items:
+                raise ValueError("every group must carry a recommended list")
+            member_match = [
+                float(np.mean(sample_values[member, items])) for member in group.members
+            ]
+            per_group.append(float(np.mean(member_match)))
+        response = float(np.mean(per_group)) + rng.normal(0.0, self.response_noise)
+        return float(scale.clip(response))
+
+    def satisfaction_response(
+        self,
+        personal_ratings: np.ndarray,
+        recommended_items: list[int],
+        scale: RatingScale,
+        rng: np.random.Generator,
+    ) -> float:
+        """Phase-2 satisfaction (1–5) with a list recommended to "their" group.
+
+        Parameters
+        ----------
+        personal_ratings:
+            The ratings of the sample individual the worker is asked to
+            identify with (the study shows these to the worker).
+        recommended_items:
+            Item indices of the list recommended to that individual's group.
+        scale:
+            The satisfaction response scale (1–5 in the paper).
+        rng:
+            Noise source.
+        """
+        if not recommended_items:
+            raise ValueError("recommended_items must be non-empty")
+        match = float(np.mean(personal_ratings[list(recommended_items)]))
+        response = match + rng.normal(0.0, self.response_noise)
+        return float(scale.clip(response))
+
+
+def generate_workers(
+    n_workers: int,
+    n_items: int,
+    n_personas: int = 4,
+    persona_spread: float = 0.6,
+    scale: RatingScale | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> list[SimulatedWorker]:
+    """Create a pool of simulated workers with persona-driven POI tastes.
+
+    Workers are drawn from a small number of personas (e.g. "museums",
+    "nightlife", "parks", "landmarks"); ``persona_spread`` controls how far
+    individual workers wander from their persona, which in turn controls how
+    much similar / dissimilar structure the Phase-1 sample selection can find.
+    """
+    n_workers = require_positive_int(n_workers, "n_workers")
+    n_items = require_positive_int(n_items, "n_items")
+    n_personas = require_positive_int(n_personas, "n_personas")
+    scale = scale if scale is not None else RatingScale(1.0, 5.0)
+    generator = ensure_rng(rng)
+
+    centre = (scale.minimum + scale.maximum) / 2.0
+    spread_to_scale = (scale.maximum - scale.minimum) / 2.0
+    personas = generator.normal(0.0, 1.0, size=(n_personas, n_items))
+    workers: list[SimulatedWorker] = []
+    for idx in range(n_workers):
+        persona = personas[generator.integers(n_personas)]
+        latent = persona + generator.normal(0.0, persona_spread, size=n_items)
+        # Map the standardised latent taste onto the rating scale.
+        latent = centre + latent * spread_to_scale / 2.0
+        workers.append(
+            SimulatedWorker(
+                worker_id=f"worker_{idx:03d}",
+                latent_preferences=latent,
+            )
+        )
+    return workers
+
+
+def workers_rating_matrix(
+    workers: list[SimulatedWorker],
+    item_ids: list[str],
+    scale: RatingScale | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> RatingMatrix:
+    """Phase-1 output: the complete worker x POI rating matrix."""
+    if not workers:
+        raise ValueError("workers must be non-empty")
+    scale = scale if scale is not None else RatingScale(1.0, 5.0)
+    generator = ensure_rng(rng)
+    values = np.vstack(
+        [worker.elicit_ratings(scale, generator) for worker in workers]
+    )
+    if values.shape[1] != len(item_ids):
+        raise ValueError(
+            f"workers rate {values.shape[1]} items but {len(item_ids)} item ids given"
+        )
+    return RatingMatrix(
+        values,
+        user_ids=[worker.worker_id for worker in workers],
+        item_ids=item_ids,
+        scale=scale,
+    )

@@ -1,0 +1,71 @@
+"""Wall-clock timing helpers for the scalability experiments (paper §7.2)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by :mod:`repro.experiments` to separate group-formation time from
+    top-k recommendation time, mirroring how the paper reports "clock time to
+    produce the groups and their respective top-k item list".
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.lap("formation"):
+    ...     _ = sum(range(1000))
+    >>> watch.total() >= 0.0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_LapContext":
+        """Return a context manager accumulating elapsed time under ``name``."""
+        return _LapContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the lap ``name`` (creating it if needed)."""
+        self.laps[name] = self.laps.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Total elapsed seconds across all laps."""
+        return float(sum(self.laps.values()))
+
+    def as_dict(self) -> dict[str, float]:
+        """A copy of the per-lap timings."""
+        return dict(self.laps)
+
+
+class _LapContext:
+    """Context manager created by :meth:`Stopwatch.lap`."""
+
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_LapContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,49 @@
+"""Argument-validation helpers shared by public API entry points.
+
+Raising early with a descriptive message keeps the algorithm implementations
+free of repetitive guard code, and gives library users actionable errors
+("``k`` must be a positive integer, got 0") instead of downstream index
+failures deep inside a heap or hash-map update.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from typing import Any
+
+__all__ = [
+    "require_positive_int",
+    "require_range",
+    "require_probability",
+    "require_in",
+]
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def require_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate ``low <= value <= high`` and return ``value`` as ``float``."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]``."""
+    return require_range(value, name, 0.0, 1.0)
+
+
+def require_in(value: Any, name: str, allowed: Collection[Any]) -> Any:
+    """Validate that ``value`` is one of ``allowed`` and return it."""
+    if value not in allowed:
+        allowed_repr = ", ".join(sorted(repr(a) for a in allowed))
+        raise ValueError(f"{name} must be one of {allowed_repr}, got {value!r}")
+    return value

@@ -1,0 +1,75 @@
+"""Tests for repro.baselines.clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import kmeans_rank_vectors, kmedoids
+
+
+def _two_blobs(n_per_blob: int = 10, rng_seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    a = rng.normal(0.0, 0.2, size=(n_per_blob, 3))
+    b = rng.normal(5.0, 0.2, size=(n_per_blob, 3))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_obvious_blobs(self):
+        points = _two_blobs()
+        labels = kmeans_rank_vectors(points, 2, rng=0)
+        first, second = labels[:10], labels[10:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_labels_in_range(self):
+        points = _two_blobs()
+        labels = kmeans_rank_vectors(points, 4, rng=1)
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_more_clusters_than_points(self):
+        points = np.ones((3, 2))
+        labels = kmeans_rank_vectors(points, 10, rng=0)
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_deterministic_given_seed(self):
+        points = _two_blobs(rng_seed=3)
+        a = kmeans_rank_vectors(points, 3, rng=42)
+        b = kmeans_rank_vectors(points, 3, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans_rank_vectors(np.ones(5), 2)
+        with pytest.raises(ValueError):
+            kmeans_rank_vectors(np.ones((5, 2)), 0)
+
+
+class TestKMedoids:
+    def test_separates_obvious_blobs(self):
+        points = _two_blobs(rng_seed=2)
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff**2).sum(axis=2))
+        labels = kmedoids(distances, 2, rng=0)
+        assert len(set(labels[:10].tolist())) == 1
+        assert len(set(labels[10:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_more_clusters_than_points(self):
+        distances = np.zeros((3, 3))
+        labels = kmedoids(distances, 5, rng=0)
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            kmedoids(np.ones((3, 4)), 2)
+
+    def test_every_requested_cluster_non_empty_when_possible(self):
+        points = _two_blobs(rng_seed=4)
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff**2).sum(axis=2))
+        labels = kmedoids(distances, 4, rng=5)
+        counts = np.bincount(labels, minlength=4)
+        assert (counts > 0).sum() >= 2

@@ -1,0 +1,99 @@
+"""Tests for repro.baselines.kendall."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    kendall_tau_distance,
+    kendall_tau_distance_from_ratings,
+    pairwise_kendall_matrix,
+    rank_vector,
+)
+
+
+class TestRankVector:
+    def test_positions(self):
+        np.testing.assert_array_equal(rank_vector(np.array([1.0, 5.0, 3.0])), [2, 0, 1])
+
+    def test_tie_break_by_index(self):
+        np.testing.assert_array_equal(rank_vector(np.array([3.0, 3.0])), [0, 1])
+
+
+class TestKendallTauDistance:
+    def test_identical_rankings(self):
+        assert kendall_tau_distance([0, 1, 2, 3], [0, 1, 2, 3]) == 0.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau_distance([0, 1, 2, 3], [3, 2, 1, 0]) == 1.0
+
+    def test_single_swap(self):
+        # One discordant pair out of C(3,2)=3.
+        assert kendall_tau_distance([0, 1, 2], [1, 0, 2]) == pytest.approx(1.0 / 3.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.permutation(10)
+        b = rng.permutation(10)
+        assert kendall_tau_distance(a, b) == pytest.approx(kendall_tau_distance(b, a))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.permutation(8)
+            b = rng.permutation(8)
+            assert 0.0 <= kendall_tau_distance(a, b) <= 1.0
+
+    def test_matches_naive_count(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            m = 7
+            a = rng.permutation(m)
+            b = rng.permutation(m)
+            pos_a = np.empty(m, dtype=int)
+            pos_b = np.empty(m, dtype=int)
+            pos_a[a] = np.arange(m)
+            pos_b[b] = np.arange(m)
+            discordant = sum(
+                1
+                for i in range(m)
+                for j in range(i + 1, m)
+                if (pos_a[i] - pos_a[j]) * (pos_b[i] - pos_b[j]) < 0
+            )
+            expected = 2.0 * discordant / (m * (m - 1))
+            assert kendall_tau_distance(a, b) == pytest.approx(expected)
+
+    def test_single_item(self):
+        assert kendall_tau_distance([0], [0]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance([0, 1], [0, 1, 2])
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance([0, 1, 2], [0, 1, 5])
+
+    def test_from_ratings(self):
+        assert kendall_tau_distance_from_ratings(
+            np.array([5.0, 3.0, 1.0]), np.array([4.0, 2.0, 1.0])
+        ) == 0.0
+        assert kendall_tau_distance_from_ratings(
+            np.array([5.0, 3.0, 1.0]), np.array([1.0, 3.0, 5.0])
+        ) == 1.0
+
+
+class TestPairwiseMatrix:
+    def test_shape_symmetry_and_zero_diagonal(self, small_uniform):
+        distances = pairwise_kendall_matrix(small_uniform.values)
+        n = small_uniform.n_users
+        assert distances.shape == (n, n)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_identical_users_distance_zero(self):
+        values = np.array([[5.0, 3.0, 1.0], [5.0, 3.0, 1.0], [1.0, 3.0, 5.0]])
+        distances = pairwise_kendall_matrix(values)
+        assert distances[0, 1] == 0.0
+        assert distances[0, 2] == 1.0

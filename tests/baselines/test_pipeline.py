@@ -1,0 +1,83 @@
+"""Tests for the end-to-end clustering baseline and the random baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import baseline_clustering, random_partition_baseline
+from repro.core import evaluate_partition
+from repro.core.errors import GroupFormationError
+
+
+class TestBaselineClustering:
+    def test_valid_partition_within_budget(self, small_clustered):
+        result = baseline_clustering(small_clustered, 5, k=3, rng=0)
+        members = sorted(u for group in result.groups for u in group.members)
+        assert members == list(range(small_clustered.n_users))
+        assert result.n_groups <= 5
+
+    def test_algorithm_name_encodes_objective(self, small_clustered):
+        result = baseline_clustering(
+            small_clustered, 4, k=2, semantics="av", aggregation="sum", rng=0
+        )
+        assert result.algorithm == "Baseline-AV-SUM"
+
+    def test_objective_matches_reevaluation(self, small_clustered):
+        result = baseline_clustering(small_clustered, 4, k=3, rng=1)
+        check = evaluate_partition(
+            small_clustered.values, result.members_partition(), k=3,
+            semantics="lm", aggregation="min",
+        )
+        assert result.objective == pytest.approx(check.objective)
+
+    def test_methods_selectable(self, small_clustered):
+        kendall = baseline_clustering(
+            small_clustered, 4, k=2, method="kmedoids-kendall", rng=0
+        )
+        rank = baseline_clustering(small_clustered, 4, k=2, method="kmeans-rank", rng=0)
+        assert kendall.extras["clustering_method"] == "kmedoids-kendall"
+        assert rank.extras["clustering_method"] == "kmeans-rank"
+
+    def test_auto_uses_kendall_for_small_populations(self, small_clustered):
+        result = baseline_clustering(small_clustered, 4, k=2, method="auto", rng=0)
+        assert result.extras["clustering_method"] == "kmedoids-kendall"
+
+    def test_invalid_method_rejected(self, small_clustered):
+        with pytest.raises(ValueError):
+            baseline_clustering(small_clustered, 4, method="dbscan")
+
+    def test_incomplete_matrix_rejected(self, sparse_matrix):
+        with pytest.raises(GroupFormationError):
+            baseline_clustering(sparse_matrix, 3, k=2)
+
+    def test_timing_recorded(self, small_clustered):
+        result = baseline_clustering(small_clustered, 3, k=2, rng=0)
+        assert result.extras["formation_seconds"] >= 0.0
+        assert result.extras["recommendation_seconds"] >= 0.0
+
+    def test_deterministic_given_seed(self, small_clustered):
+        a = baseline_clustering(small_clustered, 4, k=3, rng=9)
+        b = baseline_clustering(small_clustered, 4, k=3, rng=9)
+        assert a.members_partition() == b.members_partition()
+
+
+class TestRandomPartition:
+    def test_balanced_groups(self, small_clustered):
+        result = random_partition_baseline(small_clustered, 5, k=2, rng=0)
+        sizes = result.group_sizes
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == small_clustered.n_users
+
+    def test_budget_capped_by_users(self, example1):
+        result = random_partition_baseline(example1, 100, k=1, rng=0)
+        assert result.n_groups == 6
+
+    def test_deterministic_given_seed(self, small_clustered):
+        a = random_partition_baseline(small_clustered, 4, k=2, rng=3)
+        b = random_partition_baseline(small_clustered, 4, k=2, rng=3)
+        assert a.members_partition() == b.members_partition()
+
+    def test_different_seeds_differ(self, small_clustered):
+        a = random_partition_baseline(small_clustered, 4, k=2, rng=1)
+        b = random_partition_baseline(small_clustered, 4, k=2, rng=2)
+        assert a.members_partition() != b.members_partition()

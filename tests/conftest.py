@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    archetype_population,
+    clustered_population,
+    paper_example_1,
+    paper_example_2,
+    paper_example_4,
+    paper_example_5,
+    uniform_random_ratings,
+)
+from repro.recsys import RatingMatrix
+
+
+@pytest.fixture
+def example1() -> RatingMatrix:
+    """Paper Example 1 (Table 1): 6 users x 3 items."""
+    return paper_example_1()
+
+
+@pytest.fixture
+def example2() -> RatingMatrix:
+    """Paper Example 2 (Table 2): 6 users x 3 items."""
+    return paper_example_2()
+
+
+@pytest.fixture
+def example4() -> RatingMatrix:
+    """Paper Example 4: 4 users x 2 items."""
+    return paper_example_4()
+
+
+@pytest.fixture
+def example5() -> RatingMatrix:
+    """Paper Example 5 (Table 5): 6 users x 3 items."""
+    return paper_example_5()
+
+
+@pytest.fixture
+def small_clustered() -> RatingMatrix:
+    """A small complete clustered population (40 users x 20 items)."""
+    return clustered_population(40, 20, rng=11)
+
+
+@pytest.fixture
+def small_archetypes() -> RatingMatrix:
+    """A small complete archetype population (60 users x 30 items)."""
+    return archetype_population(
+        60, 30, n_archetypes=5, head_fraction=0.6, favorites_per_archetype=6, rng=13
+    )
+
+
+@pytest.fixture
+def small_uniform() -> RatingMatrix:
+    """A small complete unstructured population (25 users x 12 items)."""
+    return uniform_random_ratings(25, 12, rng=5)
+
+
+@pytest.fixture
+def sparse_matrix() -> RatingMatrix:
+    """A small sparse rating matrix for the CF substrate tests."""
+    rng = np.random.default_rng(3)
+    complete = clustered_population(30, 18, rng=7)
+    observed = rng.random(complete.shape) < 0.6
+    # Keep at least one rating per row/column.
+    for user in range(complete.n_users):
+        if not observed[user].any():
+            observed[user, rng.integers(complete.n_items)] = True
+    for item in range(complete.n_items):
+        if not observed[:, item].any():
+            observed[rng.integers(complete.n_users), item] = True
+    values = np.where(observed, complete.values, np.nan)
+    return RatingMatrix(values, scale=complete.scale)
+
+
+@pytest.fixture
+def tiny_values() -> np.ndarray:
+    """A deterministic 4x4 complete rating array used in unit tests."""
+    return np.array(
+        [
+            [5.0, 4.0, 2.0, 1.0],
+            [5.0, 4.0, 2.0, 1.0],
+            [1.0, 2.0, 4.0, 5.0],
+            [2.0, 1.0, 5.0, 4.0],
+        ]
+    )

@@ -1,0 +1,104 @@
+"""Tests for repro.core.aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaxAggregation,
+    MinAggregation,
+    SumAggregation,
+    WeightedSumAggregation,
+    get_aggregation,
+)
+
+
+class TestBasicAggregations:
+    def test_max_takes_first(self):
+        assert MaxAggregation().aggregate([5.0, 3.0, 1.0]) == 5.0
+
+    def test_min_takes_last(self):
+        assert MinAggregation().aggregate([5.0, 3.0, 1.0]) == 1.0
+
+    def test_sum(self):
+        assert SumAggregation().aggregate([5.0, 3.0, 1.0]) == 9.0
+
+    def test_coincide_for_k_equal_one(self):
+        # Paper §2.3: when k = 1 Max, Min and Sum coincide.
+        for aggregation in (MaxAggregation(), MinAggregation(), SumAggregation()):
+            assert aggregation.aggregate([4.0]) == 4.0
+
+    def test_empty_rejected(self):
+        for aggregation in (MaxAggregation(), MinAggregation(), SumAggregation()):
+            with pytest.raises(ValueError):
+                aggregation.aggregate([])
+
+    def test_names(self):
+        assert MaxAggregation().name == "max"
+        assert MinAggregation().name == "min"
+        assert SumAggregation().name == "sum"
+
+    def test_equality_and_hash(self):
+        assert MinAggregation() == MinAggregation()
+        assert MinAggregation() != MaxAggregation()
+        assert hash(MinAggregation()) == hash(MinAggregation())
+
+
+class TestWeightedSum:
+    def test_inverse_weights(self):
+        weights = WeightedSumAggregation(scheme="inverse").weights(3)
+        np.testing.assert_allclose(weights, [1.0, 0.5, 1.0 / 3.0])
+
+    def test_log_weights(self):
+        weights = WeightedSumAggregation(scheme="log").weights(3)
+        np.testing.assert_allclose(weights, 1.0 / np.log2([2.0, 3.0, 4.0]))
+
+    def test_weighted_value(self):
+        aggregation = WeightedSumAggregation(scheme="inverse")
+        assert aggregation.aggregate([4.0, 2.0]) == pytest.approx(4.0 + 1.0)
+
+    def test_top_items_weigh_more(self):
+        aggregation = WeightedSumAggregation(scheme="inverse")
+        descending = aggregation.aggregate([5.0, 1.0])
+        ascending = aggregation.aggregate([1.0, 5.0])
+        assert descending > ascending
+
+    def test_normalised_weights_sum_to_k(self):
+        aggregation = WeightedSumAggregation(scheme="log", normalize=True)
+        assert aggregation.weights(7).sum() == pytest.approx(7.0)
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            WeightedSumAggregation(scheme="quadratic")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            WeightedSumAggregation().weights(0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("min", MinAggregation),
+            ("MAX", MaxAggregation),
+            ("Sum", SumAggregation),
+            ("weighted-sum", WeightedSumAggregation),
+            ("weighted-sum-log", WeightedSumAggregation),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert isinstance(get_aggregation(name), expected)
+
+    def test_instance_passthrough(self):
+        instance = SumAggregation()
+        assert get_aggregation(instance) is instance
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            get_aggregation("median")
+
+    def test_weighted_sum_log_scheme(self):
+        aggregation = get_aggregation("weighted-sum-log")
+        assert aggregation.scheme == "log"

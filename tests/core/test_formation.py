@@ -1,0 +1,62 @@
+"""Tests for the form_groups facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import available_algorithms, form_groups, grd_av_sum, grd_lm_min
+
+
+class TestDispatch:
+    def test_greedy_matches_direct_call_lm(self, example1):
+        facade = form_groups(example1, 3, k=1, semantics="lm", aggregation="min")
+        direct = grd_lm_min(example1, 3, k=1)
+        assert facade.objective == direct.objective
+        assert facade.members_partition() == direct.members_partition()
+
+    def test_greedy_matches_direct_call_av(self, example2):
+        facade = form_groups(
+            example2, 2, k=2, semantics="av", aggregation="sum", algorithm="grd"
+        )
+        direct = grd_av_sum(example2, 2, k=2)
+        assert facade.objective == direct.objective
+
+    def test_baseline_algorithms(self, small_clustered):
+        kmeans = form_groups(
+            small_clustered, 4, k=3, algorithm="baseline-kmeans", rng=0
+        )
+        random = form_groups(
+            small_clustered, 4, k=3, algorithm="baseline-random", rng=0
+        )
+        assert kmeans.n_groups <= 4 and random.n_groups <= 4
+        assert kmeans.algorithm.startswith("Baseline")
+        assert random.algorithm.startswith("Random")
+
+    def test_exact_algorithms_agree(self, example1):
+        dp = form_groups(example1, 3, k=1, algorithm="exact-dp")
+        ilp = form_groups(example1, 3, k=1, algorithm="exact-ilp")
+        bnb = form_groups(example1, 3, k=1, algorithm="exact-bnb")
+        assert dp.objective == ilp.objective == bnb.objective == 12.0
+
+    def test_unknown_algorithm_rejected(self, example1):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            form_groups(example1, 3, algorithm="simulated-annealing")
+
+    def test_available_algorithms_contains_all_families(self):
+        names = available_algorithms()
+        assert "greedy" in names
+        assert "baseline-kmeans" in names
+        assert "exact-dp" in names and "exact-ilp" in names
+
+    def test_default_parameters(self, small_clustered):
+        result = form_groups(small_clustered, 4)
+        assert result.k == 5
+        assert result.semantics.value == "lm"
+        assert result.aggregation.name == "min"
+
+    def test_kwargs_forwarded_to_algorithm(self, small_clustered):
+        # The baseline accepts an rng seed through the facade; the same seed
+        # must give the same grouping.
+        first = form_groups(small_clustered, 4, k=3, algorithm="baseline-kmeans", rng=7)
+        second = form_groups(small_clustered, 4, k=3, algorithm="baseline-kmeans", rng=7)
+        assert first.members_partition() == second.members_partition()

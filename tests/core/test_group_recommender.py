@@ -1,0 +1,94 @@
+"""Tests for repro.core.group_recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupRecommender,
+    group_item_scores,
+    group_satisfaction,
+    recommend_top_k,
+)
+from repro.core.errors import GroupFormationError
+from repro.recsys import RatingMatrix
+
+
+class TestRecommendTopK:
+    def test_lm_example3_reordering(self):
+        # Paper Example 3: u1 = (5, 4, 1), u2 = (1, 4, 5); under LM the top-2
+        # list for {u1, u2} starts with i2 even though it is neither user's
+        # personal favourite.
+        values = np.array([[5.0, 4.0, 1.0], [1.0, 4.0, 5.0]])
+        items, scores = recommend_top_k(values, [0, 1], 2, "lm")
+        assert items[0] == 1
+        assert scores[0] == 4.0
+        assert scores[1] == 1.0
+
+    def test_av_example2_last_group(self, example2):
+        # Example 2, GRD-AV-MIN's second group {u1, u2, u5, u6} is recommended
+        # (i3, i2) with AV scores (11, 9).
+        items, scores = recommend_top_k(example2.values, [0, 1, 4, 5], 2, "av")
+        assert items == (2, 1)
+        assert scores == (11.0, 9.0)
+
+    def test_scores_sorted_non_increasing(self, small_uniform):
+        _, scores = recommend_top_k(small_uniform.values, [0, 3, 7], 5, "lm")
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    def test_tie_break_by_item_index(self):
+        values = np.array([[3.0, 3.0, 3.0]])
+        items, _ = recommend_top_k(values, [0], 2, "lm")
+        assert items == (0, 1)
+
+    def test_invalid_k(self, tiny_values):
+        with pytest.raises(GroupFormationError):
+            recommend_top_k(tiny_values, [0], 99, "lm")
+
+
+class TestGroupSatisfaction:
+    def test_min_aggregation_is_last_score(self, tiny_values):
+        items, scores, value = group_satisfaction(tiny_values, [0, 1], 3, "lm", "min")
+        assert value == scores[-1]
+        assert len(items) == 3
+
+    def test_sum_aggregation_is_total(self, tiny_values):
+        _, scores, value = group_satisfaction(tiny_values, [0, 1], 3, "av", "sum")
+        assert value == pytest.approx(sum(scores))
+
+    def test_max_aggregation_is_first(self, tiny_values):
+        _, scores, value = group_satisfaction(tiny_values, [2, 3], 2, "lm", "max")
+        assert value == scores[0]
+
+    def test_item_scores_wrapper(self, tiny_values):
+        scores = group_item_scores(tiny_values, [0, 1], "av")
+        np.testing.assert_allclose(scores, tiny_values[0] + tiny_values[1])
+
+
+class TestGroupRecommenderFacade:
+    def test_requires_complete_matrix(self, sparse_matrix):
+        with pytest.raises(GroupFormationError):
+            GroupRecommender(sparse_matrix)
+
+    def test_recommend_and_satisfaction(self, small_clustered):
+        recommender = GroupRecommender(small_clustered, semantics="lm")
+        members = [0, 1, 2]
+        items, scores = recommender.recommend(members, k=3)
+        assert len(items) == 3
+        assert recommender.satisfaction(members, k=3, aggregation="min") == scores[-1]
+
+    def test_item_scores(self, small_clustered):
+        recommender = GroupRecommender(small_clustered, semantics="av")
+        scores = recommender.item_scores([0, 5])
+        np.testing.assert_allclose(
+            scores, small_clustered.values[0] + small_clustered.values[5]
+        )
+
+    def test_recommend_labels(self):
+        matrix = RatingMatrix(
+            np.array([[5.0, 1.0], [4.0, 2.0]]), item_ids=["song-a", "song-b"]
+        )
+        recommender = GroupRecommender(matrix, semantics="lm")
+        labels = recommender.recommend_labels([0, 1], k=1)
+        assert labels == [("song-a", 4.0)]

@@ -1,0 +1,105 @@
+"""Tests for repro.core.grouping (containers, validation, evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Group, evaluate_partition, validate_partition
+from repro.core.errors import GroupFormationError
+
+
+class TestGroup:
+    def test_size_and_dict(self):
+        group = Group(members=(0, 3), items=(1,), item_scores=(4.0,), satisfaction=4.0)
+        assert group.size == 2
+        payload = group.as_dict()
+        assert payload["members"] == [0, 3]
+        assert payload["satisfaction"] == 4.0
+
+
+class TestValidatePartition:
+    def test_valid_partition(self):
+        blocks = validate_partition([[1, 0], [2]], n_users=3)
+        assert blocks == [(0, 1), (2,)]
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(GroupFormationError):
+            validate_partition([[0, 1], []], n_users=2)
+
+    def test_duplicate_user_rejected(self):
+        with pytest.raises(GroupFormationError):
+            validate_partition([[0, 1], [1]], n_users=2)
+
+    def test_missing_user_rejected(self):
+        with pytest.raises(GroupFormationError, match="does not cover"):
+            validate_partition([[0]], n_users=2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GroupFormationError):
+            validate_partition([[0, 5]], n_users=2)
+
+    def test_budget_enforced(self):
+        with pytest.raises(GroupFormationError, match="exceeding"):
+            validate_partition([[0], [1], [2]], n_users=3, max_groups=2)
+
+
+class TestEvaluatePartition:
+    def test_objective_is_sum_of_satisfactions(self, example1):
+        result = evaluate_partition(
+            example1.values, [[2, 3], [1, 5], [0, 4]], k=1,
+            semantics="lm", aggregation="min",
+        )
+        assert result.objective == pytest.approx(
+            sum(group.satisfaction for group in result.groups)
+        )
+        assert result.objective == 11.0
+
+    def test_optimal_partition_example1(self, example1):
+        # The paper reports the optimal grouping for Example 1 (k=1, 3 groups)
+        # as {u1,u3,u4}, {u2,u6}, {u5} with objective 12.
+        result = evaluate_partition(
+            example1.values, [[0, 2, 3], [1, 5], [4]], k=1,
+            semantics="lm", aggregation="min",
+        )
+        assert result.objective == 12.0
+
+    def test_result_bookkeeping(self, example2):
+        result = evaluate_partition(
+            example2.values, [[0, 2, 3], [1, 4, 5]], k=2,
+            semantics="av", aggregation="min", algorithm="manual", max_groups=2,
+        )
+        assert result.algorithm == "manual"
+        assert result.n_groups == 2
+        assert result.n_users == 6
+        assert result.group_sizes == [3, 3]
+        assert result.max_groups == 2
+        assert result.group_of_user(4) == 1
+        with pytest.raises(KeyError):
+            result.group_of_user(99)
+
+    def test_paper_appendix_value_for_example2(self, example2):
+        # The grouping the paper's Appendix A reports as optimal for
+        # Example 2 ({u1,u3,u4}, {u2,u5,u6}) evaluates to 14 under AV-Min.
+        result = evaluate_partition(
+            example2.values, [[0, 2, 3], [1, 4, 5]], k=2,
+            semantics="av", aggregation="min",
+        )
+        assert result.objective == 14.0
+
+    def test_average_satisfaction_and_summary(self, example1):
+        result = evaluate_partition(
+            example1.values, [[0, 1, 2, 3, 4, 5]], k=1, semantics="lm", aggregation="min"
+        )
+        assert result.average_satisfaction() == result.objective
+        assert "groups" in result.summary() or "group" in result.summary()
+
+    def test_as_dict_round_trip(self, example1):
+        result = evaluate_partition(
+            example1.values, [[0, 1], [2, 3], [4, 5]], k=2,
+            semantics="lm", aggregation="sum", extras={"note": "test"},
+        )
+        payload = result.as_dict()
+        assert payload["semantics"] == "lm"
+        assert payload["aggregation"] == "sum"
+        assert payload["extras"]["note"] == "test"
+        assert len(payload["groups"]) == 3

@@ -1,0 +1,82 @@
+"""Tests for repro.core.preferences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import full_ranking, preference_list, top_k_items, top_k_sequence, top_k_table
+from repro.core.errors import GroupFormationError
+
+
+class TestFullRanking:
+    def test_simple_order(self):
+        assert full_ranking([1.0, 5.0, 3.0]).tolist() == [1, 2, 0]
+
+    def test_tie_break_by_item_index(self):
+        assert full_ranking([3.0, 5.0, 3.0, 5.0]).tolist() == [1, 3, 0, 2]
+
+    def test_rejects_nan(self):
+        with pytest.raises(GroupFormationError):
+            full_ranking([1.0, np.nan])
+
+    def test_rejects_2d(self):
+        with pytest.raises(GroupFormationError):
+            full_ranking(np.ones((2, 2)))
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        row = rng.integers(1, 6, size=20).astype(float)
+        assert sorted(full_ranking(row).tolist()) == list(range(20))
+
+
+class TestTopK:
+    def test_top_k_items_prefix_of_ranking(self):
+        row = np.array([2.0, 5.0, 4.0, 1.0])
+        np.testing.assert_array_equal(top_k_items(row, 2), full_ranking(row)[:2])
+
+    def test_top_k_sequence_paper_example(self, example1):
+        # L_u2 = <i3, 5; i2, 3; i1, 2> in Example 1 -> top-2 = (i3, i2).
+        items, scores = top_k_sequence(example1.values[1], 2)
+        assert items == (2, 1)
+        assert scores == (5.0, 3.0)
+
+    def test_k_out_of_range(self):
+        with pytest.raises(GroupFormationError):
+            top_k_items(np.array([1.0, 2.0]), 0)
+        with pytest.raises(GroupFormationError):
+            top_k_items(np.array([1.0, 2.0]), 3)
+
+    def test_preference_list_full(self, example1):
+        pairs = preference_list(example1.values[1])
+        assert pairs == [(2, 5.0), (1, 3.0), (0, 2.0)]
+
+
+class TestTopKTable:
+    def test_matches_per_row_computation(self, small_clustered):
+        items, scores = top_k_table(small_clustered.values, 4)
+        for user in range(small_clustered.n_users):
+            expected_items, expected_scores = top_k_sequence(small_clustered.values[user], 4)
+            assert tuple(items[user].tolist()) == expected_items
+            assert tuple(scores[user].tolist()) == expected_scores
+
+    def test_scores_non_increasing(self, small_uniform):
+        _, scores = top_k_table(small_uniform.values, 5)
+        assert np.all(np.diff(scores, axis=1) <= 0)
+
+    def test_shapes(self, tiny_values):
+        items, scores = top_k_table(tiny_values, 3)
+        assert items.shape == (4, 3) and scores.shape == (4, 3)
+
+    def test_k_equals_n_items(self, tiny_values):
+        items, _ = top_k_table(tiny_values, 4)
+        for row in items:
+            assert sorted(row.tolist()) == [0, 1, 2, 3]
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(GroupFormationError):
+            top_k_table(np.array([[1.0, np.nan]]), 1)
+
+    def test_rejects_bad_k(self, tiny_values):
+        with pytest.raises(GroupFormationError):
+            top_k_table(tiny_values, 9)

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests exercise the structural guarantees the paper's analysis relies
+on, over randomly generated rating matrices:
+
+* the greedy algorithms always return a valid partition within the budget;
+* their reported objective equals an independent re-evaluation of the
+  partition under the same semantics/aggregation;
+* the LM greedy algorithms respect the absolute error bounds of Theorems 2
+  and 3 relative to the exact optimum;
+* group-level monotonicity: adding members never raises an LM group score
+  and never lowers an AV group score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    absolute_error_bound,
+    evaluate_partition,
+    grd_av,
+    grd_lm,
+    group_satisfaction,
+    recommend_top_k,
+)
+from repro.exact import optimal_groups_dp
+from repro.recsys import RatingMatrix, RatingScale
+
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def rating_matrices(draw, max_users: int = 9, max_items: int = 6):
+    """Random integer rating matrices on the 1-5 scale."""
+    n_users = draw(st.integers(min_value=2, max_value=max_users))
+    n_items = draw(st.integers(min_value=2, max_value=max_items))
+    values = draw(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=5), min_size=n_items, max_size=n_items),
+            min_size=n_users,
+            max_size=n_users,
+        )
+    )
+    return RatingMatrix(np.array(values, dtype=float), scale=RatingScale(1, 5))
+
+
+@st.composite
+def formation_instances(draw):
+    """A rating matrix together with valid (max_groups, k) parameters."""
+    ratings = draw(rating_matrices())
+    max_groups = draw(st.integers(min_value=1, max_value=ratings.n_users))
+    k = draw(st.integers(min_value=1, max_value=ratings.n_items))
+    return ratings, max_groups, k
+
+
+@given(formation_instances(), st.sampled_from(["lm", "av"]), st.sampled_from(["min", "max", "sum"]))
+@settings(**_SETTINGS)
+def test_greedy_returns_valid_partition(instance, semantics, aggregation):
+    ratings, max_groups, k = instance
+    algorithm = grd_lm if semantics == "lm" else grd_av
+    result = algorithm(ratings, max_groups=max_groups, k=k, aggregation=aggregation)
+    covered = sorted(u for group in result.groups for u in group.members)
+    assert covered == list(range(ratings.n_users))
+    assert 1 <= result.n_groups <= max_groups
+    for group in result.groups:
+        assert len(group.items) == k
+        assert len(set(group.items)) == k
+
+
+@given(formation_instances(), st.sampled_from(["lm", "av"]), st.sampled_from(["min", "max", "sum"]))
+@settings(**_SETTINGS)
+def test_greedy_objective_matches_reevaluation(instance, semantics, aggregation):
+    ratings, max_groups, k = instance
+    algorithm = grd_lm if semantics == "lm" else grd_av
+    result = algorithm(ratings, max_groups=max_groups, k=k, aggregation=aggregation)
+    check = evaluate_partition(
+        ratings.values, result.members_partition(), k=k,
+        semantics=semantics, aggregation=aggregation,
+    )
+    assert np.isclose(result.objective, check.objective)
+
+
+@given(rating_matrices(max_users=7, max_items=5),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=3),
+       st.sampled_from(["min", "sum"]))
+@settings(**_SETTINGS)
+def test_lm_absolute_error_bound(ratings, max_groups, k, aggregation):
+    k = min(k, ratings.n_items)
+    max_groups = min(max_groups, ratings.n_users)
+    greedy = grd_lm(ratings, max_groups=max_groups, k=k, aggregation=aggregation)
+    optimal = optimal_groups_dp(
+        ratings, max_groups, k=k, semantics="lm", aggregation=aggregation
+    )
+    bound = absolute_error_bound(aggregation, ratings.scale, k)
+    assert greedy.objective <= optimal.objective + 1e-9
+    assert optimal.objective - greedy.objective <= bound + 1e-9
+
+
+@given(rating_matrices(), st.data())
+@settings(**_SETTINGS)
+def test_group_score_monotonicity(ratings, data):
+    n_users = ratings.n_users
+    small_size = data.draw(st.integers(min_value=1, max_value=n_users - 1))
+    members = list(range(small_size))
+    extended = list(range(min(small_size + 1, n_users)))
+    k = data.draw(st.integers(min_value=1, max_value=ratings.n_items))
+    _, _, lm_small = group_satisfaction(ratings.values, members, k, "lm", "min")
+    _, _, lm_large = group_satisfaction(ratings.values, extended, k, "lm", "min")
+    assert lm_large <= lm_small + 1e-9
+    _, _, av_small = group_satisfaction(ratings.values, members, k, "av", "sum")
+    _, _, av_large = group_satisfaction(ratings.values, extended, k, "av", "sum")
+    assert av_large >= av_small - 1e-9
+
+
+@given(rating_matrices(), st.data())
+@settings(**_SETTINGS)
+def test_recommended_list_is_best_k_items(ratings, data):
+    members = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=ratings.n_users - 1),
+            min_size=1, max_size=ratings.n_users, unique=True,
+        )
+    )
+    k = data.draw(st.integers(min_value=1, max_value=ratings.n_items))
+    for semantics in ("lm", "av"):
+        items, scores = recommend_top_k(ratings.values, members, k, semantics)
+        from repro.core import group_item_scores
+
+        all_scores = group_item_scores(ratings.values, members, semantics)
+        # Every excluded item scores no better than the worst included item.
+        excluded = [i for i in range(ratings.n_items) if i not in items]
+        if excluded:
+            assert max(all_scores[excluded]) <= min(scores) + 1e-9
+        # Scores are reported in non-increasing order.
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))

@@ -1,0 +1,74 @@
+"""Tests for repro.core.semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Semantics, get_semantics
+from repro.core.errors import GroupFormationError
+
+
+class TestGetSemantics:
+    @pytest.mark.parametrize("name", ["lm", "LM", "least_misery", "Least-Misery"])
+    def test_lm_aliases(self, name):
+        assert get_semantics(name) is Semantics.LEAST_MISERY
+
+    @pytest.mark.parametrize("name", ["av", "AV", "aggregate_voting", "Aggregate-Voting"])
+    def test_av_aliases(self, name):
+        assert get_semantics(name) is Semantics.AGGREGATE_VOTING
+
+    def test_passthrough(self):
+        assert get_semantics(Semantics.LEAST_MISERY) is Semantics.LEAST_MISERY
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown semantics"):
+            get_semantics("maximum-happiness")
+
+    def test_short_names(self):
+        assert Semantics.LEAST_MISERY.short_name == "LM"
+        assert Semantics.AGGREGATE_VOTING.short_name == "AV"
+
+
+class TestItemScores:
+    def test_lm_is_columnwise_min(self, tiny_values):
+        scores = Semantics.LEAST_MISERY.item_scores(tiny_values, np.array([0, 2]))
+        np.testing.assert_allclose(scores, np.minimum(tiny_values[0], tiny_values[2]))
+
+    def test_av_is_columnwise_sum(self, tiny_values):
+        scores = Semantics.AGGREGATE_VOTING.item_scores(tiny_values, np.array([0, 2]))
+        np.testing.assert_allclose(scores, tiny_values[0] + tiny_values[2])
+
+    def test_singleton_group_scores_equal_row(self, tiny_values):
+        for semantics in Semantics:
+            scores = semantics.item_scores(tiny_values, np.array([1]))
+            np.testing.assert_allclose(scores, tiny_values[1])
+
+    def test_empty_group_rejected(self, tiny_values):
+        with pytest.raises(GroupFormationError):
+            Semantics.LEAST_MISERY.item_scores(tiny_values, np.array([], dtype=int))
+
+    def test_nan_ratings_rejected(self):
+        values = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(GroupFormationError):
+            Semantics.LEAST_MISERY.item_scores(values, np.array([0, 1]))
+
+    def test_single_item_score(self, tiny_values):
+        assert Semantics.LEAST_MISERY.item_score(tiny_values, np.array([0, 3]), 0) == 2.0
+        assert Semantics.AGGREGATE_VOTING.item_score(tiny_values, np.array([0, 3]), 0) == 7.0
+
+    def test_lm_paper_definition_example1(self, example1):
+        # Example 1: group {u2, u6} shares item i3 at rating 5.
+        values = example1.values
+        scores = Semantics.LEAST_MISERY.item_scores(values, np.array([1, 5]))
+        assert scores[2] == 5.0
+
+    def test_av_monotone_in_members(self, tiny_values):
+        small = Semantics.AGGREGATE_VOTING.item_scores(tiny_values, np.array([0, 1]))
+        large = Semantics.AGGREGATE_VOTING.item_scores(tiny_values, np.array([0, 1, 2]))
+        assert np.all(large >= small)
+
+    def test_lm_antitone_in_members(self, tiny_values):
+        small = Semantics.LEAST_MISERY.item_scores(tiny_values, np.array([0, 1]))
+        large = Semantics.LEAST_MISERY.item_scores(tiny_values, np.array([0, 1, 2]))
+        assert np.all(large <= small)

@@ -1,0 +1,131 @@
+"""Tests for the Flickr POI pipeline and the similar/dissimilar/random samples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    extract_top_pois,
+    pairwise_topk_similarity,
+    poi_rating_matrix,
+    select_dissimilar_sample,
+    select_random_sample,
+    select_similar_sample,
+    synthetic_flickr_log,
+    uniform_random_ratings,
+)
+
+
+class TestFlickrLog:
+    def test_log_shape(self):
+        log = synthetic_flickr_log(n_users=50, n_pois=20, rng=0)
+        assert len(log) == 50
+        for itinerary in log:
+            assert 1 <= len(itinerary.pois) <= 20
+            assert len(set(itinerary.pois)) == len(itinerary.pois)
+
+    def test_top_pois_count_and_order(self):
+        log = synthetic_flickr_log(n_users=100, n_pois=30, rng=1)
+        top = extract_top_pois(log, n=10)
+        assert len(top) == 10
+        counts = {}
+        for itinerary in log:
+            for poi in set(itinerary.pois):
+                counts[poi] = counts.get(poi, 0) + 1
+        assert counts[top[0]] == max(counts.values())
+
+    def test_rating_matrix_from_log(self):
+        log = synthetic_flickr_log(n_users=40, n_pois=25, rng=2)
+        pois = extract_top_pois(log, n=10)
+        matrix = poi_rating_matrix(log, pois, rng=3)
+        assert matrix.shape == (40, 10)
+        assert matrix.is_complete
+        assert matrix.values.min() >= 1.0 and matrix.values.max() <= 5.0
+
+    def test_visited_pois_rated_higher_on_average(self):
+        log = synthetic_flickr_log(n_users=100, n_pois=15, rng=4)
+        pois = extract_top_pois(log, n=10)
+        matrix = poi_rating_matrix(log, pois, rng=5)
+        visited_ratings, unvisited_ratings = [], []
+        poi_index = {poi: idx for idx, poi in enumerate(pois)}
+        for row, itinerary in enumerate(log):
+            visited = {poi_index[p] for p in itinerary.pois if p in poi_index}
+            for idx in range(len(pois)):
+                (visited_ratings if idx in visited else unvisited_ratings).append(
+                    matrix.values[row, idx]
+                )
+        assert np.mean(visited_ratings) > np.mean(unvisited_ratings) + 0.5
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            poi_rating_matrix([], ["a"])
+        log = synthetic_flickr_log(n_users=5, n_pois=5, rng=0)
+        with pytest.raises(ValueError):
+            poi_rating_matrix(log, [])
+
+
+class TestSimilaritySamples:
+    def test_similarity_matrix_properties(self, small_archetypes):
+        similarity = pairwise_topk_similarity(small_archetypes, positions=5)
+        n = small_archetypes.n_users
+        assert similarity.shape == (n, n)
+        assert np.allclose(similarity, similarity.T)
+        assert np.all(similarity <= 1.0 + 1e-9) and np.all(similarity >= 0.0)
+        assert np.allclose(np.diag(similarity), 1.0)
+
+    def test_identical_users_have_similarity_one(self):
+        values = np.tile(np.array([[5.0, 4.0, 3.0, 2.0]]), (3, 1))
+        similarity = pairwise_topk_similarity(values, positions=4)
+        assert np.allclose(similarity, 1.0)
+
+    def test_similar_sample_more_coherent_than_dissimilar(self, small_archetypes):
+        similar = select_similar_sample(small_archetypes, size=10, rng=0)
+        dissimilar = select_dissimilar_sample(small_archetypes, size=10, rng=0)
+        similarity = pairwise_topk_similarity(small_archetypes)
+
+        def mean_pairwise(members):
+            block = similarity[np.ix_(members, members)]
+            n = len(members)
+            return (block.sum() - np.trace(block)) / (n * (n - 1))
+
+        assert mean_pairwise(similar) > mean_pairwise(dissimilar)
+
+    def test_sample_sizes_and_uniqueness(self, small_archetypes):
+        for selector in (select_similar_sample, select_dissimilar_sample):
+            sample = selector(small_archetypes, size=8, rng=1)
+            assert len(sample) == 8
+            assert len(set(sample)) == 8
+        random_sample = select_random_sample(small_archetypes, size=8, rng=1)
+        assert len(set(random_sample)) == 8
+
+    def test_oversized_sample_rejected(self):
+        ratings = uniform_random_ratings(5, 4, rng=0)
+        with pytest.raises(ValueError):
+            select_similar_sample(ratings, size=10)
+        with pytest.raises(ValueError):
+            select_random_sample(ratings, size=10)
+
+    def test_random_sample_deterministic_given_seed(self, small_archetypes):
+        assert select_random_sample(small_archetypes, 6, rng=2) == select_random_sample(
+            small_archetypes, 6, rng=2
+        )
+
+
+class TestPaperExampleMatrices:
+    def test_example_shapes_and_labels(self, example1, example2, example4, example5):
+        for example in (example1, example2, example5):
+            assert example.shape == (6, 3)
+            assert example.user_ids == ("u1", "u2", "u3", "u4", "u5", "u6")
+        assert example4.shape == (4, 2)
+
+    def test_example1_matches_table1(self, example1):
+        # Spot-check a few cells of Table 1 (user u2: i1=2, i2=3, i3=5).
+        assert example1.values[1].tolist() == [2.0, 3.0, 5.0]
+
+    def test_example2_matches_table2(self, example2):
+        assert example2.values[0].tolist() == [3.0, 1.0, 4.0]
+        assert example2.values[5].tolist() == [3.0, 2.0, 1.0]
+
+    def test_example5_matches_table5(self, example5):
+        assert example5.values[4].tolist() == [2.0, 4.0, 3.0]

@@ -1,0 +1,70 @@
+"""Tests for the MovieLens / Yahoo! Music file loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RatingDataError
+from repro.datasets import load_movielens_ratings, load_yahoo_music_ratings
+
+
+class TestMovieLensLoader:
+    def test_double_colon_format(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::978300760\n1::20::3::978302109\n2::10::4::978301968\n")
+        matrix = load_movielens_ratings(path)
+        assert matrix.num_ratings == 3
+        assert matrix.rating(matrix.user_index("1"), matrix.item_index("10")) == 5.0
+
+    def test_tab_format(self, tmp_path):
+        path = tmp_path / "u.data"
+        path.write_text("196\t242\t3\t881250949\n186\t302\t3\t891717742\n")
+        matrix = load_movielens_ratings(path)
+        assert matrix.num_ratings == 2
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("\n".join(f"{u}::1::3::0" for u in range(10)))
+        matrix = load_movielens_ratings(path, max_rows=4)
+        assert matrix.num_ratings == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RatingDataError):
+            load_movielens_ratings(tmp_path / "nope.dat")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10\n")
+        with pytest.raises(RatingDataError):
+            load_movielens_ratings(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("# only a comment\n")
+        with pytest.raises(RatingDataError):
+            load_movielens_ratings(path)
+
+
+class TestYahooLoader:
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "ydata.txt"
+        path.write_text("u1\tsong9\t5\nu2\tsong9\t1\nu1\tsong3\t4\n")
+        matrix = load_yahoo_music_ratings(path)
+        assert matrix.num_ratings == 3
+        assert matrix.n_users == 2 and matrix.n_items == 2
+
+    def test_space_separated_and_comments(self, tmp_path):
+        path = tmp_path / "ydata.txt"
+        path.write_text("# header\nu1 s1 3\nu2 s2 4\n")
+        matrix = load_yahoo_music_ratings(path)
+        assert matrix.num_ratings == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RatingDataError):
+            load_yahoo_music_ratings(tmp_path / "absent.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "ydata.txt"
+        path.write_text("only_two fields\n")
+        with pytest.raises(RatingDataError):
+            load_yahoo_music_ratings(path)

@@ -1,0 +1,116 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import top_k_sequence
+from repro.datasets import (
+    archetype_population,
+    clustered_population,
+    synthetic_movielens,
+    synthetic_ratings,
+    synthetic_yahoo_music,
+    uniform_random_ratings,
+)
+
+
+class TestSyntheticRatings:
+    def test_complete_by_default(self):
+        matrix = synthetic_ratings(30, 15, rng=0)
+        assert matrix.is_complete
+        assert matrix.shape == (30, 15)
+
+    def test_density_controls_sparsity(self):
+        matrix = synthetic_ratings(40, 20, density=0.4, rng=0)
+        assert not matrix.is_complete
+        assert 0.3 < matrix.density < 0.55
+        assert matrix.ratings_per_user().min() >= 1
+        assert matrix.ratings_per_item().min() >= 1
+
+    def test_integer_ratings_on_scale(self):
+        matrix = synthetic_ratings(20, 10, rng=1)
+        values = matrix.values
+        assert np.all(values == np.rint(values))
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_deterministic(self):
+        assert synthetic_ratings(15, 8, rng=5) == synthetic_ratings(15, 8, rng=5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            synthetic_ratings(10, 5, density=0.0)
+
+
+class TestArchetypePopulation:
+    def test_shape_scale_and_determinism(self):
+        matrix = archetype_population(50, 40, rng=2)
+        assert matrix.shape == (50, 40)
+        assert matrix.values.min() >= 1.0 and matrix.values.max() <= 5.0
+        assert matrix == archetype_population(50, 40, rng=2)
+
+    def test_high_fidelity_produces_shared_topk_sequences(self):
+        matrix = archetype_population(
+            80, 40, n_archetypes=4, fidelity=1.0, dislike_rate=0.0, rng=3
+        )
+        sequences = {
+            top_k_sequence(matrix.values[user], 5)[0] for user in range(matrix.n_users)
+        }
+        # With perfect fidelity there are at most as many distinct top-5
+        # sequences as archetypes.
+        assert len(sequences) <= 4
+
+    def test_zero_fidelity_produces_diverse_sequences(self):
+        strict = archetype_population(
+            60, 40, n_archetypes=4, fidelity=1.0, dislike_rate=0.0, rng=4
+        )
+        loose = archetype_population(
+            60, 40, n_archetypes=4, fidelity=0.2, dislike_rate=0.2, rng=4
+        )
+        count = lambda m: len(
+            {top_k_sequence(m.values[u], 5)[0] for u in range(m.n_users)}
+        )
+        assert count(loose) > count(strict)
+
+    def test_head_items_receive_top_ratings(self):
+        matrix = archetype_population(100, 50, head_fraction=0.2, rng=5)
+        head = matrix.values[:, :10]
+        tail = matrix.values[:, 10:]
+        assert (head == 5.0).sum() > 0
+        # The idiosyncratic tail never reaches the maximum rating.
+        assert tail.max() < 5.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            archetype_population(10, 5, fidelity=1.5)
+        with pytest.raises(ValueError):
+            archetype_population(10, 5, dislike_rate=-0.1)
+
+
+class TestOtherGenerators:
+    def test_clustered_population_complete(self):
+        matrix = clustered_population(25, 12, rng=0)
+        assert matrix.is_complete
+
+    def test_clustered_coherence_bounds(self):
+        with pytest.raises(ValueError):
+            clustered_population(10, 5, coherence=2.0)
+
+    def test_uniform_random_uses_all_levels(self):
+        matrix = uniform_random_ratings(200, 20, rng=0)
+        assert set(np.unique(matrix.values)) == {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_yahoo_and_movielens_synthetics(self):
+        yahoo = synthetic_yahoo_music(60, 40, rng=0)
+        movielens = synthetic_movielens(60, 40, rng=0)
+        for matrix in (yahoo, movielens):
+            assert matrix.is_complete
+            assert matrix.shape == (60, 40)
+            assert matrix.scale.maximum == 5.0
+
+    def test_sparse_variants_for_cf(self):
+        yahoo = synthetic_yahoo_music(40, 30, density=0.5, rng=1)
+        assert not yahoo.is_complete
+        movielens = synthetic_movielens(40, 30, density=0.5, rng=1)
+        assert not movielens.is_complete

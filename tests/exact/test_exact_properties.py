@@ -1,0 +1,74 @@
+"""Property-based consistency tests between the exact solvers.
+
+The three exact algorithms (subset DP, set-partitioning ILP, branch-and-
+bound) implement the same optimisation with completely different machinery,
+so agreement across random instances is strong evidence that each is
+correct.  The DP is additionally checked against brute-force enumeration of
+all partitions on very small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate_partition
+from repro.exact import (
+    enumerate_partitions,
+    optimal_groups_branch_and_bound,
+    optimal_groups_dp,
+    optimal_groups_ilp,
+)
+from repro.recsys import RatingMatrix, RatingScale
+
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_instances(draw):
+    n_users = draw(st.integers(min_value=2, max_value=6))
+    n_items = draw(st.integers(min_value=2, max_value=4))
+    values = draw(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=5), min_size=n_items, max_size=n_items),
+            min_size=n_users,
+            max_size=n_users,
+        )
+    )
+    max_groups = draw(st.integers(min_value=1, max_value=n_users))
+    k = draw(st.integers(min_value=1, max_value=n_items))
+    return RatingMatrix(np.array(values, dtype=float), scale=RatingScale(1, 5)), max_groups, k
+
+
+@given(small_instances(), st.sampled_from(["lm", "av"]), st.sampled_from(["min", "max", "sum"]))
+@settings(**_SETTINGS)
+def test_dp_matches_enumeration(instance, semantics, aggregation):
+    ratings, max_groups, k = instance
+    dp = optimal_groups_dp(ratings, max_groups, k=k, semantics=semantics, aggregation=aggregation)
+    best = max(
+        evaluate_partition(
+            ratings.values, partition, k=k, semantics=semantics, aggregation=aggregation
+        ).objective
+        for partition in enumerate_partitions(ratings.n_users, max_groups)
+    )
+    assert np.isclose(dp.objective, best)
+
+
+@given(small_instances(), st.sampled_from(["lm", "av"]), st.sampled_from(["min", "sum"]))
+@settings(**_SETTINGS)
+def test_bnb_and_ilp_match_dp(instance, semantics, aggregation):
+    ratings, max_groups, k = instance
+    dp = optimal_groups_dp(ratings, max_groups, k=k, semantics=semantics, aggregation=aggregation)
+    bnb = optimal_groups_branch_and_bound(
+        ratings, max_groups, k=k, semantics=semantics, aggregation=aggregation
+    )
+    ilp = optimal_groups_ilp(
+        ratings, max_groups, k=k, semantics=semantics, aggregation=aggregation
+    )
+    assert np.isclose(dp.objective, bnb.objective)
+    assert np.isclose(dp.objective, ilp.objective)

@@ -1,0 +1,147 @@
+"""Tests for the exact solvers (subset DP, ILP, branch-and-bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_partition, grd_av, grd_lm
+from repro.core.errors import GroupFormationError
+from repro.datasets import uniform_random_ratings
+from repro.exact import (
+    enumerate_partitions,
+    optimal_groups_branch_and_bound,
+    optimal_groups_dp,
+    optimal_groups_ilp,
+    subset_scores,
+)
+
+
+class TestSubsetScores:
+    def test_scores_match_direct_evaluation(self, example1):
+        scores = subset_scores(example1.values, k=1, semantics="lm", aggregation="min")
+        # Subset {u3, u4} = mask 0b001100 shares item i2 at rating 5.
+        assert scores[0b001100] == 5.0
+        # Full set: LM top-1 score is 1.
+        assert scores[0b111111] == 1.0
+        assert np.isneginf(scores[0])
+
+    def test_length(self, example4):
+        scores = subset_scores(example4.values, k=1, semantics="av", aggregation="min")
+        assert scores.shape == (2 ** example4.n_users,)
+
+
+class TestEnumeratePartitions:
+    def test_counts_match_stirling_numbers(self):
+        # Partitions of 4 elements into at most 2 blocks: S(4,1)+S(4,2) = 1+7.
+        assert sum(1 for _ in enumerate_partitions(4, 2)) == 8
+        # Into at most 4 blocks: Bell(4) = 15.
+        assert sum(1 for _ in enumerate_partitions(4, 4)) == 15
+
+    def test_each_partition_covers_all_users(self):
+        for partition in enumerate_partitions(5, 3):
+            users = sorted(u for block in partition for u in block)
+            assert users == list(range(5))
+            assert 1 <= len(partition) <= 3
+
+    def test_no_duplicates(self):
+        seen = set()
+        for partition in enumerate_partitions(5, 3):
+            key = tuple(sorted(tuple(sorted(block)) for block in partition))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestOptimalOnPaperExamples:
+    def test_example1_optimum_is_12(self, example1):
+        result = optimal_groups_dp(example1, 3, k=1, semantics="lm", aggregation="min")
+        assert result.objective == 12.0
+        assert result.extras["optimal"] is True
+
+    def test_example5_optimum_is_21(self, example5):
+        result = optimal_groups_dp(example5, 3, k=2, semantics="lm", aggregation="sum")
+        assert result.objective == 21.0
+
+    def test_example2_optimum_at_least_papers_value(self, example2):
+        # The paper's Appendix A reports 14 for Example 2 (AV-Min, k=2, 2
+        # groups); exhaustive search finds 16 ({u2,u5} with {u1,u3,u4,u6}),
+        # so the true optimum is at least the paper's value.
+        result = optimal_groups_dp(example2, 2, k=2, semantics="av", aggregation="min")
+        assert result.objective == 16.0
+        paper_value = evaluate_partition(
+            example2.values, [[0, 2, 3], [1, 4, 5]], k=2, semantics="av", aggregation="min"
+        ).objective
+        assert result.objective >= paper_value
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("semantics", ["lm", "av"])
+    @pytest.mark.parametrize("aggregation", ["min", "sum"])
+    def test_all_three_solvers_agree(self, semantics, aggregation):
+        ratings = uniform_random_ratings(7, 5, rng=17)
+        dp = optimal_groups_dp(ratings, 3, k=2, semantics=semantics, aggregation=aggregation)
+        ilp = optimal_groups_ilp(ratings, 3, k=2, semantics=semantics, aggregation=aggregation)
+        bnb = optimal_groups_branch_and_bound(
+            ratings, 3, k=2, semantics=semantics, aggregation=aggregation
+        )
+        assert dp.objective == pytest.approx(ilp.objective)
+        assert dp.objective == pytest.approx(bnb.objective)
+
+    def test_dp_matches_exhaustive_enumeration(self):
+        ratings = uniform_random_ratings(6, 4, rng=23)
+        dp = optimal_groups_dp(ratings, 3, k=2, semantics="lm", aggregation="min")
+        best = max(
+            evaluate_partition(
+                ratings.values, partition, k=2, semantics="lm", aggregation="min"
+            ).objective
+            for partition in enumerate_partitions(6, 3)
+        )
+        assert dp.objective == pytest.approx(best)
+
+    def test_optimum_dominates_greedy(self):
+        for seed in range(3):
+            ratings = uniform_random_ratings(8, 5, rng=seed)
+            for semantics, greedy in (("lm", grd_lm), ("av", grd_av)):
+                optimal = optimal_groups_dp(
+                    ratings, 3, k=2, semantics=semantics, aggregation="sum"
+                )
+                heuristic = greedy(ratings, max_groups=3, k=2, aggregation="sum")
+                assert optimal.objective >= heuristic.objective - 1e-9
+
+
+class TestGuards:
+    def test_dp_size_limit(self):
+        ratings = uniform_random_ratings(20, 4, rng=0)
+        with pytest.raises(GroupFormationError):
+            optimal_groups_dp(ratings, 3, k=2)
+
+    def test_ilp_size_limit(self):
+        ratings = uniform_random_ratings(20, 4, rng=0)
+        with pytest.raises(GroupFormationError):
+            optimal_groups_ilp(ratings, 3, k=2)
+
+    def test_bnb_size_limit(self):
+        ratings = uniform_random_ratings(20, 4, rng=0)
+        with pytest.raises(GroupFormationError):
+            optimal_groups_branch_and_bound(ratings, 3, k=2)
+
+    def test_partition_validity(self, example2):
+        for solver in (optimal_groups_dp, optimal_groups_ilp, optimal_groups_branch_and_bound):
+            result = solver(example2, 2, k=2, semantics="av", aggregation="min")
+            members = sorted(u for group in result.groups for u in group.members)
+            assert members == list(range(example2.n_users))
+            assert result.n_groups <= 2
+
+    def test_single_group_budget(self, example1):
+        result = optimal_groups_dp(example1, 1, k=1, semantics="lm", aggregation="min")
+        assert result.n_groups == 1
+        assert result.objective == evaluate_partition(
+            example1.values, [list(range(6))], k=1, semantics="lm", aggregation="min"
+        ).objective
+
+    def test_bnb_reports_search_statistics(self, example1):
+        result = optimal_groups_branch_and_bound(
+            example1, 2, k=1, semantics="lm", aggregation="min"
+        )
+        assert result.extras["nodes_explored"] > 0
+        assert result.extras["nodes_pruned"] >= 0

@@ -1,0 +1,200 @@
+"""Tests for the experiment harness (config, runner, figures, tables, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    SweepSeries,
+    figure1,
+    figure2,
+    figure3,
+    figure7,
+    format_experiment,
+    format_table_rows,
+    get_scale,
+    make_dataset,
+    optimal_calibration,
+    quality_defaults,
+    run_algorithms,
+    scalability_defaults,
+    sweep,
+    table3,
+    table4,
+)
+from repro.userstudy import UserStudyConfig
+
+
+class TestConfig:
+    def test_known_scales(self):
+        for name in ("paper", "bench", "smoke"):
+            scale = get_scale(name)
+            assert scale.name == name
+            assert scale.quality.n_users > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("gigantic")
+
+    def test_paper_defaults_match_publication(self):
+        quality = quality_defaults("paper")
+        assert (quality.n_users, quality.n_items, quality.n_groups, quality.k) == (200, 100, 10, 5)
+        scalability = scalability_defaults("paper")
+        assert (scalability.n_users, scalability.n_items) == (100_000, 10_000)
+
+    def test_bench_sweeps_preserve_ratios(self):
+        bench = get_scale("bench").scalability_sweeps
+        # Consecutive user sweep points double, mirroring the paper's 1k->10k->100k->200k growth in spirit.
+        assert all(b > a for a, b in zip(bench.users, bench.users[1:]))
+
+    def test_scale_passthrough(self):
+        scale = get_scale("smoke")
+        assert get_scale(scale) is scale
+
+
+class TestRunner:
+    def test_make_dataset_variants(self):
+        for name in ("yahoo", "movielens", "clustered", "uniform"):
+            matrix = make_dataset(name, 20, 10, seed=0)
+            assert matrix.shape == (20, 10)
+            assert matrix.is_complete
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(ValueError):
+            make_dataset("netflix", 10, 10)
+
+    def test_run_algorithms_names_and_timings(self, small_archetypes):
+        outcomes = run_algorithms(
+            small_archetypes, 4, 3, "lm", "min",
+            algorithms=("GRD", "Baseline", "Random"), seed=0,
+        )
+        assert set(outcomes) == {"GRD-LM-MIN", "Baseline-LM-MIN", "Random-LM-MIN"}
+        for result, seconds in outcomes.values():
+            assert seconds >= 0.0
+            assert result.n_groups <= 4
+
+    def test_run_algorithms_opt_skipped_when_too_large(self, small_archetypes):
+        outcomes = run_algorithms(
+            small_archetypes, 3, 2, "lm", "min", algorithms=("GRD", "OPT"),
+            optimal_max_users=10,
+        )
+        assert "OPT-LM-MIN" not in outcomes
+
+    def test_run_algorithms_unknown_name(self, small_archetypes):
+        with pytest.raises(ValueError):
+            run_algorithms(small_archetypes, 3, 2, "lm", "min", algorithms=("GRD", "magic"))
+
+    def test_sweep_structure(self):
+        result = sweep(
+            "unit-test", "unit test sweep", "n_users", [15, 25],
+            dataset="clustered",
+            defaults={"n_users": 15, "n_items": 10, "n_groups": 3, "k": 2},
+            semantics="lm", aggregation="min", metric="objective",
+            algorithms=("GRD",), repeats=1, seed=0,
+        )
+        assert isinstance(result, ExperimentResult)
+        series = result.series_for("GRD-LM-MIN")
+        assert series.x_values == [15, 25]
+        assert len(series.y_values) == 2
+
+    def test_sweep_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            sweep(
+                "bad", "bad", "n_moons", [1],
+                dataset="clustered",
+                defaults={"n_users": 10, "n_items": 5, "n_groups": 2, "k": 1},
+                semantics="lm", aggregation="min",
+            )
+
+    def test_sweep_runtime_metric(self):
+        result = sweep(
+            "runtime-test", "runtime", "k", [1, 2],
+            dataset="uniform",
+            defaults={"n_users": 20, "n_items": 8, "n_groups": 3, "k": 1},
+            semantics="av", aggregation="sum", metric="runtime",
+            algorithms=("GRD",), repeats=1, seed=1,
+        )
+        assert all(value >= 0.0 for value in result.series[0].y_values)
+
+
+class TestFigures:
+    def test_figure1_smoke_scale(self):
+        panels = figure1(scale="smoke", seed=0)
+        assert [panel.experiment_id for panel in panels] == ["fig1a", "fig1b", "fig1c"]
+        for panel in panels:
+            assert {"GRD-LM-MAX", "Baseline-LM-MAX"} <= set(panel.algorithms())
+
+    def test_figure2_smoke_scale(self):
+        panels = figure2(scale="smoke", seed=0)
+        assert [panel.experiment_id for panel in panels] == ["fig2a", "fig2b"]
+        assert panels[0].metadata["aggregation"] == "min"
+        assert panels[1].metadata["aggregation"] == "sum"
+
+    def test_figure3_uses_av_and_satisfaction_metric(self):
+        panels = figure3(scale="smoke", seed=0)
+        assert len(panels) == 4
+        assert panels[0].metadata["semantics"] == "av"
+        assert panels[0].metadata["metric"] == "avg_satisfaction"
+
+    def test_figure7_panels(self):
+        config = UserStudyConfig(
+            n_phase1_workers=20, sample_size=6, n_phase2_workers=5, seed=2
+        )
+        panels = figure7(config=config)
+        ids = [panel.experiment_id for panel in panels]
+        assert ids == ["fig7a", "fig7b", "fig7c"]
+
+    def test_optimal_calibration_grd_close_to_opt(self):
+        panels = optimal_calibration(
+            n_users=8, n_items=10, n_groups=3, top_k_values=(1, 2), repeats=1, seed=0
+        )
+        assert len(panels) == 4
+        lm_min = next(p for p in panels if p.experiment_id == "calibration-lm-min")
+        grd = lm_min.series_for("GRD-LM-MIN")
+        opt = lm_min.series_for("OPT-LM-MIN")
+        baseline = lm_min.series_for("Baseline-LM-MIN")
+        for grd_value, opt_value in zip(grd.y_values, opt.y_values):
+            assert grd_value <= opt_value + 1e-9
+            # Theorem 2: within r_max of the optimum.
+            assert opt_value - grd_value <= 5.0 + 1e-9
+        assert sum(grd.y_values) >= sum(baseline.y_values) - 1e-9
+
+
+class TestTables:
+    def test_table3_rows(self):
+        rows = table3(synthetic_n_users=50, synthetic_n_items=30, seed=0)
+        names = [row["dataset"] for row in rows]
+        assert any("Yahoo" in name and "paper" in name for name in names)
+        assert any("synthetic" in name for name in names)
+
+    def test_table4_structure(self):
+        rows = table4(scale="smoke", seed=0)
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {
+            "GRD-LM-MAX", "GRD-LM-SUM", "GRD-AV-MAX", "GRD-AV-SUM",
+        }
+        quantiles = [row["quantile"] for row in rows if row["algorithm"] == "GRD-LM-MAX"]
+        assert quantiles == ["Minimum", "Q1", "Median", "Q3", "Maximum"]
+        for row in rows:
+            assert row["avg_group_size"] >= 1.0
+
+
+class TestReporting:
+    def test_format_table_rows(self):
+        text = format_table_rows([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        assert "a" in text and "b" in text
+        assert "0.125" in text
+
+    def test_format_table_rows_empty(self):
+        assert format_table_rows([]) == "(no rows)"
+
+    def test_format_experiment(self):
+        result = ExperimentResult(
+            experiment_id="figX", title="demo", x_label="n", y_label="value",
+            series=[SweepSeries(algorithm="GRD", x_values=[1, 2], y_values=[3.0, 4.0])],
+            metadata={"dataset": "clustered", "defaults": {}, "semantics": "lm",
+                      "aggregation": "min"},
+        )
+        text = format_experiment(result)
+        assert "figX" in text and "GRD" in text and "3.000" in text

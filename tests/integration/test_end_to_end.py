@@ -1,0 +1,117 @@
+"""Integration tests exercising the full pipeline across subpackages.
+
+These follow the path a real deployment would take: sparse observed ratings
+→ collaborative-filtering completion → group formation under a chosen
+semantics → recommendation, metrics and comparison against baselines and the
+exact optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GroupRecommender, complete_matrix, form_groups
+from repro.baselines import baseline_clustering
+from repro.core import absolute_error_bound, evaluate_partition
+from repro.datasets import synthetic_movielens, synthetic_yahoo_music
+from repro.exact import optimal_groups_dp
+from repro.metrics import average_group_satisfaction, group_size_distribution
+from repro.recsys import ItemKNNPredictor, MatrixFactorizationPredictor, RatingMatrix
+
+
+class TestSparseToGroupsPipeline:
+    @pytest.fixture(scope="class")
+    def sparse_ratings(self):
+        complete = synthetic_movielens(60, 30, rng=21)
+        rng = np.random.default_rng(4)
+        observed = rng.random(complete.shape) < 0.55
+        observed[:, 0] = True  # keep one column dense so every user has data
+        values = np.where(observed, complete.values, np.nan)
+        return RatingMatrix(values, scale=complete.scale)
+
+    @pytest.mark.parametrize("predictor_factory", [
+        lambda: ItemKNNPredictor(n_neighbors=10),
+        lambda: MatrixFactorizationPredictor(n_factors=6, n_epochs=20, rng=0),
+    ])
+    def test_complete_then_form_groups(self, sparse_ratings, predictor_factory):
+        completed = complete_matrix(sparse_ratings, predictor=predictor_factory())
+        assert completed.is_complete
+        result = form_groups(completed, max_groups=6, k=4, semantics="lm", aggregation="min")
+        assert result.n_groups <= 6
+        assert result.n_users == completed.n_users
+        # Every group's recommendation can be served by the group recommender.
+        recommender = GroupRecommender(completed, semantics="lm")
+        for group in result.groups:
+            items, _ = recommender.recommend(group.members, k=4)
+            assert len(items) == 4
+
+    def test_pipeline_objective_consistency(self, sparse_ratings):
+        completed = complete_matrix(sparse_ratings)
+        for semantics in ("lm", "av"):
+            for aggregation in ("min", "sum"):
+                result = form_groups(
+                    completed, 5, k=3, semantics=semantics, aggregation=aggregation
+                )
+                check = evaluate_partition(
+                    completed.values, result.members_partition(), k=3,
+                    semantics=semantics, aggregation=aggregation,
+                )
+                assert result.objective == pytest.approx(check.objective)
+
+
+class TestQualityStory:
+    """The paper's headline comparisons, verified end to end on synthetic data."""
+
+    @pytest.fixture(scope="class")
+    def yahoo(self):
+        return synthetic_yahoo_music(n_users=150, n_items=80, rng=9)
+
+    def test_grd_beats_clustering_baseline_under_lm(self, yahoo):
+        for aggregation in ("min", "sum"):
+            greedy = form_groups(yahoo, 8, k=5, semantics="lm", aggregation=aggregation)
+            baseline = baseline_clustering(
+                yahoo, 8, k=5, semantics="lm", aggregation=aggregation, rng=0
+            )
+            assert greedy.objective >= baseline.objective
+
+    def test_grd_close_to_optimum_on_small_instance(self):
+        ratings = synthetic_yahoo_music(n_users=12, n_items=20, rng=5)
+        for aggregation in ("min", "sum"):
+            greedy = form_groups(ratings, 4, k=3, semantics="lm", aggregation=aggregation)
+            optimal = optimal_groups_dp(
+                ratings, 4, k=3, semantics="lm", aggregation=aggregation
+            )
+            bound = absolute_error_bound(aggregation, ratings.scale, 3)
+            assert optimal.objective - greedy.objective <= bound + 1e-9
+
+    def test_av_groups_more_balanced_than_lm(self, yahoo):
+        # Paper Table 4 discussion: AV needs only a shared sequence, so its
+        # groups are larger / less variable than LM's.
+        lm_runs = [form_groups(yahoo, 8, k=5, semantics="lm", aggregation="sum")]
+        av_runs = [form_groups(yahoo, 8, k=5, semantics="av", aggregation="sum")]
+        lm_summary = group_size_distribution(lm_runs)
+        av_summary = group_size_distribution(av_runs)
+        assert av_summary.minimum >= lm_summary.minimum
+
+    def test_average_satisfaction_near_scale_maximum_for_av(self, yahoo):
+        result = form_groups(yahoo, 8, k=5, semantics="av", aggregation="min")
+        satisfaction = average_group_satisfaction(yahoo, result)
+        # Figure 3: the per-member satisfaction over the top-5 list stays
+        # close to the maximum possible value of 25.
+        assert satisfaction > 0.75 * 25.0
+
+    def test_runtime_insensitive_to_items_for_grd(self):
+        # Figure 4(b): GRD's cost is driven by users, not catalogue size.
+        import time
+
+        small_items = synthetic_yahoo_music(400, 100, rng=1)
+        large_items = synthetic_yahoo_music(400, 400, rng=1)
+        start = time.perf_counter()
+        form_groups(small_items, 10, k=5, semantics="lm", aggregation="min")
+        small_time = time.perf_counter() - start
+        start = time.perf_counter()
+        form_groups(large_items, 10, k=5, semantics="lm", aggregation="min")
+        large_time = time.perf_counter() - start
+        # Allow generous slack; the point is sub-linear growth in m, not equality.
+        assert large_time < max(10 * small_time, small_time + 0.5)

@@ -1,0 +1,154 @@
+"""Tests for the metrics subpackage (objective, satisfaction, group sizes,
+NDCG, rank correlations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_partition, grd_av_min, grd_lm_min
+from repro.exact import optimal_groups_dp
+from repro.metrics import (
+    absolute_error,
+    average_five_point_summary,
+    average_group_satisfaction,
+    dcg,
+    five_point_summary,
+    group_mean_ndcg,
+    group_size_distribution,
+    idcg,
+    kendall_tau_distance,
+    objective_value,
+    optimality_gap,
+    spearman_footrule,
+    spearman_rho,
+    user_ndcg,
+    user_satisfaction_with_group,
+)
+
+
+class TestObjectiveMetrics:
+    def test_objective_value(self, example1):
+        greedy = grd_lm_min(example1, 3, k=1)
+        assert objective_value(greedy) == greedy.objective
+
+    def test_absolute_error_and_gap(self, example1):
+        greedy = grd_lm_min(example1, 3, k=1)
+        optimal = optimal_groups_dp(example1, 3, k=1, semantics="lm", aggregation="min")
+        assert absolute_error(greedy, optimal) == pytest.approx(1.0)
+        assert optimality_gap(greedy, optimal) == pytest.approx(1.0 / 12.0)
+
+    def test_incompatible_results_rejected(self, example1):
+        greedy_min = grd_lm_min(example1, 3, k=1)
+        optimal_sum = optimal_groups_dp(example1, 3, k=1, semantics="lm", aggregation="sum")
+        with pytest.raises(ValueError):
+            absolute_error(greedy_min, optimal_sum)
+
+    def test_gap_zero_when_equal(self, example1):
+        optimal = optimal_groups_dp(example1, 3, k=1, semantics="lm", aggregation="min")
+        assert optimality_gap(optimal, optimal) == 0.0
+
+
+class TestSatisfactionMetrics:
+    def test_average_group_satisfaction_lm(self, example1):
+        result = evaluate_partition(
+            example1.values, [[2, 3], [1, 5], [0, 4]], k=1, semantics="lm", aggregation="min"
+        )
+        assert average_group_satisfaction(example1, result) == pytest.approx(11.0 / 3.0)
+
+    def test_av_per_member_normalisation_bounded_by_scale(self, small_archetypes):
+        result = grd_av_min(small_archetypes, 5, k=3)
+        value = average_group_satisfaction(small_archetypes, result, per_member=True)
+        assert value <= 3 * 5.0 + 1e-9  # k items, each at most r_max per member
+
+    def test_av_raw_sum_larger_than_per_member(self, small_archetypes):
+        result = grd_av_min(small_archetypes, 5, k=3)
+        raw = average_group_satisfaction(small_archetypes, result, per_member=False)
+        per_member = average_group_satisfaction(small_archetypes, result, per_member=True)
+        assert raw >= per_member
+
+    def test_user_satisfaction_with_group(self, example1):
+        # Group {u3,u4} is recommended i2 for k=1; both rate it 5.
+        value = user_satisfaction_with_group(example1, 2, [2, 3], k=1, semantics="lm")
+        assert value == 5.0
+
+    def test_user_must_be_member(self, example1):
+        with pytest.raises(ValueError):
+            user_satisfaction_with_group(example1, 0, [2, 3], k=1, semantics="lm")
+
+
+class TestGroupSizeMetrics:
+    def test_five_point_summary_ordered(self):
+        summary = five_point_summary([1, 3, 5, 7, 20])
+        assert summary.is_ordered()
+        assert summary.minimum == 1 and summary.maximum == 20
+        assert summary.median == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            five_point_summary([])
+
+    def test_average_over_runs(self):
+        summary = average_five_point_summary([[2, 4, 6], [4, 6, 8]])
+        assert summary.minimum == 3.0
+        assert summary.maximum == 7.0
+
+    def test_group_size_distribution_from_results(self, small_archetypes):
+        results = [grd_lm_min(small_archetypes, 5, k=3) for _ in range(2)]
+        summary = group_size_distribution(results)
+        assert summary.is_ordered()
+        assert summary.maximum <= small_archetypes.n_users
+
+    def test_as_dict_keys_match_table4(self):
+        summary = five_point_summary([1, 2, 3])
+        assert list(summary.as_dict()) == ["Minimum", "Q1", "Median", "Q3", "Maximum"]
+
+
+class TestNdcg:
+    def test_dcg_simple(self):
+        assert dcg([3.0]) == 3.0
+        assert dcg([3.0, 2.0]) == pytest.approx(3.0 + 2.0 / np.log2(3))
+
+    def test_idcg_uses_best_items(self):
+        row = np.array([1.0, 5.0, 3.0])
+        assert idcg(row, 2) == pytest.approx(dcg([5.0, 3.0]))
+
+    def test_user_ndcg_bounds_and_perfect_list(self):
+        row = np.array([5.0, 4.0, 1.0, 2.0])
+        assert user_ndcg(row, [0, 1]) == pytest.approx(1.0)
+        assert 0.0 < user_ndcg(row, [2, 3]) < 1.0
+
+    def test_group_mean_ndcg(self, example1):
+        value = group_mean_ndcg(example1, [2, 3], [1, 0])
+        assert 0.0 < value <= 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            dcg([])
+        with pytest.raises(ValueError):
+            user_ndcg(np.array([1.0, 2.0]), [])
+
+
+class TestRankCorrelation:
+    def test_spearman_rho_extremes(self):
+        assert spearman_rho([5.0, 3.0, 1.0], [4.0, 2.0, 1.0]) == pytest.approx(1.0)
+        assert spearman_rho([5.0, 3.0, 1.0], [1.0, 3.0, 5.0]) == pytest.approx(-1.0)
+
+    def test_spearman_footrule_extremes(self):
+        assert spearman_footrule([0, 1, 2], [0, 1, 2]) == 0.0
+        assert spearman_footrule([0, 1, 2, 3], [3, 2, 1, 0]) == 1.0
+
+    def test_measures_agree_on_ordering_of_pairs(self):
+        # All three distances should agree that (a,b) are closer than (a,c).
+        a = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        b = np.array([5.0, 4.0, 3.0, 1.0, 2.0])
+        c = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        from repro.core import full_ranking
+
+        assert kendall_tau_distance(full_ranking(a), full_ranking(b)) < kendall_tau_distance(
+            full_ranking(a), full_ranking(c)
+        )
+        assert spearman_footrule(full_ranking(a), full_ranking(b)) < spearman_footrule(
+            full_ranking(a), full_ranking(c)
+        )
+        assert spearman_rho(a, b) > spearman_rho(a, c)

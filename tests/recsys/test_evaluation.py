@@ -1,0 +1,80 @@
+"""Tests for repro.recsys.evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RatingDataError
+from repro.recsys import (
+    GlobalMeanPredictor,
+    ItemKNNPredictor,
+    cross_validation_folds,
+    evaluate_predictor,
+    mae,
+    rmse,
+    train_test_split,
+)
+
+
+class TestErrorMetrics:
+    def test_rmse_zero_for_identical(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.array([2.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_mae_known_value(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        predicted, actual = rng.random(50), rng.random(50)
+        assert rmse(predicted, actual) >= mae(predicted, actual)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            mae(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestSplits:
+    def test_train_test_split_hides_fraction(self, sparse_matrix):
+        train, hidden = train_test_split(sparse_matrix, test_fraction=0.2, rng=0)
+        assert len(hidden) == max(1, int(round(0.2 * sparse_matrix.num_ratings)))
+        assert train.num_ratings == sparse_matrix.num_ratings - len(hidden)
+
+    def test_cross_validation_folds_partition_users(self, sparse_matrix):
+        folds = cross_validation_folds(sparse_matrix, n_folds=5, rng=1)
+        assert len(folds) == 5
+        all_users = np.concatenate(folds)
+        assert sorted(all_users.tolist()) == list(range(sparse_matrix.n_users))
+
+    def test_fold_sizes_balanced(self, sparse_matrix):
+        folds = cross_validation_folds(sparse_matrix, n_folds=10, rng=2)
+        sizes = [fold.size for fold in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_folds_rejected(self, sparse_matrix):
+        with pytest.raises(RatingDataError):
+            cross_validation_folds(sparse_matrix, n_folds=10_000)
+
+
+class TestEvaluatePredictor:
+    def test_report_fields(self, sparse_matrix):
+        report = evaluate_predictor(GlobalMeanPredictor(), sparse_matrix, rng=0)
+        assert report.n_test > 0
+        assert report.rmse >= report.mae >= 0.0
+
+    def test_knn_beats_global_mean_on_structured_data(self, sparse_matrix):
+        mean_report = evaluate_predictor(GlobalMeanPredictor(), sparse_matrix, rng=5)
+        knn_report = evaluate_predictor(
+            ItemKNNPredictor(n_neighbors=10), sparse_matrix, rng=5
+        )
+        # The clustered data has strong item structure the kNN model exploits.
+        assert knn_report.rmse <= mean_report.rmse + 0.15

@@ -1,0 +1,162 @@
+"""Tests for the rating predictors (mean, kNN, matrix factorisation) and the
+completion pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RatingDataError
+from repro.recsys import (
+    GlobalMeanPredictor,
+    ItemKNNPredictor,
+    ItemMeanPredictor,
+    MatrixFactorizationPredictor,
+    RatingMatrix,
+    UserKNNPredictor,
+    UserMeanPredictor,
+    complete_matrix,
+)
+
+
+@pytest.fixture
+def block_matrix() -> RatingMatrix:
+    """Two obvious taste blocks with a few missing entries."""
+    values = np.array(
+        [
+            [5.0, 5.0, 4.0, 1.0, np.nan],
+            [5.0, np.nan, 4.0, 1.0, 1.0],
+            [4.0, 5.0, 5.0, 2.0, 1.0],
+            [1.0, 1.0, np.nan, 5.0, 5.0],
+            [1.0, 2.0, 1.0, np.nan, 5.0],
+            [2.0, 1.0, 1.0, 5.0, 4.0],
+        ]
+    )
+    return RatingMatrix(values)
+
+
+class TestMeanPredictors:
+    def test_global_mean(self, block_matrix):
+        predictor = GlobalMeanPredictor().fit(block_matrix)
+        assert predictor.predict(0, 4) == pytest.approx(block_matrix.global_mean())
+        assert predictor.predict_all().shape == block_matrix.shape
+
+    def test_user_mean(self, block_matrix):
+        predictor = UserMeanPredictor().fit(block_matrix)
+        assert predictor.predict(0, 4) == pytest.approx(np.nanmean(block_matrix.values[0]))
+
+    def test_item_mean(self, block_matrix):
+        predictor = ItemMeanPredictor().fit(block_matrix)
+        assert predictor.predict(0, 4) == pytest.approx(np.nanmean(block_matrix.values[:, 4]))
+
+    def test_unfitted_raises(self, block_matrix):
+        with pytest.raises(RatingDataError):
+            GlobalMeanPredictor().predict(0, 0)
+
+
+class TestUserKNN:
+    def test_prediction_follows_neighbours(self, block_matrix):
+        predictor = UserKNNPredictor(n_neighbors=2).fit(block_matrix)
+        # User 0 (likes items 0-2) should get a low prediction for item 4.
+        assert predictor.predict(0, 4) <= 2.5
+        # User 3 (likes items 3-4) should get a low prediction for item 2.
+        assert predictor.predict(3, 2) <= 2.5
+
+    def test_predictions_within_scale(self, block_matrix):
+        predictor = UserKNNPredictor().fit(block_matrix)
+        dense = predictor.predict_all()
+        assert np.all(dense >= 1.0) and np.all(dense <= 5.0)
+
+    def test_predict_all_keeps_observed(self, block_matrix):
+        predictor = UserKNNPredictor().fit(block_matrix)
+        dense = predictor.predict_all()
+        mask = block_matrix.known_mask
+        np.testing.assert_allclose(dense[mask], block_matrix.values[mask])
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            UserKNNPredictor(metric="nonsense")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RatingDataError):
+            UserKNNPredictor().predict(0, 0)
+
+
+class TestItemKNN:
+    def test_prediction_follows_similar_items(self, block_matrix):
+        predictor = ItemKNNPredictor(n_neighbors=2).fit(block_matrix)
+        # Item 4 behaves like item 3; user 0 dislikes item 3.
+        assert predictor.predict(0, 4) <= 2.5
+
+    def test_predict_all_shape_and_scale(self, block_matrix):
+        dense = ItemKNNPredictor().fit(block_matrix).predict_all()
+        assert dense.shape == block_matrix.shape
+        assert np.all((dense >= 1.0) & (dense <= 5.0))
+
+    def test_negative_shrinkage_rejected(self):
+        with pytest.raises(ValueError):
+            ItemKNNPredictor(shrinkage=-1.0)
+
+
+class TestMatrixFactorization:
+    def test_training_reduces_loss(self, block_matrix):
+        model = MatrixFactorizationPredictor(n_factors=4, n_epochs=40, rng=0)
+        model.fit(block_matrix)
+        assert model.training_loss_[-1] < model.training_loss_[0]
+
+    def test_predictions_within_scale(self, block_matrix):
+        model = MatrixFactorizationPredictor(n_factors=4, n_epochs=20, rng=0).fit(block_matrix)
+        dense = model.predict_all()
+        assert np.all((dense >= 1.0) & (dense <= 5.0))
+
+    def test_reconstructs_observed_reasonably(self, block_matrix):
+        model = MatrixFactorizationPredictor(n_factors=6, n_epochs=80, rng=1).fit(block_matrix)
+        mask = block_matrix.known_mask
+        dense = model.predict_all()
+        # predict_all keeps observed entries verbatim.
+        np.testing.assert_allclose(dense[mask], block_matrix.values[mask])
+        # And the underlying model fits them reasonably well.
+        fitted = np.array(
+            [model.predict(u, i) for u, i in zip(*np.nonzero(mask))]
+        )
+        assert np.abs(fitted - block_matrix.values[mask]).mean() < 1.0
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            MatrixFactorizationPredictor(learning_rate=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RatingDataError):
+            MatrixFactorizationPredictor().predict(0, 0)
+
+
+class TestCompleteMatrix:
+    def test_completion_fills_everything(self, block_matrix):
+        completed = complete_matrix(block_matrix)
+        assert completed.is_complete
+        assert completed.shape == block_matrix.shape
+
+    def test_observed_entries_preserved(self, block_matrix):
+        completed = complete_matrix(block_matrix)
+        mask = block_matrix.known_mask
+        np.testing.assert_allclose(completed.values[mask], block_matrix.values[mask])
+
+    def test_round_to_scale(self, block_matrix):
+        completed = complete_matrix(block_matrix, round_to_scale=True)
+        assert np.all(completed.values == np.rint(completed.values))
+
+    def test_already_complete_returns_copy(self, tiny_values):
+        matrix = RatingMatrix(tiny_values)
+        completed = complete_matrix(matrix)
+        assert completed == matrix
+        assert completed is not matrix
+
+    def test_custom_predictor(self, block_matrix):
+        completed = complete_matrix(block_matrix, predictor=GlobalMeanPredictor())
+        hidden = ~block_matrix.known_mask
+        assert np.allclose(completed.values[hidden], block_matrix.global_mean())
+
+    def test_mf_predictor_completion(self, block_matrix):
+        model = MatrixFactorizationPredictor(n_factors=3, n_epochs=15, rng=2)
+        completed = complete_matrix(block_matrix, predictor=model)
+        assert completed.is_complete

@@ -1,0 +1,167 @@
+"""Tests for the simulated user study (worker model, analysis, protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.recsys import RatingScale
+from repro.userstudy import (
+    SimulatedWorker,
+    UserStudyConfig,
+    generate_workers,
+    preference_percentages,
+    run_user_study,
+    sample_statistics,
+    welch_t_test,
+)
+from repro.userstudy.worker_model import workers_rating_matrix
+
+
+class TestWorkerModel:
+    def test_generate_workers_count_and_ids(self):
+        workers = generate_workers(12, 10, rng=0)
+        assert len(workers) == 12
+        assert len({w.worker_id for w in workers}) == 12
+
+    def test_elicited_ratings_on_scale(self):
+        workers = generate_workers(5, 8, rng=1)
+        scale = RatingScale(1, 5)
+        rng = np.random.default_rng(2)
+        for worker in workers:
+            ratings = worker.elicit_ratings(scale, rng)
+            assert ratings.shape == (8,)
+            assert ratings.min() >= 1.0 and ratings.max() <= 5.0
+            assert np.all(ratings == np.rint(ratings))
+
+    def test_satisfaction_monotone_in_match(self):
+        worker = SimulatedWorker(
+            worker_id="w", latent_preferences=np.zeros(4), response_noise=0.0
+        )
+        scale = RatingScale(1, 5)
+        rng = np.random.default_rng(0)
+        personal = np.array([5.0, 5.0, 1.0, 1.0])
+        good = worker.satisfaction_response(personal, [0, 1], scale, rng)
+        bad = worker.satisfaction_response(personal, [2, 3], scale, rng)
+        assert good > bad
+
+    def test_workers_rating_matrix(self):
+        workers = generate_workers(6, 5, rng=3)
+        matrix = workers_rating_matrix(workers, [f"poi{i}" for i in range(5)], rng=4)
+        assert matrix.shape == (6, 5)
+        assert matrix.is_complete
+
+    def test_empty_recommendation_rejected(self):
+        worker = SimulatedWorker("w", np.zeros(3))
+        with pytest.raises(ValueError):
+            worker.satisfaction_response(
+                np.ones(3), [], RatingScale(1, 5), np.random.default_rng(0)
+            )
+
+
+class TestAnalysis:
+    def test_sample_statistics(self):
+        stats = sample_statistics([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.n == 4
+        assert stats.stderr == pytest.approx(stats.std / 2.0)
+
+    def test_single_observation(self):
+        stats = sample_statistics([3.0])
+        assert stats.std == 0.0 and stats.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_statistics([])
+
+    def test_welch_t_test_detects_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(4.0, 0.3, size=30)
+        b = rng.normal(2.0, 0.3, size=30)
+        t_stat, p_value = welch_t_test(a, b)
+        assert t_stat > 0
+        assert p_value < 0.001
+
+    def test_welch_t_test_degenerate_cases(self):
+        assert welch_t_test([1.0], [2.0]) == (0.0, 1.0)
+        assert welch_t_test([3.0, 3.0], [3.0, 3.0]) == (0.0, 1.0)
+
+    def test_preference_percentages(self):
+        percentages = preference_percentages({"GRD-LM": 8, "Baseline-LM": 2})
+        assert percentages["GRD-LM"] == 80.0
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_preference_percentages_empty_rejected(self):
+        with pytest.raises(ValueError):
+            preference_percentages({"GRD-LM": 0, "Baseline-LM": 0})
+
+
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def study(self):
+        # A slightly reduced configuration keeps the test quick while still
+        # covering every phase of the protocol.
+        config = UserStudyConfig(
+            n_phase1_workers=30, sample_size=8, n_phase2_workers=8, seed=11
+        )
+        return run_user_study(config)
+
+    def test_phase1_ratings_shape(self, study):
+        assert study.phase1_ratings.n_users == 30
+        assert study.phase1_ratings.n_items == study.config.n_pois
+        assert study.phase1_ratings.is_complete
+
+    def test_all_conditions_present(self, study):
+        pairs = {(c.sample_type, c.aggregation) for c in study.conditions}
+        assert pairs == {
+            (sample, aggregation)
+            for sample in ("similar", "dissimilar", "random")
+            for aggregation in ("min", "sum")
+        }
+
+    def test_each_condition_has_full_responses(self, study):
+        for condition in study.conditions:
+            assert len(condition.grd_responses) == study.config.n_phase2_workers
+            assert len(condition.baseline_responses) == study.config.n_phase2_workers
+            assert sum(condition.preferences.values()) == study.config.n_phase2_workers
+            assert condition.grd_result.n_groups <= study.config.n_groups
+            assert condition.baseline_result.n_groups <= study.config.n_groups
+
+    def test_responses_on_rating_scale(self, study):
+        for condition in study.conditions:
+            for value in condition.grd_responses + condition.baseline_responses:
+                assert 1.0 <= value <= 5.0
+
+    def test_preference_summary_structure(self, study):
+        summary = study.preference_summary()
+        assert set(summary) == {"min", "sum"}
+        for percentages in summary.values():
+            assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_grd_not_worse_overall(self, study):
+        # Aggregated over all conditions the semantics-aware algorithm should
+        # be at least as satisfying as the semantics-agnostic baseline.
+        grd = [value for c in study.conditions for value in c.grd_responses]
+        baseline = [value for c in study.conditions for value in c.baseline_responses]
+        assert np.mean(grd) >= np.mean(baseline) - 0.05
+
+    def test_satisfaction_table_rows(self, study):
+        rows = study.satisfaction_table()
+        assert len(rows) == 6
+        for row in rows:
+            assert {"sample", "aggregation", "grd_mean", "baseline_mean",
+                    "grd_stderr", "baseline_stderr", "p_value"} <= set(row)
+
+    def test_condition_lookup(self, study):
+        condition = study.condition("similar", "min")
+        assert condition.sample_type == "similar"
+        with pytest.raises(KeyError):
+            study.condition("nonexistent", "min")
+
+    def test_deterministic_given_seed(self):
+        config = UserStudyConfig(
+            n_phase1_workers=20, sample_size=6, n_phase2_workers=5, seed=3
+        )
+        first = run_user_study(config)
+        second = run_user_study(config)
+        assert first.preference_summary() == second.preference_summary()

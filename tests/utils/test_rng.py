@@ -1,0 +1,55 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(10)
+        b = ensure_rng(2).random(10)
+        assert not np.allclose(a, b)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "fig1", 200) == derive_seed(7, "fig1", 200)
+
+    def test_labels_change_seed(self):
+        assert derive_seed(7, "fig1", 200) != derive_seed(7, "fig1", 400)
+
+    def test_base_seed_changes_seed(self):
+        assert derive_seed(7, "fig1") != derive_seed(8, "fig1")
+
+    def test_non_negative_and_63_bit(self):
+        for labels in [(), ("a",), ("a", 1, 2.5)]:
+            seed = derive_seed(123, *labels)
+            assert 0 <= seed < 2**63
+
+    def test_usable_as_numpy_seed(self):
+        seed = derive_seed(3, "experiment", "x", 12)
+        rng = np.random.default_rng(seed)
+        assert 0.0 <= rng.random() <= 1.0
+
+    def test_order_of_labels_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    @pytest.mark.parametrize("bad", [("x",), (0,), (999999,)])
+    def test_various_label_types(self, bad):
+        assert isinstance(derive_seed(5, *bad), int)

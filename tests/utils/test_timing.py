@@ -1,0 +1,58 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Stopwatch, time_call
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        watch = Stopwatch()
+        with watch.lap("work"):
+            time.sleep(0.01)
+        with watch.lap("work"):
+            time.sleep(0.01)
+        assert watch.laps["work"] >= 0.02
+
+    def test_multiple_laps_tracked_separately(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            pass
+        with watch.lap("b"):
+            pass
+        assert set(watch.laps) == {"a", "b"}
+
+    def test_total_is_sum_of_laps(self):
+        watch = Stopwatch()
+        watch.add("a", 1.5)
+        watch.add("b", 2.5)
+        assert watch.total() == 4.0
+
+    def test_as_dict_returns_copy(self):
+        watch = Stopwatch()
+        watch.add("a", 1.0)
+        copy = watch.as_dict()
+        copy["a"] = 99.0
+        assert watch.laps["a"] == 1.0
+
+    def test_add_creates_lap(self):
+        watch = Stopwatch()
+        watch.add("new", 0.5)
+        assert watch.laps["new"] == 0.5
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_call(sorted, [3, 1, 2], reverse=True)
+        assert result == [3, 2, 1]
+
+    def test_elapsed_reflects_sleep(self):
+        _, elapsed = time_call(time.sleep, 0.02)
+        assert elapsed >= 0.015

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require_in,
+    require_positive_int,
+    require_probability,
+    require_range,
+)
+
+
+class TestRequirePositiveInt:
+    @pytest.mark.parametrize("value", [1, 2, 100])
+    def test_accepts_positive_ints(self, value):
+        assert require_positive_int(value, "x") == value
+
+    @pytest.mark.parametrize("value", [0, -1, -100])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_positive_int(value, "x")
+
+    @pytest.mark.parametrize("value", [1.5, "3", None])
+    def test_rejects_non_int_types(self, value):
+        with pytest.raises(TypeError):
+            require_positive_int(value, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+
+class TestRequireRange:
+    def test_accepts_inside_range(self):
+        assert require_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_accepts_boundaries(self):
+        assert require_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert require_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 100])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_range(value, "x", 0.0, 1.0)
+
+
+class TestRequireProbability:
+    def test_accepts_half(self):
+        assert require_probability(0.5, "p") == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        assert require_in("lm", "semantics", {"lm", "av"}) == "lm"
+
+    def test_rejects_non_member_with_options_listed(self):
+        with pytest.raises(ValueError, match="semantics"):
+            require_in("xyz", "semantics", {"lm", "av"})
