@@ -1,29 +1,71 @@
-"""Figure 5(a-d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum."""
+"""Figure 5(a-d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum.
+
+The figure's four panels share one instance while varying ``(k, semantics,
+aggregation)`` — exactly the shape of the engine's batch API, so this module
+also benchmarks :meth:`~repro.core.engine.FormationEngine.run_many` driving
+the whole variant sweep in one call (sharing the top-k table and the AV/LM
+bucketing across configurations) and checks it agrees with one-at-a-time
+runs.
+"""
 
 from __future__ import annotations
 
 from conftest import report
 
-from repro.core import grd_av_sum, grd_lm_sum
-from repro.experiments import figure5
+from repro.core import FormationConfig, FormationEngine
+from repro.experiments import figure5, run_grd_configs
+
+_SWEEP = [
+    FormationConfig(max_groups=groups, k=k, semantics=semantics, aggregation=aggregation)
+    for k in (5, 25, 50)
+    for groups in (10, 100)
+    for semantics in ("lm", "av")
+    for aggregation in ("min", "sum")
+]
 
 
 def test_fig5_grd_lm_sum_deep_list_runtime(benchmark, yahoo_scalability):
     """Time GRD-LM-SUM with a deep list (k=100) at scalability scale."""
-    result = benchmark(grd_lm_sum, yahoo_scalability, 10, 100)
+    engine = FormationEngine("numpy")
+    result = benchmark(engine.run, yahoo_scalability, 10, 100, "lm", "sum")
     assert result.k == 100
 
 
 def test_fig5_grd_av_sum_deep_list_runtime(benchmark, yahoo_scalability):
     """Time GRD-AV-SUM with a deep list (k=100) at scalability scale."""
-    result = benchmark(grd_av_sum, yahoo_scalability, 10, 100)
+    engine = FormationEngine("numpy")
+    result = benchmark(engine.run, yahoo_scalability, 10, 100, "av", "sum")
     assert result.k == 100
+
+
+def test_fig5_batch_variant_sweep(benchmark, yahoo_scalability):
+    """Time the full (k, l, semantics, aggregation) sweep via run_many."""
+    outcomes = benchmark.pedantic(
+        run_grd_configs,
+        args=(yahoo_scalability, _SWEEP),
+        kwargs=dict(backend="numpy"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(outcomes) == len(_SWEEP)
+    # The batch API must agree with one-at-a-time runs.
+    engine = FormationEngine("numpy")
+    probe = _SWEEP[0]
+    single = engine.run(
+        yahoo_scalability, probe.max_groups, probe.k, probe.semantics, probe.aggregation
+    )
+    _, batch = outcomes[0]
+    assert batch.objective == single.objective
+    assert [g.members for g in batch.groups] == [g.members for g in single.groups]
 
 
 def test_fig5_reproduce_series(benchmark):
     """Regenerate Figure 5(a-d) and check GRD stays below the baseline."""
     panels = benchmark.pedantic(
-        figure5, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+        figure5,
+        kwargs=dict(scale="bench", seed=0, backend="numpy"),
+        rounds=1,
+        iterations=1,
     )
     report("Figure 5: run time vs top-k (LM/AV x Min/Sum)", panels)
     assert len(panels) == 4

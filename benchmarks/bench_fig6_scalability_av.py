@@ -1,23 +1,53 @@
-"""Figure 6(a-c): runtime of AV-Min group formation vs #users / #items / #groups."""
+"""Figure 6(a-c): runtime of AV-Min group formation vs #users / #items / #groups.
+
+Timed runs go through the :class:`~repro.core.engine.FormationEngine`; the
+backend-comparison benchmark mirrors the fig4 one for the AV semantics.
+"""
 
 from __future__ import annotations
 
+from _timing import best_time, results_identical
 from conftest import report
 
-from repro.core import grd_av_min
+from repro.core import FormationEngine
 from repro.experiments import figure6
 
 
 def test_fig6_grd_av_min_scalability_runtime(benchmark, yahoo_scalability):
-    """Time GRD-AV-MIN at the bench scalability defaults (2000 x 400)."""
-    result = benchmark(grd_av_min, yahoo_scalability, 10, 5)
+    """Time GRD-AV-MIN through the engine at the bench defaults (2000 x 400)."""
+    engine = FormationEngine("numpy")
+    result = benchmark(engine.run, yahoo_scalability, 10, 5, "av", "min")
     assert result.n_users == 2000
+    assert result.extras["backend"] == "numpy"
+
+
+def test_fig6_backend_speedup_largest_instance(yahoo_scalability_large):
+    """The numpy backend beats the reference backend at the largest fig6 size."""
+    timings = {}
+    results = {}
+    for backend in ("reference", "numpy"):
+        timings[backend], results[backend] = best_time(
+            FormationEngine(backend), yahoo_scalability_large, 10, 5, "av"
+        )
+    speedup = timings["reference"] / timings["numpy"]
+    print(
+        f"\nfig6 largest instance (4000 users): reference "
+        f"{timings['reference'] * 1000:.1f} ms, numpy "
+        f"{timings['numpy'] * 1000:.1f} ms ({speedup:.1f}x)"
+    )
+    assert results_identical(results["reference"], results["numpy"])
+    # ~6x measured; 3x assert keeps noisy machines from flaking the bench
+    # (the >= 5x acceptance gate is check_regression.py's --min-speedup).
+    assert speedup >= 3.0
 
 
 def test_fig6_reproduce_series(benchmark):
     """Regenerate Figure 6(a-c) and check the scaling shapes."""
     panels = benchmark.pedantic(
-        figure6, kwargs=dict(scale="bench", seed=0), rounds=1, iterations=1
+        figure6,
+        kwargs=dict(scale="bench", seed=0, backend="numpy"),
+        rounds=1,
+        iterations=1,
     )
     report("Figure 6: run time under AV-Min (Yahoo!-Music-like data)", panels)
     users_panel, items_panel, groups_panel = panels

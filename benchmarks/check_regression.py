@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Benchmark smoke / regression gate for the formation engine backends.
+
+Runs the fig4 (GRD-LM-MIN) and fig6 (GRD-AV-MIN) scalability benches at a
+small scale through both engine backends and fails when
+
+* the two backends disagree on any result (groups, objective, bookkeeping) —
+  they are required to be bit-identical; or
+* the ``numpy`` backend is slower than the ``reference`` backend (optionally
+  by a stricter ``--min-speedup`` factor).
+
+Intended for CI::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+
+and for the full-size acceptance check locally::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --users 4000 --items 400 --min-speedup 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from _timing import best_time, results_identical
+
+from repro.core import FormationEngine
+from repro.datasets import synthetic_yahoo_music
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=1500,
+                        help="instance size in users (default: 1500)")
+    parser.add_argument("--items", type=int, default=300,
+                        help="instance size in items (default: 300)")
+    parser.add_argument("--groups", type=int, default=10, help="group budget l")
+    parser.add_argument("--k", type=int, default=5, help="recommended list length")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds; the best round counts (default: 3)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="required reference/numpy runtime ratio (default: 1.0)")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    args = parser.parse_args(argv)
+
+    ratings = synthetic_yahoo_music(
+        n_users=args.users, n_items=args.items, rng=args.seed
+    )
+    engines = {name: FormationEngine(name) for name in ("reference", "numpy")}
+
+    failures = []
+    for figure, semantics in (("fig4", "lm"), ("fig6", "av")):
+        timings = {}
+        results = {}
+        for name, engine in engines.items():
+            timings[name], results[name] = best_time(
+                engine, ratings, args.groups, args.k, semantics, rounds=args.rounds
+            )
+        speedup = timings["reference"] / timings["numpy"]
+        status = "ok"
+        if not results_identical(results["reference"], results["numpy"]):
+            status = "PARITY MISMATCH"
+            failures.append(f"{figure}: backends disagree on results")
+        elif speedup < args.min_speedup:
+            status = "TOO SLOW"
+            failures.append(
+                f"{figure}: numpy speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.2f}x"
+            )
+        print(
+            f"{figure} GRD-{semantics.upper()}-MIN "
+            f"({args.users}x{args.items}, l={args.groups}, k={args.k}): "
+            f"reference {timings['reference'] * 1000:7.1f} ms | "
+            f"numpy {timings['numpy'] * 1000:7.1f} ms | "
+            f"speedup {speedup:5.2f}x | {status}"
+        )
+
+    if failures:
+        print("\nFAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print("\nOK: numpy backend is bit-identical and at least "
+          f"{args.min_speedup:.2f}x the reference speed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

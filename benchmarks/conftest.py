@@ -39,6 +39,12 @@ def yahoo_scalability():
     return synthetic_yahoo_music(n_users=2000, n_items=400, rng=0)
 
 
+@pytest.fixture(scope="session")
+def yahoo_scalability_large():
+    """Largest instance of the bench fig4/fig6 user sweeps (4000 x 400)."""
+    return synthetic_yahoo_music(n_users=4000, n_items=400, rng=0)
+
+
 def report(title: str, panels) -> None:
     """Print reproduced figure panels (or table rows) under a banner."""
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")

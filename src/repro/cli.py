@@ -36,6 +36,7 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.experiments.config import BACKENDS, DEFAULT_BACKEND, normalize_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=list(BACKENDS),
+        help=(
+            "formation engine backend for the GRD algorithms; both produce "
+            f"bit-identical results (default: {DEFAULT_BACKEND})"
+        ),
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -80,29 +90,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, scale: str, seed: int) -> tuple[str, list[Any]]:
+def _run_experiment(
+    name: str, scale: str, seed: int, backend: str | None = None
+) -> tuple[str, list[Any]]:
     """Run one experiment and return (rendered text, raw result objects)."""
     if name in _FIGURES:
-        results = _FIGURES[name](scale=scale, seed=seed)
+        results = _FIGURES[name](scale=scale, seed=seed, backend=backend)
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
-    if name == "fig7":
-        results = figure7(seed=seed or 7)
+    if name in {"fig7", "userstudy"}:
+        results = figure7(seed=seed or 7, backend=backend)
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
     if name == "calibration":
-        results = optimal_calibration(seed=seed)
-        text = "\n\n".join(format_experiment(result) for result in results)
-        return text, [result.as_dict() for result in results]
-    if name == "userstudy":
-        results = figure7(seed=seed or 7)
+        results = optimal_calibration(seed=seed, backend=backend)
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
     if name == "table3":
         rows = table3(seed=seed)
         return format_table_rows(rows), rows
     if name == "table4":
-        rows = table4(scale=scale, seed=seed)
+        rows = table4(scale=scale, seed=seed, backend=backend)
         return format_table_rows(rows), rows
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -140,9 +148,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
+    backend = normalize_backend(args.backend)
     collected: dict[str, Any] = {}
     for name in names:
-        text, raw = _run_experiment(name, args.scale, args.seed)
+        text, raw = _run_experiment(name, args.scale, args.seed, backend)
         print(f"\n===== {name} =====")
         print(text)
         collected[name] = raw

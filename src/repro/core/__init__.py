@@ -13,6 +13,10 @@ The layering inside this subpackage follows the paper:
 * :mod:`repro.core.greedy_lm` / :mod:`repro.core.greedy_av` — the paper's
   GRD algorithms (§4, §5) built on the shared framework in
   :mod:`repro.core.greedy_framework`.
+* :mod:`repro.core.engine` — the :class:`~repro.core.engine.FormationEngine`
+  execution layer running the greedy skeleton through a pluggable backend
+  (loop-based ``"reference"`` or vectorised ``"numpy"``, bit-identical), with
+  a batch API sharing work across configuration sweeps.
 * :mod:`repro.core.formation` — the :func:`~repro.core.formation.form_groups`
   facade dispatching to greedy, baseline and exact algorithms.
 """
@@ -31,6 +35,16 @@ from repro.core.errors import (
     RatingDataError,
     ReproError,
     SolverError,
+)
+from repro.core.engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FormationBackend,
+    FormationConfig,
+    FormationEngine,
+    NumpyBackend,
+    ReferenceBackend,
+    get_backend,
 )
 from repro.core.formation import available_algorithms, form_groups
 from repro.core.greedy_av import grd_av, grd_av_max, grd_av_min, grd_av_sum
@@ -59,6 +73,7 @@ from repro.core.preferences import (
     top_k_items,
     top_k_sequence,
     top_k_table,
+    top_k_table_fast,
 )
 from repro.core.semantics import Semantics, get_semantics
 
@@ -78,6 +93,16 @@ __all__ = [
     "top_k_items",
     "top_k_sequence",
     "top_k_table",
+    "top_k_table_fast",
+    # formation engine
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FormationBackend",
+    "FormationConfig",
+    "FormationEngine",
+    "NumpyBackend",
+    "ReferenceBackend",
+    "get_backend",
     # group recommendation
     "GroupRecommender",
     "group_item_scores",

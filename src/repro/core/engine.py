@@ -1,0 +1,646 @@
+"""Vectorised batch formation engine with pluggable backends.
+
+This module is the execution layer of the greedy group-formation algorithms
+(paper §4, §5).  The algorithm *definition* — hashing key, per-user
+contribution, combine rule — lives in
+:class:`~repro.core.greedy_framework.GreedyVariant`; this engine decides *how*
+the three-step skeleton is executed:
+
+``"reference"``
+    The loop-based implementation the library shipped with: per-user dict
+    hashing of bucket keys and a heap over intermediate-group scores.  It is
+    the executable specification the other backends are tested against.
+``"numpy"``
+    A vectorised implementation of the same specification: the top-k table is
+    built with argmax peeling (or a single stable argsort for large k), users
+    are bucketed by lexsorting packed ``uint64`` key rows instead of per-user
+    dict hashing, and bucket heap scores are computed with vectorised
+    reductions (``np.bincount`` accumulates member contributions in the same
+    ascending-user order as the reference loop).  Its results are
+    bit-identical to the reference backend — the parity suite in
+    ``tests/core/test_engine.py`` asserts this on randomised, tie-heavy
+    instances for every GRD variant.
+
+Both backends share one finalisation path (greedy selection outcome → groups,
+budget filling, left-over group), so they can only differ in how intermediate
+groups are discovered, never in how groups are scored.
+
+The engine also exposes a batch API, :meth:`FormationEngine.run_many`, which
+runs a sweep of :class:`FormationConfig` settings over one rating matrix
+while sharing the top-k table (per ``k``) and the bucketing/contribution
+arrays (per key signature / aggregation) across configurations — the seam
+the experiment harness and the scalability benchmarks go through.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.core.engine import FormationEngine, FormationConfig
+>>> ratings = np.array(
+...     [[1, 4, 3], [2, 3, 5], [2, 5, 1], [2, 5, 1], [3, 1, 1], [1, 2, 5]],
+...     dtype=float,
+... )
+>>> engine = FormationEngine(backend="numpy")
+>>> engine.run(ratings, max_groups=3, k=1, semantics="lm",
+...            aggregation="min").objective
+11.0
+>>> configs = [FormationConfig(max_groups=3, k=1, semantics=s, aggregation="min")
+...            for s in ("lm", "av")]
+>>> [round(r.objective, 1) for r in engine.run_many(ratings, configs)]
+[11.0, 27.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.aggregation import (
+    Aggregation,
+    MaxAggregation,
+    MinAggregation,
+    SumAggregation,
+    WeightedSumAggregation,
+)
+from repro.core.errors import GroupFormationError
+from repro.core.greedy_framework import (
+    GreedyVariant,
+    as_complete_values,
+    make_variant,
+)
+from repro.core.group_recommender import group_satisfaction
+from repro.core.grouping import Group, GroupFormationResult, build_group
+from repro.core.preferences import _top_k_table_dispatch, _top_k_table_sorted
+from repro.core.semantics import Semantics
+from repro.recsys.matrix import RatingMatrix
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FormationBackend",
+    "FormationConfig",
+    "FormationEngine",
+    "FormationPlan",
+    "NumpyBackend",
+    "ReferenceBackend",
+    "get_backend",
+]
+
+
+@dataclass(frozen=True)
+class FormationConfig:
+    """One greedy group-formation setting inside a batch sweep.
+
+    Attributes
+    ----------
+    max_groups:
+        Group budget ℓ.
+    k:
+        Length of the recommended top-k list per group.
+    semantics:
+        ``"lm"`` / ``"av"`` or a :class:`~repro.core.semantics.Semantics`.
+    aggregation:
+        ``"min"`` / ``"max"`` / ``"sum"`` / a weighted-sum name, or an
+        :class:`~repro.core.aggregation.Aggregation` instance.
+    """
+
+    max_groups: int
+    k: int
+    semantics: Semantics | str = "lm"
+    aggregation: Aggregation | str = "min"
+
+
+@dataclass
+class FormationPlan:
+    """Backend-independent outcome of the formation steps (1 and 2).
+
+    Attributes
+    ----------
+    selected:
+        The greedily selected intermediate groups, best first, as
+        ``(sorted member tuple, representative user)`` pairs.  The
+        representative's top-k row is the group's recommended list.
+    remaining_users:
+        Ascending user indices merged into the left-over ℓ-th group (empty
+        when every intermediate group was selected).
+    n_intermediate_groups:
+        Number of distinct bucket keys found in step 1.
+    user_values:
+        Maps a list of user indices to the array of their personal top-k
+        contributions (used for the left-over group's pseudocode score).
+    """
+
+    selected: list[tuple[tuple[int, ...], int]]
+    remaining_users: list[int]
+    n_intermediate_groups: int
+    user_values: Callable[[Sequence[int]], np.ndarray]
+
+
+class FormationBackend(ABC):
+    """Strategy interface: how the formation hot path is executed.
+
+    A backend supplies the top-k table computation and the
+    bucketing/selection steps; everything downstream (scoring the selected
+    groups, budget filling, the left-over group) is shared engine code, which
+    guarantees backends can only disagree on speed, never on results.
+    """
+
+    #: Canonical backend name (``"reference"`` / ``"numpy"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-user top-``k`` items and scores (validation already performed)."""
+
+    @abstractmethod
+    def form(
+        self,
+        values: np.ndarray,
+        items_table: np.ndarray,
+        scores_table: np.ndarray,
+        variant: GreedyVariant,
+        max_groups: int,
+        cache: dict[Any, Any] | None = None,
+    ) -> FormationPlan:
+        """Bucket users and greedily select the ``max_groups - 1`` best buckets.
+
+        ``cache`` (when provided by :meth:`FormationEngine.run_many`) lets the
+        backend reuse work shared between configurations of a batch; it may be
+        ignored.
+        """
+
+
+class ReferenceBackend(FormationBackend):
+    """The original loop-based implementation, preserved as the specification.
+
+    Step 1 hashes every user with a per-user Python loop over
+    ``variant.key_fn`` / ``variant.user_value_fn``; step 2 pops a heap of
+    ``(-score, representative, key)`` tuples.  Kept deliberately simple — the
+    numpy backend is validated against it bit for bit.
+    """
+
+    name = "reference"
+
+    def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        return _top_k_table_sorted(values, k)
+
+    def form(
+        self,
+        values: np.ndarray,
+        items_table: np.ndarray,
+        scores_table: np.ndarray,
+        variant: GreedyVariant,
+        max_groups: int,
+        cache: dict[Any, Any] | None = None,
+    ) -> FormationPlan:
+        n_users = values.shape[0]
+
+        # Step 1: intermediate groups — hash users on the variant's key.
+        buckets: dict[bytes, list[int]] = {}
+        bucket_scores: dict[bytes, float] = {}
+        bucket_rep: dict[bytes, int] = {}
+        for user in range(n_users):
+            items_row = items_table[user]
+            scores_row = scores_table[user]
+            key = variant.key_fn(items_row, scores_row)
+            contribution = variant.user_value_fn(scores_row)
+            if key not in buckets:
+                buckets[key] = [user]
+                bucket_rep[key] = user
+                bucket_scores[key] = contribution
+            else:
+                buckets[key].append(user)
+                if variant.combine == "sum":
+                    bucket_scores[key] += contribution
+                # combine == "first": all members share the same contribution.
+
+        # Step 2: greedily select the (ℓ - 1) intermediate groups with the
+        # highest scores.  Ties break on the smallest representative user
+        # index for determinism.
+        heap = [
+            (-bucket_scores[key], bucket_rep[key], key) for key in buckets
+        ]
+        heapq.heapify(heap)
+        selected_keys: list[bytes] = []
+        while heap and len(selected_keys) < max_groups - 1:
+            _, _, key = heapq.heappop(heap)
+            selected_keys.append(key)
+        remaining_users = sorted(
+            user for _, _, key in heap for user in buckets[key]
+        )
+        selected = [
+            (tuple(sorted(buckets[key])), bucket_rep[key]) for key in selected_keys
+        ]
+
+        def user_values(users: Sequence[int]) -> np.ndarray:
+            return np.array(
+                [variant.user_value_fn(scores_table[user]) for user in users]
+            )
+
+        return FormationPlan(
+            selected=selected,
+            remaining_users=remaining_users,
+            n_intermediate_groups=len(buckets),
+            user_values=user_values,
+        )
+
+
+class NumpyBackend(FormationBackend):
+    """Vectorised backend: packed-key lexsort bucketing, no per-user loops.
+
+    Bit-identical to :class:`ReferenceBackend` by construction:
+
+    * the top-k table uses the same tie-break (rating descending, item index
+      ascending) via argmax peeling or a stable argsort;
+    * bucket keys compare raw ``uint64`` bit patterns of the same columns the
+      reference concatenates into its byte keys, so float equality semantics
+      match ``bytes`` equality exactly;
+    * summed bucket scores are accumulated by ``np.bincount`` in ascending
+      user order — the same sequential order as the reference dict loop —
+      so floating-point results carry the same rounding.
+    """
+
+    name = "numpy"
+
+    def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        # The engine already rejected non-finite ratings, so the dispatch can
+        # skip its -inf sentinel scan.
+        return _top_k_table_dispatch(values, k, assume_finite=True)
+
+    @staticmethod
+    def _pack_keys(
+        items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+    ) -> np.ndarray:
+        """Pack each user's bucket key into one row of ``uint64`` words.
+
+        Item indices are stored as their integer values and rating scores as
+        their raw IEEE-754 bit patterns, so two rows are equal exactly when
+        the reference backend's concatenated byte keys are equal.
+        """
+        n_users, k = items_table.shape
+        if key_scores == "none":
+            score_part = None
+        elif key_scores == "first":
+            score_part = scores_table[:, :1]
+        elif key_scores == "last":
+            score_part = scores_table[:, -1:]
+        else:
+            score_part = scores_table
+        n_score_cols = 0 if score_part is None else score_part.shape[1]
+        packed = np.empty((n_users, k + n_score_cols), dtype=np.uint64)
+        packed[:, :k] = items_table.astype(np.uint64, copy=False)
+        if score_part is not None:
+            packed[:, k:] = np.ascontiguousarray(score_part).view(np.uint64)
+        return packed
+
+    @classmethod
+    def _bucketize(
+        cls, items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group users with equal keys.
+
+        Returns ``(inverse, sorted_users, starts)`` where ``inverse[u]`` is
+        the bucket id of user ``u``, ``sorted_users`` lists all users sorted
+        by (bucket key, user index) and ``starts`` holds each bucket's first
+        position in ``sorted_users``.  The lexsort is stable, so each
+        bucket's segment is in ascending user order and its first element is
+        the bucket representative (first user encountered by the reference
+        loop).
+        """
+        packed = cls._pack_keys(items_table, scores_table, key_scores)
+        n_users = packed.shape[0]
+        if n_users == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        sorted_users = np.lexsort(packed.T[::-1])
+        srt = packed[sorted_users]
+        new_segment = np.empty(n_users, dtype=bool)
+        new_segment[0] = True
+        np.any(srt[1:] != srt[:-1], axis=1, out=new_segment[1:])
+        starts = np.flatnonzero(new_segment)
+        inverse = np.empty(n_users, dtype=np.int64)
+        inverse[sorted_users] = np.cumsum(new_segment) - 1
+        return inverse, sorted_users, starts
+
+    @staticmethod
+    def _contributions(
+        scores_table: np.ndarray, aggregation: Aggregation
+    ) -> np.ndarray:
+        """Every user's personal aggregated top-k value, vectorised.
+
+        Matches ``aggregation.aggregate(scores_row.tolist())`` bit for bit:
+        Min/Max pick single columns, and the Sum/Weighted-Sum row reductions
+        use the same pairwise summation over the same contiguous k elements
+        as the reference's per-row ``np.sum``.
+        """
+        kind = type(aggregation)
+        if kind is MinAggregation:
+            return np.ascontiguousarray(scores_table[:, -1])
+        if kind is MaxAggregation:
+            return np.ascontiguousarray(scores_table[:, 0])
+        if kind is SumAggregation:
+            return scores_table.sum(axis=1)
+        if kind is WeightedSumAggregation:
+            weights = aggregation.weights(scores_table.shape[1])
+            return (scores_table * weights).sum(axis=1)
+        # Unknown user-defined aggregation: fall back to the reference rule.
+        return np.array(
+            [aggregation.aggregate(row.tolist()) for row in scores_table]
+        )
+
+    def form(
+        self,
+        values: np.ndarray,
+        items_table: np.ndarray,
+        scores_table: np.ndarray,
+        variant: GreedyVariant,
+        max_groups: int,
+        cache: dict[Any, Any] | None = None,
+    ) -> FormationPlan:
+        n_users, k = items_table.shape
+        if cache is None:
+            cache = {}
+
+        bucket_key = ("buckets", k, variant.key_scores)
+        bucket_state = cache.get(bucket_key)
+        if bucket_state is None:
+            bucket_state = self._bucketize(
+                items_table, scores_table, variant.key_scores
+            )
+            cache[bucket_key] = bucket_state
+        inverse, sorted_users, starts = bucket_state
+
+        contrib_key = ("contributions", k, variant.aggregation)
+        contributions = cache.get(contrib_key)
+        if contributions is None:
+            contributions = self._contributions(scores_table, variant.aggregation)
+            cache[contrib_key] = contributions
+
+        n_buckets = starts.size
+        ends = np.append(starts[1:], n_users)
+        representatives = sorted_users[starts]
+        if variant.combine == "sum":
+            bucket_scores = np.bincount(
+                inverse, weights=contributions, minlength=n_buckets
+            )
+        else:
+            bucket_scores = contributions[representatives]
+
+        # Step 2: highest score first, ties by smallest representative —
+        # the same total order as the reference heap of (-score, rep, key).
+        n_select = min(max_groups - 1, n_buckets)
+        chosen = np.lexsort((representatives, -bucket_scores))[:n_select]
+        selected = [
+            (
+                tuple(int(user) for user in sorted_users[starts[b]:ends[b]]),
+                int(representatives[b]),
+            )
+            for b in chosen
+        ]
+        chosen_mask = np.zeros(n_buckets, dtype=bool)
+        chosen_mask[chosen] = True
+        remaining_users = [int(u) for u in np.flatnonzero(~chosen_mask[inverse])]
+
+        def user_values(
+            users: Sequence[int], _contributions: np.ndarray = contributions
+        ) -> np.ndarray:
+            return _contributions[np.asarray(users, dtype=np.int64)]
+
+        return FormationPlan(
+            selected=selected,
+            remaining_users=remaining_users,
+            n_intermediate_groups=int(n_buckets),
+            user_values=user_values,
+        )
+
+
+_BACKENDS: dict[str, type[FormationBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+
+#: Names accepted by :func:`get_backend` and the ``--backend`` CLI flag.
+BACKENDS: tuple[str, ...] = tuple(sorted(_BACKENDS))
+
+#: Backend used when none is requested explicitly.
+DEFAULT_BACKEND = "numpy"
+
+
+def get_backend(name: str | FormationBackend | None = None) -> FormationBackend:
+    """Resolve a backend name (or instance) to a :class:`FormationBackend`.
+
+    ``None`` selects :data:`DEFAULT_BACKEND`.
+
+    Examples
+    --------
+    >>> get_backend("reference").name
+    'reference'
+    >>> get_backend(None).name
+    'numpy'
+    """
+    if isinstance(name, FormationBackend):
+        return name
+    key = DEFAULT_BACKEND if name is None else str(name).strip().lower()
+    if key not in _BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ValueError(f"unknown formation backend {name!r}; expected one of: {known}")
+    return _BACKENDS[key]()
+
+
+class FormationEngine:
+    """Runs greedy group formation through a selected backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"reference"``, ``"numpy"`` (default), or a
+        :class:`FormationBackend` instance.
+
+    Notes
+    -----
+    The engine owns everything backends must agree on: input validation,
+    timing, scoring of the selected groups, budget filling and the left-over
+    group.  Backends only implement the formation hot path, which is why a
+    backend switch can never change results, only runtimes.
+    """
+
+    def __init__(self, backend: str | FormationBackend | None = None) -> None:
+        self.backend = get_backend(backend)
+
+    def run(
+        self,
+        ratings: RatingMatrix | np.ndarray,
+        max_groups: int,
+        k: int,
+        semantics: Semantics | str = "lm",
+        aggregation: Aggregation | str = "min",
+    ) -> GroupFormationResult:
+        """Run one greedy formation (see :func:`repro.core.greedy_framework.run_greedy`)."""
+        return self.run_variant(ratings, max_groups, k, make_variant(semantics, aggregation))
+
+    def run_variant(
+        self,
+        ratings: RatingMatrix | np.ndarray,
+        max_groups: int,
+        k: int,
+        variant: GreedyVariant,
+    ) -> GroupFormationResult:
+        """Run one prebuilt :class:`~repro.core.greedy_framework.GreedyVariant`."""
+        values = as_complete_values(ratings)
+        return self._run_one(values, max_groups, k, variant, {}, {})
+
+    def run_many(
+        self,
+        ratings: RatingMatrix | np.ndarray,
+        configs: Sequence[FormationConfig],
+    ) -> list[GroupFormationResult]:
+        """Run a batch of configurations over one rating matrix.
+
+        The top-k table is computed once per distinct ``k``, and (on the
+        numpy backend) the bucketing and contribution arrays are shared
+        across configurations with the same key signature, so a sweep of
+        ``(k, ℓ, semantics, aggregation)`` settings costs little more than
+        its distinct formation structures.  Results are returned in config
+        order and are identical to running each config through :meth:`run`.
+        """
+        values = as_complete_values(ratings)
+        topk_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        form_cache: dict[Any, Any] = {}
+        return [
+            self._run_one(
+                values,
+                config.max_groups,
+                config.k,
+                make_variant(config.semantics, config.aggregation),
+                topk_cache,
+                form_cache,
+            )
+            for config in configs
+        ]
+
+    # ----------------------------------------------------------------- #
+    # Shared pipeline
+    # ----------------------------------------------------------------- #
+
+    def _run_one(
+        self,
+        values: np.ndarray,
+        max_groups: int,
+        k: int,
+        variant: GreedyVariant,
+        topk_cache: dict[int, tuple[np.ndarray, np.ndarray]],
+        form_cache: dict[Any, Any],
+    ) -> GroupFormationResult:
+        n_users, n_items = values.shape
+        max_groups = require_positive_int(max_groups, "max_groups")
+        k = require_positive_int(k, "k")
+        if k > n_items:
+            raise GroupFormationError(
+                f"k={k} exceeds the number of items ({n_items})"
+            )
+
+        watch = Stopwatch()
+        with watch.lap("formation"):
+            tables = topk_cache.get(k)
+            if tables is None:
+                tables = self.backend.top_k_table(values, k)
+                topk_cache[k] = tables
+            items_table, scores_table = tables
+            plan = self.backend.form(
+                values, items_table, scores_table, variant, max_groups, cache=form_cache
+            )
+
+        groups: list[Group] = []
+        with watch.lap("recommendation"):
+            for members, representative in plan.selected:
+                groups.append(
+                    build_group(
+                        values,
+                        members,
+                        items_table[representative],
+                        variant.semantics,
+                        variant.aggregation,
+                    )
+                )
+
+            # Budget filling: when every intermediate group was selected (no
+            # users remain for an ℓ-th group) and fewer than min(ℓ, n) groups
+            # exist, split homogeneous selected groups until the budget is
+            # used.  The paper observes that "Obj is maximized when all ℓ
+            # groups are formed" and Theorem 2's domination argument assumes
+            # ℓ greedy groups exist; because every member of a selected group
+            # shares the key the group was hashed on, splitting never lowers
+            # a group's LM satisfaction and preserves the summed AV
+            # satisfaction, so this step only helps.
+            if not plan.remaining_users:
+                target_groups = min(max_groups, n_users)
+                while len(groups) < target_groups:
+                    splittable = [i for i, g in enumerate(groups) if g.size > 1]
+                    if not splittable:
+                        break
+                    source_idx = max(splittable, key=lambda i: groups[i].satisfaction)
+                    source = groups[source_idx]
+                    groups[source_idx] = build_group(
+                        values,
+                        source.members[:-1],
+                        source.items,
+                        variant.semantics,
+                        variant.aggregation,
+                    )
+                    groups.append(
+                        build_group(
+                            values,
+                            source.members[-1:],
+                            source.items,
+                            variant.semantics,
+                            variant.aggregation,
+                        )
+                    )
+
+            last_group_pseudocode_score = None
+            if plan.remaining_users:
+                members = tuple(plan.remaining_users)
+                items, scores, satisfaction = group_satisfaction(
+                    values, members, k, variant.semantics, variant.aggregation
+                )
+                groups.append(
+                    Group(
+                        members=members,
+                        items=items,
+                        item_scores=scores,
+                        satisfaction=satisfaction,
+                    )
+                )
+                # The score Algorithm 1 (line 18) would assign: aggregate
+                # each remaining user's *personal* top-k scores, then combine
+                # per the semantics (min across users for LM, sum for AV).
+                personal = plan.user_values(plan.remaining_users)
+                if variant.semantics is Semantics.LEAST_MISERY:
+                    last_group_pseudocode_score = float(personal.min())
+                else:
+                    last_group_pseudocode_score = float(personal.sum())
+
+        objective = float(sum(group.satisfaction for group in groups))
+        extras = {
+            "n_intermediate_groups": plan.n_intermediate_groups,
+            "last_group_pseudocode_score": last_group_pseudocode_score,
+            "formation_seconds": watch.laps.get("formation", 0.0),
+            "recommendation_seconds": watch.laps.get("recommendation", 0.0),
+            "backend": self.backend.name,
+        }
+        return GroupFormationResult(
+            groups=groups,
+            objective=objective,
+            algorithm=variant.name,
+            semantics=variant.semantics,
+            aggregation=variant.aggregation,
+            k=k,
+            max_groups=max_groups,
+            extras=extras,
+        )

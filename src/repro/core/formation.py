@@ -37,9 +37,12 @@ def _run_greedy(
     k: int,
     semantics: Semantics,
     aggregation: Aggregation,
+    backend: str | None = None,
     **kwargs: object,
 ) -> GroupFormationResult:
-    return run_greedy(ratings, max_groups, k, make_variant(semantics, aggregation))
+    return run_greedy(
+        ratings, max_groups, k, make_variant(semantics, aggregation), backend=backend
+    )
 
 
 def _run_kmeans_baseline(
@@ -180,8 +183,8 @@ def form_groups(
             Optimal algorithms (exponential; small instances only).
     kwargs:
         Extra keyword arguments forwarded to the selected algorithm (e.g.
-        ``rng=`` for the clustering baseline, ``time_limit=`` for the exact
-        solvers).
+        ``backend=`` for the greedy engine, ``rng=`` for the clustering
+        baseline, ``time_limit=`` for the exact solvers).
 
     Returns
     -------

@@ -30,6 +30,7 @@ def grd_av(
     max_groups: int,
     k: int = 5,
     aggregation: Aggregation | str = "min",
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """Greedy group formation under AV semantics with any aggregation.
 
@@ -45,6 +46,9 @@ def grd_av(
     aggregation:
         ``"min"`` (GRD-AV-MIN), ``"sum"`` (GRD-AV-SUM), ``"max"``
         (GRD-AV-MAX) or a Weighted-Sum aggregation.
+    backend:
+        Formation backend (``"reference"`` / ``"numpy"``); ``None`` selects
+        the engine default.  Backends produce bit-identical results.
 
     Examples
     --------
@@ -58,25 +62,36 @@ def grd_av(
     >>> grd_av(ratings, max_groups=2, k=2, aggregation="min").objective
     13.0
     """
-    return run_greedy(ratings, max_groups, k, make_variant("av", aggregation))
+    return run_greedy(
+        ratings, max_groups, k, make_variant("av", aggregation), backend=backend
+    )
 
 
 def grd_av_min(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-AV-MIN: greedy AV group formation with Min aggregation."""
-    return grd_av(ratings, max_groups, k, aggregation="min")
+    return grd_av(ratings, max_groups, k, aggregation="min", backend=backend)
 
 
 def grd_av_max(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-AV-MAX: greedy AV group formation with Max aggregation."""
-    return grd_av(ratings, max_groups, k, aggregation="max")
+    return grd_av(ratings, max_groups, k, aggregation="max", backend=backend)
 
 
 def grd_av_sum(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-AV-SUM: greedy AV group formation with Sum aggregation."""
-    return grd_av(ratings, max_groups, k, aggregation="sum")
+    return grd_av(ratings, max_groups, k, aggregation="sum", backend=backend)

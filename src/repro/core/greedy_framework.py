@@ -17,37 +17,44 @@ experiments share the same three-step skeleton:
 
 The variants differ only in (a) the hashing key and (b) how a user's top-k
 scores contribute to the intermediate group's heap score, which is what
-:class:`GreedyVariant` captures.  The public entry points in
-:mod:`repro.core.greedy_lm` and :mod:`repro.core.greedy_av` are thin wrappers
-that instantiate the right variant.
+:class:`GreedyVariant` captures.  *Executing* the skeleton is the job of the
+:mod:`repro.core.engine` subsystem, which offers a loop-based ``"reference"``
+backend (the original implementation) and a vectorised ``"numpy"`` backend
+producing bit-identical results; :func:`run_greedy` below is a thin wrapper
+over that engine.  The public entry points in :mod:`repro.core.greedy_lm` and
+:mod:`repro.core.greedy_av` wrap :func:`run_greedy` with the right variant.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.aggregation import Aggregation, get_aggregation
 from repro.core.errors import GroupFormationError
-from repro.core.group_recommender import group_satisfaction
-from repro.core.grouping import Group, GroupFormationResult
-from repro.core.preferences import top_k_table
+from repro.core.grouping import GroupFormationResult
 from repro.core.semantics import Semantics, get_semantics
 from repro.recsys.matrix import RatingMatrix
-from repro.utils.timing import Stopwatch
-from repro.utils.validation import require_positive_int
 
 __all__ = ["GreedyVariant", "run_greedy", "as_complete_values", "make_variant"]
+
+#: Which top-k scores participate in the bucket key, besides the item
+#: sequence itself: ``"none"`` (AV variants), ``"first"`` (LM-Max),
+#: ``"last"`` (LM-Min) or ``"all"`` (LM-Sum / Weighted-Sum).
+_KEY_SCORE_CHOICES = ("none", "first", "last", "all")
 
 
 def as_complete_values(ratings: RatingMatrix | np.ndarray) -> np.ndarray:
     """Return a complete ``(n_users, n_items)`` float array from either input type.
 
     Raises :class:`~repro.core.errors.GroupFormationError` if any rating is
-    missing, since the formation algorithms need full preference information.
+    missing, since the formation algorithms need full preference information,
+    or non-finite: ``±inf`` ratings can make a user's aggregated top-k
+    contribution NaN (``inf - inf``), for which the greedy selection order is
+    undefined — rejecting them up front is what lets the engine guarantee
+    bit-identical results across backends.
     """
     if isinstance(ratings, RatingMatrix):
         values = ratings.values
@@ -57,10 +64,17 @@ def as_complete_values(ratings: RatingMatrix | np.ndarray) -> np.ndarray:
         raise GroupFormationError(
             f"ratings must be a 2-D user x item array, got shape {values.shape}"
         )
-    if np.isnan(values).any():
+    # One full-matrix scan on the fast path; distinguishing NaN from inf is
+    # deferred to the error path.
+    if not np.isfinite(values).all():
+        if np.isnan(values).any():
+            raise GroupFormationError(
+                "group formation requires a complete rating matrix; fill missing "
+                "ratings with repro.recsys.complete_matrix first"
+            )
         raise GroupFormationError(
-            "group formation requires a complete rating matrix; fill missing "
-            "ratings with repro.recsys.complete_matrix first"
+            "group formation requires finite ratings; replace +/-inf entries "
+            "with values on the rating scale"
         )
     return values
 
@@ -77,10 +91,16 @@ class GreedyVariant:
         Group recommendation semantics (LM or AV).
     aggregation:
         Top-k score aggregation (min / max / sum / weighted-sum).
+    key_scores:
+        Declarative form of the bucket key: which of a user's top-k scores
+        join the item sequence in the key — ``"none"``, ``"first"``,
+        ``"last"`` or ``"all"``.  LM variants include the
+        aggregation-relevant score(s); AV variants key on the item sequence
+        alone (paper §5).  Backends that vectorise the bucketing read this
+        field instead of calling :attr:`key_fn` per user.
     key_fn:
         Maps a user's ``(top_k_items, top_k_scores)`` to the hashable bucket
-        key.  LM variants include the aggregation-relevant score(s) in the
-        key; AV variants key on the item sequence alone (paper §5).
+        key; derived from :attr:`key_scores`.
     user_value_fn:
         Maps a user's top-k scores to that user's contribution to the bucket
         heap score.
@@ -93,6 +113,7 @@ class GreedyVariant:
     name: str
     semantics: Semantics
     aggregation: Aggregation
+    key_scores: str
     key_fn: Callable[[np.ndarray, np.ndarray], bytes]
     user_value_fn: Callable[[np.ndarray], float]
     combine: str
@@ -100,11 +121,41 @@ class GreedyVariant:
     def __post_init__(self) -> None:
         if self.combine not in {"first", "sum"}:
             raise ValueError(f"combine must be 'first' or 'sum', got {self.combine!r}")
+        if self.key_scores not in _KEY_SCORE_CHOICES:
+            raise ValueError(
+                f"key_scores must be one of {_KEY_SCORE_CHOICES}, "
+                f"got {self.key_scores!r}"
+            )
 
 
 def _aggregation_value(aggregation: Aggregation, scores: np.ndarray) -> float:
     """A single user's aggregated value of her own top-k scores."""
     return aggregation.aggregate(scores.tolist())
+
+
+def _key_fn_for(key_scores: str) -> Callable[[np.ndarray, np.ndarray], bytes]:
+    """The byte-key function matching a declarative ``key_scores`` choice."""
+    if key_scores == "none":
+
+        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+            return items.tobytes()
+
+    elif key_scores == "first":
+
+        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+            return items.tobytes() + scores[:1].tobytes()
+
+    elif key_scores == "last":
+
+        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+            return items.tobytes() + scores[-1:].tobytes()
+
+    else:  # "all"
+
+        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
+            return items.tobytes() + scores.tobytes()
+
+    return key_fn
 
 
 def make_variant(
@@ -133,34 +184,24 @@ def make_variant(
 
     if semantics is Semantics.LEAST_MISERY:
         if aggregation.name == "min":
-
-            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
-                return items.tobytes() + scores[-1:].tobytes()
-
+            key_scores = "last"
         elif aggregation.name == "max":
-
-            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
-                return items.tobytes() + scores[:1].tobytes()
-
+            key_scores = "first"
         else:  # sum / weighted-sum: every score matters for the LM value.
-
-            def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
-                return items.tobytes() + scores.tobytes()
-
+            key_scores = "all"
         combine = "first"
     else:
         # Aggregate voting: grouping on the item sequence alone (§5) — the
         # scores of individual members are summed, not matched.
-        def key_fn(items: np.ndarray, scores: np.ndarray) -> bytes:
-            return items.tobytes()
-
+        key_scores = "none"
         combine = "sum"
 
     return GreedyVariant(
         name=name,
         semantics=semantics,
         aggregation=aggregation,
-        key_fn=key_fn,
+        key_scores=key_scores,
+        key_fn=_key_fn_for(key_scores),
         user_value_fn=user_value,
         combine=combine,
     )
@@ -171,6 +212,7 @@ def run_greedy(
     max_groups: int,
     k: int,
     variant: GreedyVariant,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """Run the three-step greedy framework for one variant.
 
@@ -184,6 +226,9 @@ def run_greedy(
         Length of the recommended top-k list per group.
     variant:
         The algorithm variant produced by :func:`make_variant`.
+    backend:
+        Formation backend name (``"reference"`` / ``"numpy"``); ``None``
+        selects the engine default.  Backends produce bit-identical results.
 
     Returns
     -------
@@ -201,152 +246,15 @@ def run_greedy(
             list it is recommended;
         ``formation_seconds`` / ``recommendation_seconds``
             wall-clock split between forming groups and producing their
-            top-k lists.
+            top-k lists;
+        ``backend``
+            name of the formation backend that executed the run.
     """
-    values = as_complete_values(ratings)
-    n_users, n_items = values.shape
-    max_groups = require_positive_int(max_groups, "max_groups")
-    k = require_positive_int(k, "k")
-    if k > n_items:
-        raise GroupFormationError(
-            f"k={k} exceeds the number of items ({n_items})"
-        )
+    # Imported lazily: the engine module builds on the variant machinery
+    # defined here.
+    from repro.core.engine import FormationEngine
 
-    watch = Stopwatch()
-    with watch.lap("formation"):
-        items_table, scores_table = top_k_table(values, k)
-
-        # Step 1: intermediate groups — hash users on the variant's key.
-        buckets: dict[bytes, list[int]] = {}
-        bucket_scores: dict[bytes, float] = {}
-        bucket_rep: dict[bytes, int] = {}
-        for user in range(n_users):
-            items_row = items_table[user]
-            scores_row = scores_table[user]
-            key = variant.key_fn(items_row, scores_row)
-            contribution = variant.user_value_fn(scores_row)
-            if key not in buckets:
-                buckets[key] = [user]
-                bucket_rep[key] = user
-                bucket_scores[key] = contribution
-            else:
-                buckets[key].append(user)
-                if variant.combine == "sum":
-                    bucket_scores[key] += contribution
-                # combine == "first": all members share the same contribution.
-
-        # Step 2: greedily select the (ℓ - 1) intermediate groups with the
-        # highest scores.  Ties break on the smallest representative user
-        # index for determinism.
-        heap = [
-            (-bucket_scores[key], bucket_rep[key], key) for key in buckets
-        ]
-        heapq.heapify(heap)
-        selected_keys: list[bytes] = []
-        while heap and len(selected_keys) < max_groups - 1:
-            _, _, key = heapq.heappop(heap)
-            selected_keys.append(key)
-        remaining_users = sorted(
-            user for _, _, key in heap for user in buckets[key]
-        )
-
-    groups: list[Group] = []
-    with watch.lap("recommendation"):
-        for key in selected_keys:
-            members = tuple(sorted(buckets[key]))
-            rep = bucket_rep[key]
-            rec_items = tuple(int(i) for i in items_table[rep])
-            rec_scores = tuple(
-                variant.semantics.item_score(values, np.asarray(members), item)
-                for item in rec_items
-            )
-            satisfaction = variant.aggregation.aggregate(rec_scores)
-            groups.append(
-                Group(
-                    members=members,
-                    items=rec_items,
-                    item_scores=rec_scores,
-                    satisfaction=satisfaction,
-                )
-            )
-
-        # Budget filling: when every intermediate group was selected (no users
-        # remain for an ℓ-th group) and fewer than min(ℓ, n) groups exist,
-        # split homogeneous selected groups until the budget is used.  The
-        # paper observes that "Obj is maximized when all ℓ groups are formed"
-        # and Theorem 2's domination argument assumes ℓ greedy groups exist;
-        # because every member of a selected group shares the key the group
-        # was hashed on, splitting never lowers a group's LM satisfaction and
-        # preserves the summed AV satisfaction, so this step only helps.
-        if not remaining_users:
-            target_groups = min(max_groups, n_users)
-            while len(groups) < target_groups:
-                splittable = [i for i, g in enumerate(groups) if g.size > 1]
-                if not splittable:
-                    break
-                source_idx = max(splittable, key=lambda i: groups[i].satisfaction)
-                source = groups[source_idx]
-                remaining_members = source.members[:-1]
-                moved_member = (source.members[-1],)
-                rebuilt = []
-                for members in (remaining_members, moved_member):
-                    scores = tuple(
-                        variant.semantics.item_score(values, np.asarray(members), item)
-                        for item in source.items
-                    )
-                    rebuilt.append(
-                        Group(
-                            members=members,
-                            items=source.items,
-                            item_scores=scores,
-                            satisfaction=variant.aggregation.aggregate(scores),
-                        )
-                    )
-                groups[source_idx] = rebuilt[0]
-                groups.append(rebuilt[1])
-
-        last_group_pseudocode_score = None
-        if remaining_users:
-            members = tuple(remaining_users)
-            items, scores, satisfaction = group_satisfaction(
-                values, members, k, variant.semantics, variant.aggregation
-            )
-            groups.append(
-                Group(
-                    members=members,
-                    items=items,
-                    item_scores=scores,
-                    satisfaction=satisfaction,
-                )
-            )
-            # The score Algorithm 1 (line 18) would assign: aggregate each
-            # remaining user's *personal* top-k scores, then combine per the
-            # semantics (min across users for LM, sum for AV).
-            personal = np.array(
-                [variant.user_value_fn(scores_table[user]) for user in remaining_users]
-            )
-            if variant.semantics is Semantics.LEAST_MISERY:
-                last_group_pseudocode_score = float(personal.min())
-            else:
-                last_group_pseudocode_score = float(personal.sum())
-
-    objective = float(sum(group.satisfaction for group in groups))
-    extras = {
-        "n_intermediate_groups": len(buckets),
-        "last_group_pseudocode_score": last_group_pseudocode_score,
-        "formation_seconds": watch.laps.get("formation", 0.0),
-        "recommendation_seconds": watch.laps.get("recommendation", 0.0),
-    }
-    return GroupFormationResult(
-        groups=groups,
-        objective=objective,
-        algorithm=variant.name,
-        semantics=variant.semantics,
-        aggregation=variant.aggregation,
-        k=k,
-        max_groups=max_groups,
-        extras=extras,
-    )
+    return FormationEngine(backend).run_variant(ratings, max_groups, k, variant)
 
 
 def run_greedy_for(
@@ -355,6 +263,9 @@ def run_greedy_for(
     k: int,
     semantics: Semantics | str,
     aggregation: Aggregation | str,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """Convenience wrapper: build the variant and run it in one call."""
-    return run_greedy(ratings, max_groups, k, make_variant(semantics, aggregation))
+    return run_greedy(
+        ratings, max_groups, k, make_variant(semantics, aggregation), backend=backend
+    )

@@ -40,6 +40,7 @@ def grd_lm(
     max_groups: int,
     k: int = 5,
     aggregation: Aggregation | str = "min",
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """Greedy group formation under LM semantics with any aggregation.
 
@@ -56,6 +57,9 @@ def grd_lm(
         ``"min"`` (GRD-LM-MIN), ``"sum"`` (GRD-LM-SUM), ``"max"``
         (GRD-LM-MAX, used by the paper's quality experiments) or a
         Weighted-Sum aggregation (§6 extension).
+    backend:
+        Formation backend (``"reference"`` / ``"numpy"``); ``None`` selects
+        the engine default.  Backends produce bit-identical results.
 
     Returns
     -------
@@ -76,28 +80,39 @@ def grd_lm(
     >>> result.objective
     11.0
     """
-    return run_greedy(ratings, max_groups, k, make_variant("lm", aggregation))
+    return run_greedy(
+        ratings, max_groups, k, make_variant("lm", aggregation), backend=backend
+    )
 
 
 def grd_lm_min(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-LM-MIN: greedy LM group formation with Min aggregation (Algorithm 1)."""
-    return grd_lm(ratings, max_groups, k, aggregation="min")
+    return grd_lm(ratings, max_groups, k, aggregation="min", backend=backend)
 
 
 def grd_lm_max(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-LM-MAX: greedy LM group formation with Max aggregation."""
-    return grd_lm(ratings, max_groups, k, aggregation="max")
+    return grd_lm(ratings, max_groups, k, aggregation="max", backend=backend)
 
 
 def grd_lm_sum(
-    ratings: RatingMatrix | np.ndarray, max_groups: int, k: int = 5
+    ratings: RatingMatrix | np.ndarray,
+    max_groups: int,
+    k: int = 5,
+    backend: str | None = None,
 ) -> GroupFormationResult:
     """GRD-LM-SUM: greedy LM group formation with Sum aggregation."""
-    return grd_lm(ratings, max_groups, k, aggregation="sum")
+    return grd_lm(ratings, max_groups, k, aggregation="sum", backend=backend)
 
 
 def absolute_error_bound(

@@ -26,6 +26,7 @@ from repro.core.semantics import Semantics, get_semantics
 __all__ = [
     "Group",
     "GroupFormationResult",
+    "build_group",
     "validate_partition",
     "evaluate_partition",
 ]
@@ -159,6 +160,34 @@ class GroupFormationResult:
             f"objective {self.objective:.3f} "
             f"({self.semantics.short_name}/{self.aggregation.name}, k={self.k})"
         )
+
+
+def build_group(
+    values: np.ndarray,
+    members: Sequence[int],
+    items: Sequence[int],
+    semantics: Semantics,
+    aggregation: Aggregation,
+) -> Group:
+    """Score a fixed recommended list for ``members`` and build the :class:`Group`.
+
+    Unlike :func:`evaluate_partition` the recommended ``items`` are given, not
+    recomputed — this is the step the greedy algorithms perform for each
+    selected intermediate group, whose list is the members' shared top-k
+    sequence.
+    """
+    members = tuple(int(user) for user in members)
+    items = tuple(int(item) for item in items)
+    member_array = np.asarray(members)
+    scores = tuple(
+        semantics.item_score(values, member_array, item) for item in items
+    )
+    return Group(
+        members=members,
+        items=items,
+        item_scores=scores,
+        satisfaction=aggregation.aggregate(scores),
+    )
 
 
 def validate_partition(

@@ -13,8 +13,11 @@
 """
 
 from repro.experiments.config import (
+    BACKENDS,
+    DEFAULT_BACKEND,
     ExperimentScale,
     get_scale,
+    normalize_backend,
     quality_defaults,
     scalability_defaults,
 )
@@ -34,19 +37,24 @@ from repro.experiments.runner import (
     SweepSeries,
     make_dataset,
     run_algorithms,
+    run_grd_configs,
     sweep,
 )
 from repro.experiments.tables import table3, table4
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "ExperimentScale",
     "get_scale",
+    "normalize_backend",
     "quality_defaults",
     "scalability_defaults",
     "ExperimentResult",
     "SweepSeries",
     "make_dataset",
     "run_algorithms",
+    "run_grd_configs",
     "sweep",
     "figure1",
     "figure2",

@@ -24,7 +24,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ExperimentScale", "get_scale", "quality_defaults", "scalability_defaults"]
+from repro.core.engine import BACKENDS, DEFAULT_BACKEND, get_backend
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ExperimentScale",
+    "get_scale",
+    "normalize_backend",
+    "quality_defaults",
+    "scalability_defaults",
+]
+
+
+def normalize_backend(name: str | None) -> str:
+    """Resolve a ``--backend`` value to a canonical backend name.
+
+    ``None`` resolves to :data:`~repro.core.engine.DEFAULT_BACKEND`; unknown
+    names raise ``ValueError`` (listing the valid choices).  Used by the CLI
+    and the benchmark scripts so every experiment entry point validates the
+    backend the same way.
+    """
+    return get_backend(name).name
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,10 @@ _SCALABILITY_ALGORITHMS = ("GRD", "Baseline")
 
 
 def figure1(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "yahoo"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "yahoo",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 1(a–c): objective value under LM-Max vs #users / #items / #groups.
 
@@ -57,6 +60,7 @@ def figure1(
         algorithms=_QUALITY_ALGORITHMS,
         repeats=preset.repeats,
         seed=seed,
+        backend=backend,
     )
     return [
         sweep("fig1a", "Objective value, varying number of users (LM-Max)",
@@ -69,7 +73,10 @@ def figure1(
 
 
 def figure2(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "yahoo"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "yahoo",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 2(a, b): objective value vs top-k under LM-Min and LM-Sum."""
     preset = get_scale(scale)
@@ -83,6 +90,7 @@ def figure2(
         repeats=preset.repeats,
         seed=seed,
         semantics="lm",
+        backend=backend,
     )
     return [
         sweep("fig2a", "Objective value, varying top-k (LM-Min)",
@@ -93,7 +101,10 @@ def figure2(
 
 
 def figure3(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "movielens"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "movielens",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 3(a–d): average group satisfaction over the top-k list (AV-Min,
     MovieLens) vs #users / #items / #groups / top-k."""
@@ -109,6 +120,7 @@ def figure3(
         algorithms=_QUALITY_ALGORITHMS,
         repeats=preset.repeats,
         seed=seed,
+        backend=backend,
     )
     return [
         sweep("fig3a", "Avg satisfaction on top-k itemset, varying number of users (AV-Min)",
@@ -123,7 +135,10 @@ def figure3(
 
 
 def figure4(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "yahoo"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "yahoo",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 4(a–c): runtime of LM-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -138,6 +153,7 @@ def figure4(
         algorithms=_SCALABILITY_ALGORITHMS,
         repeats=1,
         seed=seed,
+        backend=backend,
     )
     return [
         sweep("fig4a", "Run time, varying number of users (LM-Min)",
@@ -150,7 +166,10 @@ def figure4(
 
 
 def figure5(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "yahoo"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "yahoo",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 5(a–d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum."""
     preset = get_scale(scale)
@@ -164,6 +183,7 @@ def figure5(
         algorithms=_SCALABILITY_ALGORITHMS,
         repeats=1,
         seed=seed,
+        backend=backend,
     )
     panels = [
         ("fig5a", "lm", "min", "Run time, varying top-k (LM-Min)"),
@@ -179,7 +199,10 @@ def figure5(
 
 
 def figure6(
-    scale: str | ExperimentScale = "bench", seed: int = 0, dataset: str = "yahoo"
+    scale: str | ExperimentScale = "bench",
+    seed: int = 0,
+    dataset: str = "yahoo",
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 6(a–c): runtime of AV-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -194,6 +217,7 @@ def figure6(
         algorithms=_SCALABILITY_ALGORITHMS,
         repeats=1,
         seed=seed,
+        backend=backend,
     )
     return [
         sweep("fig6a", "Run time, varying number of users (AV-Min)",
@@ -205,15 +229,21 @@ def figure6(
     ]
 
 
-def figure7(seed: int = 7, config: UserStudyConfig | None = None) -> list[ExperimentResult]:
+def figure7(
+    seed: int = 7,
+    config: UserStudyConfig | None = None,
+    backend: str | None = None,
+) -> list[ExperimentResult]:
     """Figure 7(a–c): the (simulated) user study.
 
     Panel (a) is the percentage of workers preferring GRD-LM over
     Baseline-LM (for Min and Sum aggregation); panels (b) and (c) are the
     average worker satisfaction per user sample (similar / dissimilar /
-    random) for Min and Sum aggregation respectively.
+    random) for Min and Sum aggregation respectively.  ``backend`` selects
+    the formation backend for the GRD runs when no explicit ``config`` is
+    given (a passed-in config keeps its own ``backend`` field).
     """
-    study = run_user_study(config or UserStudyConfig(seed=seed))
+    study = run_user_study(config or UserStudyConfig(seed=seed, backend=backend))
 
     preference = study.preference_summary()
     panel_a = ExperimentResult(
@@ -259,6 +289,7 @@ def optimal_calibration(
     dataset: str = "yahoo",
     seed: int = 0,
     repeats: int = 3,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
     """GRD vs Baseline vs OPT on instances small enough for the exact solvers.
 
@@ -286,6 +317,7 @@ def optimal_calibration(
                     algorithms=("GRD", "Baseline", "OPT"),
                     repeats=repeats,
                     seed=seed,
+                    backend=backend,
                 )
             )
     return panels

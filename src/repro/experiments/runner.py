@@ -25,7 +25,7 @@ import numpy as np
 from repro.baselines.pipeline import baseline_clustering
 from repro.baselines.random_partition import random_partition_baseline
 from repro.core.aggregation import get_aggregation
-from repro.core.greedy_framework import make_variant, run_greedy
+from repro.core.engine import FormationConfig, FormationEngine
 from repro.core.grouping import GroupFormationResult
 from repro.core.semantics import get_semantics
 from repro.datasets.movielens import synthetic_movielens
@@ -42,6 +42,7 @@ __all__ = [
     "ExperimentResult",
     "make_dataset",
     "run_algorithms",
+    "run_grd_configs",
     "sweep",
 ]
 
@@ -161,6 +162,7 @@ def run_algorithms(
     algorithms: Sequence[str] = ("GRD", "Baseline"),
     seed: int | None = None,
     optimal_max_users: int = DEFAULT_MAX_USERS,
+    backend: str | None = None,
 ) -> dict[str, tuple[GroupFormationResult, float]]:
     """Run the requested algorithms on one instance.
 
@@ -176,6 +178,10 @@ def run_algorithms(
         Seed for the stochastic algorithms (Baseline clustering / Random).
     optimal_max_users:
         Size limit for the exact solver.
+    backend:
+        Formation backend the GRD algorithm runs through (``"reference"`` /
+        ``"numpy"``; ``None`` = engine default).  Backends are bit-identical,
+        so this only affects the measured runtimes.
 
     Returns
     -------
@@ -187,12 +193,14 @@ def run_algorithms(
     aggregation_obj = get_aggregation(aggregation)
     suffix = f"{semantics_obj.short_name}-{aggregation_obj.name.upper()}"
     outcomes: dict[str, tuple[GroupFormationResult, float]] = {}
+    engine = FormationEngine(backend)
 
     for algorithm in algorithms:
         key = algorithm.strip().lower()
         if key == "grd":
-            variant = make_variant(semantics_obj, aggregation_obj)
-            result, seconds = time_call(run_greedy, ratings, max_groups, k, variant)
+            result, seconds = time_call(
+                engine.run, ratings, max_groups, k, semantics_obj, aggregation_obj
+            )
             outcomes[f"GRD-{suffix}"] = (result, seconds)
         elif key == "baseline":
             result, seconds = time_call(
@@ -236,6 +244,35 @@ def run_algorithms(
     return outcomes
 
 
+def run_grd_configs(
+    ratings: RatingMatrix,
+    configs: Sequence[FormationConfig],
+    backend: str | None = None,
+) -> list[tuple[str, GroupFormationResult]]:
+    """Run a batch of GRD configurations through the engine's batch API.
+
+    All configurations are executed over the same instance with one
+    :meth:`~repro.core.engine.FormationEngine.run_many` call, so the top-k
+    table and (on the numpy backend) the bucketing structures are shared
+    across the ``(k, ℓ, semantics, aggregation)`` sweep.  This is the path
+    the scalability benchmarks use for multi-variant figures.
+
+    Returns
+    -------
+    list of (name, result)
+        One ``("GRD-<SEM>-<AGG> (k=.., l=..)", result)`` pair per config, in
+        config order.  A list rather than a dict: display names need not be
+        unique (e.g. two weighted-sum schemes share an algorithm name), and
+        every config's result must be preserved.
+    """
+    engine = FormationEngine(backend)
+    results = engine.run_many(ratings, configs)
+    return [
+        (f"{result.algorithm} (k={config.k}, l={config.max_groups})", result)
+        for config, result in zip(configs, results)
+    ]
+
+
 # --------------------------------------------------------------------- #
 # Parameter sweeps
 # --------------------------------------------------------------------- #
@@ -273,6 +310,7 @@ def sweep(
     repeats: int = 1,
     seed: int = 0,
     y_label: str | None = None,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Vary one parameter and collect one metric per algorithm per value.
 
@@ -302,6 +340,8 @@ def sweep(
         Master seed; each (sweep point, repeat) derives an independent child.
     y_label:
         Optional override for the metric's axis label.
+    backend:
+        Formation backend for the GRD runs (see :func:`run_algorithms`).
     """
     if varying not in {"n_users", "n_items", "n_groups", "k"}:
         raise ValueError(
@@ -326,6 +366,7 @@ def sweep(
                 aggregation=aggregation,
                 algorithms=algorithms,
                 seed=instance_seed,
+                backend=backend,
             )
             for name, (result, seconds) in outcomes.items():
                 totals.setdefault(name, []).append(
@@ -363,5 +404,6 @@ def sweep(
             "metric": metric,
             "repeats": repeats,
             "seed": seed,
+            "backend": backend,
         },
     )

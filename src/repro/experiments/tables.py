@@ -71,6 +71,7 @@ def table4(
     scale: str | ExperimentScale = "bench",
     dataset: str = "yahoo",
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[dict[str, Any]]:
     """Table 4: distribution of average group size.
 
@@ -98,6 +99,7 @@ def table4(
                     defaults.n_groups,
                     defaults.k,
                     make_variant(semantics, aggregation),
+                    backend=backend,
                 )
                 sizes_per_run.append(result.group_sizes)
             summary = average_five_point_summary(sizes_per_run)

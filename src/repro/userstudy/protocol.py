@@ -22,8 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from repro.baselines.pipeline import baseline_clustering
 from repro.core.greedy_lm import grd_lm
 from repro.core.grouping import GroupFormationResult
@@ -75,6 +73,10 @@ class UserStudyConfig:
         Group recommendation semantics (the paper reports LM only).
     seed:
         Master seed; every stochastic step derives its own child seed.
+    backend:
+        Formation backend the GRD runs go through (``"reference"`` /
+        ``"numpy"``; ``None`` = engine default).  Backends are
+        bit-identical, so this cannot change the study's outcomes.
     """
 
     n_phase1_workers: int = 50
@@ -86,6 +88,7 @@ class UserStudyConfig:
     aggregations: tuple[str, ...] = ("min", "sum")
     semantics: str = "lm"
     seed: int = 7
+    backend: str | None = None
 
 
 @dataclass
@@ -174,7 +177,11 @@ def _form_condition_groups(
 ) -> tuple[GroupFormationResult, GroupFormationResult]:
     """Run GRD-LM and Baseline-LM on one sample for one aggregation."""
     grd = grd_lm(
-        sample_ratings, max_groups=config.n_groups, k=config.k, aggregation=aggregation
+        sample_ratings,
+        max_groups=config.n_groups,
+        k=config.k,
+        aggregation=aggregation,
+        backend=config.backend,
     )
     baseline = baseline_clustering(
         sample_ratings,

@@ -26,6 +26,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["figure99"])
 
+    def test_backend_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig1"]).backend == "numpy"
+        for backend in ("reference", "numpy"):
+            args = parser.parse_args(["fig1", "--backend", backend])
+            assert args.backend == backend
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig1", "--backend", "cython"])
+
 
 class TestMain:
     def test_list_catalogue(self, capsys):
@@ -50,3 +59,19 @@ class TestMain:
     def test_run_table4_smoke(self, capsys):
         assert main(["table4", "--scale", "smoke"]) == 0
         assert "GRD-LM-MAX" in capsys.readouterr().out
+
+    def test_backends_agree_on_fig1_smoke(self, tmp_path):
+        payloads = {}
+        for backend in ("reference", "numpy"):
+            json_path = tmp_path / f"{backend}.json"
+            assert main([
+                "fig1", "--scale", "smoke", "--backend", backend,
+                "--json", str(json_path),
+            ]) == 0
+            payload = json.loads(json_path.read_text())
+            # The recorded backend differs by construction; everything the
+            # figure plots must not.
+            for panel in payload["fig1"]:
+                panel["metadata"].pop("backend", None)
+            payloads[backend] = payload
+        assert payloads["reference"] == payloads["numpy"]

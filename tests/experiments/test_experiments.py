@@ -18,6 +18,7 @@ from repro.experiments import (
     optimal_calibration,
     quality_defaults,
     run_algorithms,
+    run_grd_configs,
     scalability_defaults,
     sweep,
     table3,
@@ -178,6 +179,25 @@ class TestTables:
         assert quantiles == ["Minimum", "Q1", "Median", "Q3", "Maximum"]
         for row in rows:
             assert row["avg_group_size"] >= 1.0
+
+
+class TestRunGrdConfigs:
+    def test_duplicate_display_names_all_preserved(self):
+        from repro.core import FormationConfig
+
+        ratings = make_dataset("clustered", 20, 8, seed=0)
+        # Both weighted-sum schemes share the algorithm name
+        # "GRD-LM-WEIGHTED-SUM"; neither result may be dropped.
+        configs = [
+            FormationConfig(3, 2, "lm", "weighted-sum-inverse"),
+            FormationConfig(3, 2, "lm", "weighted-sum-log"),
+        ]
+        outcomes = run_grd_configs(ratings, configs, backend="numpy")
+        assert len(outcomes) == len(configs)
+        names = [name for name, _ in outcomes]
+        assert names[0] == names[1] == "GRD-LM-WEIGHTED-SUM (k=2, l=3)"
+        for (_, result), config in zip(outcomes, configs):
+            assert result.aggregation.scheme == config.aggregation.split("-")[-1]
 
 
 class TestReporting:
