@@ -9,7 +9,11 @@ environments where only the runtime dependencies are installed.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 import time
+from pathlib import Path
 
 from repro.core import FormationEngine
 from repro.core.grouping import GroupFormationResult
@@ -37,6 +41,70 @@ def best_time(
         result = engine.run(ratings, max_groups, k, semantics, aggregation)
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _git_commit() -> str:
+    """Short hash of the checked-out commit ("unknown" outside a git repo)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def bench_entry(
+    instance: str,
+    seconds: float,
+    backend: str,
+    store: str = "dense",
+    **extra,
+) -> dict:
+    """One machine-readable timing record for :func:`write_bench_json`."""
+    entry = {
+        "instance": instance,
+        "seconds": float(seconds),
+        "backend": backend,
+        "store": store,
+    }
+    entry.update(extra)
+    return entry
+
+
+def write_bench_json(name: str, entries: list[dict], directory=None) -> Path:
+    """Write ``BENCH_<name>.json`` so perf is tracked across commits/PRs.
+
+    Every bench/gate that measures wall time funnels its records through
+    this one writer, giving the perf trajectory a stable schema::
+
+        {"name", "commit", "created_unix",
+         "entries": [{"instance", "seconds", "backend", "store", ...}]}
+
+    The output directory defaults to the ``BENCH_OUTPUT_DIR`` environment
+    variable, falling back to this ``benchmarks/`` directory.
+    """
+    directory = Path(
+        directory
+        or os.environ.get("BENCH_OUTPUT_DIR")
+        or Path(__file__).resolve().parent
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": name,
+        "commit": _git_commit(),
+        "created_unix": time.time(),
+        "entries": entries,
+    }
+    path = directory / f"BENCH_{name}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 def results_identical(a: GroupFormationResult, b: GroupFormationResult) -> bool:

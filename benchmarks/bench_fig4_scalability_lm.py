@@ -17,7 +17,7 @@ outside pytest).
 from __future__ import annotations
 
 import numpy as np
-from _timing import best_time, results_identical
+from _timing import bench_entry, best_time, results_identical, write_bench_json
 from conftest import report
 
 from repro.core import FormationEngine
@@ -45,6 +45,14 @@ def test_fig4_backend_speedup_largest_instance(yahoo_scalability_large):
         f"\nfig4 largest instance (4000 users): reference "
         f"{timings['reference'] * 1000:.1f} ms, numpy "
         f"{timings['numpy'] * 1000:.1f} ms ({speedup:.1f}x)"
+    )
+    write_bench_json(
+        "fig4_backends",
+        [
+            bench_entry("fig4 largest instance (4000x400, l=10, k=5)",
+                        seconds, backend=backend, semantics="lm")
+            for backend, seconds in timings.items()
+        ],
     )
     assert results_identical(results["reference"], results["numpy"])
     # The engine measures ~6x here; the assert is set at 3x so a noisy

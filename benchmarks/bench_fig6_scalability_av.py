@@ -6,7 +6,7 @@ backend-comparison benchmark mirrors the fig4 one for the AV semantics.
 
 from __future__ import annotations
 
-from _timing import best_time, results_identical
+from _timing import bench_entry, best_time, results_identical, write_bench_json
 from conftest import report
 
 from repro.core import FormationEngine
@@ -34,6 +34,14 @@ def test_fig6_backend_speedup_largest_instance(yahoo_scalability_large):
         f"\nfig6 largest instance (4000 users): reference "
         f"{timings['reference'] * 1000:.1f} ms, numpy "
         f"{timings['numpy'] * 1000:.1f} ms ({speedup:.1f}x)"
+    )
+    write_bench_json(
+        "fig6_backends",
+        [
+            bench_entry("fig6 largest instance (4000x400, l=10, k=5)",
+                        seconds, backend=backend, semantics="av")
+            for backend, seconds in timings.items()
+        ],
     )
     assert results_identical(results["reference"], results["numpy"])
     # ~6x measured; 3x assert keeps noisy machines from flaking the bench

@@ -7,11 +7,20 @@ small scale through both engine backends and fails when
 * the two backends disagree on any result (groups, objective, bookkeeping) —
   they are required to be bit-identical; or
 * the ``numpy`` backend is slower than the ``reference`` backend (optionally
-  by a stricter ``--min-speedup`` factor).
+  by a stricter ``--min-speedup`` factor); or
+* (``--store sparse`` / ``--store both``) the CSR sparse-store path
+  disagrees with the dense baseline, or exceeds ``--max-sparse-slowdown``
+  times the dense numpy runtime; or
+* (``--shards N``, N > 1) the sharded execution path disagrees with the
+  unsharded engine on this integer-rated instance (where the documented
+  bound is bit-identity).
+
+Each run also writes ``BENCH_regression.json`` (per-instance wall time,
+backend, store, commit) so the perf trajectory is tracked across PRs.
 
 Intended for CI::
 
-    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --store both --shards 4
 
 and for the full-size acceptance check locally::
 
@@ -24,10 +33,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from _timing import best_time, results_identical
+from _timing import bench_entry, best_time, results_identical, write_bench_json
 
-from repro.core import FormationEngine
+from repro.core import FormationEngine, ShardedFormation
 from repro.datasets import synthetic_yahoo_music
+from repro.recsys import SparseStore
 
 
 def main(argv=None) -> int:
@@ -42,15 +52,33 @@ def main(argv=None) -> int:
                         help="timing rounds; the best round counts (default: 3)")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required reference/numpy runtime ratio (default: 1.0)")
+    parser.add_argument("--store", default="dense",
+                        choices=["dense", "sparse", "both"],
+                        help="also gate the sparse-store path against the dense "
+                             "baseline (default: dense only)")
+    parser.add_argument("--max-sparse-slowdown", type=float, default=5.0,
+                        help="max allowed sparse/dense numpy runtime ratio "
+                             "(default: 5.0; the sparse path pays blockwise "
+                             "densification on an instance that fits in RAM)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="also gate the sharded path (bit-identical on this "
+                             "integer-rated instance) with this many shards")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
 
     ratings = synthetic_yahoo_music(
         n_users=args.users, n_items=args.items, rng=args.seed
     )
+    sparse = (
+        SparseStore.from_matrix(ratings)
+        if args.store in {"sparse", "both"}
+        else None
+    )
     engines = {name: FormationEngine(name) for name in ("reference", "numpy")}
+    instance = f"{args.users}x{args.items}, l={args.groups}, k={args.k}"
 
     failures = []
+    entries = []
     for figure, semantics in (("fig4", "lm"), ("fig6", "av")):
         timings = {}
         results = {}
@@ -58,6 +86,10 @@ def main(argv=None) -> int:
             timings[name], results[name] = best_time(
                 engine, ratings, args.groups, args.k, semantics, rounds=args.rounds
             )
+            entries.append(bench_entry(
+                f"{figure} {instance}", timings[name], backend=name, store="dense",
+                semantics=semantics,
+            ))
         speedup = timings["reference"] / timings["numpy"]
         status = "ok"
         if not results_identical(results["reference"], results["numpy"]):
@@ -71,17 +103,74 @@ def main(argv=None) -> int:
             )
         print(
             f"{figure} GRD-{semantics.upper()}-MIN "
-            f"({args.users}x{args.items}, l={args.groups}, k={args.k}): "
+            f"({instance}): "
             f"reference {timings['reference'] * 1000:7.1f} ms | "
             f"numpy {timings['numpy'] * 1000:7.1f} ms | "
             f"speedup {speedup:5.2f}x | {status}"
         )
 
+        if sparse is not None:
+            sparse_seconds, sparse_result = best_time(
+                engines["numpy"], sparse, args.groups, args.k, semantics,
+                rounds=args.rounds,
+            )
+            entries.append(bench_entry(
+                f"{figure} {instance}", sparse_seconds, backend="numpy",
+                store="sparse", semantics=semantics,
+            ))
+            slowdown = sparse_seconds / timings["numpy"]
+            status = "ok"
+            if not results_identical(results["numpy"], sparse_result):
+                status = "PARITY MISMATCH"
+                failures.append(f"{figure}: sparse store disagrees with dense")
+            elif slowdown > args.max_sparse_slowdown:
+                status = "TOO SLOW"
+                failures.append(
+                    f"{figure}: sparse store {slowdown:.2f}x slower than dense "
+                    f"(limit {args.max_sparse_slowdown:.2f}x)"
+                )
+            print(
+                f"{figure} GRD-{semantics.upper()}-MIN sparse store: "
+                f"{sparse_seconds * 1000:7.1f} ms | {slowdown:5.2f}x dense | {status}"
+            )
+
+        if args.shards is not None and args.shards > 1:
+            data = sparse if sparse is not None else ratings
+            store_name = "sparse" if sparse is not None else "dense"
+            sharded = ShardedFormation(shards=args.shards)
+            import time as _time
+            sharded_best = float("inf")
+            sharded_result = None
+            for _ in range(args.rounds):
+                t0 = _time.perf_counter()
+                sharded_result = sharded.run(
+                    data, args.groups, args.k, semantics, "min"
+                )
+                sharded_best = min(sharded_best, _time.perf_counter() - t0)
+            entries.append(bench_entry(
+                f"{figure} {instance}", sharded_best, backend="numpy",
+                store=store_name, semantics=semantics, shards=args.shards,
+            ))
+            status = "ok"
+            if not results_identical(results["numpy"], sharded_result):
+                status = "PARITY MISMATCH"
+                failures.append(
+                    f"{figure}: sharded ({args.shards} shards) disagrees with "
+                    f"unsharded on integer ratings"
+                )
+            print(
+                f"{figure} GRD-{semantics.upper()}-MIN sharded x{args.shards}: "
+                f"{sharded_best * 1000:7.1f} ms | {status}"
+            )
+
+    path = write_bench_json("regression", entries)
+    print(f"\ntimings written to {path}")
+
     if failures:
         print("\nFAIL:", "; ".join(failures), file=sys.stderr)
         return 1
-    print("\nOK: numpy backend is bit-identical and at least "
-          f"{args.min_speedup:.2f}x the reference speed")
+    print("OK: all gated paths are bit-identical and within their time budgets "
+          f"(numpy >= {args.min_speedup:.2f}x reference)")
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core.aggregation import Aggregation, get_aggregation
 from repro.core.greedy_framework import as_complete_values
 from repro.core.grouping import GroupFormationResult, evaluate_partition
 from repro.core.semantics import Semantics, get_semantics
+from repro.core.topk_index import TopKIndex
 from repro.recsys.matrix import RatingMatrix
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Stopwatch
@@ -56,6 +57,7 @@ def baseline_clustering(
     method: str = "auto",
     max_iter: int = 100,
     rng: int | np.random.Generator | None = None,
+    topk: "TopKIndex | None" = None,
 ) -> GroupFormationResult:
     """Cluster users on ranking distance, then score the clusters as groups.
 
@@ -80,6 +82,13 @@ def baseline_clustering(
         Maximum clustering iterations (paper default: 100).
     rng:
         Seed or generator for the clustering initialisation.
+    topk:
+        Optional prebuilt :class:`~repro.core.topk_index.TopKIndex` covering
+        the *full* catalogue (``k_max == n_items``).  The k-means flavour
+        derives its rank-vector embedding directly from the index instead of
+        re-sorting every rating row, so the experiment harness can share one
+        ranking artifact between the GRD algorithms and this baseline.
+        Partial indexes are ignored (rank vectors need the full ranking).
 
     Returns
     -------
@@ -108,7 +117,18 @@ def baseline_clustering(
             distances = pairwise_kendall_matrix(values)
             labels = kmedoids(distances, max_groups, max_iter=max_iter, rng=generator)
         else:
-            points = np.vstack([rank_vector(values[user]) for user in range(n_users)])
+            n_items = values.shape[1]
+            if topk is not None and topk.k_max == n_items and topk.n_users == n_users:
+                # rank_vector(row)[item] is the item's position in the user's
+                # full ranking — exactly the inverse permutation of the
+                # index's item table, so no re-sorting is needed.
+                points = np.empty((n_users, n_items), dtype=float)
+                rows = np.arange(n_users)[:, None]
+                points[rows, topk.items] = np.arange(n_items, dtype=float)[None, :]
+            else:
+                points = np.vstack(
+                    [rank_vector(values[user]) for user in range(n_users)]
+                )
             labels = kmeans_rank_vectors(
                 points, max_groups, max_iter=max_iter, rng=generator
             )

@@ -36,7 +36,14 @@ from repro.experiments import (
     table3,
     table4,
 )
-from repro.experiments.config import BACKENDS, DEFAULT_BACKEND, normalize_backend
+from repro.experiments.config import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    DEFAULT_STORE,
+    STORES,
+    normalize_backend,
+    normalize_store,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -82,6 +89,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        choices=list(STORES),
+        help=(
+            "rating storage the pipeline runs on: the historical dense ndarray "
+            "or the CSR sparse store; results are bit-identical "
+            f"(default: {DEFAULT_STORE})"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the GRD algorithms through the sharded formation path with N "
+            "contiguous user shards (default: unsharded)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="thread-pool size for concurrent shard summarisation (with --shards)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -91,25 +125,51 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_experiment(
-    name: str, scale: str, seed: int, backend: str | None = None
+    name: str,
+    scale: str,
+    seed: int,
+    backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> tuple[str, list[Any]]:
     """Run one experiment and return (rendered text, raw result objects)."""
     if name in _FIGURES:
-        results = _FIGURES[name](scale=scale, seed=seed, backend=backend)
+        results = _FIGURES[name](
+            scale=scale,
+            seed=seed,
+            backend=backend,
+            store=store,
+            shards=shards,
+            workers=workers,
+        )
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
+    non_default = store not in (None, "dense") or shards is not None
     if name in {"fig7", "userstudy"}:
+        if non_default:
+            print(f"note: {name} runs the user-study protocol; "
+                  "--store/--shards do not apply and are ignored")
         results = figure7(seed=seed or 7, backend=backend)
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
     if name == "calibration":
-        results = optimal_calibration(seed=seed, backend=backend)
+        if shards is not None:
+            print("note: calibration instances are exact-solver sized; "
+                  "--shards does not apply and is ignored")
+        results = optimal_calibration(seed=seed, backend=backend, store=store)
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
     if name == "table3":
+        if non_default:
+            print("note: table3 only reports dataset statistics; "
+                  "--store/--shards do not apply and are ignored")
         rows = table3(seed=seed)
         return format_table_rows(rows), rows
     if name == "table4":
+        if non_default:
+            print("note: table4 runs quality-sized instances dense; "
+                  "--store/--shards do not apply and are ignored")
         rows = table4(scale=scale, seed=seed, backend=backend)
         return format_table_rows(rows), rows
     raise ValueError(f"unknown experiment {name!r}")
@@ -149,9 +209,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         else [args.experiment]
     )
     backend = normalize_backend(args.backend)
+    store = normalize_store(args.store)
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be a positive integer")
     collected: dict[str, Any] = {}
     for name in names:
-        text, raw = _run_experiment(name, args.scale, args.seed, backend)
+        text, raw = _run_experiment(
+            name,
+            args.scale,
+            args.seed,
+            backend,
+            store=store,
+            shards=args.shards,
+            workers=args.workers,
+        )
         print(f"\n===== {name} =====")
         print(text)
         collected[name] = raw

@@ -46,6 +46,8 @@ from repro.core.engine import (
     ReferenceBackend,
     get_backend,
 )
+from repro.core.sharded import ShardedFormation
+from repro.core.topk_index import TopKIndex
 from repro.core.formation import available_algorithms, form_groups
 from repro.core.greedy_av import grd_av, grd_av_max, grd_av_min, grd_av_sum
 from repro.core.greedy_lm import (
@@ -102,6 +104,8 @@ __all__ = [
     "FormationEngine",
     "NumpyBackend",
     "ReferenceBackend",
+    "ShardedFormation",
+    "TopKIndex",
     "get_backend",
     # group recommendation
     "GroupRecommender",

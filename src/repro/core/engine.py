@@ -11,9 +11,8 @@ the three-step skeleton is executed:
     hashing of bucket keys and a heap over intermediate-group scores.  It is
     the executable specification the other backends are tested against.
 ``"numpy"``
-    A vectorised implementation of the same specification: the top-k table is
-    built with argmax peeling (or a single stable argsort for large k), users
-    are bucketed by lexsorting packed ``uint64`` key rows instead of per-user
+    A vectorised implementation of the same specification: users are
+    bucketed by lexsorting packed ``uint64`` key rows instead of per-user
     dict hashing, and bucket heap scores are computed with vectorised
     reductions (``np.bincount`` accumulates member contributions in the same
     ascending-user order as the reference loop).  Its results are
@@ -21,15 +20,21 @@ the three-step skeleton is executed:
     ``tests/core/test_engine.py`` asserts this on randomised, tie-heavy
     instances for every GRD variant.
 
+Rating data reaches the engine through the
+:class:`~repro.recsys.store.RatingStore` interface (a raw complete array or
+:class:`~repro.recsys.matrix.RatingMatrix` is wrapped in a
+:class:`~repro.recsys.store.DenseStore`; a
+:class:`~repro.recsys.store.SparseStore` is consumed blockwise without ever
+densifying the full matrix), and each user's ranked prefix comes from a
+:class:`~repro.core.topk_index.TopKIndex` — built on demand, or passed in to
+be shared across runs.  :meth:`FormationEngine.run_many` builds **one** index
+at the sweep's largest ``k`` and slices it per configuration, so a
+``(k, ℓ, semantics, aggregation)`` sweep computes rankings exactly once.
+
 Both backends share one finalisation path (greedy selection outcome → groups,
 budget filling, left-over group), so they can only differ in how intermediate
-groups are discovered, never in how groups are scored.
-
-The engine also exposes a batch API, :meth:`FormationEngine.run_many`, which
-runs a sweep of :class:`FormationConfig` settings over one rating matrix
-while sharing the top-k table (per ``k``) and the bucketing/contribution
-arrays (per key signature / aggregation) across configurations — the seam
-the experiment harness and the scalability benchmarks go through.
+groups are discovered, never in how groups are scored.  The same finalisation
+is reused by the sharded execution path in :mod:`repro.core.sharded`.
 
 Examples
 --------
@@ -76,7 +81,9 @@ from repro.core.group_recommender import group_satisfaction
 from repro.core.grouping import Group, GroupFormationResult, build_group
 from repro.core.preferences import _top_k_table_dispatch, _top_k_table_sorted
 from repro.core.semantics import Semantics
+from repro.core.topk_index import TopKIndex
 from repro.recsys.matrix import RatingMatrix
+from repro.recsys.store import DenseStore, RatingStore
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import require_positive_int
 
@@ -89,6 +96,8 @@ __all__ = [
     "FormationPlan",
     "NumpyBackend",
     "ReferenceBackend",
+    "coerce_store",
+    "finalise_plan",
     "get_backend",
 ]
 
@@ -156,12 +165,17 @@ class FormationBackend(ABC):
 
     @abstractmethod
     def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Per-user top-``k`` items and scores (validation already performed)."""
+        """Per-user top-``k`` items and scores (validation already performed).
+
+        Both backends' kernels are bit-identical to
+        :meth:`~repro.core.topk_index.TopKIndex.build`, which is what the
+        engine itself uses; the method remains the backend-level seam for
+        callers that want a raw table without an index object.
+        """
 
     @abstractmethod
     def form(
         self,
-        values: np.ndarray,
         items_table: np.ndarray,
         scores_table: np.ndarray,
         variant: GreedyVariant,
@@ -170,9 +184,10 @@ class FormationBackend(ABC):
     ) -> FormationPlan:
         """Bucket users and greedily select the ``max_groups - 1`` best buckets.
 
-        ``cache`` (when provided by :meth:`FormationEngine.run_many`) lets the
-        backend reuse work shared between configurations of a batch; it may be
-        ignored.
+        ``items_table`` / ``scores_table`` are a ``TopKIndex`` slice for the
+        run's ``k``.  ``cache`` (when provided by
+        :meth:`FormationEngine.run_many`) lets the backend reuse work shared
+        between configurations of a batch; it may be ignored.
         """
 
 
@@ -192,14 +207,13 @@ class ReferenceBackend(FormationBackend):
 
     def form(
         self,
-        values: np.ndarray,
         items_table: np.ndarray,
         scores_table: np.ndarray,
         variant: GreedyVariant,
         max_groups: int,
         cache: dict[Any, Any] | None = None,
     ) -> FormationPlan:
-        n_users = values.shape[0]
+        n_users = items_table.shape[0]
 
         # Step 1: intermediate groups — hash users on the variant's key.
         buckets: dict[bytes, list[int]] = {}
@@ -356,7 +370,6 @@ class NumpyBackend(FormationBackend):
 
     def form(
         self,
-        values: np.ndarray,
         items_table: np.ndarray,
         scores_table: np.ndarray,
         variant: GreedyVariant,
@@ -453,6 +466,158 @@ def get_backend(name: str | FormationBackend | None = None) -> FormationBackend:
     return _BACKENDS[key]()
 
 
+def coerce_store(ratings: RatingStore | RatingMatrix | np.ndarray) -> RatingStore:
+    """Coerce formation input into a validated :class:`RatingStore`.
+
+    Dense inputs (arrays, :class:`RatingMatrix`) go through
+    :func:`~repro.core.greedy_framework.as_complete_values`, preserving the
+    historical :class:`~repro.core.errors.GroupFormationError` diagnostics
+    for missing / non-finite ratings; stores (which validated completeness at
+    construction) pass through untouched.
+    """
+    if isinstance(ratings, (DenseStore,)) or (
+        not isinstance(ratings, (RatingMatrix, np.ndarray, list, tuple))
+        and isinstance(ratings, RatingStore)
+    ):
+        return ratings
+    values = as_complete_values(ratings)
+    scale = ratings.scale if isinstance(ratings, RatingMatrix) else None
+    return DenseStore(values, scale=scale, validate=False)
+
+
+def _validate_index(topk: TopKIndex, store: RatingStore, k: int) -> None:
+    """Check a caller-provided index matches the instance and covers ``k``."""
+    n_users, n_items = store.shape
+    if topk.n_users != n_users or topk.n_items != n_items:
+        raise GroupFormationError(
+            f"top-k index shape ({topk.n_users} users, {topk.n_items} items) does "
+            f"not match the rating data ({n_users} users, {n_items} items)"
+        )
+    if k > topk.k_max:
+        raise GroupFormationError(
+            f"k={k} exceeds the index's k_max ({topk.k_max}); rebuild the "
+            f"TopKIndex with a larger k_max"
+        )
+
+
+def finalise_plan(
+    store: RatingStore,
+    plan: FormationPlan,
+    selected_items_rows: Sequence[np.ndarray],
+    k: int,
+    variant: GreedyVariant,
+    max_groups: int,
+    watch: Stopwatch,
+    backend_name: str,
+    extra_extras: dict[str, Any] | None = None,
+) -> GroupFormationResult:
+    """Turn a :class:`FormationPlan` into the final scored result.
+
+    This is the single path shared by every execution strategy (both
+    backends and the sharded engine): score the selected groups on their
+    recommended lists, fill the group budget by splitting homogeneous
+    groups, and merge the remaining users into the left-over ℓ-th group.
+    ``selected_items_rows[i]`` is the recommended top-k item row of
+    ``plan.selected[i]``.
+    """
+    n_users = store.shape[0]
+    # Dense stores score through the raw array — the exact historical path.
+    values_or_store: Any = store.values if isinstance(store, DenseStore) else store
+
+    groups: list[Group] = []
+    with watch.lap("recommendation"):
+        for (members, _representative), items_row in zip(
+            plan.selected, selected_items_rows
+        ):
+            groups.append(
+                build_group(
+                    values_or_store,
+                    members,
+                    items_row,
+                    variant.semantics,
+                    variant.aggregation,
+                )
+            )
+
+        # Budget filling: when every intermediate group was selected (no
+        # users remain for an ℓ-th group) and fewer than min(ℓ, n) groups
+        # exist, split homogeneous selected groups until the budget is
+        # used.  The paper observes that "Obj is maximized when all ℓ
+        # groups are formed" and Theorem 2's domination argument assumes
+        # ℓ greedy groups exist; because every member of a selected group
+        # shares the key the group was hashed on, splitting never lowers
+        # a group's LM satisfaction and preserves the summed AV
+        # satisfaction, so this step only helps.
+        if not plan.remaining_users:
+            target_groups = min(max_groups, n_users)
+            while len(groups) < target_groups:
+                splittable = [i for i, g in enumerate(groups) if g.size > 1]
+                if not splittable:
+                    break
+                source_idx = max(splittable, key=lambda i: groups[i].satisfaction)
+                source = groups[source_idx]
+                groups[source_idx] = build_group(
+                    values_or_store,
+                    source.members[:-1],
+                    source.items,
+                    variant.semantics,
+                    variant.aggregation,
+                )
+                groups.append(
+                    build_group(
+                        values_or_store,
+                        source.members[-1:],
+                        source.items,
+                        variant.semantics,
+                        variant.aggregation,
+                    )
+                )
+
+        last_group_pseudocode_score = None
+        if plan.remaining_users:
+            members = tuple(plan.remaining_users)
+            items, scores, satisfaction = group_satisfaction(
+                values_or_store, members, k, variant.semantics, variant.aggregation
+            )
+            groups.append(
+                Group(
+                    members=members,
+                    items=items,
+                    item_scores=scores,
+                    satisfaction=satisfaction,
+                )
+            )
+            # The score Algorithm 1 (line 18) would assign: aggregate
+            # each remaining user's *personal* top-k scores, then combine
+            # per the semantics (min across users for LM, sum for AV).
+            personal = plan.user_values(plan.remaining_users)
+            if variant.semantics is Semantics.LEAST_MISERY:
+                last_group_pseudocode_score = float(personal.min())
+            else:
+                last_group_pseudocode_score = float(personal.sum())
+
+    objective = float(sum(group.satisfaction for group in groups))
+    extras = {
+        "n_intermediate_groups": plan.n_intermediate_groups,
+        "last_group_pseudocode_score": last_group_pseudocode_score,
+        "formation_seconds": watch.laps.get("formation", 0.0),
+        "recommendation_seconds": watch.laps.get("recommendation", 0.0),
+        "backend": backend_name,
+    }
+    if extra_extras:
+        extras.update(extra_extras)
+    return GroupFormationResult(
+        groups=groups,
+        objective=objective,
+        algorithm=variant.name,
+        semantics=variant.semantics,
+        aggregation=variant.aggregation,
+        k=k,
+        max_groups=max_groups,
+        extras=extras,
+    )
+
+
 class FormationEngine:
     """Runs greedy group formation through a selected backend.
 
@@ -468,6 +633,12 @@ class FormationEngine:
     timing, scoring of the selected groups, budget filling and the left-over
     group.  Backends only implement the formation hot path, which is why a
     backend switch can never change results, only runtimes.
+
+    Ratings may be a complete array, a :class:`RatingMatrix`, or any
+    :class:`~repro.recsys.store.RatingStore` (dense or sparse).  Every run
+    method accepts an optional prebuilt
+    :class:`~repro.core.topk_index.TopKIndex` so the ranking artifact can be
+    shared across engines, algorithms and processes.
     """
 
     def __init__(self, backend: str | FormationBackend | None = None) -> None:
@@ -475,50 +646,72 @@ class FormationEngine:
 
     def run(
         self,
-        ratings: RatingMatrix | np.ndarray,
+        ratings: RatingStore | RatingMatrix | np.ndarray,
         max_groups: int,
         k: int,
         semantics: Semantics | str = "lm",
         aggregation: Aggregation | str = "min",
+        topk: TopKIndex | None = None,
     ) -> GroupFormationResult:
         """Run one greedy formation (see :func:`repro.core.greedy_framework.run_greedy`)."""
-        return self.run_variant(ratings, max_groups, k, make_variant(semantics, aggregation))
+        return self.run_variant(
+            ratings, max_groups, k, make_variant(semantics, aggregation), topk=topk
+        )
 
     def run_variant(
         self,
-        ratings: RatingMatrix | np.ndarray,
+        ratings: RatingStore | RatingMatrix | np.ndarray,
         max_groups: int,
         k: int,
         variant: GreedyVariant,
+        topk: TopKIndex | None = None,
     ) -> GroupFormationResult:
         """Run one prebuilt :class:`~repro.core.greedy_framework.GreedyVariant`."""
-        values = as_complete_values(ratings)
-        return self._run_one(values, max_groups, k, variant, {}, {})
+        store = coerce_store(ratings)
+        return self._run_one(store, max_groups, k, variant, topk, {})
 
     def run_many(
         self,
-        ratings: RatingMatrix | np.ndarray,
+        ratings: RatingStore | RatingMatrix | np.ndarray,
         configs: Sequence[FormationConfig],
+        topk: TopKIndex | None = None,
     ) -> list[GroupFormationResult]:
         """Run a batch of configurations over one rating matrix.
 
-        The top-k table is computed once per distinct ``k``, and (on the
-        numpy backend) the bucketing and contribution arrays are shared
-        across configurations with the same key signature, so a sweep of
-        ``(k, ℓ, semantics, aggregation)`` settings costs little more than
-        its distinct formation structures.  Results are returned in config
-        order and are identical to running each config through :meth:`run`.
+        One :class:`~repro.core.topk_index.TopKIndex` is built at the
+        sweep's largest ``k`` (unless a prebuilt one is passed in) and
+        sliced per configuration, and (on the numpy backend) the bucketing
+        and contribution arrays are shared across configurations with the
+        same key signature — so a sweep of ``(k, ℓ, semantics,
+        aggregation)`` settings computes rankings exactly once and costs
+        little more than its distinct formation structures.  Results are
+        returned in config order and are identical to running each config
+        through :meth:`run`.
         """
-        values = as_complete_values(ratings)
-        topk_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        store = coerce_store(ratings)
+        if not configs:
+            return []
+        n_items = store.shape[1]
+        for config in configs:
+            k = require_positive_int(config.k, "k")
+            if k > n_items:
+                raise GroupFormationError(
+                    f"k={k} exceeds the number of items ({n_items})"
+                )
+        if topk is None:
+            topk = TopKIndex.build(
+                store,
+                max(int(config.k) for config in configs),
+                table_fn=self.backend.top_k_table,
+            )
         form_cache: dict[Any, Any] = {}
         return [
             self._run_one(
-                values,
+                store,
                 config.max_groups,
                 config.k,
                 make_variant(config.semantics, config.aggregation),
-                topk_cache,
+                topk,
                 form_cache,
             )
             for config in configs
@@ -530,14 +723,14 @@ class FormationEngine:
 
     def _run_one(
         self,
-        values: np.ndarray,
+        store: RatingStore,
         max_groups: int,
         k: int,
         variant: GreedyVariant,
-        topk_cache: dict[int, tuple[np.ndarray, np.ndarray]],
+        topk: TopKIndex | None,
         form_cache: dict[Any, Any],
     ) -> GroupFormationResult:
-        n_users, n_items = values.shape
+        n_users, n_items = store.shape
         max_groups = require_positive_int(max_groups, "max_groups")
         k = require_positive_int(k, "k")
         if k > n_items:
@@ -547,100 +740,28 @@ class FormationEngine:
 
         watch = Stopwatch()
         with watch.lap("formation"):
-            tables = topk_cache.get(k)
-            if tables is None:
-                tables = self.backend.top_k_table(values, k)
-                topk_cache[k] = tables
-            items_table, scores_table = tables
+            if topk is None:
+                # Build with the backend's own top-k kernel so the reference
+                # backend remains the naive end-to-end specification (all
+                # kernels are bit-identical; only the build time differs).
+                topk = TopKIndex.build(store, k, table_fn=self.backend.top_k_table)
+            else:
+                _validate_index(topk, store, k)
+            items_table, scores_table = topk.top_k(k)
             plan = self.backend.form(
-                values, items_table, scores_table, variant, max_groups, cache=form_cache
+                items_table, scores_table, variant, max_groups, cache=form_cache
             )
 
-        groups: list[Group] = []
-        with watch.lap("recommendation"):
-            for members, representative in plan.selected:
-                groups.append(
-                    build_group(
-                        values,
-                        members,
-                        items_table[representative],
-                        variant.semantics,
-                        variant.aggregation,
-                    )
-                )
-
-            # Budget filling: when every intermediate group was selected (no
-            # users remain for an ℓ-th group) and fewer than min(ℓ, n) groups
-            # exist, split homogeneous selected groups until the budget is
-            # used.  The paper observes that "Obj is maximized when all ℓ
-            # groups are formed" and Theorem 2's domination argument assumes
-            # ℓ greedy groups exist; because every member of a selected group
-            # shares the key the group was hashed on, splitting never lowers
-            # a group's LM satisfaction and preserves the summed AV
-            # satisfaction, so this step only helps.
-            if not plan.remaining_users:
-                target_groups = min(max_groups, n_users)
-                while len(groups) < target_groups:
-                    splittable = [i for i, g in enumerate(groups) if g.size > 1]
-                    if not splittable:
-                        break
-                    source_idx = max(splittable, key=lambda i: groups[i].satisfaction)
-                    source = groups[source_idx]
-                    groups[source_idx] = build_group(
-                        values,
-                        source.members[:-1],
-                        source.items,
-                        variant.semantics,
-                        variant.aggregation,
-                    )
-                    groups.append(
-                        build_group(
-                            values,
-                            source.members[-1:],
-                            source.items,
-                            variant.semantics,
-                            variant.aggregation,
-                        )
-                    )
-
-            last_group_pseudocode_score = None
-            if plan.remaining_users:
-                members = tuple(plan.remaining_users)
-                items, scores, satisfaction = group_satisfaction(
-                    values, members, k, variant.semantics, variant.aggregation
-                )
-                groups.append(
-                    Group(
-                        members=members,
-                        items=items,
-                        item_scores=scores,
-                        satisfaction=satisfaction,
-                    )
-                )
-                # The score Algorithm 1 (line 18) would assign: aggregate
-                # each remaining user's *personal* top-k scores, then combine
-                # per the semantics (min across users for LM, sum for AV).
-                personal = plan.user_values(plan.remaining_users)
-                if variant.semantics is Semantics.LEAST_MISERY:
-                    last_group_pseudocode_score = float(personal.min())
-                else:
-                    last_group_pseudocode_score = float(personal.sum())
-
-        objective = float(sum(group.satisfaction for group in groups))
-        extras = {
-            "n_intermediate_groups": plan.n_intermediate_groups,
-            "last_group_pseudocode_score": last_group_pseudocode_score,
-            "formation_seconds": watch.laps.get("formation", 0.0),
-            "recommendation_seconds": watch.laps.get("recommendation", 0.0),
-            "backend": self.backend.name,
-        }
-        return GroupFormationResult(
-            groups=groups,
-            objective=objective,
-            algorithm=variant.name,
-            semantics=variant.semantics,
-            aggregation=variant.aggregation,
-            k=k,
-            max_groups=max_groups,
-            extras=extras,
+        selected_items_rows = [
+            items_table[representative] for _, representative in plan.selected
+        ]
+        return finalise_plan(
+            store,
+            plan,
+            selected_items_rows,
+            k,
+            variant,
+            max_groups,
+            watch,
+            self.backend.name,
         )

@@ -46,8 +46,12 @@ __all__ = ["GreedyVariant", "run_greedy", "as_complete_values", "make_variant"]
 _KEY_SCORE_CHOICES = ("none", "first", "last", "all")
 
 
-def as_complete_values(ratings: RatingMatrix | np.ndarray) -> np.ndarray:
-    """Return a complete ``(n_users, n_items)`` float array from either input type.
+def as_complete_values(ratings: "RatingMatrix | np.ndarray") -> np.ndarray:
+    """Return a complete ``(n_users, n_items)`` float array from any rating input.
+
+    Accepts a :class:`RatingMatrix`, a raw array, or any
+    :class:`~repro.recsys.store.RatingStore` (which is densified — callers
+    that can stay sparse should consume the store directly instead).
 
     Raises :class:`~repro.core.errors.GroupFormationError` if any rating is
     missing, since the formation algorithms need full preference information,
@@ -58,6 +62,8 @@ def as_complete_values(ratings: RatingMatrix | np.ndarray) -> np.ndarray:
     """
     if isinstance(ratings, RatingMatrix):
         values = ratings.values
+    elif not isinstance(ratings, np.ndarray) and hasattr(ratings, "to_dense"):
+        values = ratings.to_dense()
     else:
         values = np.asarray(ratings, dtype=float)
     if values.ndim != 2:
@@ -213,6 +219,7 @@ def run_greedy(
     k: int,
     variant: GreedyVariant,
     backend: str | None = None,
+    topk: "object | None" = None,
 ) -> GroupFormationResult:
     """Run the three-step greedy framework for one variant.
 
@@ -229,6 +236,9 @@ def run_greedy(
     backend:
         Formation backend name (``"reference"`` / ``"numpy"``); ``None``
         selects the engine default.  Backends produce bit-identical results.
+    topk:
+        Optional prebuilt :class:`~repro.core.topk_index.TopKIndex` for this
+        instance; when given, the engine skips recomputing the rankings.
 
     Returns
     -------
@@ -254,7 +264,9 @@ def run_greedy(
     # defined here.
     from repro.core.engine import FormationEngine
 
-    return FormationEngine(backend).run_variant(ratings, max_groups, k, variant)
+    return FormationEngine(backend).run_variant(
+        ratings, max_groups, k, variant, topk=topk
+    )
 
 
 def run_greedy_for(

@@ -12,6 +12,7 @@ baselines and the exact solvers.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -19,6 +20,9 @@ from repro.core.aggregation import Aggregation, get_aggregation
 from repro.core.errors import GroupFormationError
 from repro.core.semantics import Semantics, get_semantics
 from repro.recsys.matrix import RatingMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recsys.store import RatingStore
 
 __all__ = [
     "group_item_scores",
@@ -28,20 +32,64 @@ __all__ = [
 ]
 
 
+#: Target dense working-set (in float64 elements, ~256 MB) of one chunk of
+#: the streaming reduction over a :class:`~repro.recsys.store.RatingStore`.
+#: Groups that fit one chunk keep the floating-point summation order of the
+#: AV semantics identical to the dense path; larger groups fold chunk
+#: partials together (exact for LM — min is associative — and for the
+#: integer-valued ratings all bundled datasets produce).
+_STREAM_TARGET_ELEMENTS = 1 << 25
+
+
+def _is_store(ratings: object) -> bool:
+    """Whether ``ratings`` is a RatingStore rather than a dense array."""
+    return not isinstance(ratings, np.ndarray) and hasattr(ratings, "iter_blocks")
+
+
+def _store_item_scores(
+    store: "RatingStore", members: np.ndarray, semantics: Semantics
+) -> np.ndarray:
+    """Streaming equivalent of :meth:`Semantics.item_scores` over a store."""
+    accumulated: np.ndarray | None = None
+    block = max(1, _STREAM_TARGET_ELEMENTS // store.shape[1])
+    for start in range(0, members.size, block):
+        rows = store.rows(members[start:start + block])
+        if semantics is Semantics.LEAST_MISERY:
+            partial = rows.min(axis=0)
+            accumulated = (
+                partial if accumulated is None else np.minimum(accumulated, partial)
+            )
+        else:
+            partial = rows.sum(axis=0)
+            accumulated = partial if accumulated is None else accumulated + partial
+    assert accumulated is not None
+    return accumulated
+
+
 def group_item_scores(
-    values: np.ndarray, members: Sequence[int], semantics: Semantics | str
+    values: "np.ndarray | RatingStore",
+    members: Sequence[int],
+    semantics: Semantics | str,
 ) -> np.ndarray:
     """Group preference score of every item for the group ``members``.
 
-    Thin wrapper over :meth:`Semantics.item_scores` accepting semantics names.
+    Thin wrapper over :meth:`Semantics.item_scores` accepting semantics
+    names.  ``values`` may also be a :class:`~repro.recsys.store.RatingStore`
+    (e.g. a sparse CSR store), in which case member rows are densified in
+    chunks so even a million-user left-over group never materialises the
+    full matrix.
     """
-    return get_semantics(semantics).item_scores(
-        np.asarray(values, dtype=float), np.asarray(members, dtype=int)
-    )
+    semantics = get_semantics(semantics)
+    members = np.asarray(members, dtype=int)
+    if _is_store(values):
+        if members.size == 0:
+            raise GroupFormationError("cannot score items for an empty group")
+        return _store_item_scores(values, members, semantics)
+    return semantics.item_scores(np.asarray(values, dtype=float), members)
 
 
 def recommend_top_k(
-    values: np.ndarray,
+    values: "np.ndarray | RatingStore",
     members: Sequence[int],
     k: int,
     semantics: Semantics | str,
@@ -63,7 +111,8 @@ def recommend_top_k(
     semantics:
         ``"lm"`` / ``"av"`` or a :class:`~repro.core.semantics.Semantics`.
     """
-    values = np.asarray(values, dtype=float)
+    if not _is_store(values):
+        values = np.asarray(values, dtype=float)
     n_items = values.shape[1]
     if not 1 <= k <= n_items:
         raise GroupFormationError(
@@ -78,7 +127,7 @@ def recommend_top_k(
 
 
 def group_satisfaction(
-    values: np.ndarray,
+    values: "np.ndarray | RatingStore",
     members: Sequence[int],
     k: int,
     semantics: Semantics | str,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.core.aggregation import Aggregation, get_aggregation
 from repro.core.errors import GroupFormationError
 from repro.core.group_recommender import group_satisfaction
 from repro.core.semantics import Semantics, get_semantics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recsys.store import RatingStore
 
 __all__ = [
     "Group",
@@ -163,7 +166,7 @@ class GroupFormationResult:
 
 
 def build_group(
-    values: np.ndarray,
+    values: "np.ndarray | RatingStore",
     members: Sequence[int],
     items: Sequence[int],
     semantics: Semantics,
@@ -174,14 +177,23 @@ def build_group(
     Unlike :func:`evaluate_partition` the recommended ``items`` are given, not
     recomputed — this is the step the greedy algorithms perform for each
     selected intermediate group, whose list is the members' shared top-k
-    sequence.
+    sequence.  ``values`` may also be a
+    :class:`~repro.recsys.store.RatingStore`, in which case only the
+    ``(members, items)`` sub-matrix is ever densified.
     """
     members = tuple(int(user) for user in members)
     items = tuple(int(item) for item in items)
     member_array = np.asarray(members)
-    scores = tuple(
-        semantics.item_score(values, member_array, item) for item in items
-    )
+    if isinstance(values, np.ndarray):
+        scores = tuple(
+            semantics.item_score(values, member_array, item) for item in items
+        )
+    else:
+        sub = values.gather(member_array, np.asarray(items, dtype=np.int64))
+        scores = tuple(
+            semantics.item_score(sub, np.arange(len(members)), idx)
+            for idx in range(len(items))
+        )
     return Group(
         members=members,
         items=items,
@@ -280,7 +292,8 @@ def evaluate_partition(
     extras:
         Optional metadata dict copied onto the result.
     """
-    values = np.asarray(values, dtype=float)
+    if isinstance(values, np.ndarray) or not hasattr(values, "iter_blocks"):
+        values = np.asarray(values, dtype=float)
     semantics = get_semantics(semantics)
     aggregation = get_aggregation(aggregation)
     blocks = validate_partition(partition, values.shape[0], max_groups)

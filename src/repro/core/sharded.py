@@ -1,0 +1,361 @@
+"""Sharded greedy formation: million-user instances in bounded memory.
+
+The greedy GRD skeleton has a property the dense engine never exploited: the
+bucket key of a user depends only on *her own* top-k prefix, never on other
+users.  Partitioning the user axis into contiguous shards therefore commutes
+with step 1 of the algorithm — each shard can be densified, ranked and
+bucketed independently (optionally on a pool of workers), and shard-level
+buckets with equal keys are *exactly* the global intermediate groups once
+merged.  Step 2 (greedy selection under the ℓ-group budget) and step 3
+(scoring, budget filling, left-over group) then run once on the merged
+bucket summaries, through the same
+:func:`~repro.core.engine.finalise_plan` path as the in-memory engine.
+
+Memory: only one shard block (``ceil(n_users / shards) x n_items`` floats
+per worker) plus the ``(n_users, k)`` top-k summaries are ever dense, which
+is what lets a 1M-user x 10k-item sparse instance form groups in a few GB
+where the dense matrix alone would need ~80 GB.
+
+Objective-loss bound (documented contract, asserted by
+``tests/core/test_sharded.py``):
+
+* ``shards=1`` is **bit-identical** to ``FormationEngine.run`` on the same
+  backend-independent result — same groups, objective and bookkeeping.
+* For ``shards > 1`` the merge is exact at the bucket level, so the *only*
+  possible deviation from the unsharded run is floating-point
+  re-association when an AV variant's per-bucket member-contribution sums
+  are folded across shards (LM variants share one contribution per bucket
+  and are always bit-identical).  A perturbed sum can only swap the
+  selection order of two buckets whose scores differ by less than the
+  accumulated rounding error ``n_g · ε · max|contribution|`` (``n_g`` =
+  bucket size, ``ε`` = machine epsilon); each swap changes the objective by
+  at most the satisfaction gap of the swapped buckets, itself bounded by
+  ``k · r_max``.  Hence ``|Obj_sharded − Obj_unsharded| ≤ ℓ · k · r_max``
+  in the adversarial worst case — and **zero** (bit-identical) whenever
+  ratings are integer-valued on the scale, as in every bundled dataset,
+  because small-integer sums are exact in ``float64`` regardless of
+  association.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aggregation import Aggregation
+from repro.core.engine import (
+    FormationPlan,
+    NumpyBackend,
+    coerce_store,
+    finalise_plan,
+)
+from repro.core.greedy_framework import GreedyVariant, make_variant
+from repro.core.grouping import GroupFormationResult
+from repro.core.preferences import _top_k_table_dispatch
+from repro.core.semantics import Semantics
+from repro.recsys.matrix import RatingMatrix
+from repro.recsys.store import DEFAULT_BLOCK_USERS, RatingStore
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import require_positive_int
+from repro.core.errors import GroupFormationError
+
+__all__ = ["ShardedFormation", "ShardSummary"]
+
+
+@dataclass
+class ShardSummary:
+    """Bucket-level digest of one user shard (step 1 output).
+
+    Attributes
+    ----------
+    start:
+        First global user index of the shard.
+    keys:
+        ``(n_buckets, width)`` packed ``uint64`` key rows (one per bucket,
+        in key-sorted order) — comparing rows for equality is exactly the
+        reference backend's byte-key equality.
+    items_rows:
+        ``(n_buckets, k)`` shared top-k item sequence of each bucket (the
+        recommended list if the bucket is selected).
+    reps:
+        Global index of each bucket's first (smallest-index) member.
+    scores:
+        Bucket heap-score contribution of the shard: the full score for
+        ``combine="first"`` variants, a partial sum for ``combine="sum"``.
+    members:
+        Per bucket, the ascending global user indices of the shard's
+        members.
+    contributions:
+        ``(shard_size,)`` per-user personal aggregated top-k values, in
+        shard-local user order.
+    """
+
+    start: int
+    keys: np.ndarray
+    items_rows: np.ndarray
+    reps: np.ndarray
+    scores: np.ndarray
+    members: list[np.ndarray]
+    contributions: np.ndarray
+
+
+def summarise_shard(
+    block: np.ndarray, start: int, k: int, variant: GreedyVariant
+) -> ShardSummary:
+    """Rank, bucket and score one dense shard block (users ``start..``)."""
+    items_table, scores_table = _top_k_table_dispatch(block, k, assume_finite=True)
+    return _summarise_tables(items_table, scores_table, start, variant)
+
+
+def merge_summaries(
+    summaries: list[ShardSummary], combine: str
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
+    """Merge shard bucket digests into the global intermediate groups.
+
+    Returns ``(scores, reps, members, items_rows)`` over the merged buckets.
+    Shards must be in ascending user order; the stable lexsort then keeps
+    each merged bucket's constituents in shard order, so concatenated member
+    arrays are ascending and the first constituent's representative is the
+    global (smallest-index) representative — matching the unsharded engine.
+    """
+    all_keys = np.vstack([s.keys for s in summaries])
+    bucket_scores = np.concatenate([s.scores for s in summaries])
+    bucket_reps = np.concatenate([s.reps for s in summaries])
+    bucket_members: list[np.ndarray] = [m for s in summaries for m in s.members]
+    bucket_items = np.vstack([s.items_rows for s in summaries])
+
+    n_total = all_keys.shape[0]
+    order = np.lexsort(all_keys.T[::-1])
+    srt = all_keys[order]
+    new_segment = np.empty(n_total, dtype=bool)
+    new_segment[0] = True
+    np.any(srt[1:] != srt[:-1], axis=1, out=new_segment[1:])
+    starts = np.flatnonzero(new_segment)
+    ends = np.append(starts[1:], n_total)
+
+    merged_scores = np.empty(starts.size, dtype=np.float64)
+    merged_reps = np.empty(starts.size, dtype=np.int64)
+    merged_members: list[np.ndarray] = []
+    merged_items = np.empty((starts.size, bucket_items.shape[1]), dtype=np.int64)
+    for b in range(starts.size):
+        constituents = order[starts[b]:ends[b]]
+        first = constituents[0]
+        merged_reps[b] = bucket_reps[first]
+        merged_items[b] = bucket_items[first]
+        merged_members.append(
+            np.concatenate([bucket_members[c] for c in constituents])
+            if constituents.size > 1
+            else bucket_members[first]
+        )
+        if combine == "sum":
+            # Sequential fold in shard order: exact for integer-valued
+            # ratings; see the module docstring for the general FP bound.
+            total = 0.0
+            for c in constituents:
+                total += bucket_scores[c]
+            merged_scores[b] = total
+        else:
+            merged_scores[b] = bucket_scores[first]
+    return merged_scores, merged_reps, merged_members, merged_items
+
+
+class ShardedFormation:
+    """Greedy formation over user shards with bounded peak memory.
+
+    Parameters
+    ----------
+    shards:
+        Number of contiguous user partitions (≥ 1).
+    workers:
+        Thread-pool size for concurrent shard summarisation; ``None`` or 1
+        runs shards sequentially (numpy kernels release the GIL, so threads
+        give real parallelism on the densify/rank/sort hot path without
+        duplicating the store).
+    block_users:
+        Cap on rows densified at once *within* a shard (default:
+        :data:`~repro.recsys.store.DEFAULT_BLOCK_USERS`), so the dense
+        working set stays bounded even when few, large shards are
+        requested.  Ranking is row-independent, so the sub-blocking never
+        changes results.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.sharded import ShardedFormation
+    >>> ratings = np.array(
+    ...     [[1, 4, 3], [2, 3, 5], [2, 5, 1], [2, 5, 1], [3, 1, 1], [1, 2, 5]],
+    ...     dtype=float,
+    ... )
+    >>> ShardedFormation(shards=3).run(ratings, max_groups=3, k=1).objective
+    11.0
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        workers: int | None = None,
+        block_users: int | None = None,
+    ) -> None:
+        self.shards = require_positive_int(shards, "shards")
+        if workers is not None:
+            workers = require_positive_int(workers, "workers")
+        self.workers = workers
+        if block_users is not None:
+            block_users = require_positive_int(block_users, "block_users")
+        self.block_users = block_users
+
+    def run(
+        self,
+        ratings: RatingStore | RatingMatrix | np.ndarray,
+        max_groups: int,
+        k: int,
+        semantics: Semantics | str = "lm",
+        aggregation: Aggregation | str = "min",
+    ) -> GroupFormationResult:
+        """Run one greedy formation through the sharded path."""
+        return self.run_variant(
+            ratings, max_groups, k, make_variant(semantics, aggregation)
+        )
+
+    def run_variant(
+        self,
+        ratings: RatingStore | RatingMatrix | np.ndarray,
+        max_groups: int,
+        k: int,
+        variant: GreedyVariant,
+    ) -> GroupFormationResult:
+        """Run one prebuilt variant through the sharded path."""
+        store = coerce_store(ratings)
+        n_users, n_items = store.shape
+        max_groups = require_positive_int(max_groups, "max_groups")
+        k = require_positive_int(k, "k")
+        if k > n_items:
+            raise GroupFormationError(
+                f"k={k} exceeds the number of items ({n_items})"
+            )
+        n_shards = min(self.shards, n_users)
+        bounds = np.linspace(0, n_users, n_shards + 1).astype(np.int64)
+
+        watch = Stopwatch()
+        with watch.lap("formation"):
+            summaries = self._summarise(store, bounds, k, variant)
+            scores, reps, members, items_rows = merge_summaries(
+                summaries, variant.combine
+            )
+            contributions = np.concatenate([s.contributions for s in summaries])
+
+            n_buckets = scores.size
+            n_select = min(max_groups - 1, n_buckets)
+            chosen = np.lexsort((reps, -scores))[:n_select]
+            selected = [
+                (tuple(int(u) for u in members[b]), int(reps[b])) for b in chosen
+            ]
+            selected_mask = np.zeros(n_users, dtype=bool)
+            for b in chosen:
+                selected_mask[members[b]] = True
+            remaining_users = [int(u) for u in np.flatnonzero(~selected_mask)]
+
+            plan = FormationPlan(
+                selected=selected,
+                remaining_users=remaining_users,
+                n_intermediate_groups=int(n_buckets),
+                user_values=lambda users: contributions[
+                    np.asarray(users, dtype=np.int64)
+                ],
+            )
+            selected_items_rows = [items_rows[b] for b in chosen]
+
+        return finalise_plan(
+            store,
+            plan,
+            selected_items_rows,
+            k,
+            variant,
+            max_groups,
+            watch,
+            backend_name="numpy",
+            extra_extras={
+                "n_shards": int(n_shards),
+                "workers": int(self.workers or 1),
+                "store": type(store).__name__,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _summarise(
+        self,
+        store: RatingStore,
+        bounds: np.ndarray,
+        k: int,
+        variant: GreedyVariant,
+    ) -> list[ShardSummary]:
+        """Summarise every shard, sequentially or on a thread pool."""
+
+        block_cap = self.block_users or DEFAULT_BLOCK_USERS
+
+        def one(shard: int) -> ShardSummary:
+            start, stop = int(bounds[shard]), int(bounds[shard + 1])
+            if stop - start <= block_cap:
+                block = store.block(start, stop)
+                return summarise_shard(block, start, k, variant)
+            # Sub-block the shard's densification, then summarise the
+            # stitched top-k tables: rank each sub-block and bucket the
+            # concatenated tables.  Ranking is row-independent, so this is
+            # identical to one big block while only ever densifying
+            # ``block_cap`` rows at a time.
+            pieces_items = []
+            pieces_scores = []
+            for sub_start in range(start, stop, block_cap):
+                sub_stop = min(sub_start + block_cap, stop)
+                block = store.block(sub_start, sub_stop)
+                items_table, scores_table = _top_k_table_dispatch(
+                    block, k, assume_finite=True
+                )
+                pieces_items.append(items_table)
+                pieces_scores.append(scores_table)
+            return _summarise_tables(
+                np.vstack(pieces_items), np.vstack(pieces_scores), start, variant
+            )
+
+        if self.workers is None or self.workers <= 1 or bounds.size <= 2:
+            return [one(shard) for shard in range(bounds.size - 1)]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(one, range(bounds.size - 1)))
+
+
+def _summarise_tables(
+    items_table: np.ndarray,
+    scores_table: np.ndarray,
+    start: int,
+    variant: GreedyVariant,
+) -> ShardSummary:
+    """:func:`summarise_shard` for already-ranked top-k tables."""
+    inverse, sorted_users, starts = NumpyBackend._bucketize(
+        items_table, scores_table, variant.key_scores
+    )
+    packed = NumpyBackend._pack_keys(items_table, scores_table, variant.key_scores)
+    contributions = NumpyBackend._contributions(scores_table, variant.aggregation)
+    n_users = items_table.shape[0]
+    n_buckets = starts.size
+    ends = np.append(starts[1:], n_users)
+    reps_local = sorted_users[starts]
+    if variant.combine == "sum":
+        scores = np.bincount(inverse, weights=contributions, minlength=n_buckets)
+    else:
+        scores = contributions[reps_local]
+    members = [
+        sorted_users[starts[b]:ends[b]].astype(np.int64) + start
+        for b in range(n_buckets)
+    ]
+    return ShardSummary(
+        start=start,
+        keys=packed[reps_local],
+        items_rows=items_table[reps_local],
+        reps=reps_local.astype(np.int64) + start,
+        scores=scores,
+        members=members,
+        contributions=contributions,
+    )

@@ -1,0 +1,220 @@
+"""The shared top-k ranking artifact consumed by every formation operator.
+
+The paper's greedy GRD algorithms (§4, §5) never look at a full rating row —
+they only consume each user's *top-k prefix*: the items and ratings of her
+``k`` best-ranked items.  :class:`TopKIndex` materialises that prefix once,
+as a pair of ``(n_users, k_max)`` arrays, under the library-wide
+deterministic tie-break contract:
+
+    *items are ranked by rating descending; equal ratings are broken by
+    ascending item index.*
+
+Because that contract defines a total order per user, the top-``k`` table
+for any ``k <= k_max`` is exactly the first ``k`` columns of the
+top-``k_max`` table — so one index, built once per ``(ratings, k_max)``,
+serves an entire ``(k, ℓ, semantics, aggregation)`` configuration sweep,
+and can be saved to disk and reloaded across processes (:meth:`TopKIndex.save`
+/ :meth:`TopKIndex.load`).
+
+The index is built blockwise through the :class:`~repro.recsys.store.RatingStore`
+interface, so a sparse million-user matrix is densified at most one row
+block at a time.  The build path reuses the exact kernels of
+:mod:`repro.core.preferences`, which makes an index built from a
+:class:`~repro.recsys.store.SparseStore` bit-identical to one built from the
+equivalent dense array.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import GroupFormationError
+from repro.core.preferences import _top_k_table_dispatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.recsys.matrix import RatingMatrix
+    from repro.recsys.store import RatingStore
+
+__all__ = ["TopKIndex"]
+
+
+class TopKIndex:
+    """Precomputed per-user top-``k_max`` items and ratings.
+
+    Attributes
+    ----------
+    items:
+        ``(n_users, k_max)`` integer array; ``items[u, r]`` is the item index
+        ranked ``r``-th for user ``u`` under the deterministic tie-break
+        (rating descending, item index ascending).
+    values:
+        Matching ``(n_users, k_max)`` float array of ratings.
+    n_items:
+        Catalogue size of the source ratings (needed to validate ``k`` and
+        preserved across save/load).
+    """
+
+    def __init__(self, items: np.ndarray, values: np.ndarray, n_items: int) -> None:
+        items = np.asarray(items, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if items.ndim != 2 or items.shape != values.shape:
+            raise GroupFormationError(
+                f"TopKIndex needs matching 2-D item/value tables, got "
+                f"{items.shape} and {values.shape}"
+            )
+        n_items = int(n_items)
+        if not 1 <= items.shape[1] <= n_items:
+            raise GroupFormationError(
+                f"k_max must be between 1 and n_items ({n_items}), got {items.shape[1]}"
+            )
+        self.items = items
+        self.values = values
+        self.n_items = n_items
+        # Contiguous per-k slices, materialised lazily; keyed by k so a sweep
+        # re-slicing the same k pays the copy once.
+        self._slices: dict[int, tuple[np.ndarray, np.ndarray]] = {
+            items.shape[1]: (items, values)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        ratings: "RatingStore | RatingMatrix | np.ndarray",
+        k_max: int,
+        block_users: int | None = None,
+        table_fn: "Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]] | None" = None,
+    ) -> "TopKIndex":
+        """Build the index for ``ratings`` blockwise through a store.
+
+        Parameters
+        ----------
+        ratings:
+            A :class:`~repro.recsys.store.RatingStore` (dense or sparse), a
+            complete :class:`~repro.recsys.matrix.RatingMatrix`, or a raw
+            complete array.
+        k_max:
+            Largest top-k prefix the index must serve.
+        block_users:
+            Rows densified per build step (default:
+            :data:`~repro.recsys.store.DEFAULT_BLOCK_USERS`).  A dense store
+            with the default block size is processed in one pass over views,
+            with no extra copies.
+        table_fn:
+            Top-k kernel ``(dense_block, k) -> (items, values)``; defaults to
+            the library's fastest exact kernel.  The formation engine passes
+            its backend's kernel here so the reference backend keeps its
+            deliberately naive full-sort (every kernel is bit-identical —
+            only build time differs).
+        """
+        from repro.recsys.store import DEFAULT_BLOCK_USERS, DenseStore, as_store
+
+        store = as_store(ratings)
+        n_users, n_items = store.shape
+        k_max = int(k_max)
+        if not 1 <= k_max <= n_items:
+            raise GroupFormationError(
+                f"k_max must be between 1 and the number of items ({n_items}), "
+                f"got {k_max}"
+            )
+        if block_users is None:
+            block_users = DEFAULT_BLOCK_USERS
+        if table_fn is None:
+            # Stores guarantee complete, finite ratings at construction, so
+            # the kernel can skip its -inf sentinel scan.
+            def table_fn(block: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+                return _top_k_table_dispatch(block, k, assume_finite=True)
+
+        if isinstance(store, DenseStore):
+            # One vectorised pass over the whole array beats blockwise calls
+            # and is what the engine historically did — results are identical
+            # either way (the kernels are row-independent).
+            items_table, values_table = table_fn(store.values, k_max)
+            return cls(items_table, values_table, n_items)
+
+        items_table = np.empty((n_users, k_max), dtype=np.int64)
+        values_table = np.empty((n_users, k_max), dtype=np.float64)
+        for start, stop, block in store.iter_blocks(block_users):
+            items_table[start:stop], values_table[start:stop] = table_fn(block, k_max)
+        return cls(items_table, values_table, n_items)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_users(self) -> int:
+        """Number of users covered by the index."""
+        return self.items.shape[0]
+
+    @property
+    def k_max(self) -> int:
+        """Largest prefix length this index can serve."""
+        return self.items.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the two tables in bytes."""
+        return int(self.items.nbytes + self.values.nbytes)
+
+    def top_k(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(items, values)`` top-``k`` tables for any ``k <= k_max``.
+
+        ``k < k_max`` returns cached C-contiguous copies of the first ``k``
+        columns, so downstream kernels see the same layout a direct
+        :func:`repro.core.preferences.top_k_table` call would give them; the
+        full-width tables are returned as built.
+        """
+        k = int(k)
+        if not 1 <= k <= self.k_max:
+            raise GroupFormationError(
+                f"k must be between 1 and k_max ({self.k_max}), got {k}"
+            )
+        cached = self._slices.get(k)
+        if cached is None:
+            cached = (
+                np.ascontiguousarray(self.items[:, :k]),
+                np.ascontiguousarray(self.values[:, :k]),
+            )
+            self._slices[k] = cached
+        return cached
+
+    def for_users(self, users: np.ndarray | list[int]) -> "TopKIndex":
+        """A new index restricted to ``users`` (rows in the given order)."""
+        users = np.asarray(users, dtype=np.int64)
+        return TopKIndex(self.items[users], self.values[users], self.n_items)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the index as a compressed ``.npz`` artifact."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            items=self.items,
+            values=self.values,
+            n_items=np.int64(self.n_items),
+        )
+        # np.savez appends .npz when missing; report the real file.
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TopKIndex":
+        """Load an index previously written by :meth:`save`."""
+        with np.load(Path(path)) as payload:
+            return cls(payload["items"], payload["values"], int(payload["n_items"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TopKIndex(n_users={self.n_users}, k_max={self.k_max}, "
+            f"n_items={self.n_items})"
+        )

@@ -15,10 +15,17 @@ behaviour being studied.
 from repro.datasets.flickr_pois import (
     FlickrItinerary,
     extract_top_pois,
+    iter_poi_rating_triples,
     poi_rating_matrix,
+    poi_rating_store,
     synthetic_flickr_log,
 )
-from repro.datasets.movielens import load_movielens_ratings, synthetic_movielens
+from repro.datasets.movielens import (
+    iter_movielens_triples,
+    load_movielens_ratings,
+    load_movielens_store,
+    synthetic_movielens,
+)
 from repro.datasets.paper_examples import (
     paper_example_1,
     paper_example_2,
@@ -34,24 +41,39 @@ from repro.datasets.samples import (
 from repro.datasets.synthetic import (
     archetype_population,
     clustered_population,
+    iter_synthetic_triples,
     synthetic_ratings,
+    synthetic_sparse_store,
     uniform_random_ratings,
 )
-from repro.datasets.yahoo_music import load_yahoo_music_ratings, synthetic_yahoo_music
+from repro.datasets.yahoo_music import (
+    iter_yahoo_music_triples,
+    load_yahoo_music_ratings,
+    load_yahoo_music_store,
+    synthetic_yahoo_music,
+)
 
 __all__ = [
     "synthetic_ratings",
     "archetype_population",
     "clustered_population",
     "uniform_random_ratings",
+    "iter_synthetic_triples",
+    "synthetic_sparse_store",
+    "iter_movielens_triples",
     "load_movielens_ratings",
+    "load_movielens_store",
     "synthetic_movielens",
+    "iter_yahoo_music_triples",
     "load_yahoo_music_ratings",
+    "load_yahoo_music_store",
     "synthetic_yahoo_music",
     "FlickrItinerary",
     "synthetic_flickr_log",
     "extract_top_pois",
+    "iter_poi_rating_triples",
     "poi_rating_matrix",
+    "poi_rating_store",
     "pairwise_topk_similarity",
     "select_similar_sample",
     "select_dissimilar_sample",

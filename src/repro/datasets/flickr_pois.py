@@ -30,7 +30,9 @@ __all__ = [
     "FlickrItinerary",
     "synthetic_flickr_log",
     "extract_top_pois",
+    "iter_poi_rating_triples",
     "poi_rating_matrix",
+    "poi_rating_store",
 ]
 
 
@@ -125,17 +127,76 @@ def poi_rating_matrix(
 
     values = np.empty((len(log), len(pois)))
     for row, itinerary in enumerate(log):
-        base = np.full(len(pois), 2.0)
-        for position, poi in enumerate(itinerary.pois):
-            if poi in poi_index:
-                # Visited POIs are liked; earlier visits a bit more.
-                bonus = max(0.0, 1.0 - 0.1 * position)
-                base[poi_index[poi]] = 4.0 + bonus
-        values[row] = base + generator.normal(0.0, noise, size=len(pois))
-    values = scale.round_to_scale(scale.clip(values))
+        values[row] = _itinerary_ratings(
+            itinerary, poi_index, scale, noise, generator
+        )
     return RatingMatrix(
         values,
         user_ids=[itinerary.user for itinerary in log],
         item_ids=list(pois),
+        scale=scale,
+    )
+
+
+def _itinerary_ratings(
+    itinerary: FlickrItinerary,
+    poi_index: dict[str, int],
+    scale: RatingScale,
+    noise: float,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """One user's rating row over the selected POIs (shared by both builders)."""
+    base = np.full(len(poi_index), 2.0)
+    for position, poi in enumerate(itinerary.pois):
+        if poi in poi_index:
+            # Visited POIs are liked; earlier visits a bit more.
+            bonus = max(0.0, 1.0 - 0.1 * position)
+            base[poi_index[poi]] = 4.0 + bonus
+    row = base + generator.normal(0.0, noise, size=len(poi_index))
+    return np.asarray(scale.round_to_scale(scale.clip(row)), dtype=float)
+
+
+def iter_poi_rating_triples(
+    log: list[FlickrItinerary],
+    pois: list[str],
+    scale: RatingScale | None = None,
+    noise: float = 0.7,
+    rng: int | np.random.Generator | None = None,
+):
+    """Stream the user-study preference matrix as ``(user, poi, rating)`` triples.
+
+    One itinerary (one rating row) is materialised at a time, in log order,
+    consuming the random generator exactly as :func:`poi_rating_matrix`
+    does — so for the same ``rng`` seed the streamed triples reproduce the
+    dense matrix bit for bit.  Feed the stream to
+    :meth:`repro.recsys.store.SparseStore.from_triples` (or use the
+    :func:`poi_rating_store` shortcut) for a store-backed user study.
+    """
+    if not log:
+        raise ValueError("the itinerary log is empty")
+    if not pois:
+        raise ValueError("pois must contain at least one POI")
+    scale = scale if scale is not None else RatingScale(1.0, 5.0)
+    generator = ensure_rng(rng)
+    poi_index = {poi: idx for idx, poi in enumerate(pois)}
+    for itinerary in log:
+        row = _itinerary_ratings(itinerary, poi_index, scale, noise, generator)
+        for idx, poi in enumerate(pois):
+            yield itinerary.user, poi, float(row[idx])
+
+
+def poi_rating_store(
+    log: list[FlickrItinerary],
+    pois: list[str],
+    scale: RatingScale | None = None,
+    noise: float = 0.7,
+    rng: int | np.random.Generator | None = None,
+):
+    """Streaming store-backed variant of :func:`poi_rating_matrix`."""
+    from repro.recsys.store import SparseStore
+
+    scale = scale if scale is not None else RatingScale(1.0, 5.0)
+    return SparseStore.from_triples(
+        iter_poi_rating_triples(log, pois, scale=scale, noise=noise, rng=rng),
         scale=scale,
     )

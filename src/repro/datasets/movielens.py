@@ -19,7 +19,12 @@ from repro.core.errors import RatingDataError
 from repro.datasets.synthetic import synthetic_ratings
 from repro.recsys.matrix import RatingMatrix, RatingScale
 
-__all__ = ["load_movielens_ratings", "synthetic_movielens"]
+__all__ = [
+    "iter_movielens_triples",
+    "load_movielens_ratings",
+    "load_movielens_store",
+    "synthetic_movielens",
+]
 
 #: Headline statistics of the MovieLens 10M dataset as reported in the
 #: paper's Table 3 (number of users and items).
@@ -41,6 +46,54 @@ def _parse_line(line: str) -> tuple[str, str, float] | None:
         raise RatingDataError(f"cannot parse MovieLens ratings line: {line!r}")
     user, item, rating = parts[0], parts[1], float(parts[2])
     return user, item, rating
+
+
+def iter_movielens_triples(
+    path: str | Path, max_rows: int | None = None
+):
+    """Stream ``(user, item, rating)`` triples from a MovieLens ratings file.
+
+    Yields triples lazily (one file line at a time) so an arbitrarily large
+    ratings file can feed :meth:`repro.recsys.store.SparseStore.from_triples`
+    without ever holding the triple list — the streaming counterpart of
+    :func:`load_movielens_ratings`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RatingDataError(f"MovieLens ratings file not found: {path}")
+    produced = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            parsed = _parse_line(line)
+            if parsed is None:
+                continue
+            yield parsed
+            produced += 1
+            if max_rows is not None and produced >= max_rows:
+                return
+
+
+def load_movielens_store(
+    path: str | Path,
+    max_rows: int | None = None,
+    scale: RatingScale | None = None,
+    fill_value: float | None = None,
+):
+    """Load a MovieLens ratings file directly into a sparse rating store.
+
+    The on-disk triples stream straight into CSR coordinate arrays — no
+    dense matrix and no materialised triple list — which is what makes the
+    10M-rating file loadable where :func:`load_movielens_ratings` would need
+    a ~6 GB dense array.  Unobserved cells read back as ``fill_value``
+    (default: the scale minimum).
+    """
+    from repro.recsys.store import SparseStore
+
+    return SparseStore.from_triples(
+        iter_movielens_triples(path, max_rows=max_rows),
+        scale=scale if scale is not None else RatingScale(1.0, 5.0),
+        fill_value=fill_value,
+    )
 
 
 def load_movielens_ratings(
@@ -66,18 +119,7 @@ def load_movielens_ratings(
     RatingMatrix
         Sparse matrix with user/item labels taken from the file's ids.
     """
-    path = Path(path)
-    if not path.exists():
-        raise RatingDataError(f"MovieLens ratings file not found: {path}")
-    triples: list[tuple[str, str, float]] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            parsed = _parse_line(line)
-            if parsed is None:
-                continue
-            triples.append(parsed)
-            if max_rows is not None and len(triples) >= max_rows:
-                break
+    triples = list(iter_movielens_triples(path, max_rows=max_rows))
     if not triples:
         raise RatingDataError(f"no ratings found in {path}")
     return RatingMatrix.from_triples(

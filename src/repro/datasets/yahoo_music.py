@@ -20,10 +20,62 @@ from repro.core.errors import RatingDataError
 from repro.datasets.synthetic import synthetic_ratings
 from repro.recsys.matrix import RatingMatrix, RatingScale
 
-__all__ = ["load_yahoo_music_ratings", "synthetic_yahoo_music"]
+__all__ = [
+    "iter_yahoo_music_triples",
+    "load_yahoo_music_ratings",
+    "load_yahoo_music_store",
+    "synthetic_yahoo_music",
+]
 
 #: Headline statistics reported in the paper's Table 3.
 YAHOO_MUSIC_STATS = {"n_users": 200_000, "n_items": 136_736, "scale": (1.0, 5.0)}
+
+
+def iter_yahoo_music_triples(
+    path: str | Path, max_rows: int | None = None
+):
+    """Stream ``(user, song, rating)`` triples from a Webscope ratings file.
+
+    Lazy, line-at-a-time parsing — the streaming counterpart of
+    :func:`load_yahoo_music_ratings`, sized for the full 200k-user snapshot
+    via :meth:`repro.recsys.store.SparseStore.from_triples`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RatingDataError(f"Yahoo! Music ratings file not found: {path}")
+    produced = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) < 3:
+                raise RatingDataError(f"cannot parse Yahoo! Music line: {line!r}")
+            yield parts[0], parts[1], float(parts[2])
+            produced += 1
+            if max_rows is not None and produced >= max_rows:
+                return
+
+
+def load_yahoo_music_store(
+    path: str | Path,
+    max_rows: int | None = None,
+    scale: RatingScale | None = None,
+    fill_value: float | None = None,
+):
+    """Load a Yahoo! Music ratings file directly into a sparse rating store.
+
+    Triples stream straight into CSR coordinate arrays; unobserved cells
+    read back as ``fill_value`` (default: the scale minimum).
+    """
+    from repro.recsys.store import SparseStore
+
+    return SparseStore.from_triples(
+        iter_yahoo_music_triples(path, max_rows=max_rows),
+        scale=scale if scale is not None else RatingScale(1.0, 5.0),
+        fill_value=fill_value,
+    )
 
 
 def load_yahoo_music_ratings(
@@ -42,21 +94,7 @@ def load_yahoo_music_ratings(
     scale:
         Rating scale; defaults to 1–5.
     """
-    path = Path(path)
-    if not path.exists():
-        raise RatingDataError(f"Yahoo! Music ratings file not found: {path}")
-    triples: list[tuple[str, str, float]] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split("\t") if "\t" in line else line.split()
-            if len(parts) < 3:
-                raise RatingDataError(f"cannot parse Yahoo! Music line: {line!r}")
-            triples.append((parts[0], parts[1], float(parts[2])))
-            if max_rows is not None and len(triples) >= max_rows:
-                break
+    triples = list(iter_yahoo_music_triples(path, max_rows=max_rows))
     if not triples:
         raise RatingDataError(f"no ratings found in {path}")
     return RatingMatrix.from_triples(

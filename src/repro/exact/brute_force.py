@@ -30,6 +30,7 @@ from repro.core.greedy_framework import as_complete_values
 from repro.core.group_recommender import group_satisfaction
 from repro.core.grouping import GroupFormationResult, evaluate_partition
 from repro.core.semantics import Semantics, get_semantics
+from repro.core.topk_index import TopKIndex
 from repro.recsys.matrix import RatingMatrix
 from repro.utils.validation import require_positive_int
 
@@ -57,17 +58,39 @@ def subset_scores(
     k: int,
     semantics: Semantics | str,
     aggregation: Aggregation | str,
+    topk: "TopKIndex | None" = None,
 ) -> np.ndarray:
     """Group satisfaction of every non-empty subset of users.
 
     Returns an array of length ``2**n_users`` where entry ``mask`` is the
     satisfaction of the group whose members are the set bits of ``mask``
     (entry 0 is ``-inf`` as a sentinel for the empty set).
+
+    When a prebuilt :class:`~repro.core.topk_index.TopKIndex` covering this
+    instance is provided, singleton subsets are scored straight off the
+    index: a one-member group's recommended list *is* the member's personal
+    top-k prefix under both semantics, so ``2**n`` of the ``n`` cheapest
+    group evaluations come for free from the shared ranking artifact.
     """
     values = np.asarray(values, dtype=float)
+    aggregation = get_aggregation(aggregation)
     n_users = values.shape[0]
     scores = np.full(1 << n_users, -np.inf)
+    use_index = (
+        topk is not None
+        and topk.n_users == n_users
+        and topk.n_items == values.shape[1]
+        and topk.k_max >= k
+    )
+    if use_index:
+        _, index_values = topk.top_k(k)
     for mask in range(1, 1 << n_users):
+        if use_index and mask & (mask - 1) == 0:
+            user = mask.bit_length() - 1
+            scores[mask] = aggregation.aggregate(
+                tuple(float(v) for v in index_values[user])
+            )
+            continue
         members = _mask_members(mask)
         _, _, satisfaction = group_satisfaction(
             values, members, k, semantics, aggregation
@@ -111,6 +134,7 @@ def optimal_groups_dp(
     semantics: Semantics | str = "lm",
     aggregation: Aggregation | str = "min",
     max_users: int = DEFAULT_MAX_USERS,
+    topk: "TopKIndex | None" = None,
 ) -> GroupFormationResult:
     """Optimal group formation via subset DP (``OPT-LM-*`` / ``OPT-AV-*``).
 
@@ -146,7 +170,7 @@ def optimal_groups_dp(
             "use the greedy algorithms for larger instances"
         )
 
-    scores = subset_scores(values, k, semantics, aggregation)
+    scores = subset_scores(values, k, semantics, aggregation, topk=topk)
     full_mask = (1 << n_users) - 1
     n_groups_cap = min(max_groups, n_users)
 

@@ -29,12 +29,35 @@ from repro.core.engine import BACKENDS, DEFAULT_BACKEND, get_backend
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_STORE",
+    "STORES",
     "ExperimentScale",
     "get_scale",
     "normalize_backend",
+    "normalize_store",
     "quality_defaults",
     "scalability_defaults",
 ]
+
+#: Rating-store implementations selectable via ``--store``.
+STORES: tuple[str, ...] = ("dense", "sparse")
+
+#: Store used when none is requested explicitly.
+DEFAULT_STORE = "dense"
+
+
+def normalize_store(name: str | None) -> str:
+    """Resolve a ``--store`` value to a canonical store name.
+
+    ``None`` resolves to :data:`DEFAULT_STORE`; unknown names raise
+    ``ValueError`` listing the valid choices.  Shared by the CLI, the
+    experiment runner and the benchmark scripts.
+    """
+    key = DEFAULT_STORE if name is None else str(name).strip().lower()
+    if key not in STORES:
+        known = ", ".join(STORES)
+        raise ValueError(f"unknown rating store {name!r}; expected one of: {known}")
+    return key
 
 
 def normalize_backend(name: str | None) -> str:

@@ -43,6 +43,9 @@ def figure1(
     seed: int = 0,
     dataset: str = "yahoo",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 1(a–c): objective value under LM-Max vs #users / #items / #groups.
 
@@ -61,6 +64,9 @@ def figure1(
         repeats=preset.repeats,
         seed=seed,
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     return [
         sweep("fig1a", "Objective value, varying number of users (LM-Max)",
@@ -77,6 +83,9 @@ def figure2(
     seed: int = 0,
     dataset: str = "yahoo",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 2(a, b): objective value vs top-k under LM-Min and LM-Sum."""
     preset = get_scale(scale)
@@ -91,6 +100,9 @@ def figure2(
         seed=seed,
         semantics="lm",
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     return [
         sweep("fig2a", "Objective value, varying top-k (LM-Min)",
@@ -105,6 +117,9 @@ def figure3(
     seed: int = 0,
     dataset: str = "movielens",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 3(a–d): average group satisfaction over the top-k list (AV-Min,
     MovieLens) vs #users / #items / #groups / top-k."""
@@ -121,6 +136,9 @@ def figure3(
         repeats=preset.repeats,
         seed=seed,
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     return [
         sweep("fig3a", "Avg satisfaction on top-k itemset, varying number of users (AV-Min)",
@@ -139,6 +157,9 @@ def figure4(
     seed: int = 0,
     dataset: str = "yahoo",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 4(a–c): runtime of LM-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -154,6 +175,9 @@ def figure4(
         repeats=1,
         seed=seed,
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     return [
         sweep("fig4a", "Run time, varying number of users (LM-Min)",
@@ -170,6 +194,9 @@ def figure5(
     seed: int = 0,
     dataset: str = "yahoo",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 5(a–d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum."""
     preset = get_scale(scale)
@@ -184,6 +211,9 @@ def figure5(
         repeats=1,
         seed=seed,
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     panels = [
         ("fig5a", "lm", "min", "Run time, varying top-k (LM-Min)"),
@@ -203,6 +233,9 @@ def figure6(
     seed: int = 0,
     dataset: str = "yahoo",
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Figure 6(a–c): runtime of AV-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -218,6 +251,9 @@ def figure6(
         repeats=1,
         seed=seed,
         backend=backend,
+        store=store,
+        shards=shards,
+        workers=workers,
     )
     return [
         sweep("fig6a", "Run time, varying number of users (AV-Min)",
@@ -290,6 +326,7 @@ def optimal_calibration(
     seed: int = 0,
     repeats: int = 3,
     backend: str | None = None,
+    store: str | None = None,
 ) -> list[ExperimentResult]:
     """GRD vs Baseline vs OPT on instances small enough for the exact solvers.
 
@@ -318,6 +355,7 @@ def optimal_calibration(
                     repeats=repeats,
                     seed=seed,
                     backend=backend,
+                    store=store,
                 )
             )
     return panels

@@ -28,18 +28,23 @@ from repro.core.aggregation import get_aggregation
 from repro.core.engine import FormationConfig, FormationEngine
 from repro.core.grouping import GroupFormationResult
 from repro.core.semantics import get_semantics
+from repro.core.sharded import ShardedFormation
+from repro.core.topk_index import TopKIndex
 from repro.datasets.movielens import synthetic_movielens
 from repro.datasets.synthetic import clustered_population, uniform_random_ratings
 from repro.datasets.yahoo_music import synthetic_yahoo_music
 from repro.exact.brute_force import DEFAULT_MAX_USERS, optimal_groups_dp
+from repro.experiments.config import normalize_store
 from repro.metrics.satisfaction import average_group_satisfaction
 from repro.recsys.matrix import RatingMatrix
+from repro.recsys.store import SparseStore
 from repro.utils.rng import derive_seed
 from repro.utils.timing import time_call
 
 __all__ = [
     "SweepSeries",
     "ExperimentResult",
+    "apply_store",
     "make_dataset",
     "run_algorithms",
     "run_grd_configs",
@@ -153,6 +158,22 @@ def make_dataset(
 # --------------------------------------------------------------------- #
 
 
+def apply_store(
+    ratings: RatingMatrix, store: str | None
+) -> "RatingMatrix | SparseStore":
+    """Resolve a ``--store`` choice for one experiment instance.
+
+    ``None`` / ``"dense"`` keep the dense matrix; ``"sparse"`` re-homes the
+    instance into a CSR :class:`~repro.recsys.store.SparseStore` (results
+    are bit-identical either way — the dense↔sparse parity suite asserts
+    this — so the flag only changes the storage the pipeline exercises).
+    """
+    key = normalize_store(store)
+    if key == "sparse":
+        return SparseStore.from_matrix(ratings)
+    return ratings
+
+
 def run_algorithms(
     ratings: RatingMatrix,
     max_groups: int,
@@ -163,8 +184,18 @@ def run_algorithms(
     seed: int | None = None,
     optimal_max_users: int = DEFAULT_MAX_USERS,
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> dict[str, tuple[GroupFormationResult, float]]:
     """Run the requested algorithms on one instance.
+
+    One :class:`~repro.core.topk_index.TopKIndex` is built per instance and
+    shared by every consumer — the GRD engine, the clustering baseline's
+    rank-vector embedding (the index is built over the full catalogue when
+    the baseline participates) and the exact solver's singleton scores — so
+    rankings are computed exactly once per instance regardless of how many
+    algorithms run.
 
     Parameters
     ----------
@@ -182,6 +213,14 @@ def run_algorithms(
         Formation backend the GRD algorithm runs through (``"reference"`` /
         ``"numpy"``; ``None`` = engine default).  Backends are bit-identical,
         so this only affects the measured runtimes.
+    store:
+        ``"dense"`` (default) or ``"sparse"`` — which
+        :class:`~repro.recsys.store.RatingStore` implementation the pipeline
+        runs on.  Results are identical; only storage and runtimes change.
+    shards:
+        When > 1, the GRD algorithm runs through
+        :class:`~repro.core.sharded.ShardedFormation` with this many user
+        shards (``workers`` threads summarise shards concurrently).
 
     Returns
     -------
@@ -194,29 +233,70 @@ def run_algorithms(
     suffix = f"{semantics_obj.short_name}-{aggregation_obj.name.upper()}"
     outcomes: dict[str, tuple[GroupFormationResult, float]] = {}
     engine = FormationEngine(backend)
+    data = apply_store(ratings, store)
+    sharded = shards is not None and int(shards) > 1
+    if sharded and engine.backend.name != "numpy":
+        raise ValueError(
+            f"shards={shards} runs the sharded numpy execution path and cannot "
+            f"honour backend={backend!r}; drop one of the two"
+        )
+
+    # Build the shared ranking artifact once per instance, lazily: only when
+    # some algorithm will actually consume it (the sharded GRD path ranks
+    # per shard itself), and over the full catalogue when the clustering
+    # baseline (which embeds users by their complete ranking) participates.
+    keys = {algorithm.strip().lower() for algorithm in algorithms}
+    index_consumers = ("grd" in keys and not sharded) or "baseline" in keys or (
+        "opt" in keys and ratings.n_users <= optimal_max_users
+    )
+    topk = None
+    topk_seconds = 0.0
+    if index_consumers:
+        k_index = ratings.n_items if "baseline" in keys else k
+        topk, topk_seconds = time_call(TopKIndex.build, data, k_index)
 
     for algorithm in algorithms:
         key = algorithm.strip().lower()
         if key == "grd":
-            result, seconds = time_call(
-                engine.run, ratings, max_groups, k, semantics_obj, aggregation_obj
-            )
+            if sharded:
+                runner_fn = ShardedFormation(
+                    shards=int(shards), workers=workers
+                ).run
+                result, seconds = time_call(
+                    runner_fn, data, max_groups, k, semantics_obj, aggregation_obj
+                )
+            else:
+                result, seconds = time_call(
+                    engine.run,
+                    data,
+                    max_groups,
+                    k,
+                    semantics_obj,
+                    aggregation_obj,
+                    topk=topk,
+                )
+                # The published GRD runtimes include computing the top-k
+                # lists, so the shared index build is charged to GRD — the
+                # sharing saves wall clock for the *other* consumers without
+                # changing what the scalability figures measure.
+                seconds += topk_seconds
             outcomes[f"GRD-{suffix}"] = (result, seconds)
         elif key == "baseline":
             result, seconds = time_call(
                 baseline_clustering,
-                ratings,
+                data,
                 max_groups,
                 k,
                 semantics=semantics_obj,
                 aggregation=aggregation_obj,
                 rng=seed,
+                topk=topk,
             )
             outcomes[f"Baseline-{suffix}"] = (result, seconds)
         elif key == "random":
             result, seconds = time_call(
                 random_partition_baseline,
-                ratings,
+                data,
                 max_groups,
                 k,
                 semantics=semantics_obj,
@@ -229,12 +309,13 @@ def run_algorithms(
                 continue
             result, seconds = time_call(
                 optimal_groups_dp,
-                ratings,
+                data,
                 max_groups,
                 k,
                 semantics=semantics_obj,
                 aggregation=aggregation_obj,
                 max_users=optimal_max_users,
+                topk=topk,
             )
             outcomes[f"OPT-{suffix}"] = (result, seconds)
         else:
@@ -248,12 +329,14 @@ def run_grd_configs(
     ratings: RatingMatrix,
     configs: Sequence[FormationConfig],
     backend: str | None = None,
+    store: str | None = None,
 ) -> list[tuple[str, GroupFormationResult]]:
     """Run a batch of GRD configurations through the engine's batch API.
 
     All configurations are executed over the same instance with one
-    :meth:`~repro.core.engine.FormationEngine.run_many` call, so the top-k
-    table and (on the numpy backend) the bucketing structures are shared
+    :meth:`~repro.core.engine.FormationEngine.run_many` call, so one
+    :class:`~repro.core.topk_index.TopKIndex` (built at the sweep's largest
+    ``k``) and, on the numpy backend, the bucketing structures are shared
     across the ``(k, ℓ, semantics, aggregation)`` sweep.  This is the path
     the scalability benchmarks use for multi-variant figures.
 
@@ -266,7 +349,7 @@ def run_grd_configs(
         every config's result must be preserved.
     """
     engine = FormationEngine(backend)
-    results = engine.run_many(ratings, configs)
+    results = engine.run_many(apply_store(ratings, store), configs)
     return [
         (f"{result.algorithm} (k={config.k}, l={config.max_groups})", result)
         for config, result in zip(configs, results)
@@ -311,6 +394,9 @@ def sweep(
     seed: int = 0,
     y_label: str | None = None,
     backend: str | None = None,
+    store: str | None = None,
+    shards: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Vary one parameter and collect one metric per algorithm per value.
 
@@ -342,6 +428,9 @@ def sweep(
         Optional override for the metric's axis label.
     backend:
         Formation backend for the GRD runs (see :func:`run_algorithms`).
+    store, shards, workers:
+        Rating-store / sharded-execution selection per instance (see
+        :func:`run_algorithms`); recorded in the result metadata.
     """
     if varying not in {"n_users", "n_items", "n_groups", "k"}:
         raise ValueError(
@@ -367,6 +456,9 @@ def sweep(
                 algorithms=algorithms,
                 seed=instance_seed,
                 backend=backend,
+                store=store,
+                shards=shards,
+                workers=workers,
             )
             for name, (result, seconds) in outcomes.items():
                 totals.setdefault(name, []).append(
@@ -405,5 +497,7 @@ def sweep(
             "repeats": repeats,
             "seed": seed,
             "backend": backend,
+            "store": normalize_store(store),
+            "shards": shards,
         },
     )

@@ -34,10 +34,22 @@ from repro.recsys.predict import (
     UserMeanPredictor,
     complete_matrix,
 )
+from repro.recsys.store import (
+    DEFAULT_BLOCK_USERS,
+    DenseStore,
+    RatingStore,
+    SparseStore,
+    as_store,
+)
 
 __all__ = [
     "RatingMatrix",
     "RatingScale",
+    "RatingStore",
+    "DenseStore",
+    "SparseStore",
+    "as_store",
+    "DEFAULT_BLOCK_USERS",
     "UserKNNPredictor",
     "ItemKNNPredictor",
     "MatrixFactorizationPredictor",

@@ -1,0 +1,177 @@
+"""Tests for the sharded formation path and its documented objective bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FormationEngine, ShardedFormation
+from repro.core.errors import GroupFormationError
+from repro.datasets import (
+    synthetic_sparse_store,
+    synthetic_yahoo_music,
+    uniform_random_ratings,
+)
+from repro.recsys import SparseStore
+
+SEMANTICS = ("lm", "av")
+AGGREGATIONS = ("min", "max", "sum")
+
+
+def assert_results_identical(a, b, context=None):
+    __tracebackhide__ = True
+    assert a.objective == b.objective, context
+    assert [g.members for g in a.groups] == [g.members for g in b.groups], context
+    assert [g.items for g in a.groups] == [g.items for g in b.groups], context
+    assert [g.item_scores for g in a.groups] == [
+        g.item_scores for g in b.groups
+    ], context
+    assert [g.satisfaction for g in a.groups] == [
+        g.satisfaction for g in b.groups
+    ], context
+    assert (
+        a.extras["n_intermediate_groups"] == b.extras["n_intermediate_groups"]
+    ), context
+    assert (
+        a.extras["last_group_pseudocode_score"]
+        == b.extras["last_group_pseudocode_score"]
+    ), context
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return synthetic_yahoo_music(n_users=240, n_items=40, rng=3)
+
+
+@pytest.fixture(scope="module")
+def adversarial():
+    return uniform_random_ratings(80, 12, rng=9)
+
+
+class TestShardsOneBitIdentical:
+    """``--shards 1`` must reproduce the engine result bit for bit."""
+
+    @pytest.mark.parametrize("semantics", SEMANTICS)
+    @pytest.mark.parametrize("aggregation", AGGREGATIONS)
+    def test_every_variant(self, clustered, semantics, aggregation):
+        engine_result = FormationEngine("numpy").run(
+            clustered, 9, 4, semantics, aggregation
+        )
+        sharded_result = ShardedFormation(shards=1).run(
+            clustered, 9, 4, semantics, aggregation
+        )
+        assert_results_identical(
+            engine_result, sharded_result, (semantics, aggregation)
+        )
+
+
+class TestMultiShardBound:
+    """Documented bound: bit-identical for LM always and for integer data.
+
+    The only possible deviation is floating-point re-association of AV
+    bucket sums across shards; all bundled datasets produce integer-valued
+    ratings, for which small-integer float64 sums are exact — so the bound
+    collapses to bit-identity, which is what these tests pin down.
+    """
+
+    @pytest.mark.parametrize("shards", [2, 3, 7, 240])
+    def test_integer_instance_bit_identical(self, clustered, shards):
+        for semantics in SEMANTICS:
+            engine_result = FormationEngine("numpy").run(
+                clustered, 10, 5, semantics, "min"
+            )
+            sharded_result = ShardedFormation(shards=shards).run(
+                clustered, 10, 5, semantics, "min"
+            )
+            assert_results_identical(
+                engine_result, sharded_result, (semantics, shards)
+            )
+
+    def test_adversarial_singleton_heavy_instance(self, adversarial):
+        # Uniform random data degenerates to mostly singleton buckets — the
+        # worst case for the merge (every bucket crosses the merge path).
+        for semantics, aggregation in (("lm", "sum"), ("av", "sum"), ("lm", "max")):
+            engine_result = FormationEngine("numpy").run(
+                adversarial, 6, 3, semantics, aggregation
+            )
+            sharded_result = ShardedFormation(shards=5).run(
+                adversarial, 6, 3, semantics, aggregation
+            )
+            assert_results_identical(
+                engine_result, sharded_result, (semantics, aggregation)
+            )
+
+    def test_fractional_ratings_objective_within_bound(self):
+        # Fractional ratings may legitimately re-associate AV sums; the
+        # documented worst-case bound is l * k * r_max.
+        rng = np.random.default_rng(4)
+        values = np.round(rng.uniform(1.0, 5.0, size=(60, 10)), 3)
+        max_groups, k, r_max = 5, 3, 5.0
+        engine_result = FormationEngine("numpy").run(values, max_groups, k, "av", "sum")
+        sharded_result = ShardedFormation(shards=4).run(values, max_groups, k, "av", "sum")
+        bound = max_groups * k * r_max
+        assert abs(engine_result.objective - sharded_result.objective) <= bound
+
+
+class TestExecutionModes:
+    def test_workers_do_not_change_results(self, clustered):
+        sequential = ShardedFormation(shards=6).run(clustered, 8, 4, "lm", "min")
+        threaded = ShardedFormation(shards=6, workers=3).run(
+            clustered, 8, 4, "lm", "min"
+        )
+        assert_results_identical(sequential, threaded)
+        assert threaded.extras["n_shards"] == 6
+        assert threaded.extras["workers"] == 3
+
+    def test_sub_blocking_does_not_change_results(self, clustered):
+        whole = ShardedFormation(shards=2).run(clustered, 8, 4, "av", "sum")
+        blocked = ShardedFormation(shards=2, block_users=17).run(
+            clustered, 8, 4, "av", "sum"
+        )
+        assert_results_identical(whole, blocked)
+
+    def test_sparse_store_through_sharded_path(self, clustered):
+        store = SparseStore.from_matrix(clustered)
+        dense_result = FormationEngine("numpy").run(clustered, 9, 5, "lm", "min")
+        sharded_sparse = ShardedFormation(shards=4, workers=2).run(
+            store, 9, 5, "lm", "min"
+        )
+        assert_results_identical(dense_result, sharded_sparse)
+        assert sharded_sparse.extras["store"] == "SparseStore"
+
+    def test_more_shards_than_users_is_clamped(self):
+        values = uniform_random_ratings(5, 6, rng=1)
+        result = ShardedFormation(shards=50).run(values, 3, 2, "lm", "min")
+        assert result.n_users == 5
+        assert result.extras["n_shards"] == 5
+
+    def test_validation(self, clustered):
+        with pytest.raises(ValueError):
+            ShardedFormation(shards=0)
+        with pytest.raises(GroupFormationError):
+            ShardedFormation(shards=2).run(clustered, 4, 99, "lm", "min")
+
+    def test_conflicting_backend_is_rejected_not_substituted(self, clustered):
+        from repro.core import form_groups
+        from repro.experiments.runner import run_algorithms
+
+        with pytest.raises(ValueError, match="sharded"):
+            form_groups(clustered, 4, 2, shards=3, backend="reference")
+        with pytest.raises(ValueError, match="sharded"):
+            run_algorithms(
+                clustered, 4, 2, "lm", "min",
+                algorithms=("GRD",), backend="reference", shards=3,
+            )
+        # The engine-default backend (numpy) composes with sharding fine.
+        result = form_groups(clustered, 4, 2, shards=3)
+        assert result.n_groups <= 4
+
+    def test_never_densifies_more_than_a_block(self):
+        # A sparse instance whose dense form (200k x 50 floats = 80 MB) would
+        # be fine, but verify the path honours tiny block caps end to end.
+        store = synthetic_sparse_store(500, 50, density=0.1, rng=2)
+        result = ShardedFormation(shards=3, block_users=64).run(
+            store, 6, 3, "lm", "min"
+        )
+        assert result.n_users == 500
+        assert result.n_groups <= 6
