@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Service bench: incremental maintenance and serve latency vs full rebuild.
+
+Measures, on one bench instance (default: the 100k-user x 1k-item sparse
+instance), the cost of keeping the serving stack fresh under a stream of
+rating updates:
+
+* **full rebuild** — ``TopKIndex.build`` over the whole store, the price
+  the batch pipeline pays per update today;
+* **incremental batch** — ``FormationService.apply_updates`` for a batch
+  of random upserts/deletes (store write + per-user index repair + shard
+  invalidation).  The headline number is the *speedup* of incremental
+  maintenance over a full rebuild, gated at ``--min-speedup`` (default 5x);
+* **recommend latency** — p50/p99 of ``FormationService.recommend`` over a
+  mixed workload that interleaves update batches (so requests alternate
+  between memo hits, shard-recycled recomputes and cold paths), plus the
+  cold full-formation baseline for reference.
+
+Writes ``BENCH_service.json`` through the shared
+:func:`~benchmarks._timing.write_bench_json` schema.
+
+CI runs this at a small scale as a *non-blocking* trend gate
+(``check_regression.py --service``); the acceptance-scale run is::
+
+    PYTHONPATH=src python benchmarks/bench_service_updates.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from _timing import bench_entry, write_bench_json
+
+from repro.core import FormationEngine, TopKIndex
+from repro.datasets.synthetic import synthetic_sparse_store
+from repro.datasets import synthetic_yahoo_music
+from repro.recsys import DenseStore
+from repro.service import FormationService
+
+
+def build_store(args: argparse.Namespace):
+    """The bench instance as a mutable store."""
+    if args.store == "sparse":
+        return synthetic_sparse_store(
+            args.users, args.items, density=args.density, rng=args.seed
+        )
+    matrix = synthetic_yahoo_music(args.users, args.items, rng=args.seed)
+    return DenseStore(matrix.values, scale=matrix.scale)
+
+
+def random_batch(rng, n_users, n_items, size):
+    """One update batch: ~90% upserts, ~10% deletes."""
+    n_del = max(1, size // 10)
+    upserts = list(
+        zip(
+            rng.integers(0, n_users, size=size - n_del).tolist(),
+            rng.integers(0, n_items, size=size - n_del).tolist(),
+            rng.integers(1, 6, size=size - n_del).astype(float).tolist(),
+        )
+    )
+    deletes = list(
+        zip(
+            rng.integers(0, n_users, size=n_del).tolist(),
+            rng.integers(0, n_items, size=n_del).tolist(),
+        )
+    )
+    return upserts, deletes
+
+
+def percentile(samples, q):
+    """Nearest-rank percentile of a sample list."""
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(round(q / 100 * len(ordered) - 0.5))))
+    return ordered[idx]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000,
+                        help="instance size in users (default: 100000)")
+    parser.add_argument("--items", type=int, default=1000,
+                        help="instance size in items (default: 1000)")
+    parser.add_argument("--density", type=float, default=0.02,
+                        help="explicit-rating density for --store sparse "
+                             "(default: 0.02)")
+    parser.add_argument("--store", default="sparse", choices=["dense", "sparse"],
+                        help="rating storage backing the service (default: sparse)")
+    parser.add_argument("--k-max", type=int, default=20, dest="k_max",
+                        help="index width / largest served k (default: 20)")
+    parser.add_argument("--k", type=int, default=10,
+                        help="recommend request k (default: 10)")
+    parser.add_argument("--groups", type=int, default=64,
+                        help="recommend request group budget (default: 64)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="service shards (default: 8)")
+    parser.add_argument("--batches", type=int, default=10,
+                        help="update batches timed (default: 10)")
+    parser.add_argument("--batch-size", type=int, default=1000, dest="batch_size",
+                        help="updates per batch (default: 1000)")
+    parser.add_argument("--requests", type=int, default=40,
+                        help="recommend requests in the latency loop (default: 40)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required full-rebuild/incremental-batch ratio "
+                             "(default: 5.0; 0 disables the gate)")
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+    args = parser.parse_args(argv)
+
+    instance = (
+        f"{args.users}x{args.items} {args.store}, k_max={args.k_max}, "
+        f"batch={args.batch_size}"
+    )
+    print(f"bench_service_updates: {instance}")
+    store = build_store(args)
+    rng = np.random.default_rng(args.seed + 1)
+
+    # Full rebuild baseline: what every update batch costs without the
+    # incremental index (best of 2 to absorb warmup).
+    rebuild_seconds = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        TopKIndex.build(store, args.k_max)
+        rebuild_seconds = min(rebuild_seconds, time.perf_counter() - t0)
+    print(f"  full index rebuild: {rebuild_seconds * 1000:8.1f} ms")
+
+    service = FormationService(store, k_max=args.k_max, shards=args.shards)
+
+    # Incremental update batches through the full service path.
+    batch_times = []
+    repaired = skipped = 0
+    for _ in range(args.batches):
+        upserts, deletes = random_batch(
+            rng, service.index.n_users, args.items, args.batch_size
+        )
+        t0 = time.perf_counter()
+        stats = service.apply_updates(upserts=upserts, deletes=deletes)
+        batch_times.append(time.perf_counter() - t0)
+        repaired += stats["repaired_users"]
+        skipped += stats["skipped_updates"]
+    batch_mean = statistics.mean(batch_times)
+    speedup = rebuild_seconds / batch_mean
+    updates_per_second = args.batch_size / batch_mean
+    print(
+        f"  incremental batch ({args.batch_size} updates): "
+        f"mean {batch_mean * 1000:8.1f} ms | {updates_per_second:,.0f} updates/s | "
+        f"{speedup:.1f}x faster than rebuild "
+        f"({repaired} rows repaired, {skipped} skipped)"
+    )
+
+    # Cold full-formation baseline (index rebuild + formation per request).
+    engine = FormationEngine("numpy")
+    t0 = time.perf_counter()
+    cold_index = TopKIndex.build(store, args.k_max)
+    engine.run(store, args.groups, args.k, "lm", "min", topk=cold_index)
+    cold_seconds = time.perf_counter() - t0
+    print(f"  cold rebuild+formation baseline: {cold_seconds * 1000:8.1f} ms")
+
+    # Serve-latency loop: one update batch every 4 requests, so the mix
+    # covers memo hits, shard-recycled recomputes and fresh versions.
+    latencies = []
+    for i in range(args.requests):
+        if i % 4 == 3:
+            upserts, deletes = random_batch(
+                rng, service.index.n_users, args.items, args.batch_size
+            )
+            service.apply_updates(upserts=upserts, deletes=deletes)
+        t0 = time.perf_counter()
+        service.recommend(k=args.k, max_groups=args.groups)
+        latencies.append(time.perf_counter() - t0)
+    p50 = percentile(latencies, 50)
+    p99 = percentile(latencies, 99)
+    print(
+        f"  recommend latency over {args.requests} requests: "
+        f"p50 {p50 * 1000:7.1f} ms | p99 {p99 * 1000:7.1f} ms "
+        f"(stats: {service.stats()['result_hits']} memo hits, "
+        f"{service.stats()['shards_recycled']} shards recycled)"
+    )
+
+    entries = [
+        bench_entry(instance, rebuild_seconds, backend="numpy", store=args.store,
+                    metric="full_index_rebuild"),
+        bench_entry(instance, batch_mean, backend="numpy", store=args.store,
+                    metric="incremental_batch_mean", batch_size=args.batch_size,
+                    updates_per_second=updates_per_second, speedup=speedup),
+        bench_entry(instance, cold_seconds, backend="numpy", store=args.store,
+                    metric="cold_rebuild_and_formation", k=args.k,
+                    max_groups=args.groups),
+        bench_entry(instance, p50, backend="numpy", store=args.store,
+                    metric="recommend_p50", k=args.k, max_groups=args.groups),
+        bench_entry(instance, p99, backend="numpy", store=args.store,
+                    metric="recommend_p99", k=args.k, max_groups=args.groups),
+    ]
+    path = write_bench_json("service", entries)
+    print(f"  timings written to {path}")
+
+    if args.min_speedup and speedup < args.min_speedup:
+        print(
+            f"FAIL: incremental updates only {speedup:.2f}x faster than a full "
+            f"rebuild (required {args.min_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: incremental maintenance {speedup:.1f}x faster than full rebuild")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,13 @@ small scale through both engine backends and fails when
   unsharded engine on this integer-rated instance (where the documented
   bound is bit-identity).
 
+``--service`` additionally runs the online-service bench
+(``bench_service_updates.py``) at a small scale as a **non-blocking trend
+gate**: its numbers are printed and written to ``BENCH_service.json`` so
+the update-throughput trajectory is tracked across PRs, but they never
+fail this gate (the acceptance-scale speedup check lives in the bench's
+own ``--min-speedup``).
+
 Each run also writes ``BENCH_regression.json`` (per-instance wall time,
 backend, store, commit) so the perf trajectory is tracked across PRs.
 
@@ -63,6 +70,9 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="also gate the sharded path (bit-identical on this "
                              "integer-rated instance) with this many shards")
+    parser.add_argument("--service", action="store_true",
+                        help="also run the online-service bench at small scale "
+                             "as a non-blocking trend report")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
 
@@ -165,6 +175,25 @@ def main(argv=None) -> int:
 
     path = write_bench_json("regression", entries)
     print(f"\ntimings written to {path}")
+
+    if args.service:
+        # Non-blocking: the service bench reports its own trend numbers and
+        # writes BENCH_service.json; a slow run never fails this gate.
+        print("\nservice trend (non-blocking):")
+        import bench_service_updates
+
+        try:
+            bench_service_updates.main([
+                "--users", str(max(args.users, 2000)),
+                "--items", str(args.items),
+                "--batches", "3",
+                "--batch-size", "200",
+                "--requests", "12",
+                "--min-speedup", "0",
+            ])
+        except Exception as exc:  # noqa: BLE001 - trend-only, never gate
+            print(f"service trend bench failed (non-blocking): {exc}",
+                  file=sys.stderr)
 
     if failures:
         print("\nFAIL:", "; ".join(failures), file=sys.stderr)

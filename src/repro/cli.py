@@ -12,6 +12,10 @@ Installed as the ``repro-experiments`` console script::
 Results are printed as aligned text tables (the same rows/series the paper
 plots); ``--json PATH`` additionally dumps the raw numbers for downstream
 plotting.
+
+The online serving layer has its own console script (``repro serve``, see
+:mod:`repro.service.cli`); ``repro-experiments serve ...`` forwards there
+so either spelling works.
 """
 
 from __future__ import annotations
@@ -190,12 +194,32 @@ def _catalogue() -> str:
         "  calibration  GRD vs Baseline vs OPT on exactly solvable instances",
         "  userstudy    alias of fig7",
         "  all          run every experiment at the selected scale",
+        "",
+        "Online serving (see docs/api.md):",
+        "  serve        run the formation service (alias of `repro serve`)",
     ]
     return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-experiments`` console script."""
+    """Entry point of the ``repro-experiments`` console script.
+
+    Parameters
+    ----------
+    argv:
+        Argument vector (default: ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+        Process exit status (non-zero on failure).
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        # The serving layer owns its own flags; forward verbatim.
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -47,7 +47,7 @@ from repro.core.engine import (
     get_backend,
 )
 from repro.core.sharded import ShardedFormation
-from repro.core.topk_index import TopKIndex
+from repro.core.topk_index import MutableTopKIndex, TopKIndex
 from repro.core.formation import available_algorithms, form_groups
 from repro.core.greedy_av import grd_av, grd_av_max, grd_av_min, grd_av_sum
 from repro.core.greedy_lm import (
@@ -104,6 +104,7 @@ __all__ = [
     "FormationEngine",
     "NumpyBackend",
     "ReferenceBackend",
+    "MutableTopKIndex",
     "ShardedFormation",
     "TopKIndex",
     "get_backend",

@@ -165,7 +165,8 @@ class FormationBackend(ABC):
 
     @abstractmethod
     def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Per-user top-``k`` items and scores (validation already performed).
+        """Per-user top-``k`` items and scores of the complete rating array
+        ``values`` (validation already performed).
 
         Both backends' kernels are bit-identical to
         :meth:`~repro.core.topk_index.TopKIndex.build`, which is what the
@@ -185,7 +186,8 @@ class FormationBackend(ABC):
         """Bucket users and greedily select the ``max_groups - 1`` best buckets.
 
         ``items_table`` / ``scores_table`` are a ``TopKIndex`` slice for the
-        run's ``k``.  ``cache`` (when provided by
+        run's ``k``; ``variant`` supplies the bucket key and contribution
+        rules.  ``cache`` (when provided by
         :meth:`FormationEngine.run_many`) lets the backend reuse work shared
         between configurations of a batch; it may be ignored.
         """
@@ -203,6 +205,7 @@ class ReferenceBackend(FormationBackend):
     name = "reference"
 
     def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-user top-``k`` of ``values`` via the naive full stable sort."""
         return _top_k_table_sorted(values, k)
 
     def form(
@@ -213,6 +216,11 @@ class ReferenceBackend(FormationBackend):
         max_groups: int,
         cache: dict[Any, Any] | None = None,
     ) -> FormationPlan:
+        """Bucket and select via the per-user dict/heap loop (``cache`` unused).
+
+        See :meth:`FormationBackend.form` for the meaning of
+        ``items_table`` / ``scores_table`` / ``variant`` / ``max_groups``.
+        """
         n_users = items_table.shape[0]
 
         # Step 1: intermediate groups — hash users on the variant's key.
@@ -283,6 +291,7 @@ class NumpyBackend(FormationBackend):
     name = "numpy"
 
     def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-user top-``k`` of ``values`` via the fastest exact kernel."""
         # The engine already rejected non-finite ratings, so the dispatch can
         # skip its -inf sentinel scan.
         return _top_k_table_dispatch(values, k, assume_finite=True)
@@ -376,6 +385,13 @@ class NumpyBackend(FormationBackend):
         max_groups: int,
         cache: dict[Any, Any] | None = None,
     ) -> FormationPlan:
+        """Bucket and select via packed-key lexsort and vectorised reductions.
+
+        See :meth:`FormationBackend.form` for the meaning of
+        ``items_table`` / ``scores_table`` / ``variant`` / ``max_groups``;
+        ``cache`` shares the bucketing and contribution arrays across a
+        :meth:`FormationEngine.run_many` sweep.
+        """
         n_users, k = items_table.shape
         if cache is None:
             cache = {}
@@ -517,8 +533,35 @@ def finalise_plan(
     backends and the sharded engine): score the selected groups on their
     recommended lists, fill the group budget by splitting homogeneous
     groups, and merge the remaining users into the left-over ℓ-th group.
-    ``selected_items_rows[i]`` is the recommended top-k item row of
-    ``plan.selected[i]``.
+
+    Parameters
+    ----------
+    store:
+        Rating storage used to score groups (only ``(members, items)``
+        sub-matrices are densified).
+    plan:
+        The backend's selection outcome.
+    selected_items_rows:
+        Per selected group, its recommended top-``k`` item row
+        (``selected_items_rows[i]`` belongs to ``plan.selected[i]``).
+    k:
+        Recommended-list length.
+    variant:
+        The greedy variant being executed.
+    max_groups:
+        Group budget ℓ.
+    watch:
+        Stopwatch carrying the formation lap; the recommendation lap is
+        added here.
+    backend_name:
+        Recorded in the result's ``extras``.
+    extra_extras:
+        Additional bookkeeping merged into ``extras``.
+
+    Returns
+    -------
+    GroupFormationResult
+        The fully scored formation outcome.
     """
     n_users = store.shape[0]
     # Dense stores score through the raw array — the exact historical path.
@@ -653,7 +696,31 @@ class FormationEngine:
         aggregation: Aggregation | str = "min",
         topk: TopKIndex | None = None,
     ) -> GroupFormationResult:
-        """Run one greedy formation (see :func:`repro.core.greedy_framework.run_greedy`)."""
+        """Run one greedy formation (see :func:`repro.core.greedy_framework.run_greedy`).
+
+        Parameters
+        ----------
+        ratings:
+            A complete array, :class:`RatingMatrix`, or any
+            :class:`~repro.recsys.store.RatingStore`.
+        max_groups:
+            Group budget ℓ.
+        k:
+            Recommended-list length.
+        semantics:
+            ``"lm"`` / ``"av"`` or a :class:`~repro.core.semantics.Semantics`.
+        aggregation:
+            ``"min"`` / ``"max"`` / ``"sum"`` / a weighted-sum name, or an
+            :class:`~repro.core.aggregation.Aggregation` instance.
+        topk:
+            Optional prebuilt :class:`~repro.core.topk_index.TopKIndex`
+            covering this instance at ``k_max >= k``.
+
+        Returns
+        -------
+        GroupFormationResult
+            The scored formation outcome.
+        """
         return self.run_variant(
             ratings, max_groups, k, make_variant(semantics, aggregation), topk=topk
         )
@@ -666,7 +733,12 @@ class FormationEngine:
         variant: GreedyVariant,
         topk: TopKIndex | None = None,
     ) -> GroupFormationResult:
-        """Run one prebuilt :class:`~repro.core.greedy_framework.GreedyVariant`."""
+        """Run one prebuilt :class:`~repro.core.greedy_framework.GreedyVariant`.
+
+        Parameters are as in :meth:`run`, with ``variant`` replacing the
+        ``semantics`` / ``aggregation`` pair; ``ratings``, ``max_groups``,
+        ``k`` and ``topk`` keep their meanings.
+        """
         store = coerce_store(ratings)
         return self._run_one(store, max_groups, k, variant, topk, {})
 
@@ -676,10 +748,10 @@ class FormationEngine:
         configs: Sequence[FormationConfig],
         topk: TopKIndex | None = None,
     ) -> list[GroupFormationResult]:
-        """Run a batch of configurations over one rating matrix.
+        """Run a batch of ``configs`` over one ``ratings`` instance.
 
         One :class:`~repro.core.topk_index.TopKIndex` is built at the
-        sweep's largest ``k`` (unless a prebuilt one is passed in) and
+        sweep's largest ``k`` (unless a prebuilt ``topk`` is passed in) and
         sliced per configuration, and (on the numpy backend) the bucketing
         and contribution arrays are shared across configurations with the
         same key signature — so a sweep of ``(k, ℓ, semantics,

@@ -61,7 +61,37 @@ from repro.utils.timing import Stopwatch
 from repro.utils.validation import require_positive_int
 from repro.core.errors import GroupFormationError
 
-__all__ = ["ShardedFormation", "ShardSummary"]
+__all__ = [
+    "ShardedFormation",
+    "ShardSummary",
+    "form_from_summaries",
+    "merge_summaries",
+    "plan_from_summaries",
+    "shard_bounds",
+    "summarise_shard",
+    "summarise_store_shard",
+    "summarise_tables",
+]
+
+
+def shard_bounds(n_users: int, shards: int) -> np.ndarray:
+    """Contiguous shard boundaries over the user axis.
+
+    Parameters
+    ----------
+    n_users:
+        Total number of users being partitioned.
+    shards:
+        Requested shard count (capped at ``n_users``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of ``min(shards, n_users) + 1`` boundaries;
+        shard ``s`` covers users ``bounds[s]:bounds[s + 1]``.
+    """
+    n_shards = min(shards, n_users)
+    return np.linspace(0, n_users, n_shards + 1).astype(np.int64)
 
 
 @dataclass
@@ -104,9 +134,78 @@ class ShardSummary:
 def summarise_shard(
     block: np.ndarray, start: int, k: int, variant: GreedyVariant
 ) -> ShardSummary:
-    """Rank, bucket and score one dense shard block (users ``start..``)."""
+    """Rank, bucket and score one dense shard block (users ``start..``).
+
+    Parameters
+    ----------
+    block:
+        Dense ``(shard_size, n_items)`` rating rows of the shard.
+    start:
+        Global index of the shard's first user.
+    k:
+        Top-k prefix length of the run.
+    variant:
+        The greedy variant being executed (defines key and contributions).
+
+    Returns
+    -------
+    ShardSummary
+        The shard's bucket-level digest.
+    """
     items_table, scores_table = _top_k_table_dispatch(block, k, assume_finite=True)
-    return _summarise_tables(items_table, scores_table, start, variant)
+    return summarise_tables(items_table, scores_table, start, variant)
+
+
+def summarise_store_shard(
+    store: RatingStore,
+    start: int,
+    stop: int,
+    k: int,
+    variant: GreedyVariant,
+    block_users: int | None = None,
+) -> ShardSummary:
+    """Summarise users ``start:stop`` of a store, densifying blockwise.
+
+    This is the per-shard unit of work shared by :class:`ShardedFormation`
+    and the online :class:`~repro.service.FormationService` (which caches
+    summaries per shard and recomputes only the shards whose users
+    changed).  Ranking is row-independent, so sub-blocking the
+    densification never changes results.
+
+    Parameters
+    ----------
+    store:
+        Rating storage the shard is read from.
+    start, stop:
+        Global user range of the shard.
+    k:
+        Top-k prefix length of the run.
+    variant:
+        The greedy variant being executed.
+    block_users:
+        Cap on rows densified at once (default:
+        :data:`~repro.recsys.store.DEFAULT_BLOCK_USERS`).
+
+    Returns
+    -------
+    ShardSummary
+        The shard's bucket-level digest.
+    """
+    block_cap = block_users or DEFAULT_BLOCK_USERS
+    if stop - start <= block_cap:
+        return summarise_shard(store.block(start, stop), start, k, variant)
+    pieces_items = []
+    pieces_scores = []
+    for sub_start in range(start, stop, block_cap):
+        sub_stop = min(sub_start + block_cap, stop)
+        items_table, scores_table = _top_k_table_dispatch(
+            store.block(sub_start, sub_stop), k, assume_finite=True
+        )
+        pieces_items.append(items_table)
+        pieces_scores.append(scores_table)
+    return summarise_tables(
+        np.vstack(pieces_items), np.vstack(pieces_scores), start, variant
+    )
 
 
 def merge_summaries(
@@ -114,11 +213,22 @@ def merge_summaries(
 ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
     """Merge shard bucket digests into the global intermediate groups.
 
-    Returns ``(scores, reps, members, items_rows)`` over the merged buckets.
     Shards must be in ascending user order; the stable lexsort then keeps
     each merged bucket's constituents in shard order, so concatenated member
     arrays are ascending and the first constituent's representative is the
     global (smallest-index) representative — matching the unsharded engine.
+
+    Parameters
+    ----------
+    summaries:
+        Per-shard digests in ascending user order.
+    combine:
+        The variant's combine rule — ``"first"`` (LM) or ``"sum"`` (AV).
+
+    Returns
+    -------
+    tuple
+        ``(scores, reps, members, items_rows)`` over the merged buckets.
     """
     all_keys = np.vstack([s.keys for s in summaries])
     bucket_scores = np.concatenate([s.scores for s in summaries])
@@ -159,6 +269,115 @@ def merge_summaries(
         else:
             merged_scores[b] = bucket_scores[first]
     return merged_scores, merged_reps, merged_members, merged_items
+
+
+def plan_from_summaries(
+    summaries: list[ShardSummary],
+    variant: GreedyVariant,
+    n_users: int,
+    max_groups: int,
+) -> tuple[FormationPlan, list[np.ndarray]]:
+    """Merge shard summaries and greedily select under the group budget.
+
+    Steps 2 of the algorithm over already-summarised shards: merge bucket
+    digests exactly by key, pick the ``max_groups - 1`` best buckets
+    (highest score first, ties by smallest representative — the engine's
+    total order), and package the outcome as the backend-independent
+    :class:`~repro.core.engine.FormationPlan`.
+
+    Parameters
+    ----------
+    summaries:
+        Per-shard digests in ascending user order (one per shard).
+    variant:
+        The greedy variant being executed.
+    n_users:
+        Total user count covered by the summaries.
+    max_groups:
+        Group budget ℓ.
+
+    Returns
+    -------
+    tuple
+        ``(plan, selected_items_rows)`` ready for
+        :func:`~repro.core.engine.finalise_plan`.
+    """
+    scores, reps, members, items_rows = merge_summaries(summaries, variant.combine)
+    contributions = np.concatenate([s.contributions for s in summaries])
+
+    n_buckets = scores.size
+    n_select = min(max_groups - 1, n_buckets)
+    chosen = np.lexsort((reps, -scores))[:n_select]
+    selected = [
+        (tuple(int(u) for u in members[b]), int(reps[b])) for b in chosen
+    ]
+    selected_mask = np.zeros(n_users, dtype=bool)
+    for b in chosen:
+        selected_mask[members[b]] = True
+    remaining_users = [int(u) for u in np.flatnonzero(~selected_mask)]
+
+    plan = FormationPlan(
+        selected=selected,
+        remaining_users=remaining_users,
+        n_intermediate_groups=int(n_buckets),
+        user_values=lambda users: contributions[np.asarray(users, dtype=np.int64)],
+    )
+    return plan, [items_rows[b] for b in chosen]
+
+
+def form_from_summaries(
+    store: RatingStore,
+    summaries: list[ShardSummary],
+    variant: GreedyVariant,
+    max_groups: int,
+    k: int,
+    extra_extras: dict | None = None,
+) -> GroupFormationResult:
+    """Run steps 2–3 over prepared shard summaries and score the result.
+
+    The entry point the online serving layer uses: shard summaries may be
+    freshly computed or recycled from a cache (only shards whose users
+    changed need recomputation), and this function turns whatever mix it
+    is given into a final scored :class:`GroupFormationResult` through the
+    exact :func:`~repro.core.engine.finalise_plan` path of the engine.
+
+    Parameters
+    ----------
+    store:
+        Rating storage used to score the selected groups.
+    summaries:
+        Per-shard digests in ascending user order covering every user.
+    variant:
+        The greedy variant being executed.
+    max_groups:
+        Group budget ℓ.
+    k:
+        Top-k prefix length of the run.
+    extra_extras:
+        Extra bookkeeping merged into the result's ``extras``.
+
+    Returns
+    -------
+    GroupFormationResult
+        Same contract as ``FormationEngine.run`` (see the parity notes in
+        the module docstring).
+    """
+    watch = Stopwatch()
+    with watch.lap("formation"):
+        plan, selected_items_rows = plan_from_summaries(
+            summaries, variant, store.shape[0], max_groups
+        )
+    return finalise_plan(
+        store,
+        plan,
+        selected_items_rows,
+        k,
+        variant,
+        max_groups,
+        watch,
+        backend_name="numpy",
+        extra_extras=extra_extras,
+    )
 
 
 class ShardedFormation:
@@ -214,7 +433,29 @@ class ShardedFormation:
         semantics: Semantics | str = "lm",
         aggregation: Aggregation | str = "min",
     ) -> GroupFormationResult:
-        """Run one greedy formation through the sharded path."""
+        """Run one greedy formation through the sharded path.
+
+        Parameters
+        ----------
+        ratings:
+            A complete array, :class:`~repro.recsys.matrix.RatingMatrix`,
+            or any :class:`~repro.recsys.store.RatingStore`.
+        max_groups:
+            Group budget ℓ.
+        k:
+            Recommended-list length.
+        semantics:
+            ``"lm"`` / ``"av"`` or a :class:`~repro.core.semantics.Semantics`.
+        aggregation:
+            ``"min"`` / ``"max"`` / ``"sum"`` / a weighted-sum name, or an
+            :class:`~repro.core.aggregation.Aggregation` instance.
+
+        Returns
+        -------
+        GroupFormationResult
+            See the module docstring for the parity guarantees versus the
+            unsharded engine.
+        """
         return self.run_variant(
             ratings, max_groups, k, make_variant(semantics, aggregation)
         )
@@ -226,7 +467,25 @@ class ShardedFormation:
         k: int,
         variant: GreedyVariant,
     ) -> GroupFormationResult:
-        """Run one prebuilt variant through the sharded path."""
+        """Run one prebuilt variant through the sharded path.
+
+        Parameters
+        ----------
+        ratings:
+            A complete array, :class:`~repro.recsys.matrix.RatingMatrix`,
+            or any :class:`~repro.recsys.store.RatingStore`.
+        max_groups:
+            Group budget ℓ.
+        k:
+            Recommended-list length.
+        variant:
+            A prebuilt :class:`~repro.core.greedy_framework.GreedyVariant`.
+
+        Returns
+        -------
+        GroupFormationResult
+            See the module docstring for the parity guarantees.
+        """
         store = coerce_store(ratings)
         n_users, n_items = store.shape
         max_groups = require_positive_int(max_groups, "max_groups")
@@ -235,37 +494,15 @@ class ShardedFormation:
             raise GroupFormationError(
                 f"k={k} exceeds the number of items ({n_items})"
             )
-        n_shards = min(self.shards, n_users)
-        bounds = np.linspace(0, n_users, n_shards + 1).astype(np.int64)
+        bounds = shard_bounds(n_users, self.shards)
+        n_shards = bounds.size - 1
 
         watch = Stopwatch()
         with watch.lap("formation"):
             summaries = self._summarise(store, bounds, k, variant)
-            scores, reps, members, items_rows = merge_summaries(
-                summaries, variant.combine
+            plan, selected_items_rows = plan_from_summaries(
+                summaries, variant, n_users, max_groups
             )
-            contributions = np.concatenate([s.contributions for s in summaries])
-
-            n_buckets = scores.size
-            n_select = min(max_groups - 1, n_buckets)
-            chosen = np.lexsort((reps, -scores))[:n_select]
-            selected = [
-                (tuple(int(u) for u in members[b]), int(reps[b])) for b in chosen
-            ]
-            selected_mask = np.zeros(n_users, dtype=bool)
-            for b in chosen:
-                selected_mask[members[b]] = True
-            remaining_users = [int(u) for u in np.flatnonzero(~selected_mask)]
-
-            plan = FormationPlan(
-                selected=selected,
-                remaining_users=remaining_users,
-                n_intermediate_groups=int(n_buckets),
-                user_values=lambda users: contributions[
-                    np.asarray(users, dtype=np.int64)
-                ],
-            )
-            selected_items_rows = [items_rows[b] for b in chosen]
 
         return finalise_plan(
             store,
@@ -292,32 +529,33 @@ class ShardedFormation:
         k: int,
         variant: GreedyVariant,
     ) -> list[ShardSummary]:
-        """Summarise every shard, sequentially or on a thread pool."""
+        """Summarise every shard, sequentially or on a thread pool.
 
-        block_cap = self.block_users or DEFAULT_BLOCK_USERS
+        Parameters
+        ----------
+        store:
+            Rating storage the shards are read from.
+        bounds:
+            Shard boundaries from :func:`shard_bounds`.
+        k:
+            Top-k prefix length of the run.
+        variant:
+            The greedy variant being executed.
+
+        Returns
+        -------
+        list of ShardSummary
+            One digest per shard, in ascending user order.
+        """
 
         def one(shard: int) -> ShardSummary:
-            start, stop = int(bounds[shard]), int(bounds[shard + 1])
-            if stop - start <= block_cap:
-                block = store.block(start, stop)
-                return summarise_shard(block, start, k, variant)
-            # Sub-block the shard's densification, then summarise the
-            # stitched top-k tables: rank each sub-block and bucket the
-            # concatenated tables.  Ranking is row-independent, so this is
-            # identical to one big block while only ever densifying
-            # ``block_cap`` rows at a time.
-            pieces_items = []
-            pieces_scores = []
-            for sub_start in range(start, stop, block_cap):
-                sub_stop = min(sub_start + block_cap, stop)
-                block = store.block(sub_start, sub_stop)
-                items_table, scores_table = _top_k_table_dispatch(
-                    block, k, assume_finite=True
-                )
-                pieces_items.append(items_table)
-                pieces_scores.append(scores_table)
-            return _summarise_tables(
-                np.vstack(pieces_items), np.vstack(pieces_scores), start, variant
+            return summarise_store_shard(
+                store,
+                int(bounds[shard]),
+                int(bounds[shard + 1]),
+                k,
+                variant,
+                block_users=self.block_users,
             )
 
         if self.workers is None or self.workers <= 1 or bounds.size <= 2:
@@ -326,13 +564,34 @@ class ShardedFormation:
             return list(pool.map(one, range(bounds.size - 1)))
 
 
-def _summarise_tables(
+def summarise_tables(
     items_table: np.ndarray,
     scores_table: np.ndarray,
     start: int,
     variant: GreedyVariant,
 ) -> ShardSummary:
-    """:func:`summarise_shard` for already-ranked top-k tables."""
+    """:func:`summarise_shard` for already-ranked top-k tables.
+
+    This is how the serving layer summarises a shard straight from its
+    incrementally maintained :class:`~repro.core.topk_index.MutableTopKIndex`
+    slices — skipping densification and ranking entirely — which is
+    bit-identical to summarising from the store because the index maintains
+    build parity.
+
+    Parameters
+    ----------
+    items_table, scores_table:
+        The shard's ``(shard_size, k)`` ranked top-k tables.
+    start:
+        Global index of the shard's first user.
+    variant:
+        The greedy variant being executed.
+
+    Returns
+    -------
+    ShardSummary
+        The shard's bucket-level digest.
+    """
     inverse, sorted_users, starts = NumpyBackend._bucketize(
         items_table, scores_table, variant.key_scores
     )

@@ -37,6 +37,7 @@ from repro.recsys.predict import (
 from repro.recsys.store import (
     DEFAULT_BLOCK_USERS,
     DenseStore,
+    MutableRatingStore,
     RatingStore,
     SparseStore,
     as_store,
@@ -46,6 +47,7 @@ __all__ = [
     "RatingMatrix",
     "RatingScale",
     "RatingStore",
+    "MutableRatingStore",
     "DenseStore",
     "SparseStore",
     "as_store",

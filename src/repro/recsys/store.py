@@ -42,6 +42,7 @@ from repro.recsys.matrix import RatingMatrix, RatingScale
 
 __all__ = [
     "RatingStore",
+    "MutableRatingStore",
     "DenseStore",
     "SparseStore",
     "as_store",
@@ -65,16 +66,24 @@ class RatingStore(Protocol):
     """
 
     @property
-    def n_users(self) -> int: ...
+    def n_users(self) -> int:
+        """Number of user rows."""
+        ...
 
     @property
-    def n_items(self) -> int: ...
+    def n_items(self) -> int:
+        """Catalogue size (number of item columns)."""
+        ...
 
     @property
-    def shape(self) -> tuple[int, int]: ...
+    def shape(self) -> tuple[int, int]:
+        """``(n_users, n_items)``."""
+        ...
 
     @property
-    def scale(self) -> RatingScale: ...
+    def scale(self) -> RatingScale:
+        """The bounded rating scale every stored value lies on."""
+        ...
 
     @property
     def density(self) -> float:
@@ -103,12 +112,165 @@ class RatingStore(Protocol):
     def iter_blocks(
         self, block_users: int = DEFAULT_BLOCK_USERS
     ) -> Iterator[tuple[int, int, np.ndarray]]:
-        """Yield ``(start, stop, dense_block)`` over all users in order."""
+        """Yield ``(start, stop, dense_block)`` in ``block_users``-row steps."""
         ...
 
     def to_dense(self) -> np.ndarray:
         """The full dense ``(n_users, n_items)`` array (use with care)."""
         ...
+
+
+@runtime_checkable
+class MutableRatingStore(RatingStore, Protocol):
+    """A :class:`RatingStore` that additionally accepts in-place updates.
+
+    This is the contract the online serving layer
+    (:mod:`repro.service`) builds on: cells can be upserted or deleted and
+    user rows appended or cleared, while every read-side method keeps the
+    :class:`RatingStore` guarantees (complete, finite, on-scale ratings).
+    Deleting a cell reverts it to the store's :attr:`fill_value`.
+    """
+
+    @property
+    def fill_value(self) -> float:
+        """Rating a deleted (or never-rated) cell reads back as."""
+        ...
+
+    def upsert(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> None:
+        """Set ``store[users[j], items[j]] = values[j]`` for every ``j``."""
+        ...
+
+    def delete(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+    ) -> None:
+        """Revert the cells ``(users[j], items[j])`` to :attr:`fill_value`."""
+        ...
+
+    def clear_rows(self, users: Sequence[int] | np.ndarray) -> None:
+        """Revert every cell of the ``users`` rows to :attr:`fill_value`."""
+        ...
+
+    def append_users(self, rows: np.ndarray) -> None:
+        """Append ``rows`` (dense ``(m, n_items)``) as new trailing users."""
+        ...
+
+
+def _validate_update_coords(
+    users: Sequence[int] | np.ndarray,
+    items: Sequence[int] | np.ndarray,
+    shape: tuple[int, int],
+    values: Sequence[float] | np.ndarray | None,
+    scale: RatingScale,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Validate coordinate updates shared by every mutable store.
+
+    Parameters
+    ----------
+    users, items:
+        Parallel coordinate arrays of the cells to touch.
+    shape:
+        ``(n_users, n_items)`` of the store being mutated.
+    values:
+        New ratings (``None`` for deletions).
+    scale:
+        Rating scale the new values must lie on.
+
+    Returns
+    -------
+    tuple
+        ``(users, items, values)`` as validated ``int64`` / ``float64``
+        arrays (``values`` is ``None`` for deletions).  Duplicate
+        coordinates are collapsed **last-wins**, so a batch behaves like
+        its updates applied in order regardless of the store backend.
+
+    Raises
+    ------
+    RatingDataError
+        On ragged inputs, out-of-range coordinates, or non-finite /
+        off-scale values.
+    """
+    users = np.asarray(users, dtype=np.int64).ravel()
+    items = np.asarray(items, dtype=np.int64).ravel()
+    if users.shape != items.shape:
+        raise RatingDataError(
+            f"update coordinates must be parallel arrays, got {users.size} users "
+            f"and {items.size} items"
+        )
+    if users.size and (users.min() < 0 or users.max() >= shape[0]):
+        raise RatingDataError("update user index out of range")
+    if items.size and (items.min() < 0 or items.max() >= shape[1]):
+        raise RatingDataError("update item index out of range")
+    if values is not None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.shape != users.shape:
+            raise RatingDataError(
+                f"updates need one value per coordinate, got {values.size} values "
+                f"for {users.size} cells"
+            )
+        if values.size and not np.isfinite(values).all():
+            raise RatingDataError("updates must be finite ratings")
+        if values.size and not scale.contains(values):
+            raise RatingDataError(
+                f"updates contain values outside the rating scale "
+                f"[{scale.minimum}, {scale.maximum}]"
+            )
+    if users.size > 1:
+        # Collapse duplicate coordinates last-wins: np.unique on the
+        # reversed flat coordinates returns the *last* occurrence of each.
+        flat = users * np.int64(shape[1]) + items
+        _, rev_idx = np.unique(flat[::-1], return_index=True)
+        keep = users.size - 1 - rev_idx
+        if keep.size != users.size:
+            users, items = users[keep], items[keep]
+            if values is not None:
+                values = values[keep]
+    return users, items, values
+
+
+def _validate_new_rows(rows: np.ndarray, n_items: int, scale: RatingScale) -> np.ndarray:
+    """Validate dense rows being appended to a mutable store.
+
+    Parameters
+    ----------
+    rows:
+        ``(m, n_items)`` dense ratings of the new users.
+    n_items:
+        Catalogue width of the store being appended to.
+    scale:
+        Rating scale the new rows must lie on.
+
+    Returns
+    -------
+    numpy.ndarray
+        The rows as a validated 2-D ``float64`` array.
+
+    Raises
+    ------
+    RatingDataError
+        When the rows are ragged, off-catalogue, non-finite or off-scale.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows[None, :]
+    if rows.ndim != 2 or rows.shape[1] != n_items:
+        raise RatingDataError(
+            f"appended users need shape (m, {n_items}), got {rows.shape}"
+        )
+    if rows.size and not np.isfinite(rows).all():
+        raise RatingDataError("appended user rows must be finite")
+    if rows.size and not scale.contains(rows):
+        raise RatingDataError(
+            f"appended user rows contain values outside the rating scale "
+            f"[{scale.minimum}, {scale.maximum}]"
+        )
+    return rows
 
 
 def _validate_dense(values: np.ndarray) -> np.ndarray:
@@ -163,37 +325,46 @@ class DenseStore:
 
     @property
     def n_users(self) -> int:
+        """Number of user rows."""
         return self._values.shape[0]
 
     @property
     def n_items(self) -> int:
+        """Catalogue size (number of item columns)."""
         return self._values.shape[1]
 
     @property
     def shape(self) -> tuple[int, int]:
+        """``(n_users, n_items)``."""
         return self._values.shape
 
     @property
     def scale(self) -> RatingScale:
+        """The bounded rating scale every stored value lies on."""
         return self._scale
 
     @property
     def density(self) -> float:
+        """Fraction of cells stored explicitly — always ``1.0`` here."""
         return 1.0
 
     @property
     def nbytes(self) -> int:
+        """Resident size of the wrapped array in bytes."""
         return int(self._values.nbytes)
 
     def block(self, start: int, stop: int) -> np.ndarray:
+        """View of the contiguous user rows ``start:stop`` (no copy)."""
         return self._values[start:stop]
 
     def rows(self, users: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Dense rows for ``users``, in the given order (fancy-index copy)."""
         return self._values[np.asarray(users, dtype=np.int64)]
 
     def gather(
         self, users: Sequence[int] | np.ndarray, items: Sequence[int] | np.ndarray
     ) -> np.ndarray:
+        """Dense ``(len(users), len(items))`` sub-matrix of the given cells."""
         return self._values[
             np.ix_(np.asarray(users, dtype=np.int64), np.asarray(items, dtype=np.int64))
         ]
@@ -201,12 +372,106 @@ class DenseStore:
     def iter_blocks(
         self, block_users: int = DEFAULT_BLOCK_USERS
     ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, dense_view)`` over ``block_users``-row blocks."""
         for start in range(0, self.n_users, block_users):
             stop = min(start + block_users, self.n_users)
             yield start, stop, self._values[start:stop]
 
     def to_dense(self) -> np.ndarray:
+        """The wrapped array itself (no copy)."""
         return self._values
+
+    # ------------------------------------------------------------------ #
+    # MutableRatingStore interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fill_value(self) -> float:
+        """Rating a deleted cell reverts to: the scale minimum.
+
+        A dense store has no notion of "unobserved", so deletions adopt the
+        same conservative completion the sparse store uses by default.
+        """
+        return float(self._scale.minimum)
+
+    def upsert(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> None:
+        """Write ratings into individual cells, in place.
+
+        Parameters
+        ----------
+        users, items:
+            Parallel coordinate arrays of the cells to write.
+        values:
+            New ratings; must be finite and on the store's scale.
+
+        Raises
+        ------
+        RatingDataError
+            On out-of-range coordinates or off-scale / non-finite values.
+        """
+        users, items, values = _validate_update_coords(
+            users, items, self.shape, values, self._scale
+        )
+        self._values[users, items] = values
+
+    def delete(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+    ) -> None:
+        """Revert individual cells to :attr:`fill_value`, in place.
+
+        Parameters
+        ----------
+        users, items:
+            Parallel coordinate arrays of the cells to delete.
+
+        Raises
+        ------
+        RatingDataError
+            On out-of-range coordinates.
+        """
+        users, items, _ = _validate_update_coords(
+            users, items, self.shape, None, self._scale
+        )
+        self._values[users, items] = self.fill_value
+
+    def clear_rows(self, users: Sequence[int] | np.ndarray) -> None:
+        """Revert whole user rows to :attr:`fill_value` (user "removal").
+
+        Parameters
+        ----------
+        users:
+            User indices whose every rating is deleted.  The rows stay in
+            the store (indices are positional and must remain stable); the
+            serving layer additionally tombstones the users.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise RatingDataError("update user index out of range")
+        self._values[users, :] = self.fill_value
+
+    def append_users(self, rows: np.ndarray) -> None:
+        """Append new trailing user rows.
+
+        Parameters
+        ----------
+        rows:
+            Dense ``(m, n_items)`` ratings of the new users; must be
+            complete, finite and on the store's scale.
+
+        Notes
+        -----
+        Appending reallocates the backing array (``O(n_users)``), so the
+        serving layer batches user additions.
+        """
+        rows = _validate_new_rows(rows, self.n_items, self._scale)
+        self._values = np.vstack([self._values, rows])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DenseStore(n_users={self.n_users}, n_items={self.n_items})"
@@ -277,10 +542,12 @@ class SparseStore:
     def from_matrix(
         cls, matrix: RatingMatrix, fill_value: float | None = None
     ) -> "SparseStore":
-        """Build from a :class:`RatingMatrix` (missing entries become fill).
+        """Build from a :class:`RatingMatrix`.
 
-        A *complete* matrix round-trips bit for bit: every cell is stored
-        explicitly, so the fill value never shows through.
+        Missing entries of ``matrix`` read back as ``fill_value`` (default:
+        the scale minimum).  A *complete* matrix round-trips bit for bit:
+        every cell is stored explicitly, so the fill value never shows
+        through.
         """
         mask = matrix.known_mask
         rows, cols = np.nonzero(mask)
@@ -314,7 +581,9 @@ class SparseStore:
         (deterministic for a deterministic stream); pass integer ``n_users``
         / ``n_items`` with integer-index triples to skip label mapping.
 
-        Duplicate ``(user, item)`` pairs with conflicting ratings raise
+        Unobserved cells read back as ``fill_value`` (default: the minimum
+        of ``scale``, itself defaulting to 1-5 stars).  Duplicate
+        ``(user, item)`` pairs with conflicting ratings raise
         :class:`~repro.core.errors.RatingDataError`; exact duplicates are
         tolerated (the same contract as ``RatingMatrix.from_triples``).
         """
@@ -398,26 +667,32 @@ class SparseStore:
 
     @property
     def n_users(self) -> int:
+        """Number of user rows."""
         return self._csr.shape[0]
 
     @property
     def n_items(self) -> int:
+        """Catalogue size (number of item columns)."""
         return self._csr.shape[1]
 
     @property
     def shape(self) -> tuple[int, int]:
+        """``(n_users, n_items)``."""
         return tuple(self._csr.shape)
 
     @property
     def scale(self) -> RatingScale:
+        """The bounded rating scale every stored value lies on."""
         return self._scale
 
     @property
     def density(self) -> float:
+        """Fraction of cells stored explicitly (``nnz / (users * items)``)."""
         return self._csr.nnz / (self.n_users * self.n_items)
 
     @property
     def nbytes(self) -> int:
+        """Resident size of the CSR arrays in bytes."""
         return int(
             self._csr.data.nbytes + self._csr.indices.nbytes + self._csr.indptr.nbytes
         )
@@ -433,15 +708,18 @@ class SparseStore:
         return dense
 
     def block(self, start: int, stop: int) -> np.ndarray:
+        """Densify the contiguous user rows ``start:stop``."""
         return self._densify(self._csr[start:stop])
 
     def rows(self, users: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Densify the rows of ``users``, in the given order."""
         users = np.asarray(users, dtype=np.int64)
         return self._densify(self._csr[users])
 
     def gather(
         self, users: Sequence[int] | np.ndarray, items: Sequence[int] | np.ndarray
     ) -> np.ndarray:
+        """Densify the ``(users, items)`` sub-matrix of the given cells."""
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         sub = self._csr[users][:, items]
@@ -450,12 +728,131 @@ class SparseStore:
     def iter_blocks(
         self, block_users: int = DEFAULT_BLOCK_USERS
     ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, dense_block)`` over ``block_users``-row blocks."""
         for start in range(0, self.n_users, block_users):
             stop = min(start + block_users, self.n_users)
             yield start, stop, self.block(start, stop)
 
     def to_dense(self) -> np.ndarray:
+        """Densify the whole matrix (use with care at scale)."""
         return self._densify(self._csr)
+
+    # ------------------------------------------------------------------ #
+    # MutableRatingStore interface
+    # ------------------------------------------------------------------ #
+
+    def _set_cells(self, users: np.ndarray, items: np.ndarray, values: np.ndarray) -> None:
+        """Write validated cells through scipy's CSR assignment.
+
+        Changing the sparsity structure of a CSR matrix is O(nnz) — scipy
+        flags it with a ``SparseEfficiencyWarning`` — which is the price the
+        serving layer pays per *batch*, not per update; the warning is
+        silenced because the cost is a documented property of this method.
+        """
+        if not users.size:
+            return
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", sp.SparseEfficiencyWarning)
+            self._csr[users, items] = values
+        self._csr.sort_indices()
+
+    def upsert(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> None:
+        """Write ratings into individual cells, in place.
+
+        Parameters
+        ----------
+        users, items:
+            Parallel coordinate arrays of the cells to write.
+        values:
+            New ratings; must be finite and on the store's scale.
+
+        Raises
+        ------
+        RatingDataError
+            On out-of-range coordinates or off-scale / non-finite values.
+        """
+        users, items, values = _validate_update_coords(
+            users, items, self.shape, values, self._scale
+        )
+        self._set_cells(users, items, values)
+
+    def delete(
+        self,
+        users: Sequence[int] | np.ndarray,
+        items: Sequence[int] | np.ndarray,
+    ) -> None:
+        """Revert individual cells to :attr:`fill_value`, in place.
+
+        The cells become indistinguishable from never-rated cells on the
+        dense read side (densification writes stored ratings over a
+        ``fill_value`` canvas, so an explicit ``fill_value`` entry and a
+        missing entry read back identically).
+
+        Parameters
+        ----------
+        users, items:
+            Parallel coordinate arrays of the cells to delete.
+
+        Raises
+        ------
+        RatingDataError
+            On out-of-range coordinates.
+        """
+        users, items, _ = _validate_update_coords(
+            users, items, self.shape, None, self._scale
+        )
+        self._set_cells(
+            users, items, np.full(users.shape, self.fill_value, dtype=np.float64)
+        )
+
+    def clear_rows(self, users: Sequence[int] | np.ndarray) -> None:
+        """Revert whole user rows to :attr:`fill_value` (user "removal").
+
+        Parameters
+        ----------
+        users:
+            User indices whose every rating is deleted.  The rows stay in
+            the store (indices are positional and must remain stable); the
+            serving layer additionally tombstones the users.
+        """
+        users = np.asarray(users, dtype=np.int64).ravel()
+        if users.size and (users.min() < 0 or users.max() >= self.n_users):
+            raise RatingDataError("update user index out of range")
+        indptr = self._csr.indptr
+        data = self._csr.data
+        for user in users:
+            data[indptr[user]:indptr[user + 1]] = self.fill_value
+
+    def append_users(self, rows: np.ndarray) -> None:
+        """Append new trailing user rows.
+
+        Only cells differing from :attr:`fill_value` are stored explicitly,
+        so appended rows cost memory proportional to their non-fill ratings.
+        External ``user_ids`` labels (positional, presentation-only) are
+        dropped because the new rows have none.
+
+        Parameters
+        ----------
+        rows:
+            Dense ``(m, n_items)`` ratings of the new users; must be
+            complete, finite and on the store's scale.
+        """
+        rows = _validate_new_rows(rows, self.n_items, self._scale)
+        mask = rows != self.fill_value
+        r, c = np.nonzero(mask)
+        new_csr = sp.csr_matrix(
+            (rows[r, c], (r, c)), shape=(rows.shape[0], self.n_items), dtype=np.float64
+        )
+        self._csr = sp.vstack([self._csr, new_csr], format="csr")
+        self._csr.sort_indices()
+        self.user_ids = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -465,7 +862,7 @@ class SparseStore:
 
 
 def as_store(ratings: "RatingStore | RatingMatrix | np.ndarray") -> RatingStore:
-    """Coerce any accepted rating input into a :class:`RatingStore`.
+    """Coerce any accepted ``ratings`` input into a :class:`RatingStore`.
 
     Existing stores pass through untouched; a complete
     :class:`RatingMatrix` or raw 2-D array is wrapped in a

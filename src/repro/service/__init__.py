@@ -1,0 +1,21 @@
+"""Online serving layer: live rating updates and request-time formation.
+
+Everything below this package turns the library's batch data plane into a
+system that can take traffic:
+
+* :class:`~repro.service.service.FormationService` — owns a mutable store
+  and a :class:`~repro.core.topk_index.MutableTopKIndex`, memoizes
+  formation results keyed by ``(parameters, index version)`` and recycles
+  cached per-shard bucket summaries across updates.
+* :class:`~repro.service.http.ServiceServer` — a dependency-free asyncio
+  JSON/HTTP front end with update batching and request coalescing.
+* :mod:`repro.service.cli` — the ``repro serve`` console entry point.
+
+See ``docs/architecture.md`` for how the pieces fit the data plane and
+``docs/api.md`` for the request/response reference.
+"""
+
+from repro.service.http import ServiceServer
+from repro.service.service import FormationService
+
+__all__ = ["FormationService", "ServiceServer"]

@@ -1,0 +1,154 @@
+"""The ``repro`` console script: run the online formation service.
+
+::
+
+    repro serve --users 5000 --items 500 --port 8321
+    repro serve --store sparse --users 100000 --items 1000 --density 0.02
+
+Boots a synthetic rating instance (the same generators the experiment
+harness uses), wraps it in a :class:`~repro.service.FormationService` and
+serves JSON over HTTP until interrupted.  See ``docs/api.md`` for the
+endpoint reference and ``repro serve --help`` for every flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed separately for testing).
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        The parser with the ``serve`` subcommand registered.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online group-formation service for the SIGMOD 2015 reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve = sub.add_parser(
+        "serve",
+        help="serve formation requests over JSON/HTTP",
+        description=(
+            "Bootstrap a rating instance, build the incremental top-k index and "
+            "answer /recommend and /updates requests over JSON/HTTP."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument("--users", type=int, default=2000,
+                       help="synthetic instance size in users (default: 2000)")
+    serve.add_argument("--items", type=int, default=300,
+                       help="synthetic instance size in items (default: 300)")
+    serve.add_argument("--density", type=float, default=0.05,
+                       help="explicit-rating density of the sparse bootstrap "
+                            "(default: 0.05; ignored for --store dense)")
+    serve.add_argument("--store", default="dense", choices=["dense", "sparse"],
+                       help="rating storage backing the service (default: dense)")
+    serve.add_argument("--seed", type=int, default=0, help="bootstrap seed")
+    serve.add_argument("--k-max", type=int, default=20, dest="k_max",
+                       help="largest recommended-list length served (default: 20)")
+    serve.add_argument("--shards", type=int, default=8,
+                       help="cached-summary shards (default: 8)")
+    serve.add_argument("--backend", default=DEFAULT_BACKEND, choices=list(BACKENDS),
+                       help=f"formation backend (default: {DEFAULT_BACKEND})")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       help="seconds an update batch stays open to coalesce "
+                            "concurrent writers (default: 0.01)")
+    return parser
+
+
+def bootstrap_service(args: argparse.Namespace):
+    """Build the :class:`~repro.service.FormationService` a ``serve`` run uses.
+
+    Parameters
+    ----------
+    args:
+        Parsed ``repro serve`` arguments.
+
+    Returns
+    -------
+    FormationService
+        Service over a synthetic dense or sparse instance.
+    """
+    from repro.service.service import FormationService
+
+    if args.store == "sparse":
+        from repro.datasets.synthetic import synthetic_sparse_store
+
+        store = synthetic_sparse_store(
+            args.users, args.items, density=args.density, rng=args.seed
+        )
+    else:
+        from repro.datasets import synthetic_yahoo_music
+        from repro.recsys.store import DenseStore
+
+        matrix = synthetic_yahoo_music(args.users, args.items, rng=args.seed)
+        store = DenseStore(matrix.values, scale=matrix.scale)
+    return FormationService(
+        store,
+        k_max=min(args.k_max, args.items),
+        shards=args.shards,
+        backend=args.backend,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    """Start the server and run until cancelled (Ctrl-C)."""
+    from repro.service.http import ServiceServer
+
+    service = bootstrap_service(args)
+    server = ServiceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+    )
+    await server.start()
+    stats = service.stats()
+    print(
+        f"repro serve: {stats['n_users']} users x {stats['n_items']} items "
+        f"({args.store} store, k_max={stats['k_max']}, {stats['shards']} shards, "
+        f"{stats['backend']} backend)"
+    )
+    print(f"listening on http://{server.host}:{server.port}  "
+          f"(endpoints: /healthz /stats /recommend /updates)")
+    await server.run_forever()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script.
+
+    Parameters
+    ----------
+    argv:
+        Argument vector (default: ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+        Process exit status.
+    """
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        try:
+            asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            print("repro serve: stopped")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,344 @@
+"""Asyncio JSON-over-HTTP front end for the formation service.
+
+A deliberately dependency-free server (stdlib ``asyncio`` only — no
+aiohttp, no web framework) speaking just enough HTTP/1.1 to serve JSON:
+
+``GET /healthz``
+    Liveness probe; reports the current index version.
+``GET /stats``
+    :meth:`~repro.service.FormationService.stats` as JSON.
+``POST /recommend``
+    Body ``{"k": 5, "max_groups": 8, "semantics": "lm",
+    "aggregation": "min", "user_ids": null}`` → the formation result.
+``POST /updates``
+    Body ``{"upserts": [[user, item, rating], ...],
+    "deletes": [[user, item], ...]}`` → the applied batch's bookkeeping.
+
+Two serving-layer behaviours make the thin protocol production-shaped:
+
+* **Update batching** — concurrent ``POST /updates`` requests arriving
+  within ``batch_window`` seconds are coalesced into a *single*
+  :meth:`~repro.service.FormationService.apply_updates` batch (one store
+  write, one index repair, one invalidation), and every caller receives
+  the shared batch's bookkeeping.  Per-batch cost is what makes CSR
+  mutation and shard invalidation affordable under write bursts.
+* **Request coalescing** — identical concurrent ``POST /recommend``
+  requests (same parameters, same index version) share one in-flight
+  computation instead of each paying for the formation.
+
+The blocking service calls run on the default thread-pool executor, so
+the event loop keeps accepting connections while numpy works (the
+kernels release the GIL).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.core.errors import ReproError
+from repro.service.service import FormationService
+
+__all__ = ["ServiceServer"]
+
+_MAX_BODY = 32 * 1024 * 1024  # 32 MiB request-body cap
+
+
+def _json_default(obj: Any) -> Any:
+    """Make numpy scalars/arrays (which leak into result extras) JSON-safe."""
+    if hasattr(obj, "item") and not isinstance(obj, dict):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+
+class _HTTPError(Exception):
+    """Internal: maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceServer:
+    """Serve a :class:`~repro.service.FormationService` over HTTP.
+
+    Parameters
+    ----------
+    service:
+        The formation service answering the requests.
+    host, port:
+        Bind address (default ``127.0.0.1:8321``; port ``0`` picks a free
+        port, readable from :attr:`port` after :meth:`start`).
+    batch_window:
+        Seconds an update batch stays open to coalesce concurrent writers
+        (default ``0.01``).
+
+    Examples
+    --------
+    Programmatic startup (the ``repro serve`` CLI wraps exactly this)::
+
+        server = ServiceServer(service, port=0)
+        asyncio.run(server.run_forever())
+    """
+
+    def __init__(
+        self,
+        service: FormationService,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        batch_window: float = 0.01,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.batch_window = float(batch_window)
+        self._server: asyncio.AbstractServer | None = None
+        self._pending_updates: list[tuple[dict[str, Any], asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self.coalesced_recommends = 0
+        self.batched_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the listening socket (resolves ``port=0`` to the real port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and close the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one HTTP/1.1 request, route it, write the JSON response."""
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HTTPError as exc:
+                await self._respond(writer, exc.status, {"error": exc.message})
+                return
+            try:
+                status, payload = await self._route(method, path, body)
+            except _HTTPError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except ReproError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # noqa: BLE001 - boundary of the server
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            await self._respond(writer, status, payload)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - socket already gone
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict[str, Any]]:
+        """Read request line, headers and (optional) JSON body."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise _HTTPError(400, "connection dropped")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _HTTPError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HTTPError(400, "bad Content-Length")
+        if content_length < 0:
+            raise _HTTPError(400, "bad Content-Length")
+        if content_length > _MAX_BODY:
+            raise _HTTPError(413, "request body too large")
+        body: dict[str, Any] = {}
+        if content_length:
+            try:
+                raw = await reader.readexactly(content_length)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                raise _HTTPError(400, "request body shorter than Content-Length")
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HTTPError(400, f"invalid JSON body: {exc}")
+            if not isinstance(body, dict):
+                raise _HTTPError(400, "JSON body must be an object")
+        return method, path, body
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+    ) -> None:
+        """Write one JSON response and flush."""
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 413: "Payload Too Large",
+                   500: "Internal Server Error"}
+        data = json.dumps(payload, default=_json_default).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    async def _route(
+        self, method: str, path: str, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Dispatch one parsed request to its handler."""
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "version": self.service.version}
+        if path == "/stats" and method == "GET":
+            return 200, self.service.stats()
+        if path == "/recommend" and method == "POST":
+            return 200, await self._recommend(body)
+        if path == "/updates" and method == "POST":
+            return 200, await self._updates(body)
+        if path in {"/healthz", "/stats", "/recommend", "/updates"}:
+            raise _HTTPError(405, f"{method} not allowed on {path}")
+        raise _HTTPError(404, f"unknown path {path}")
+
+    async def _recommend(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Run (or join) one coalesced recommend computation."""
+        try:
+            k = int(body.get("k", 5))
+            max_groups = int(body.get("max_groups", 8))
+        except (TypeError, ValueError):
+            raise _HTTPError(400, "k and max_groups must be integers")
+        semantics = str(body.get("semantics", "lm"))
+        aggregation = str(body.get("aggregation", "min"))
+        user_ids = body.get("user_ids")
+        if user_ids is not None:
+            if not isinstance(user_ids, list):
+                raise _HTTPError(400, "user_ids must be a list or null")
+            user_ids = [int(u) for u in user_ids]
+
+        loop = asyncio.get_running_loop()
+        key = (
+            k, max_groups, semantics, aggregation,
+            None if user_ids is None else tuple(user_ids),
+            self.service.version,
+        )
+        future = self._inflight.get(key)
+        if future is None:
+            future = loop.run_in_executor(
+                None,
+                lambda: self.service.recommend(
+                    k=k,
+                    max_groups=max_groups,
+                    semantics=semantics,
+                    aggregation=aggregation,
+                    user_ids=user_ids,
+                ),
+            )
+            self._inflight[key] = future
+            future.add_done_callback(lambda _f, _k=key: self._inflight.pop(_k, None))
+        else:
+            self.coalesced_recommends += 1
+        result = await asyncio.shield(future)
+        payload = result.as_dict()
+        payload["coalesced"] = self.coalesced_recommends
+        return payload
+
+    async def _updates(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Join the currently open update batch (opening one if needed)."""
+        upserts = body.get("upserts", [])
+        deletes = body.get("deletes", [])
+        if not isinstance(upserts, list) or not isinstance(deletes, list):
+            raise _HTTPError(400, "upserts and deletes must be lists")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if self._pending_updates:
+            self.batched_updates += 1
+        else:
+            self._flush_handle = loop.call_later(
+                self.batch_window, lambda: asyncio.ensure_future(self._flush_updates())
+            )
+        self._pending_updates.append(
+            ({"upserts": upserts, "deletes": deletes}, future)
+        )
+        return await asyncio.shield(future)
+
+    async def _flush_updates(self) -> None:
+        """Apply the open batch as one ``apply_updates`` call.
+
+        The merged call is atomic (validation happens before any write), so
+        on failure the batch falls back to applying each request
+        individually — a bad update rejects only its own request instead of
+        poisoning every writer that happened to share the window.
+        """
+        pending, self._pending_updates = self._pending_updates, []
+        self._flush_handle = None
+        if not pending:
+            return
+        upserts = [tuple(u) for req, _ in pending for u in req["upserts"]]
+        deletes = [tuple(d) for req, _ in pending for d in req["deletes"]]
+        loop = asyncio.get_running_loop()
+        try:
+            stats = await loop.run_in_executor(
+                None,
+                lambda: self.service.apply_updates(upserts=upserts, deletes=deletes),
+            )
+        except Exception:  # noqa: BLE001 - isolate the offending request(s)
+            for req, future in pending:
+                try:
+                    stats = await loop.run_in_executor(
+                        None,
+                        lambda _r=req: self.service.apply_updates(
+                            upserts=[tuple(u) for u in _r["upserts"]],
+                            deletes=[tuple(d) for d in _r["deletes"]],
+                        ),
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-request verdict
+                    if not future.done():
+                        future.set_exception(exc)
+                else:
+                    stats["batched_requests"] = 1
+                    if not future.done():
+                        future.set_result(stats)
+            return
+        stats["batched_requests"] = len(pending)
+        for _, future in pending:
+            if not future.done():
+                future.set_result(dict(stats))

@@ -1,0 +1,434 @@
+"""The online formation service: live updates, cached formations.
+
+:class:`FormationService` turns the batch data plane (store → index →
+engine) into a request-serving component:
+
+* it owns a :class:`~repro.recsys.store.MutableRatingStore` and a
+  :class:`~repro.core.topk_index.MutableTopKIndex`, so rating upserts and
+  deletes repair only the touched users' rankings instead of rebuilding
+  the index (:meth:`FormationService.apply_updates`);
+* full-population formations run through the sharded path
+  (:mod:`repro.core.sharded`): per-shard bucket summaries are **cached**
+  and an update batch invalidates only the shards whose users' rankings
+  actually changed, so the next request recomputes a few shards and
+  recycles the rest through the exact merge-by-key;
+* finished formation results are memoized keyed by ``(parameters,
+  index version)``, so identical requests between updates cost a
+  dictionary lookup — and any update batch naturally invalidates them by
+  bumping the version.
+
+Every path produces results **bit-identical** to a cold
+:class:`~repro.core.engine.FormationEngine` run on the current ratings —
+caching and incrementality are pure execution strategies, never
+approximations (``tests/service/test_service.py`` asserts this).
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.recsys.store import DenseStore
+>>> from repro.service import FormationService
+>>> ratings = np.array(
+...     [[1, 4, 3], [2, 3, 5], [2, 5, 1], [2, 5, 1], [3, 1, 1], [1, 2, 5]],
+...     dtype=float,
+... )
+>>> service = FormationService(DenseStore(ratings), k_max=2, shards=2)
+>>> service.recommend(k=1, max_groups=3).objective
+11.0
+>>> _ = service.apply_updates(upserts=[(4, 1, 5.0)])
+>>> service.recommend(k=1, max_groups=3).objective
+13.0
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.engine import FormationEngine, get_backend
+from repro.core.errors import GroupFormationError
+from repro.core.greedy_framework import GreedyVariant, make_variant
+from repro.core.grouping import Group, GroupFormationResult
+from repro.core.sharded import (
+    ShardSummary,
+    form_from_summaries,
+    shard_bounds,
+    summarise_tables,
+)
+from repro.core.topk_index import MutableTopKIndex
+from repro.recsys.store import DenseStore, MutableRatingStore
+from repro.utils.validation import require_positive_int
+
+__all__ = ["FormationService"]
+
+#: Default number of memoized formation results kept (LRU).
+DEFAULT_RESULT_CACHE = 128
+
+
+class FormationService:
+    """Serve group-formation requests over a live, updatable rating store.
+
+    Parameters
+    ----------
+    store:
+        A mutable rating store (:class:`~repro.recsys.store.DenseStore` or
+        :class:`~repro.recsys.store.SparseStore`) holding the current
+        ratings.  All further updates must flow through
+        :meth:`apply_updates` so store and index stay in lock-step.
+    k_max:
+        Largest recommended-list length the service answers
+        (``1 <= k_max <= n_items``).
+    shards:
+        Number of contiguous user shards whose bucket summaries are cached
+        (default 8).  More shards make update invalidation finer-grained
+        at a small per-request merge cost.
+    backend:
+        Formation engine backend (default ``"numpy"``); results are
+        bit-identical across backends.
+    compaction_fraction:
+        Forwarded to :class:`~repro.core.topk_index.MutableTopKIndex`.
+    result_cache_size:
+        Number of memoized formation results kept (LRU, default 128).
+
+    Raises
+    ------
+    GroupFormationError
+        When the store is not mutable or ``k_max`` is out of range.
+
+    Notes
+    -----
+    The service is thread-safe: one re-entrant lock serialises updates and
+    formations, which is the intended concurrency model for the asyncio
+    front end (requests coalesce *before* reaching the service, and the
+    heavy numpy work releases the GIL anyway).
+    """
+
+    def __init__(
+        self,
+        store: MutableRatingStore,
+        k_max: int,
+        shards: int = 8,
+        backend: str | None = None,
+        compaction_fraction: float | None = 0.25,
+        result_cache_size: int = DEFAULT_RESULT_CACHE,
+    ) -> None:
+        self._backend = get_backend(backend)
+        self._engine = FormationEngine(self._backend)
+        self._index = MutableTopKIndex(
+            store, k_max, compaction_fraction=compaction_fraction
+        )
+        self._shards = require_positive_int(shards, "shards")
+        self._bounds = shard_bounds(store.n_users, self._shards)
+        self._result_cache_size = require_positive_int(
+            result_cache_size, "result_cache_size"
+        )
+        self._summaries: dict[tuple[int, int, str], ShardSummary] = {}
+        self._results: OrderedDict[tuple, GroupFormationResult] = OrderedDict()
+        self._lock = threading.RLock()
+        self._counters = {
+            "requests": 0,
+            "result_hits": 0,
+            "shards_recycled": 0,
+            "shards_recomputed": 0,
+            "update_batches": 0,
+            "updates_applied": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    @property
+    def store(self) -> MutableRatingStore:
+        """The backing rating store (read-only from the outside)."""
+        return self._index.store
+
+    @property
+    def index(self) -> MutableTopKIndex:
+        """The incrementally maintained top-k index."""
+        return self._index
+
+    @property
+    def version(self) -> int:
+        """Current index version — the freshness token of every cache."""
+        return self._index.version
+
+    def stats(self) -> dict[str, Any]:
+        """Operational counters and sizes for monitoring.
+
+        Returns
+        -------
+        dict
+            Users/items/k_max/version/staleness, cache sizes, request and
+            shard recycle/recompute counters.
+        """
+        with self._lock:
+            return {
+                "n_users": self._index.n_users,
+                "n_items": self._index.n_items,
+                "k_max": self._index.k_max,
+                "shards": int(self._bounds.size - 1),
+                "version": self._index.version,
+                "staleness": self._index.staleness,
+                "removed_users": len(self._index.removed),
+                "cached_summaries": len(self._summaries),
+                "cached_results": len(self._results),
+                "backend": self._backend.name,
+                **self._counters,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def apply_updates(
+        self,
+        upserts: Sequence[tuple[int, int, float]] | np.ndarray = (),
+        deletes: Sequence[tuple[int, int]] | np.ndarray = (),
+        add_users: np.ndarray | None = None,
+        remove_users: Sequence[int] | np.ndarray | None = None,
+    ) -> dict[str, Any]:
+        """Apply one batch of mutations and invalidate exactly what changed.
+
+        Parameters
+        ----------
+        upserts:
+            ``(user, item, rating)`` triples to write (last-wins within the
+            batch).
+        deletes:
+            ``(user, item)`` pairs reverting to the store's fill value.
+        add_users:
+            Optional dense ``(m, n_items)`` rows of new users to append.
+        remove_users:
+            Optional user indices to tombstone.
+
+        Returns
+        -------
+        dict
+            The index's batch bookkeeping plus ``{"invalidated_shards",
+            "version"}`` (``invalidated_shards`` counts the cached shard
+            summaries dropped by this batch, including wholesale drops on
+            compaction or user addition).
+
+        Notes
+        -----
+        Shard summaries are dropped only for shards whose users' *top-k
+        rankings* changed; an update that cannot move any ranking (the
+        index's fast path) leaves every summary valid, and only the
+        memoized results are refreshed (scoring reads below-top-k ratings
+        from the store).
+        """
+        with self._lock:
+            stats = self._index.apply(upserts=upserts, deletes=deletes)
+            touched = set(stats.pop("repaired_user_ids", ()))
+            invalidated = 0
+            if stats["compacted"]:
+                # Compaction re-materialises the index arrays; cached
+                # summaries hold views/copies of old slices — drop them all.
+                invalidated += len(self._summaries)
+                self._summaries.clear()
+            if remove_users is not None:
+                before = self._index.version
+                self._index.remove_users(remove_users)
+                if self._index.version != before:
+                    touched.update(int(u) for u in np.asarray(remove_users).ravel())
+            if add_users is not None and np.asarray(add_users).size:
+                self._index.add_users(add_users)
+                # The user axis grew: shard boundaries shift, so every
+                # cached summary is positionally stale.
+                self._bounds = shard_bounds(self._index.n_users, self._shards)
+                invalidated += len(self._summaries)
+                self._summaries.clear()
+
+            invalidated += self._invalidate_shards(touched)
+            self._results.clear()
+            self._counters["update_batches"] += 1
+            self._counters["updates_applied"] += stats["upserts"] + stats["deletes"]
+            stats["invalidated_shards"] = invalidated
+            stats["version"] = self._index.version
+            return stats
+
+    def _invalidate_shards(self, users: set[int]) -> int:
+        """Drop cached summaries of every shard containing ``users``."""
+        if not users or not self._summaries:
+            return 0
+        user_array = np.fromiter(users, dtype=np.int64)
+        shards = set(
+            np.searchsorted(self._bounds, user_array, side="right") - 1
+        )
+        stale = [key for key in self._summaries if key[0] in shards]
+        for key in stale:
+            del self._summaries[key]
+        return len(stale)
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    def recommend(
+        self,
+        k: int,
+        max_groups: int,
+        semantics: str = "lm",
+        aggregation: str = "min",
+        user_ids: Sequence[int] | None = None,
+    ) -> GroupFormationResult:
+        """Answer one formation request from the current ratings.
+
+        Parameters
+        ----------
+        k:
+            Recommended-list length (``1 <= k <= k_max``).
+        max_groups:
+            Group budget ℓ.
+        semantics:
+            ``"lm"`` or ``"av"``.
+        aggregation:
+            ``"min"`` / ``"max"`` / ``"sum"`` / a weighted-sum name.
+        user_ids:
+            Optional subset of users to form groups over (in the given
+            order — the order defines the tie-break indices).  ``None``
+            forms groups over every active user.
+
+        Returns
+        -------
+        GroupFormationResult
+            Bit-identical to a cold ``FormationEngine`` run on the current
+            ratings restricted to the requested users; ``extras`` carries
+            the serving bookkeeping (version, cache hits, shard counts).
+
+        Raises
+        ------
+        GroupFormationError
+            On out-of-range ``k``, unknown semantics/aggregation, or a
+            request naming removed/unknown users.
+        """
+        k = require_positive_int(k, "k")
+        max_groups = require_positive_int(max_groups, "max_groups")
+        if k > self._index.k_max:
+            raise GroupFormationError(
+                f"k={k} exceeds the service's k_max ({self._index.k_max})"
+            )
+        variant = make_variant(semantics, aggregation)
+        with self._lock:
+            self._counters["requests"] += 1
+            users_key = None if user_ids is None else tuple(int(u) for u in user_ids)
+            key = (k, max_groups, variant.name, users_key, self._index.version)
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                self._counters["result_hits"] += 1
+                return cached
+
+            if users_key is None and not self._index.removed:
+                result = self._recommend_all(k, max_groups, variant)
+            else:
+                explicit = users_key is not None
+                users = (
+                    np.asarray(users_key, dtype=np.int64)
+                    if explicit
+                    else self._index.active_users()
+                )
+                result = self._recommend_subset(
+                    users, k, max_groups, variant, validate=explicit
+                )
+
+            self._results[key] = result
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+            return result
+
+    def _recommend_all(
+        self, k: int, max_groups: int, variant: GreedyVariant
+    ) -> GroupFormationResult:
+        """Full-population request through cached shard summaries."""
+        items_table, scores_table = self._index.top_k(k)
+        summaries: list[ShardSummary] = []
+        recycled = recomputed = 0
+        for shard in range(self._bounds.size - 1):
+            cache_key = (shard, k, variant.name)
+            summary = self._summaries.get(cache_key)
+            if summary is None:
+                start = int(self._bounds[shard])
+                stop = int(self._bounds[shard + 1])
+                summary = summarise_tables(
+                    items_table[start:stop], scores_table[start:stop], start, variant
+                )
+                self._summaries[cache_key] = summary
+                recomputed += 1
+            else:
+                recycled += 1
+            summaries.append(summary)
+        self._counters["shards_recycled"] += recycled
+        self._counters["shards_recomputed"] += recomputed
+        return form_from_summaries(
+            self.store,
+            summaries,
+            variant,
+            max_groups,
+            k,
+            extra_extras={
+                "service_version": self._index.version,
+                "shards_recycled": recycled,
+                "shards_recomputed": recomputed,
+            },
+        )
+
+    def _recommend_subset(
+        self,
+        users: np.ndarray,
+        k: int,
+        max_groups: int,
+        variant: GreedyVariant,
+        validate: bool,
+    ) -> GroupFormationResult:
+        """Form groups over an explicit user subset (request-sized path).
+
+        The subset's rows are gathered into a dense request-local store and
+        the index restricted with
+        :meth:`~repro.core.topk_index.TopKIndex.for_users`, so rankings are
+        never recomputed; group members are mapped back to global user
+        indices before the result is returned.
+        """
+        if validate:
+            if users.size == 0:
+                raise GroupFormationError("recommend needs at least one user")
+            if np.unique(users).size != users.size:
+                raise GroupFormationError("user_ids contains duplicates")
+            if users.min() < 0 or users.max() >= self._index.n_users:
+                raise GroupFormationError("user_ids out of range")
+            removed = self._index.removed
+            if removed and any(int(u) in removed for u in users):
+                raise GroupFormationError("user_ids names removed users")
+        sub_store = DenseStore(
+            self.store.rows(users), scale=self.store.scale, validate=False
+        )
+        sub_index = self._index.for_users(users)
+        local = self._engine.run_variant(
+            sub_store, max_groups, k, variant, topk=sub_index
+        )
+        groups = [
+            Group(
+                members=tuple(int(users[m]) for m in group.members),
+                items=group.items,
+                item_scores=group.item_scores,
+                satisfaction=group.satisfaction,
+            )
+            for group in local.groups
+        ]
+        extras = dict(local.extras)
+        extras["service_version"] = self._index.version
+        extras["subset_size"] = int(users.size)
+        return GroupFormationResult(
+            groups=groups,
+            objective=local.objective,
+            algorithm=local.algorithm,
+            semantics=local.semantics,
+            aggregation=local.aggregation,
+            k=k,
+            max_groups=max_groups,
+            extras=extras,
+        )

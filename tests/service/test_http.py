@@ -1,0 +1,177 @@
+"""End-to-end tests of the asyncio JSON/HTTP front end.
+
+Starts a real :class:`~repro.service.ServiceServer` on an ephemeral port
+inside a background event loop and talks plain HTTP to it — the same wire
+path ``repro serve`` exposes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import FormationEngine
+from repro.recsys import DenseStore
+from repro.service import FormationService, ServiceServer
+
+
+@pytest.fixture()
+def server():
+    values = np.random.default_rng(17).integers(1, 6, size=(60, 15)).astype(float)
+    service = FormationService(DenseStore(values.copy()), k_max=5, shards=3)
+    srv = ServiceServer(service, port=0, batch_window=0.2)
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.time() + 5
+    while srv._server is None:
+        if time.time() > deadline:  # pragma: no cover - startup failure
+            raise RuntimeError("server did not start")
+        time.sleep(0.01)
+    yield srv, values
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+def request(srv: ServiceServer, path: str, body=None, method=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{srv.port}{path}",
+        data=data,
+        method=method or ("POST" if data else "GET"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_healthz_and_stats(server):
+    srv, _ = server
+    status, payload = request(srv, "/healthz")
+    assert status == 200 and payload["status"] == "ok"
+    status, payload = request(srv, "/stats")
+    assert status == 200 and payload["n_users"] == 60
+
+
+def test_recommend_end_to_end_matches_engine(server):
+    srv, values = server
+    status, payload = request(
+        srv,
+        "/recommend",
+        {"k": 3, "max_groups": 5, "semantics": "lm", "aggregation": "min"},
+    )
+    assert status == 200
+    want = FormationEngine("numpy").run(DenseStore(values), 5, 3, "lm", "min")
+    assert payload["algorithm"] == "GRD-LM-MIN"
+    assert payload["objective"] == want.objective
+    assert [tuple(g["members"]) for g in payload["groups"]] == [
+        g.members for g in want.groups
+    ]
+
+
+def test_updates_change_subsequent_recommendations(server):
+    srv, values = server
+    _, before = request(srv, "/recommend", {"k": 3, "max_groups": 5})
+    status, stats = request(
+        srv, "/updates", {"upserts": [[0, 1, 5.0]], "deletes": [[2, 3]]}
+    )
+    assert status == 200
+    assert stats["upserts"] == 1 and stats["deletes"] == 1
+    assert stats["version"] >= 1
+    _, after = request(srv, "/recommend", {"k": 3, "max_groups": 5})
+    assert after["extras"]["service_version"] == stats["version"]
+    # Verify against a cold engine over the mutated ratings.
+    shadow = DenseStore(values.copy())
+    shadow.upsert([0], [1], [5.0])
+    shadow.delete([2], [3])
+    want = FormationEngine("numpy").run(shadow, 5, 3, "lm", "min")
+    assert after["objective"] == want.objective
+
+
+def test_concurrent_updates_coalesce_into_one_batch(server):
+    srv, _ = server
+    with concurrent.futures.ThreadPoolExecutor(6) as pool:
+        results = list(
+            pool.map(
+                lambda j: request(srv, "/updates", {"upserts": [[j, 0, 3.0]]}),
+                range(6),
+            )
+        )
+    assert all(status == 200 for status, _ in results)
+    batches = {payload["version"] for _, payload in results}
+    requests_batched = sum(payload["batched_requests"] for _, payload in results)
+    # Fewer version bumps than requests proves coalescing happened.
+    assert len(batches) < 6
+    assert requests_batched >= 6
+
+
+def test_bad_update_does_not_poison_the_shared_batch(server):
+    srv, _ = server
+    with concurrent.futures.ThreadPoolExecutor(4) as pool:
+        good = [
+            pool.submit(lambda j=j: request(srv, "/updates", {"upserts": [[j, 0, 3.0]]}))
+            for j in range(3)
+        ]
+        bad = pool.submit(
+            lambda: request(srv, "/updates", {"upserts": [[0, 9999, 3.0]]})
+        )
+        results = [f.result() for f in good]
+        bad_status, bad_payload = bad.result()
+    assert bad_status == 400 and "error" in bad_payload
+    assert all(status == 200 for status, _ in results)
+    # Every valid update landed despite sharing a window with the bad one.
+    assert request(srv, "/stats")[1]["updates_applied"] >= 3
+
+
+def test_malformed_framing_gets_a_400_not_a_dropped_connection(server):
+    import socket
+
+    srv, _ = server
+    for raw in (
+        b"POST /updates HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        b"POST /updates HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort",
+    ):
+        with socket.create_connection(("127.0.0.1", srv.port), timeout=10) as sock:
+            sock.sendall(raw)
+            sock.shutdown(socket.SHUT_WR)
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 400"), raw
+
+
+def test_fractional_coordinates_rejected_over_http(server):
+    srv, _ = server
+    status, payload = request(srv, "/updates", {"upserts": [[1.7, 2, 5.0]]})
+    assert status == 400 and "integer" in payload["error"]
+
+
+def test_error_responses(server):
+    srv, _ = server
+    assert request(srv, "/nope")[0] == 404
+    assert request(srv, "/recommend", method="GET")[0] == 405
+    assert request(srv, "/recommend", {"k": 999, "max_groups": 3})[0] == 400
+    assert request(srv, "/recommend", {"k": "x", "max_groups": 3})[0] == 400
+    assert request(srv, "/updates", {"upserts": [[0, 999, 3.0]]})[0] == 400
+    status, payload = request(srv, "/updates", {"upserts": "nope"})
+    assert status == 400 and "error" in payload

@@ -1,0 +1,175 @@
+"""FormationService: parity with the cold engine, caching, invalidation.
+
+The serving layer's contract is that memoization, shard-summary recycling
+and incremental index maintenance are *execution strategies only*: every
+response is bit-identical to a cold :class:`~repro.core.FormationEngine`
+run over the store's current ratings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.core import FormationEngine
+from repro.core.errors import GroupFormationError
+from repro.recsys import DenseStore, SparseStore
+from repro.service import FormationService
+
+SEMANTICS = ("lm", "av")
+AGGREGATIONS = ("min", "sum")
+
+
+def make_instance(store_kind: str, n_users: int = 48, n_items: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(1, 5, size=(n_users, n_items)).astype(float)
+    if store_kind == "dense":
+        return DenseStore(values.copy()), DenseStore(values.copy())
+    return (
+        SparseStore(sp.csr_matrix(values), fill_value=1.0),
+        SparseStore(sp.csr_matrix(values), fill_value=1.0),
+    )
+
+
+def assert_same_result(got, want, context=""):
+    __tracebackhide__ = True
+    assert got.objective == want.objective, context
+    assert [g.members for g in got.groups] == [g.members for g in want.groups], context
+    assert [g.items for g in got.groups] == [g.items for g in want.groups], context
+    assert [g.item_scores for g in got.groups] == [
+        g.item_scores for g in want.groups
+    ], context
+
+
+@pytest.mark.parametrize("store_kind", ("dense", "sparse"))
+def test_recommend_matches_cold_engine_through_updates(store_kind):
+    store, shadow = make_instance(store_kind)
+    service = FormationService(store, k_max=5, shards=4)
+    engine = FormationEngine("numpy")
+    rng = np.random.default_rng(99)
+
+    for round_no in range(4):
+        for semantics in SEMANTICS:
+            for aggregation in AGGREGATIONS:
+                got = service.recommend(
+                    k=3, max_groups=6, semantics=semantics, aggregation=aggregation
+                )
+                want = engine.run(shadow, 6, 3, semantics, aggregation)
+                assert_same_result(got, want, (store_kind, round_no, semantics))
+        ups = [
+            (int(rng.integers(0, 48)), int(rng.integers(0, 12)),
+             float(rng.integers(1, 5)))
+            for _ in range(6)
+        ]
+        dels = [(int(rng.integers(0, 48)), int(rng.integers(0, 12)))]
+        service.apply_updates(upserts=ups, deletes=dels)
+        shadow.upsert([u for u, _, _ in ups], [i for _, i, _ in ups],
+                      [v for _, _, v in ups])
+        shadow.delete([u for u, _ in dels], [i for _, i in dels])
+
+
+def test_memoization_and_invalidation_on_update():
+    store, _ = make_instance("dense")
+    service = FormationService(store, k_max=4, shards=4)
+    first = service.recommend(k=2, max_groups=4)
+    again = service.recommend(k=2, max_groups=4)
+    assert again is first  # cache hit returns the same object
+    assert service.stats()["result_hits"] == 1
+
+    service.apply_updates(upserts=[(0, 0, 4.0)])
+    fresh = service.recommend(k=2, max_groups=4)
+    assert fresh is not first  # version bump invalidated the memo
+    assert fresh.extras["service_version"] == 1
+
+
+def test_localised_update_recycles_untouched_shards():
+    store, _ = make_instance("dense", n_users=64)
+    service = FormationService(store, k_max=4, shards=4)
+    service.recommend(k=3, max_groups=5)  # populate all 4 summaries
+    base = service.stats()
+
+    # Users 0 and 1 live in shard 0; shards 1-3 must be recycled.
+    service.apply_updates(upserts=[(0, 2, 5.0), (1, 3, 5.0)])
+    result = service.recommend(k=3, max_groups=5)
+    assert result.extras["shards_recomputed"] <= 1
+    assert result.extras["shards_recycled"] >= 3
+    stats = service.stats()
+    assert stats["shards_recycled"] - base["shards_recycled"] >= 3
+
+
+def test_skipped_updates_keep_summaries_but_refresh_results():
+    store = DenseStore(
+        np.tile(np.array([[5.0, 4.0, 3.0, 1.0]]), (16, 1))
+    )
+    service = FormationService(store, k_max=2, shards=2)
+    first = service.recommend(k=2, max_groups=3)
+    # Rating 2.0 at item 3 stays below every user's top-2 boundary.
+    stats = service.apply_updates(upserts=[(0, 3, 2.0)])
+    assert stats["repaired_users"] == 0
+    assert stats["invalidated_shards"] == 0
+    second = service.recommend(k=2, max_groups=3)
+    assert second is not first  # below-top-k ratings still affect scoring
+    assert second.extras["shards_recycled"] == 2
+
+
+def test_subset_requests_match_engine_on_gathered_rows():
+    store, shadow = make_instance("dense")
+    service = FormationService(store, k_max=4, shards=4)
+    engine = FormationEngine("numpy")
+    subset = [7, 3, 21, 40, 11, 30]
+    got = service.recommend(k=2, max_groups=3, user_ids=subset)
+    want = engine.run(DenseStore(shadow.rows(subset)), 3, 2, "lm", "min")
+    assert got.objective == want.objective
+    assert [g.members for g in got.groups] == [
+        tuple(subset[m] for m in g.members) for g in want.groups
+    ]
+    assert [g.items for g in got.groups] == [g.items for g in want.groups]
+
+
+def test_subset_request_validation():
+    store, _ = make_instance("dense")
+    service = FormationService(store, k_max=4)
+    with pytest.raises(GroupFormationError):
+        service.recommend(k=2, max_groups=3, user_ids=[])
+    with pytest.raises(GroupFormationError):
+        service.recommend(k=2, max_groups=3, user_ids=[1, 1])
+    with pytest.raises(GroupFormationError):
+        service.recommend(k=2, max_groups=3, user_ids=[999])
+    with pytest.raises(GroupFormationError):
+        service.recommend(k=99, max_groups=3)
+
+
+def test_removed_users_leave_formations():
+    store, _ = make_instance("dense")
+    service = FormationService(store, k_max=4, shards=4)
+    service.apply_updates(remove_users=[0, 1, 2])
+    result = service.recommend(k=2, max_groups=5)
+    formed = {u for g in result.groups for u in g.members}
+    assert formed == set(range(3, 48))
+    with pytest.raises(GroupFormationError):
+        service.recommend(k=2, max_groups=3, user_ids=[0, 5])
+
+
+def test_added_users_join_formations():
+    store, _ = make_instance("dense")
+    service = FormationService(store, k_max=4, shards=4)
+    rng = np.random.default_rng(3)
+    service.recommend(k=2, max_groups=5)  # populate the 4 shard summaries
+    stats = service.apply_updates(
+        add_users=rng.integers(1, 5, size=(4, 12)).astype(float)
+    )
+    # Growing the user axis drops every cached summary — and says so.
+    assert stats["invalidated_shards"] == 4
+    assert service.stats()["n_users"] == 52
+    result = service.recommend(k=2, max_groups=5)
+    formed = {u for g in result.groups for u in g.members}
+    assert formed == set(range(52))
+
+
+def test_result_cache_is_bounded():
+    store, _ = make_instance("dense")
+    service = FormationService(store, k_max=4, result_cache_size=2)
+    for k in (1, 2, 3, 4):
+        service.recommend(k=k, max_groups=3)
+    assert service.stats()["cached_results"] == 2

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository docs.
+
+Scans the given markdown files (default: ``README.md`` and ``docs/*.md``)
+for inline links and validates every **relative** link target — file or
+directory — actually exists (anchors are stripped; external ``http(s)``,
+``mailto:`` and bare-anchor links are skipped).  Exits non-zero listing
+every broken link, so CI catches docs drift the moment a file moves.
+
+Usage::
+
+    python tools/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) — images included via the optional !.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def iter_links(text: str):
+    """Yield link targets outside fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return the broken relative links of one markdown file."""
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check every given (or default) markdown file; return the exit status."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    failures: list[str] = []
+    for path in files:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        failures.extend(check_file(path))
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
