@@ -40,6 +40,7 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.execution.executor import EXECUTION_MODES
 from repro.experiments.config import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -117,7 +118,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="W",
-        help="thread-pool size for concurrent shard summarisation (with --shards)",
+        help="parallelism degree for concurrent shard summarisation (with --shards)",
+    )
+    parser.add_argument(
+        "--execution",
+        default=None,
+        choices=list(EXECUTION_MODES),
+        help=(
+            "execution strategy for the sharded fan-out (needs --shards >= 2): "
+            "serial, a thread pool, or a shared-memory process pool; results "
+            "are identical across strategies (default: threads when "
+            "--workers > 1, else serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        metavar="DIR",
+        help=(
+            "artifact-cache directory: per-instance top-k indexes (and shard "
+            "summaries on the sharded path) are persisted by content "
+            "fingerprint, so repeat runs skip ranking entirely"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -136,6 +159,8 @@ def _run_experiment(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> tuple[str, list[Any]]:
     """Run one experiment and return (rendered text, raw result objects)."""
     if name in _FIGURES:
@@ -146,6 +171,8 @@ def _run_experiment(
             store=store,
             shards=shards,
             workers=workers,
+            execution=execution,
+            cache_dir=cache_dir,
         )
         text = "\n\n".join(format_experiment(result) for result in results)
         return text, [result.as_dict() for result in results]
@@ -236,6 +263,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     store = normalize_store(args.store)
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be a positive integer")
+    if args.execution not in (None, "serial") and (
+        args.shards is None or args.shards < 2
+    ):
+        parser.error(
+            f"--execution {args.execution} parallelises the sharded fan-out; "
+            f"pass --shards N (N >= 2) to use it"
+        )
     collected: dict[str, Any] = {}
     for name in names:
         text, raw = _run_experiment(
@@ -246,6 +280,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             store=store,
             shards=args.shards,
             workers=args.workers,
+            execution=args.execution,
+            cache_dir=args.cache_dir,
         )
         print(f"\n===== {name} =====")
         print(text)

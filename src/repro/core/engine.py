@@ -747,6 +747,8 @@ class FormationEngine:
         ratings: RatingStore | RatingMatrix | np.ndarray,
         configs: Sequence[FormationConfig],
         topk: TopKIndex | None = None,
+        executor: "str | Any | None" = None,
+        cache: "Any | None" = None,
     ) -> list[GroupFormationResult]:
         """Run a batch of ``configs`` over one ``ratings`` instance.
 
@@ -759,6 +761,30 @@ class FormationEngine:
         little more than its distinct formation structures.  Results are
         returned in config order and are identical to running each config
         through :meth:`run`.
+
+        Parameters
+        ----------
+        ratings:
+            A complete array, :class:`RatingMatrix`, or any
+            :class:`~repro.recsys.store.RatingStore`.
+        configs:
+            The ``(k, ℓ, semantics, aggregation)`` sweep points.
+        topk:
+            Optional prebuilt index covering the sweep's largest ``k``.
+        executor:
+            Optional execution strategy for the sweep fan-out —
+            ``"threads"``, ``"processes"``, or a prebuilt
+            :class:`~repro.execution.executor.Executor` (kept open).  The
+            process strategy exports the store and the shared index to
+            shared memory once and runs each config in a worker; results
+            stay identical to the serial path (each config is an
+            independent deterministic run).  ``None`` / ``"serial"`` keeps
+            the in-process loop, which additionally shares bucketing work
+            across configs on the numpy backend.
+        cache:
+            Optional :class:`~repro.execution.cache.ArtifactCache`: when
+            ``topk`` is not supplied, the sweep's index is loaded from (or
+            built into) the cache instead of being rebuilt per invocation.
         """
         store = coerce_store(ratings)
         if not configs:
@@ -771,11 +797,23 @@ class FormationEngine:
                     f"k={k} exceeds the number of items ({n_items})"
                 )
         if topk is None:
-            topk = TopKIndex.build(
-                store,
-                max(int(config.k) for config in configs),
-                table_fn=self.backend.top_k_table,
-            )
+            k_sweep = max(int(config.k) for config in configs)
+            if cache is not None:
+                topk, _ = cache.get_or_build_index(
+                    store, k_sweep, table_fn=self.backend.top_k_table
+                )
+            else:
+                topk = TopKIndex.build(
+                    store, k_sweep, table_fn=self.backend.top_k_table
+                )
+        if executor is not None:
+            from repro.execution.executor import executor_scope
+
+            with executor_scope(executor) as resolved:
+                if resolved.name != "serial":
+                    return resolved.map_configs(
+                        store, configs, self.backend.name, topk
+                    )
         form_cache: dict[Any, Any] = {}
         return [
             self._run_one(

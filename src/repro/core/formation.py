@@ -40,6 +40,8 @@ def _run_greedy(
     backend: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: "str | object | None" = None,
+    cache_dir: str | None = None,
     topk: object | None = None,
     **kwargs: object,
 ) -> GroupFormationResult:
@@ -55,8 +57,24 @@ def _run_greedy(
             )
         from repro.core.sharded import ShardedFormation
 
-        return ShardedFormation(shards=int(shards), workers=workers).run_variant(
-            ratings, max_groups, k, make_variant(semantics, aggregation)
+        return ShardedFormation(
+            shards=int(shards),
+            workers=workers,
+            execution=execution,
+            cache_dir=cache_dir,
+        ).run_variant(ratings, max_groups, k, make_variant(semantics, aggregation))
+    mode = getattr(execution, "name", execution)  # Executor instances carry .name
+    if mode is not None and str(mode).strip().lower() != "serial":
+        raise ValueError(
+            f"execution={execution!r} parallelises the shard fan-out and needs "
+            f"shards > 1; pass shards= (e.g. shards=workers) to use it"
+        )
+    if cache_dir is not None and topk is None:
+        from repro.core.engine import coerce_store
+        from repro.execution.cache import ArtifactCache
+
+        topk, _ = ArtifactCache(cache_dir).get_or_build_index(
+            coerce_store(ratings), k
         )
     return run_greedy(
         ratings,
@@ -207,7 +225,13 @@ def form_groups(
     kwargs:
         Extra keyword arguments forwarded to the selected algorithm (e.g.
         ``backend=`` for the greedy engine, ``rng=`` for the clustering
-        baseline, ``time_limit=`` for the exact solvers).
+        baseline, ``time_limit=`` for the exact solvers).  The greedy
+        family additionally accepts the execution-plane knobs:
+        ``shards=`` / ``workers=`` (sharded fan-out), ``execution=``
+        (``"serial"`` / ``"threads"`` / ``"processes"`` — the parallel
+        strategies need ``shards > 1``) and ``cache_dir=`` (persist and
+        re-use ranking artifacts via
+        :class:`~repro.execution.cache.ArtifactCache`).
 
     Returns
     -------

@@ -38,7 +38,13 @@ from repro.core.grouping import GroupFormationResult
 from repro.core.semantics import Semantics, get_semantics
 from repro.recsys.matrix import RatingMatrix
 
-__all__ = ["GreedyVariant", "run_greedy", "as_complete_values", "make_variant"]
+__all__ = [
+    "GreedyVariant",
+    "run_greedy",
+    "as_complete_values",
+    "make_variant",
+    "variant_token",
+]
 
 #: Which top-k scores participate in the bucket key, besides the item
 #: sequence itself: ``"none"`` (AV variants), ``"first"`` (LM-Max),
@@ -211,6 +217,36 @@ def make_variant(
         user_value_fn=user_value,
         combine=combine,
     )
+
+
+def variant_token(variant: GreedyVariant) -> str:
+    """Stable string identity of a variant's *algorithmic behaviour*.
+
+    ``variant.name`` alone is not enough for caching: every
+    :class:`~repro.core.aggregation.WeightedSumAggregation` is named
+    ``"weighted-sum"`` regardless of its ``scheme`` / ``normalize``
+    parameters, yet those parameters change contributions and scores.
+    This token appends the aggregation's constructor state, so two
+    variants share a token exactly when they compute the same results —
+    the property every summary/result cache key needs.
+
+    Parameters
+    ----------
+    variant:
+        The greedy variant being keyed.
+
+    Examples
+    --------
+    >>> from repro.core.aggregation import WeightedSumAggregation
+    >>> a = make_variant("lm", WeightedSumAggregation("inverse"))
+    >>> b = make_variant("lm", WeightedSumAggregation("log"))
+    >>> a.name == b.name and variant_token(a) != variant_token(b)
+    True
+    """
+    params = ",".join(
+        f"{key}={value!r}" for key, value in sorted(vars(variant.aggregation).items())
+    )
+    return f"{variant.name}[{params}]" if params else variant.name
 
 
 def run_greedy(

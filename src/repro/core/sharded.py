@@ -39,7 +39,6 @@ Objective-loss bound (documented contract, asserted by
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -388,16 +387,29 @@ class ShardedFormation:
     shards:
         Number of contiguous user partitions (≥ 1).
     workers:
-        Thread-pool size for concurrent shard summarisation; ``None`` or 1
-        runs shards sequentially (numpy kernels release the GIL, so threads
-        give real parallelism on the densify/rank/sort hot path without
-        duplicating the store).
+        Degree of parallelism for concurrent shard summarisation; ``None``
+        or 1 runs shards sequentially.
     block_users:
         Cap on rows densified at once *within* a shard (default:
         :data:`~repro.recsys.store.DEFAULT_BLOCK_USERS`), so the dense
         working set stays bounded even when few, large shards are
         requested.  Ranking is row-independent, so the sub-blocking never
         changes results.
+    execution:
+        Execution strategy for the shard fan-out: ``"serial"``,
+        ``"threads"``, ``"processes"``, or a prebuilt
+        :class:`~repro.execution.executor.Executor` (kept open — the
+        caller owns its lifetime).  ``None`` keeps the historical
+        behaviour: threads when ``workers > 1``, serial otherwise.
+        ``"processes"`` escapes the GIL entirely by exporting the store to
+        shared memory and attaching workers zero-copy
+        (:mod:`repro.execution`); results are identical to the serial
+        path for every strategy.
+    cache_dir:
+        Optional :class:`~repro.execution.cache.ArtifactCache` directory:
+        per-shard summaries are persisted keyed by (store fingerprint,
+        ``k``, variant, shard range), so repeat runs over unchanged
+        ratings skip summarisation entirely.
 
     Examples
     --------
@@ -416,6 +428,8 @@ class ShardedFormation:
         shards: int = 1,
         workers: int | None = None,
         block_users: int | None = None,
+        execution: "str | object | None" = None,
+        cache_dir: "str | None" = None,
     ) -> None:
         self.shards = require_positive_int(shards, "shards")
         if workers is not None:
@@ -424,6 +438,8 @@ class ShardedFormation:
         if block_users is not None:
             block_users = require_positive_int(block_users, "block_users")
         self.block_users = block_users
+        self.execution = execution
+        self.cache_dir = cache_dir
 
     def run(
         self,
@@ -499,7 +515,7 @@ class ShardedFormation:
 
         watch = Stopwatch()
         with watch.lap("formation"):
-            summaries = self._summarise(store, bounds, k, variant)
+            summaries, bookkeeping = self._summarise(store, bounds, k, variant)
             plan, selected_items_rows = plan_from_summaries(
                 summaries, variant, n_users, max_groups
             )
@@ -515,8 +531,10 @@ class ShardedFormation:
             backend_name="numpy",
             extra_extras={
                 "n_shards": int(n_shards),
-                "workers": int(self.workers or 1),
                 "store": type(store).__name__,
+                # bookkeeping carries the *resolved* worker count (an
+                # execution strategy may default workers to the CPU count).
+                **bookkeeping,
             },
         )
 
@@ -528,8 +546,15 @@ class ShardedFormation:
         bounds: np.ndarray,
         k: int,
         variant: GreedyVariant,
-    ) -> list[ShardSummary]:
-        """Summarise every shard, sequentially or on a thread pool.
+    ) -> tuple[list[ShardSummary], dict]:
+        """Summarise every shard through the configured execution strategy.
+
+        The shard fan-out runs on the executor resolved from ``execution``
+        / ``workers`` (serial loop, thread pool, or shared-memory process
+        pool — see :mod:`repro.execution`); with a ``cache_dir``, shard
+        summaries are first looked up in the
+        :class:`~repro.execution.cache.ArtifactCache` and only the missing
+        shards are computed (and persisted).
 
         Parameters
         ----------
@@ -544,24 +569,58 @@ class ShardedFormation:
 
         Returns
         -------
-        list of ShardSummary
-            One digest per shard, in ascending user order.
+        tuple
+            ``(summaries, bookkeeping)`` — one digest per shard in
+            ascending user order, plus extras describing the execution
+            (executor name, cache hit counts).
         """
+        from repro.execution.executor import executor_scope
 
-        def one(shard: int) -> ShardSummary:
-            return summarise_store_shard(
-                store,
-                int(bounds[shard]),
-                int(bounds[shard + 1]),
-                k,
-                variant,
-                block_users=self.block_users,
-            )
+        cache = fingerprint = None
+        summaries: list[ShardSummary | None] = [None] * (bounds.size - 1)
+        cache_hits = 0
+        if self.cache_dir is not None:
+            from repro.execution.cache import ArtifactCache, store_fingerprint
 
-        if self.workers is None or self.workers <= 1 or bounds.size <= 2:
-            return [one(shard) for shard in range(bounds.size - 1)]
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(one, range(bounds.size - 1)))
+            cache = ArtifactCache(self.cache_dir)
+            fingerprint = store_fingerprint(store)
+            for shard in range(bounds.size - 1):
+                summaries[shard] = cache.load_summary(
+                    fingerprint, k, variant, int(bounds[shard]), int(bounds[shard + 1])
+                )
+            cache_hits = sum(1 for s in summaries if s is not None)
+
+        missing = [s for s in range(bounds.size - 1) if summaries[s] is None]
+        with executor_scope(self.execution, self.workers) as executor:
+            executor_name = executor.name
+            if missing:
+                computed = executor.map_shards(
+                    store,
+                    bounds,
+                    k,
+                    variant,
+                    block_users=self.block_users,
+                    shard_ids=missing,
+                )
+                for shard, summary in zip(missing, computed):
+                    summaries[shard] = summary
+                    if cache is not None:
+                        cache.save_summary(
+                            fingerprint,
+                            k,
+                            variant,
+                            int(bounds[shard]),
+                            int(bounds[shard + 1]),
+                            summary,
+                        )
+            effective_workers = 1 if executor.name == "serial" else int(executor.workers)
+        bookkeeping = {
+            "execution": executor_name,
+            "workers": effective_workers,
+            "summary_cache_hits": int(cache_hits),
+            "summary_cache_misses": int(len(missing)),
+        }
+        return [s for s in summaries if s is not None], bookkeeping
 
 
 def summarise_tables(

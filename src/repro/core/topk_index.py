@@ -58,6 +58,11 @@ class TopKIndex:
         preserved across save/load).
     """
 
+    #: Process-wide count of full blockwise builds performed by
+    #: :meth:`build`.  The artifact-cache gates read it to verify that a
+    #: warm-cache run skipped index construction entirely.
+    builds: int = 0
+
     def __init__(self, items: np.ndarray, values: np.ndarray, n_items: int) -> None:
         items = np.asarray(items, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
@@ -116,6 +121,7 @@ class TopKIndex:
         """
         from repro.recsys.store import DEFAULT_BLOCK_USERS, DenseStore, as_store
 
+        TopKIndex.builds += 1
         store = as_store(ratings)
         n_users, n_items = store.shape
         k_max = int(k_max)
@@ -275,6 +281,14 @@ class MutableTopKIndex(TopKIndex):
     compaction_fraction:
         Fraction of ``n_users`` whose repair triggers a full rebuild
         (default ``0.25``).  ``None`` disables automatic compaction.
+    base:
+        Optional prebuilt :class:`TopKIndex` over the *current* contents of
+        ``store`` (e.g. loaded from an
+        :class:`~repro.execution.cache.ArtifactCache`).  Its tables are
+        copied into writable arrays and adopted instead of building from
+        scratch — the caller is responsible for the base actually matching
+        the store's ratings (a content-addressed cache guarantees this by
+        construction).  Shape or ``k_max`` mismatches raise.
 
     Raises
     ------
@@ -305,6 +319,7 @@ class MutableTopKIndex(TopKIndex):
         k_max: int,
         table_fn: "Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]] | None" = None,
         compaction_fraction: float | None = 0.25,
+        base: "TopKIndex | None" = None,
     ) -> None:
         for method in ("upsert", "delete", "clear_rows", "append_users"):
             if not hasattr(store, method):
@@ -316,7 +331,22 @@ class MutableTopKIndex(TopKIndex):
             raise GroupFormationError(
                 f"compaction_fraction must be in (0, 1], got {compaction_fraction}"
             )
-        base = TopKIndex.build(store, k_max, table_fn=table_fn)
+        if base is not None:
+            if base.n_users != store.shape[0] or base.n_items != store.shape[1]:
+                raise GroupFormationError(
+                    f"base index shape ({base.n_users} users, {base.n_items} items) "
+                    f"does not match the store {store.shape}"
+                )
+            if base.k_max != int(k_max):
+                raise GroupFormationError(
+                    f"base index k_max ({base.k_max}) does not match the requested "
+                    f"k_max ({k_max})"
+                )
+            # Copy into writable arrays: the base may be a read-only
+            # memory-map from the artifact cache, and repair writes rows.
+            base = TopKIndex(np.array(base.items), np.array(base.values), base.n_items)
+        else:
+            base = TopKIndex.build(store, k_max, table_fn=table_fn)
         super().__init__(base.items, base.values, base.n_items)
         self._store = store
         self._table_fn = table_fn

@@ -1,0 +1,424 @@
+"""Content-addressed on-disk cache for formation artifacts.
+
+Building a :class:`~repro.core.topk_index.TopKIndex` is the dominant cost
+of a cold formation run (one full pass over the ratings plus the ranking
+kernels), yet the artifact depends on nothing but the rating *content*,
+``k_max`` and the library's deterministic tie-break.  :class:`ArtifactCache`
+therefore keys every artifact by a **store fingerprint** — a SHA-256 over
+the store's kind, shape, scale, fill value and raw array bytes — so that:
+
+* repeat runs (sweeps, benchmarks, repeated CLI invocations) and cold
+  service starts load the index back instead of rebuilding it;
+* any change to the ratings, however small, changes the fingerprint and
+  misses the cache — staleness is structurally impossible, there is no
+  invalidation protocol to get wrong;
+* index tables are stored as raw ``.npy`` files and loaded with
+  ``np.load(mmap_mode="r")``, so a warm start maps the artifact instead of
+  reading it, and sibling processes share the page cache.
+
+Cache key format (documented contract, also in ``docs/architecture.md``)::
+
+    index entry    sha256("index-v1:<fingerprint>:<k_max>")
+    summary entry  sha256("summary-v1:<fingerprint>:<k>:<variant>:<start>:<stop>")
+
+Entries are written atomically (temp path → rename), and temp files are
+removed on failure, so a crashed or interrupted writer can never leave a
+partial entry behind; concurrent writers race benignly (first rename
+wins, the loser discards its temp copy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.recsys.store import DenseStore, SparseStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
+    from repro.core.greedy_framework import GreedyVariant
+    from repro.core.sharded import ShardSummary
+    from repro.core.topk_index import TopKIndex
+    from repro.recsys.store import RatingStore
+
+__all__ = ["ArtifactCache", "store_fingerprint"]
+
+#: Bytes hashed per chunk when fingerprinting large arrays.
+_HASH_BLOCK = 1 << 24
+
+
+def _hash_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed an array's dtype, shape and raw bytes into ``digest``."""
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(array.shape).encode())
+    flat = np.ascontiguousarray(array).reshape(-1).view(np.uint8)
+    for start in range(0, flat.nbytes, _HASH_BLOCK):
+        digest.update(flat[start:start + _HASH_BLOCK].tobytes())
+
+
+def store_fingerprint(store: "RatingStore") -> str:
+    """Content fingerprint of a rating store (hex SHA-256).
+
+    Two stores get the same fingerprint exactly when they are the same
+    kind with the same shape, scale, fill value and identical raw array
+    bytes — the precondition under which every derived formation artifact
+    is bit-identical.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.recsys.store.DenseStore` or
+        :class:`~repro.recsys.store.SparseStore`.
+    """
+    if not isinstance(store, (DenseStore, SparseStore)):
+        raise TypeError(
+            f"cannot fingerprint {type(store).__name__}; expected DenseStore "
+            f"or SparseStore"
+        )
+    digest = hashlib.sha256()
+    scale = store.scale
+    digest.update(
+        f"{type(store).__name__}:{store.n_users}x{store.n_items}:"
+        f"{scale.minimum}:{scale.maximum}".encode()
+    )
+    if isinstance(store, DenseStore):
+        _hash_array(digest, store.values)
+    else:
+        digest.update(f"fill={store.fill_value}".encode())
+        csr = store.csr
+        _hash_array(digest, csr.data)
+        _hash_array(digest, csr.indices)
+        _hash_array(digest, csr.indptr)
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Persistent, content-addressed store of formation artifacts.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).  Safe to share between
+        processes: entries are immutable once renamed into place.
+
+    Examples
+    --------
+    >>> import numpy as np, tempfile
+    >>> from repro.execution.cache import ArtifactCache
+    >>> from repro.recsys.store import DenseStore
+    >>> store = DenseStore(np.array([[5.0, 1.0, 3.0], [2.0, 4.0, 4.0]]))
+    >>> cache = ArtifactCache(tempfile.mkdtemp())
+    >>> index, hit = cache.get_or_build_index(store, k_max=2)
+    >>> hit
+    False
+    >>> warm, hit = cache.get_or_build_index(store, k_max=2)
+    >>> hit, bool(np.array_equal(warm.items, index.items))
+    (True, True)
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def index_key(fingerprint: str, k_max: int) -> str:
+        """Entry digest of the index artifact for ``(fingerprint, k_max)``."""
+        return hashlib.sha256(f"index-v1:{fingerprint}:{int(k_max)}".encode()).hexdigest()
+
+    @staticmethod
+    def summary_key(
+        fingerprint: str, k: int, variant_name: str, start: int, stop: int
+    ) -> str:
+        """Entry digest of one shard summary.
+
+        Parameters
+        ----------
+        fingerprint:
+            The store fingerprint the summary was computed from.
+        k:
+            Top-k prefix length of the run.
+        variant_name:
+            The variant's behaviour token from
+            :func:`~repro.core.greedy_framework.variant_token` (the bare
+            ``GreedyVariant.name`` is ambiguous for parameterised
+            aggregations like weighted-sum).
+        start, stop:
+            Global user range of the shard.
+        """
+        raw = f"summary-v1:{fingerprint}:{int(k)}:{variant_name}:{int(start)}:{int(stop)}"
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / digest
+
+    # ------------------------------------------------------------------ #
+    # Atomic writes
+    # ------------------------------------------------------------------ #
+
+    def _write_entry(self, digest: str, writer: "Callable[[Path], None]") -> Path:
+        """Write one entry atomically: temp dir → rename; clean up on failure.
+
+        Parameters
+        ----------
+        digest:
+            Entry digest (decides the final path).
+        writer:
+            Callback that writes the entry's files into the temp directory
+            it is given.
+        """
+        final = self._entry_path(digest)
+        if final.exists():
+            return final
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(prefix=f"tmp-{digest[:8]}-", dir=self.root))
+        try:
+            writer(tmp)
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                # A concurrent writer renamed first; its content is
+                # identical by construction (content-addressed).
+                shutil.rmtree(tmp, ignore_errors=True)
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    # ------------------------------------------------------------------ #
+    # TopKIndex artifacts
+    # ------------------------------------------------------------------ #
+
+    def load_index(self, fingerprint: str, k_max: int) -> "TopKIndex | None":
+        """Load the index for ``(fingerprint, k_max)``, or ``None`` on a miss.
+
+        The tables come back as read-only ``np.load(mmap_mode="r")`` maps:
+        pages are faulted in on demand and shared with any other process
+        mapping the same entry.  Unreadable or partial entries (e.g. an
+        interrupted writer on a non-atomic filesystem) count as misses.
+
+        Parameters
+        ----------
+        fingerprint:
+            Store fingerprint from :func:`store_fingerprint`.
+        k_max:
+            Largest top-k prefix the index must serve.
+        """
+        from repro.core.topk_index import TopKIndex
+
+        entry = self._entry_path(self.index_key(fingerprint, k_max))
+        try:
+            with (entry / "meta.json").open(encoding="utf-8") as handle:
+                meta = json.load(handle)
+            items = np.load(entry / "items.npy", mmap_mode="r")
+            values = np.load(entry / "values.npy", mmap_mode="r")
+            index = TopKIndex(items, values, int(meta["n_items"]))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if index.n_users != meta.get("n_users") or index.k_max != k_max:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return index
+
+    def save_index(self, fingerprint: str, k_max: int, index: "TopKIndex") -> Path:
+        """Persist an index artifact (atomic; no-op if already present).
+
+        Parameters
+        ----------
+        fingerprint:
+            Store fingerprint the index was built from.
+        k_max:
+            The index's ``k_max`` (part of the key).
+        index:
+            The built :class:`~repro.core.topk_index.TopKIndex`.
+        """
+
+        def writer(tmp: Path) -> None:
+            np.save(tmp / "items.npy", np.ascontiguousarray(index.items))
+            np.save(tmp / "values.npy", np.ascontiguousarray(index.values))
+            meta = {
+                "n_users": index.n_users,
+                "n_items": index.n_items,
+                "k_max": index.k_max,
+                "fingerprint": fingerprint,
+            }
+            with (tmp / "meta.json").open("w", encoding="utf-8") as handle:
+                json.dump(meta, handle)
+
+        return self._write_entry(self.index_key(fingerprint, k_max), writer)
+
+    def get_or_build_index(
+        self,
+        store: "RatingStore",
+        k_max: int,
+        table_fn: "Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]] | None" = None,
+        fingerprint: str | None = None,
+    ) -> "tuple[TopKIndex, bool]":
+        """Load the store's index from the cache, building and saving on a miss.
+
+        Parameters
+        ----------
+        store:
+            Rating storage the index covers.
+        k_max:
+            Largest top-k prefix the index must serve.
+        table_fn:
+            Top-k kernel forwarded to
+            :meth:`~repro.core.topk_index.TopKIndex.build` on a miss (every
+            kernel is bit-identical, so hits may serve any requester).
+        fingerprint:
+            Precomputed :func:`store_fingerprint` (computed here when
+            omitted).
+
+        Returns
+        -------
+        tuple
+            ``(index, hit)`` — ``hit`` tells whether construction was
+            skipped entirely.
+        """
+        from repro.core.topk_index import TopKIndex
+
+        if fingerprint is None:
+            fingerprint = store_fingerprint(store)
+        cached = self.load_index(fingerprint, k_max)
+        if cached is not None:
+            return cached, True
+        index = TopKIndex.build(store, k_max, table_fn=table_fn)
+        self.save_index(fingerprint, k_max, index)
+        return index, False
+
+    # ------------------------------------------------------------------ #
+    # Shard-summary artifacts
+    # ------------------------------------------------------------------ #
+
+    def load_summary(
+        self, fingerprint: str, k: int, variant: "GreedyVariant", start: int, stop: int
+    ) -> "ShardSummary | None":
+        """Load one cached shard summary, or ``None`` on a miss.
+
+        Parameters
+        ----------
+        fingerprint:
+            Store fingerprint the summary was computed from.
+        k:
+            Top-k prefix length of the run.
+        variant:
+            The greedy variant (its ``name`` is part of the key).
+        start, stop:
+            Global user range of the shard.
+        """
+        from repro.core.greedy_framework import variant_token
+        from repro.core.sharded import ShardSummary
+
+        entry = self._entry_path(
+            self.summary_key(fingerprint, k, variant_token(variant), start, stop)
+        )
+        try:
+            with np.load(entry / "summary.npz") as payload:
+                offsets = payload["members_offsets"]
+                flat = payload["members_flat"]
+                summary = ShardSummary(
+                    start=int(payload["start"]),
+                    keys=payload["keys"],
+                    items_rows=payload["items_rows"],
+                    reps=payload["reps"],
+                    scores=payload["scores"],
+                    members=[
+                        flat[offsets[b]:offsets[b + 1]]
+                        for b in range(offsets.size - 1)
+                    ],
+                    contributions=payload["contributions"],
+                )
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def save_summary(
+        self,
+        fingerprint: str,
+        k: int,
+        variant: "GreedyVariant",
+        start: int,
+        stop: int,
+        summary: "ShardSummary",
+    ) -> Path:
+        """Persist one shard summary (atomic; no-op if already present).
+
+        Parameters
+        ----------
+        fingerprint:
+            Store fingerprint the summary was computed from.
+        k:
+            Top-k prefix length of the run.
+        variant:
+            The greedy variant (its ``name`` is part of the key).
+        start, stop:
+            Global user range of the shard.
+        summary:
+            The :class:`~repro.core.sharded.ShardSummary` to persist.
+        """
+        from repro.core.greedy_framework import variant_token
+
+        members = summary.members
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        if members:
+            np.cumsum([m.size for m in members], out=offsets[1:])
+        flat = (
+            np.concatenate(members)
+            if members
+            else np.empty(0, dtype=np.int64)
+        )
+
+        def writer(tmp: Path) -> None:
+            np.savez(
+                tmp / "summary.npz",
+                start=np.int64(summary.start),
+                keys=summary.keys,
+                items_rows=summary.items_rows,
+                reps=summary.reps,
+                scores=summary.scores,
+                contributions=summary.contributions,
+                members_flat=flat,
+                members_offsets=offsets,
+            )
+
+        return self._write_entry(
+            self.summary_key(fingerprint, k, variant_token(variant), start, stop), writer
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> int:
+        """Delete every cache entry (and stray temp dirs); return the count."""
+        removed = 0
+        for child in self.root.iterdir():
+            if not child.is_dir():
+                continue
+            if child.name.startswith("tmp-"):
+                removed += 1
+            else:
+                removed += sum(1 for entry in child.iterdir() if entry.is_dir())
+            shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -46,6 +46,8 @@ def figure1(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 1(a–c): objective value under LM-Max vs #users / #items / #groups.
 
@@ -67,6 +69,8 @@ def figure1(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     return [
         sweep("fig1a", "Objective value, varying number of users (LM-Max)",
@@ -86,6 +90,8 @@ def figure2(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 2(a, b): objective value vs top-k under LM-Min and LM-Sum."""
     preset = get_scale(scale)
@@ -103,6 +109,8 @@ def figure2(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     return [
         sweep("fig2a", "Objective value, varying top-k (LM-Min)",
@@ -120,6 +128,8 @@ def figure3(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 3(a–d): average group satisfaction over the top-k list (AV-Min,
     MovieLens) vs #users / #items / #groups / top-k."""
@@ -139,6 +149,8 @@ def figure3(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     return [
         sweep("fig3a", "Avg satisfaction on top-k itemset, varying number of users (AV-Min)",
@@ -160,6 +172,8 @@ def figure4(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 4(a–c): runtime of LM-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -178,6 +192,8 @@ def figure4(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     return [
         sweep("fig4a", "Run time, varying number of users (LM-Min)",
@@ -197,6 +213,8 @@ def figure5(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 5(a–d): runtime vs top-k for LM-Min, LM-Sum, AV-Min and AV-Sum."""
     preset = get_scale(scale)
@@ -214,6 +232,8 @@ def figure5(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     panels = [
         ("fig5a", "lm", "min", "Run time, varying top-k (LM-Min)"),
@@ -236,6 +256,8 @@ def figure6(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> list[ExperimentResult]:
     """Figure 6(a–c): runtime of AV-Min group formation vs #users / #items / #groups."""
     preset = get_scale(scale)
@@ -254,6 +276,8 @@ def figure6(
         store=store,
         shards=shards,
         workers=workers,
+        execution=execution,
+        cache_dir=cache_dir,
     )
     return [
         sweep("fig6a", "Run time, varying number of users (AV-Min)",

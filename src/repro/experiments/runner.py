@@ -187,6 +187,8 @@ def run_algorithms(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: "str | object | None" = None,
+    cache_dir: str | None = None,
 ) -> dict[str, tuple[GroupFormationResult, float]]:
     """Run the requested algorithms on one instance.
 
@@ -220,7 +222,21 @@ def run_algorithms(
     shards:
         When > 1, the GRD algorithm runs through
         :class:`~repro.core.sharded.ShardedFormation` with this many user
-        shards (``workers`` threads summarise shards concurrently).
+        shards (``workers`` workers summarise shards concurrently).
+    execution:
+        Execution strategy for the sharded fan-out (``"serial"`` /
+        ``"threads"`` / ``"processes"``, or a prebuilt
+        :class:`~repro.execution.executor.Executor` to share one pool
+        across calls — what :func:`sweep` passes; ``None`` = threads when
+        ``workers > 1``).  Forwarded to
+        :class:`~repro.core.sharded.ShardedFormation`; only meaningful
+        with ``shards > 1``.
+    cache_dir:
+        Optional :class:`~repro.execution.cache.ArtifactCache` directory:
+        the per-instance :class:`~repro.core.topk_index.TopKIndex` (and,
+        on the sharded path, shard summaries) is loaded from / saved to
+        the cache, so repeat invocations over the same instances skip
+        ranking entirely.
 
     Returns
     -------
@@ -253,14 +269,29 @@ def run_algorithms(
     topk_seconds = 0.0
     if index_consumers:
         k_index = ratings.n_items if "baseline" in keys else k
-        topk, topk_seconds = time_call(TopKIndex.build, data, k_index)
+        if cache_dir is not None:
+            from repro.core.engine import coerce_store
+            from repro.execution.cache import ArtifactCache
+
+            def build_cached(instance, k_value):
+                index, _ = ArtifactCache(cache_dir).get_or_build_index(
+                    coerce_store(instance), k_value
+                )
+                return index
+
+            topk, topk_seconds = time_call(build_cached, data, k_index)
+        else:
+            topk, topk_seconds = time_call(TopKIndex.build, data, k_index)
 
     for algorithm in algorithms:
         key = algorithm.strip().lower()
         if key == "grd":
             if sharded:
                 runner_fn = ShardedFormation(
-                    shards=int(shards), workers=workers
+                    shards=int(shards),
+                    workers=workers,
+                    execution=execution,
+                    cache_dir=cache_dir,
                 ).run
                 result, seconds = time_call(
                     runner_fn, data, max_groups, k, semantics_obj, aggregation_obj
@@ -397,6 +428,8 @@ def sweep(
     store: str | None = None,
     shards: int | None = None,
     workers: int | None = None,
+    execution: str | None = None,
+    cache_dir: str | None = None,
 ) -> ExperimentResult:
     """Vary one parameter and collect one metric per algorithm per value.
 
@@ -428,8 +461,8 @@ def sweep(
         Optional override for the metric's axis label.
     backend:
         Formation backend for the GRD runs (see :func:`run_algorithms`).
-    store, shards, workers:
-        Rating-store / sharded-execution selection per instance (see
+    store, shards, workers, execution, cache_dir:
+        Rating-store / execution-plane selection per instance (see
         :func:`run_algorithms`); recorded in the result metadata.
     """
     if varying not in {"n_users", "n_items", "n_groups", "k"}:
@@ -438,36 +471,44 @@ def sweep(
         )
     values = list(values)
     series: dict[str, SweepSeries] = {}
-    for value in values:
-        params = dict(defaults)
-        params[varying] = value
-        totals: dict[str, list[float]] = {}
-        for repeat in range(max(1, repeats)):
-            instance_seed = derive_seed(seed, experiment_id, varying, value, repeat)
-            ratings = make_dataset(
-                dataset, params["n_users"], params["n_items"], seed=instance_seed
-            )
-            outcomes = run_algorithms(
-                ratings,
-                max_groups=params["n_groups"],
-                k=params["k"],
-                semantics=semantics,
-                aggregation=aggregation,
-                algorithms=algorithms,
-                seed=instance_seed,
-                backend=backend,
-                store=store,
-                shards=shards,
-                workers=workers,
-            )
-            for name, (result, seconds) in outcomes.items():
-                totals.setdefault(name, []).append(
-                    _metric_value(metric, ratings, result, seconds)
+    # Resolve the execution strategy once for the whole sweep: a process
+    # pool forked per sweep point would dominate small instances, and the
+    # pool (unlike the per-instance data) is reusable across points.
+    from repro.execution.executor import executor_scope
+
+    with executor_scope(execution, workers) as sweep_executor:
+        for value in values:
+            params = dict(defaults)
+            params[varying] = value
+            totals: dict[str, list[float]] = {}
+            for repeat in range(max(1, repeats)):
+                instance_seed = derive_seed(seed, experiment_id, varying, value, repeat)
+                ratings = make_dataset(
+                    dataset, params["n_users"], params["n_items"], seed=instance_seed
                 )
-        for name, observations in totals.items():
-            series.setdefault(name, SweepSeries(algorithm=name)).add(
-                value, float(np.mean(observations))
-            )
+                outcomes = run_algorithms(
+                    ratings,
+                    max_groups=params["n_groups"],
+                    k=params["k"],
+                    semantics=semantics,
+                    aggregation=aggregation,
+                    algorithms=algorithms,
+                    seed=instance_seed,
+                    backend=backend,
+                    store=store,
+                    shards=shards,
+                    workers=workers,
+                    execution=sweep_executor if execution is not None else None,
+                    cache_dir=cache_dir,
+                )
+                for name, (result, seconds) in outcomes.items():
+                    totals.setdefault(name, []).append(
+                        _metric_value(metric, ratings, result, seconds)
+                    )
+            for name, observations in totals.items():
+                series.setdefault(name, SweepSeries(algorithm=name)).add(
+                    value, float(np.mean(observations))
+                )
 
     labels = {
         "objective": "Objective function value",
@@ -499,5 +540,7 @@ def sweep(
             "backend": backend,
             "store": normalize_store(store),
             "shards": shards,
+            "execution": execution,
+            "cache_dir": cache_dir,
         },
     )

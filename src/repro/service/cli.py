@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from collections.abc import Sequence
 
 from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
+from repro.execution.executor import EXECUTION_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -66,6 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="seconds an update batch stays open to coalesce "
                             "concurrent writers (default: 0.01)")
+    serve.add_argument("--execution", default="serial", choices=list(EXECUTION_MODES),
+                       help="shard-summary fan-out strategy: serial, a thread "
+                            "pool, or a shared-memory process pool "
+                            "(default: serial)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="parallelism degree for --execution threads/"
+                            "processes (default: CPU count)")
+    serve.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="artifact-cache directory: cold starts load the "
+                            "top-k index for the bootstrapped instance instead "
+                            "of rebuilding it")
     return parser
 
 
@@ -101,12 +114,39 @@ def bootstrap_service(args: argparse.Namespace):
         k_max=min(args.k_max, args.items),
         shards=args.shards,
         backend=args.backend,
+        execution=getattr(args, "execution", None),
+        workers=getattr(args, "workers", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
 async def _serve(args: argparse.Namespace) -> None:
-    """Start the server and run until cancelled (Ctrl-C)."""
+    """Start the server and run until SIGINT/SIGTERM, then shut down cleanly.
+
+    Termination signals set an event instead of unwinding the event loop
+    with ``KeyboardInterrupt``: the serve task is cancelled, the listening
+    socket closes, any pending (batched but unflushed) update requests are
+    applied as one final batch, and the service's executor is released —
+    so Ctrl-C never tracebacks and never drops acknowledged updates.
+
+    Parameters
+    ----------
+    args:
+        Parsed ``repro serve`` arguments.
+    """
     from repro.service.http import ServiceServer
+
+    # Register the handlers before binding the socket, so a signal arriving
+    # any time after the address is announced is guaranteed a clean path.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered: list[signal.Signals] = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            registered.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
 
     service = bootstrap_service(args)
     server = ServiceServer(
@@ -120,11 +160,30 @@ async def _serve(args: argparse.Namespace) -> None:
     print(
         f"repro serve: {stats['n_users']} users x {stats['n_items']} items "
         f"({args.store} store, k_max={stats['k_max']}, {stats['shards']} shards, "
-        f"{stats['backend']} backend)"
+        f"{stats['backend']} backend, {stats['execution']} execution"
+        + (", warm index cache" if stats.get("index_cache_hit") else "")
+        + ")"
     )
     print(f"listening on http://{server.host}:{server.port}  "
-          f"(endpoints: /healthz /stats /recommend /updates)")
-    await server.run_forever()
+          f"(endpoints: /healthz /stats /recommend /updates)", flush=True)
+
+    serve_task = asyncio.create_task(server.run_forever())
+    try:
+        if registered:
+            await stop.wait()
+        else:  # pragma: no cover - fallback when signals are unavailable
+            await serve_task
+    finally:
+        serve_task.cancel()
+        try:
+            await serve_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        await server.shutdown()
+        service.close()
+        for sig in registered:
+            loop.remove_signal_handler(sig)
+    print("repro serve: stopped (listener closed, pending updates flushed)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -144,7 +203,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         try:
             asyncio.run(_serve(args))
-        except KeyboardInterrupt:
+        except KeyboardInterrupt:  # pragma: no cover - signal race at startup
             print("repro serve: stopped")
         return 0
     return 2  # pragma: no cover - argparse enforces the subcommand

@@ -128,6 +128,31 @@ class ServiceServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def shutdown(self) -> None:
+        """Graceful stop: stop accepting, flush pending updates, release.
+
+        This is the SIGINT/SIGTERM path of ``repro serve``: the listener
+        stops accepting new connections, the open update batch (if any) is
+        applied as one final ``apply_updates`` call so
+        acknowledged-but-batched writers get their bookkeeping instead of
+        a dropped future, and only then is the socket awaited closed.
+        The flush must come *before* ``wait_closed()``: on Python >= 3.12
+        ``wait_closed`` waits for in-flight connection handlers, and the
+        ``POST /updates`` handlers are themselves awaiting the batch
+        future the flush resolves — flushing after would deadlock.
+        Idempotent.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        if self._pending_updates:
+            await self._flush_updates()
+        if server is not None:
+            await server.wait_closed()
+
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #

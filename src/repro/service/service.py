@@ -50,7 +50,7 @@ import numpy as np
 
 from repro.core.engine import FormationEngine, get_backend
 from repro.core.errors import GroupFormationError
-from repro.core.greedy_framework import GreedyVariant, make_variant
+from repro.core.greedy_framework import GreedyVariant, make_variant, variant_token
 from repro.core.grouping import Group, GroupFormationResult
 from repro.core.sharded import (
     ShardSummary,
@@ -58,7 +58,9 @@ from repro.core.sharded import (
     shard_bounds,
     summarise_tables,
 )
-from repro.core.topk_index import MutableTopKIndex
+from repro.core.topk_index import MutableTopKIndex, TopKIndex
+from repro.execution.cache import ArtifactCache, store_fingerprint
+from repro.execution.executor import Executor, get_executor
 from repro.recsys.store import DenseStore, MutableRatingStore
 from repro.utils.validation import require_positive_int
 
@@ -92,6 +94,23 @@ class FormationService:
         Forwarded to :class:`~repro.core.topk_index.MutableTopKIndex`.
     result_cache_size:
         Number of memoized formation results kept (LRU, default 128).
+    execution:
+        Execution strategy for the shard-summary fan-out on requests that
+        recompute several shards: ``"serial"`` (default), ``"threads"``,
+        ``"processes"``, or a prebuilt
+        :class:`~repro.execution.executor.Executor` (kept open — the
+        caller owns its lifetime).  The process strategy exports the
+        current top-k tables to shared memory keyed by (index version,
+        ``k``), re-exporting only after updates; results stay
+        bit-identical to serial execution.
+    workers:
+        Degree of parallelism for a newly built executor.
+    cache_dir:
+        Optional :class:`~repro.execution.cache.ArtifactCache` directory:
+        a cold start loads the top-k index artifact for the store's
+        content fingerprint instead of building it (and saves the artifact
+        after a cold build), so restarting a service over unchanged
+        ratings skips index construction entirely.
 
     Raises
     ------
@@ -114,12 +133,40 @@ class FormationService:
         backend: str | None = None,
         compaction_fraction: float | None = 0.25,
         result_cache_size: int = DEFAULT_RESULT_CACHE,
+        execution: "str | Executor | None" = None,
+        workers: int | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         self._backend = get_backend(backend)
         self._engine = FormationEngine(self._backend)
+        base = None
+        self._index_cache_hit = False
+        artifact_cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+        if artifact_cache is not None:
+            fingerprint = store_fingerprint(store)
+            base = artifact_cache.load_index(fingerprint, int(k_max))
+            self._index_cache_hit = base is not None
         self._index = MutableTopKIndex(
-            store, k_max, compaction_fraction=compaction_fraction
+            store, k_max, compaction_fraction=compaction_fraction, base=base
         )
+        if artifact_cache is not None and base is None:
+            artifact_cache.save_index(
+                fingerprint,
+                int(k_max),
+                TopKIndex(self._index.items, self._index.values, self._index.n_items),
+            )
+        self._owns_executor = not isinstance(execution, Executor)
+        self._executor = (
+            None
+            if execution is None
+            else get_executor(execution, workers)
+        )
+        if self._executor is not None and self._owns_executor:
+            # Fork the workers now, while the host process is still
+            # single-threaded — the asyncio front end spawns executor
+            # threads later, and forking from one of those risks cloning
+            # held locks into the pool.
+            self._executor.warm()
         self._shards = require_positive_int(shards, "shards")
         self._bounds = shard_bounds(store.n_users, self._shards)
         self._result_cache_size = require_positive_int(
@@ -177,8 +224,30 @@ class FormationService:
                 "cached_summaries": len(self._summaries),
                 "cached_results": len(self._results),
                 "backend": self._backend.name,
+                "execution": (
+                    self._executor.name if self._executor is not None else "serial"
+                ),
+                "index_cache_hit": self._index_cache_hit,
                 **self._counters,
             }
+
+    def close(self) -> None:
+        """Release the executor (if this service built it); idempotent.
+
+        A caller-provided :class:`~repro.execution.executor.Executor` is
+        left open — the caller owns its lifetime.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
+        self._executor = None
+
+    def __enter__(self) -> "FormationService":
+        """Enter the context manager (returns ``self``)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Call :meth:`close` on context exit (exc_info unused)."""
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -316,7 +385,7 @@ class FormationService:
         with self._lock:
             self._counters["requests"] += 1
             users_key = None if user_ids is None else tuple(int(u) for u in user_ids)
-            key = (k, max_groups, variant.name, users_key, self._index.version)
+            key = (k, max_groups, variant_token(variant), users_key, self._index.version)
             cached = self._results.get(key)
             if cached is not None:
                 self._results.move_to_end(key)
@@ -344,24 +413,49 @@ class FormationService:
     def _recommend_all(
         self, k: int, max_groups: int, variant: GreedyVariant
     ) -> GroupFormationResult:
-        """Full-population request through cached shard summaries."""
+        """Full-population request through cached shard summaries.
+
+        Missing summaries are computed serially in-process, except when
+        the service was built with an ``execution`` strategy and more than
+        one shard is missing — then the fan-out runs on the executor
+        (bit-identical results; the process strategy shares the current
+        top-k tables through shared memory keyed by ``(version, k)``).
+        """
         items_table, scores_table = self._index.top_k(k)
-        summaries: list[ShardSummary] = []
-        recycled = recomputed = 0
+        cached: dict[int, ShardSummary] = {}
+        missing: list[int] = []
         for shard in range(self._bounds.size - 1):
-            cache_key = (shard, k, variant.name)
-            summary = self._summaries.get(cache_key)
+            summary = self._summaries.get((shard, k, variant_token(variant)))
             if summary is None:
-                start = int(self._bounds[shard])
-                stop = int(self._bounds[shard + 1])
-                summary = summarise_tables(
-                    items_table[start:stop], scores_table[start:stop], start, variant
-                )
-                self._summaries[cache_key] = summary
-                recomputed += 1
+                missing.append(shard)
             else:
-                recycled += 1
-            summaries.append(summary)
+                cached[shard] = summary
+        if missing:
+            if self._executor is not None and len(missing) > 1:
+                computed = self._executor.map_table_shards(
+                    items_table,
+                    scores_table,
+                    self._bounds,
+                    missing,
+                    variant,
+                    token=(self._index.version, k),
+                )
+            else:
+                computed = [
+                    summarise_tables(
+                        items_table[int(self._bounds[s]):int(self._bounds[s + 1])],
+                        scores_table[int(self._bounds[s]):int(self._bounds[s + 1])],
+                        int(self._bounds[s]),
+                        variant,
+                    )
+                    for s in missing
+                ]
+            for shard, summary in zip(missing, computed):
+                self._summaries[(shard, k, variant_token(variant))] = summary
+                cached[shard] = summary
+        summaries = [cached[shard] for shard in range(self._bounds.size - 1)]
+        recycled = self._bounds.size - 1 - len(missing)
+        recomputed = len(missing)
         self._counters["shards_recycled"] += recycled
         self._counters["shards_recomputed"] += recomputed
         return form_from_summaries(

@@ -1,0 +1,250 @@
+"""ArtifactCache: content addressing, atomic writes, mmap loads, build skips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import FormationEngine
+from repro.core.greedy_framework import make_variant
+from repro.core.sharded import ShardedFormation, shard_bounds, summarise_store_shard
+from repro.core.topk_index import TopKIndex
+from repro.execution.cache import ArtifactCache, store_fingerprint
+from repro.recsys.matrix import RatingMatrix
+from repro.recsys.store import DenseStore, SparseStore
+
+
+@pytest.fixture
+def values():
+    return np.random.default_rng(9).integers(1, 6, size=(50, 12)).astype(float)
+
+
+@pytest.fixture
+def store(values):
+    return DenseStore(values.copy())
+
+
+# --------------------------------------------------------------------- #
+# Fingerprinting
+# --------------------------------------------------------------------- #
+
+
+def test_fingerprint_is_content_addressed(values):
+    a = DenseStore(values.copy())
+    b = DenseStore(values.copy())
+    assert store_fingerprint(a) == store_fingerprint(b)
+    mutated = values.copy()
+    mutated[3, 4] = 1.0 if mutated[3, 4] != 1.0 else 2.0
+    assert store_fingerprint(DenseStore(mutated)) != store_fingerprint(a)
+
+
+def test_fingerprint_distinguishes_kind_fill_and_scale(values):
+    dense = DenseStore(values.copy())
+    sparse = SparseStore.from_matrix(RatingMatrix(values.copy()))
+    assert store_fingerprint(dense) != store_fingerprint(sparse)
+    shifted = SparseStore(sparse.csr.copy(), fill_value=2.0)
+    assert store_fingerprint(shifted) != store_fingerprint(sparse)
+
+
+def test_fingerprint_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        store_fingerprint(object())
+
+
+# --------------------------------------------------------------------- #
+# Index artifacts
+# --------------------------------------------------------------------- #
+
+
+def test_warm_index_skips_build_and_is_bit_identical(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    cold, cold_hit = cache.get_or_build_index(store, 5)
+    builds = TopKIndex.builds
+    warm, warm_hit = cache.get_or_build_index(store, 5)
+    assert (cold_hit, warm_hit) == (False, True)
+    assert TopKIndex.builds == builds, "warm load must skip TopKIndex.build"
+    assert np.array_equal(np.asarray(warm.items), cold.items)
+    assert np.array_equal(np.asarray(warm.values), cold.values)
+    assert warm.n_items == cold.n_items
+    assert cache.hits >= 1 and cache.misses >= 1
+
+
+def test_warm_index_serves_the_engine_identically(tmp_path, store, values):
+    cache = ArtifactCache(tmp_path)
+    cache.get_or_build_index(store, 4)
+    warm, hit = cache.get_or_build_index(store, 4)
+    assert hit
+    engine = FormationEngine("numpy")
+    baseline = engine.run(values.copy(), 6, 4, "lm", "min")
+    cached = engine.run(store, 6, 4, "lm", "min", topk=warm)
+    assert baseline.objective == cached.objective
+    assert [g.members for g in baseline.groups] == [g.members for g in cached.groups]
+    assert [g.items for g in baseline.groups] == [g.items for g in cached.groups]
+
+
+def test_index_entries_key_on_k_max(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    cache.get_or_build_index(store, 3)
+    _, hit = cache.get_or_build_index(store, 5)
+    assert not hit, "a different k_max is a different artifact"
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    cache.get_or_build_index(store, 3)
+    fingerprint = store_fingerprint(store)
+    entry = cache._entry_path(cache.index_key(fingerprint, 3))
+    (entry / "meta.json").write_text("{not json", encoding="utf-8")
+    assert cache.load_index(fingerprint, 3) is None
+
+
+def test_failed_write_leaves_no_temp_dirs(tmp_path, store, monkeypatch):
+    cache = ArtifactCache(tmp_path)
+    index = TopKIndex.build(store, 3)
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np, "save", boom)
+    with pytest.raises(OSError):
+        cache.save_index(store_fingerprint(store), 3, index)
+    monkeypatch.undo()
+    leftovers = [p for p in tmp_path.iterdir() if p.name.startswith("tmp-")]
+    assert leftovers == [], "failed writes must clean their temp dirs"
+    # The cache still works after the failure.
+    _, hit = cache.get_or_build_index(store, 3)
+    assert not hit
+
+
+def test_save_is_idempotent_and_meta_is_readable(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    index, _ = cache.get_or_build_index(store, 3)
+    path = cache.save_index(store_fingerprint(store), 3, index)
+    meta = json.loads((path / "meta.json").read_text(encoding="utf-8"))
+    assert meta["k_max"] == 3 and meta["n_users"] == store.n_users
+
+
+def test_clear_removes_entries(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    cache.get_or_build_index(store, 3)
+    assert cache.clear() >= 1
+    _, hit = cache.get_or_build_index(store, 3)
+    assert not hit
+
+
+# --------------------------------------------------------------------- #
+# Shard-summary artifacts
+# --------------------------------------------------------------------- #
+
+
+def test_summary_round_trip_is_exact(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    variant = make_variant("av", "sum")
+    fingerprint = store_fingerprint(store)
+    summary = summarise_store_shard(store, 10, 35, 4, variant)
+    cache.save_summary(fingerprint, 4, variant, 10, 35, summary)
+    loaded = cache.load_summary(fingerprint, 4, variant, 10, 35)
+    assert loaded.start == summary.start
+    assert np.array_equal(loaded.keys, summary.keys)
+    assert np.array_equal(loaded.items_rows, summary.items_rows)
+    assert np.array_equal(loaded.reps, summary.reps)
+    assert np.array_equal(loaded.scores, summary.scores)
+    assert np.array_equal(loaded.contributions, summary.contributions)
+    assert len(loaded.members) == len(summary.members)
+    assert all(np.array_equal(a, b) for a, b in zip(loaded.members, summary.members))
+    # Keyed per variant and shard range.
+    assert cache.load_summary(fingerprint, 4, make_variant("lm", "min"), 10, 35) is None
+    assert cache.load_summary(fingerprint, 4, variant, 0, 35) is None
+
+
+def test_sharded_formation_summary_cache_round_trip(tmp_path, values):
+    baseline = FormationEngine("numpy").run(values.copy(), 5, 3, "lm", "min")
+    cold = ShardedFormation(shards=4, cache_dir=str(tmp_path)).run(
+        values.copy(), 5, 3, "lm", "min"
+    )
+    warm = ShardedFormation(shards=4, cache_dir=str(tmp_path)).run(
+        values.copy(), 5, 3, "lm", "min"
+    )
+    assert cold.extras["summary_cache_hits"] == 0
+    assert cold.extras["summary_cache_misses"] == 4
+    assert warm.extras["summary_cache_hits"] == 4
+    assert warm.extras["summary_cache_misses"] == 0
+    for result in (cold, warm):
+        assert result.objective == baseline.objective
+        assert [g.members for g in result.groups] == [
+            g.members for g in baseline.groups
+        ]
+
+
+def test_summary_cache_misses_after_content_change(tmp_path, values):
+    ShardedFormation(shards=3, cache_dir=str(tmp_path)).run(
+        values.copy(), 5, 3, "lm", "min"
+    )
+    mutated = values.copy()
+    mutated[0, 0] = 5.0 if mutated[0, 0] != 5.0 else 4.0
+    rerun = ShardedFormation(shards=3, cache_dir=str(tmp_path)).run(
+        mutated, 5, 3, "lm", "min"
+    )
+    assert rerun.extras["summary_cache_hits"] == 0
+
+
+def test_run_many_cache_round_trip(tmp_path, store, values):
+    from repro.core.engine import FormationConfig
+
+    cache = ArtifactCache(tmp_path)
+    engine = FormationEngine("numpy")
+    configs = [FormationConfig(4, 3), FormationConfig(5, 2, "av", "sum")]
+    first = engine.run_many(store, configs, cache=cache)
+    builds = TopKIndex.builds
+    second = engine.run_many(store, configs, cache=cache)
+    assert TopKIndex.builds == builds, "warm run_many must not rebuild the index"
+    serial = engine.run_many(values.copy(), configs)
+    for a, b, c in zip(first, second, serial):
+        assert a.objective == b.objective == c.objective
+        assert [g.members for g in a.groups] == [g.members for g in c.groups]
+
+
+def test_summary_entries_distinguish_weighted_sum_schemes(tmp_path, store):
+    """``variant.name`` alone is ambiguous for weighted-sum: the cache key
+    must carry the scheme/normalize parameters or one scheme would silently
+    serve another's summaries."""
+    from repro.core.aggregation import WeightedSumAggregation
+
+    cache = ArtifactCache(tmp_path)
+    fingerprint = store_fingerprint(store)
+    inverse = make_variant("lm", WeightedSumAggregation("inverse"))
+    log = make_variant("lm", WeightedSumAggregation("log"))
+    assert inverse.name == log.name  # the trap this test guards against
+    summary = summarise_store_shard(store, 0, 25, 3, inverse)
+    cache.save_summary(fingerprint, 3, inverse, 0, 25, summary)
+    assert cache.load_summary(fingerprint, 3, log, 0, 25) is None
+    loaded = cache.load_summary(fingerprint, 3, inverse, 0, 25)
+    assert np.array_equal(loaded.scores, summary.scores)
+
+
+def test_sharded_cache_keeps_weighted_sum_schemes_apart(tmp_path, values):
+    engine = FormationEngine("numpy")
+    for scheme in ("weighted-sum-inverse", "weighted-sum-log"):
+        baseline = engine.run(values.copy(), 5, 3, "lm", scheme)
+        warmed = ShardedFormation(shards=3, cache_dir=str(tmp_path)).run(
+            values.copy(), 5, 3, "lm", scheme
+        )
+        assert warmed.objective == baseline.objective
+        assert [g.members for g in warmed.groups] == [
+            g.members for g in baseline.groups
+        ]
+
+
+def test_summary_bounds_use_distinct_entries_per_k(tmp_path, store):
+    cache = ArtifactCache(tmp_path)
+    variant = make_variant("lm", "min")
+    fingerprint = store_fingerprint(store)
+    bounds = shard_bounds(store.n_users, 2)
+    s = summarise_store_shard(store, int(bounds[0]), int(bounds[1]), 2, variant)
+    cache.save_summary(fingerprint, 2, variant, int(bounds[0]), int(bounds[1]), s)
+    assert (
+        cache.load_summary(fingerprint, 3, variant, int(bounds[0]), int(bounds[1]))
+        is None
+    )

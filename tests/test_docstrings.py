@@ -29,6 +29,10 @@ DOCUMENTED_MODULES = [
     SRC / "core" / "topk_index.py",
     SRC / "core" / "sharded.py",
     SRC / "recsys" / "store.py",
+    SRC / "execution" / "__init__.py",
+    SRC / "execution" / "shm.py",
+    SRC / "execution" / "executor.py",
+    SRC / "execution" / "cache.py",
     SRC / "service" / "__init__.py",
     SRC / "service" / "service.py",
     SRC / "service" / "http.py",
