@@ -43,6 +43,22 @@ def best_time(
     return best, result
 
 
+def best_seconds(fn, rounds: int = 3) -> tuple[float, object]:
+    """(best wall-clock seconds, last result) of calling ``fn`` ``rounds`` times.
+
+    The generic form of :func:`best_time` for timed stages that are not an
+    engine run (kernel stages, index builds) — one best-of-N protocol for
+    every gate, defined here so benches cannot drift apart.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
 def _git_commit() -> str:
     """Short hash of the checked-out commit ("unknown" outside a git repo)."""
     try:

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Kernel-overhaul benchmark: classic vs fast on the fig4 largest instance.
+
+Times the two stages the kernel layer owns — the ``TopKIndex`` build
+(ranking every user's top-k) and step-1 bucketing (grouping users by their
+packed key rows) — under both kernel generations, asserts they are
+bit-identical, and records the per-stage and combined speedups in
+``BENCH_kernels.json``.
+
+The default instance is the paper's Figure 4(a) user-sweep shape at its
+largest point: 100,000 users (the paper's scalability default) with the
+10k-item catalogue scaled to 1,000 items so the dense instance fits this
+container's RAM; fig4(b) shows GRD runtime is flat in the catalogue size,
+so the per-stage ratios carry.  ``l`` and ``k`` are the paper defaults
+(10, 5) and the variant is GRD-LM-MIN, exactly as in the fig4 benches.
+
+Gate semantics: parity failures always exit non-zero; the combined-speedup
+floor only gates when ``--min-speedup`` is positive (CI runs it
+non-blocking at smoke scale; the committed ``BENCH_kernels.json`` is
+produced by the full-size run, which must record >= 2x)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py                   # full size
+    PYTHONPATH=src python benchmarks/bench_kernels.py --min-speedup 2.0 # acceptance
+    PYTHONPATH=src python benchmarks/bench_kernels.py --users 4000 --items 400 \
+        --min-speedup 0                                                 # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from _timing import bench_entry, best_seconds, results_identical, write_bench_json
+
+from repro.core import FormationEngine, TopKIndex, kernels
+from repro.core.engine import coerce_store
+from repro.datasets import synthetic_yahoo_music
+
+
+def bucket_partition(inverse, sorted_users, starts):
+    """Canonical (enumeration-order-free) form of a bucketing."""
+    ends = np.append(starts[1:], sorted_users.size)
+    return sorted(tuple(sorted_users[a:b].tolist()) for a, b in zip(starts, ends))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000,
+                        help="instance size in users (default: 100000, the "
+                             "paper's fig4 scalability default)")
+    parser.add_argument("--items", type=int, default=1000,
+                        help="instance size in items (default: 1000)")
+    parser.add_argument("--groups", type=int, default=10, help="group budget l")
+    parser.add_argument("--k", type=int, default=5, help="recommended list length")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds; the best round counts (default: 3)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="required combined (build+bucket) classic/fast "
+                             "runtime ratio; 0 disables the speedup gate "
+                             "(parity always gates)")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    args = parser.parse_args(argv)
+
+    ratings = synthetic_yahoo_music(
+        n_users=args.users, n_items=args.items, rng=args.seed
+    )
+    store = coerce_store(ratings)
+    instance = (
+        f"fig4 largest instance ({args.users}x{args.items}, "
+        f"l={args.groups}, k={args.k})"
+    )
+
+    timings: dict[str, dict[str, float]] = {}
+    tables: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    buckets: dict[str, object] = {}
+    results: dict[str, object] = {}
+    entries = []
+    for mode in ("classic", "fast"):
+        with kernels.use_kernels(mode):
+            build_seconds, index = best_seconds(
+                lambda: TopKIndex.build(store, args.k), args.rounds
+            )
+            items_table, scores_table = index.top_k(args.k)
+            # GRD-LM-MIN keys on the item sequence plus the k-th score.
+            bucket_seconds, bucketing = best_seconds(
+                lambda: kernels.bucketize(items_table, scores_table, "last"),
+                args.rounds,
+            )
+            _, result = best_seconds(
+                lambda: FormationEngine("numpy").run(
+                    store, args.groups, args.k, "lm", "min", topk=index
+                ),
+                1,
+            )
+        timings[mode] = {"index_build": build_seconds, "bucketing": bucket_seconds}
+        tables[mode] = (items_table, scores_table)
+        buckets[mode] = bucket_partition(*bucketing)
+        results[mode] = result
+        for stage, seconds in timings[mode].items():
+            entries.append(bench_entry(
+                instance, seconds, backend="numpy", store="dense",
+                kernels=mode, stage=stage,
+            ))
+
+    failures = []
+    if not (
+        np.array_equal(tables["classic"][0], tables["fast"][0])
+        and np.array_equal(tables["classic"][1], tables["fast"][1])
+    ):
+        failures.append("kernel parity: top-k tables differ between generations")
+    if buckets["classic"] != buckets["fast"]:
+        failures.append("kernel parity: bucket partitions differ between generations")
+    if not results_identical(results["classic"], results["fast"]):
+        failures.append("kernel parity: formation results differ between generations")
+
+    combined = {
+        mode: timings[mode]["index_build"] + timings[mode]["bucketing"]
+        for mode in timings
+    }
+    speedup = combined["classic"] / combined["fast"]
+    build_speedup = timings["classic"]["index_build"] / timings["fast"]["index_build"]
+    bucket_speedup = timings["classic"]["bucketing"] / timings["fast"]["bucketing"]
+    entries.append(bench_entry(
+        instance, combined["fast"], backend="numpy", store="dense",
+        kernels="fast", stage="index_build+bucketing", speedup=round(speedup, 2),
+    ))
+
+    print(f"{instance}")
+    print(f"  index build: classic {timings['classic']['index_build']*1000:8.1f} ms | "
+          f"fast {timings['fast']['index_build']*1000:8.1f} ms | {build_speedup:5.2f}x")
+    print(f"  bucketing:   classic {timings['classic']['bucketing']*1000:8.1f} ms | "
+          f"fast {timings['fast']['bucketing']*1000:8.1f} ms | {bucket_speedup:5.2f}x")
+    print(f"  combined:    classic {combined['classic']*1000:8.1f} ms | "
+          f"fast {combined['fast']*1000:8.1f} ms | {speedup:5.2f}x")
+
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        failures.append(
+            f"combined kernel speedup {speedup:.2f}x < required "
+            f"{args.min_speedup:.2f}x"
+        )
+
+    path = write_bench_json("kernels", entries)
+    print(f"timings written to {path}")
+    if failures:
+        print("\nFAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"OK: kernel generations bit-identical; combined speedup {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

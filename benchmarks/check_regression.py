@@ -22,7 +22,14 @@ small scale through both engine backends and fails when
   --execution processes``, which shares this parity contract; or
 * (``--cache-dir DIR``) a warm :class:`repro.execution.cache.ArtifactCache`
   run fails to skip TopKIndex construction (verified by the index build
-  counter) or the cached, memory-mapped index changes any result.
+  counter) or the cached, memory-mapped index changes any result; or
+* (``--kernel-gate``) the ``--kernels fast`` generation disagrees with
+  ``classic`` on any formation result (blocking), or — only when
+  ``--min-kernel-speedup`` is positive — the fast kernels' combined index
+  build + bucketing time fails to beat classic by the required factor
+  (non-blocking by default: the honest speedup measurement lives in
+  ``bench_kernels.py`` at the fig4 largest instance; this CI-scale smoke
+  only reports the trend).
 
 ``--service`` additionally runs the online-service bench
 (``bench_service_updates.py``) at a small scale as a **non-blocking trend
@@ -49,7 +56,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from _timing import bench_entry, best_time, results_identical, write_bench_json
+from _timing import (
+    bench_entry,
+    best_seconds,
+    best_time,
+    results_identical,
+    write_bench_json,
+)
 
 from repro.core import FormationEngine, ShardedFormation
 from repro.datasets import synthetic_yahoo_music
@@ -94,6 +107,16 @@ def main(argv=None) -> int:
     parser.add_argument("--service", action="store_true",
                         help="also run the online-service bench at small scale "
                              "as a non-blocking trend report")
+    parser.add_argument("--kernel-gate", action="store_true", dest="kernel_gate",
+                        help="also gate the --kernels fast generation: "
+                             "formation-result parity with classic (blocking) "
+                             "plus a kernel-stage speedup report")
+    parser.add_argument("--min-kernel-speedup", type=float, default=0.0,
+                        dest="min_kernel_speedup",
+                        help="required classic/fast combined kernel-stage "
+                             "runtime ratio for --kernel-gate (default: 0 = "
+                             "parity-only; the >= 2x acceptance floor runs "
+                             "through bench_kernels.py at full size)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
 
@@ -271,6 +294,58 @@ def main(argv=None) -> int:
             f"artifact cache ({instance}): cold hit={cold_hit} "
             f"(builds +{warm_builds - cold_builds}), warm hit={warm_hit} "
             f"(builds +{after_warm - warm_builds}) | {status}"
+        )
+
+    if args.kernel_gate:
+        from repro.core import TopKIndex, kernels
+        from repro.core.engine import coerce_store
+
+        store = coerce_store(ratings)
+        kernel_runs = {}
+        stage_seconds = {}
+
+        def kernel_stages():
+            index = TopKIndex.build(store, args.k)
+            items_table, scores_table = index.top_k(args.k)
+            kernels.bucketize(items_table, scores_table, "last")
+
+        for mode in ("classic", "fast"):
+            with kernels.use_kernels(mode):
+                stage_seconds[mode], _ = best_seconds(
+                    kernel_stages, rounds=args.rounds
+                )
+                kernel_runs[mode] = {
+                    semantics: engines["numpy"].run(
+                        ratings, args.groups, args.k, semantics, "min"
+                    )
+                    for semantics in ("lm", "av")
+                }
+                entries.append(bench_entry(
+                    f"kernel stages {instance}", stage_seconds[mode], backend="numpy",
+                    store="dense", kernels=mode, stage="index_build+bucketing",
+                ))
+        kernel_speedup = stage_seconds["classic"] / stage_seconds["fast"]
+        status = "ok"
+        for semantics in ("lm", "av"):
+            if not results_identical(
+                kernel_runs["classic"][semantics], kernel_runs["fast"][semantics]
+            ):
+                status = "PARITY MISMATCH"
+                failures.append(
+                    f"kernels: fast generation disagrees with classic "
+                    f"(GRD-{semantics.upper()}-MIN)"
+                )
+        if status == "ok" and kernel_speedup < args.min_kernel_speedup:
+            status = "TOO SLOW"
+            failures.append(
+                f"kernels: combined stage speedup {kernel_speedup:.2f}x < "
+                f"required {args.min_kernel_speedup:.2f}x"
+            )
+        print(
+            f"kernels ({instance}): "
+            f"classic {stage_seconds['classic'] * 1000:7.1f} ms | "
+            f"fast {stage_seconds['fast'] * 1000:7.1f} ms | "
+            f"speedup {kernel_speedup:5.2f}x | {status}"
         )
 
     path = write_bench_json("regression", entries)

@@ -40,6 +40,7 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
 from repro.execution.executor import EXECUTION_MODES
 from repro.experiments.config import (
     BACKENDS,
@@ -101,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
             "rating storage the pipeline runs on: the historical dense ndarray "
             "or the CSR sparse store; results are bit-identical "
             f"(default: {DEFAULT_STORE})"
+        ),
+    )
+    parser.add_argument(
+        "--kernels",
+        default=DEFAULT_KERNELS,
+        choices=list(KERNEL_MODES),
+        help=(
+            "ranking/bucketing kernel generation for the hot path: the "
+            "historical argmax-peel + lexsort kernels or the blocked "
+            "partition-select + fingerprint-bucketing overhaul; results are "
+            f"bit-identical (default: {DEFAULT_KERNELS})"
         ),
     )
     parser.add_argument(
@@ -261,6 +273,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     backend = normalize_backend(args.backend)
     store = normalize_store(args.store)
+    set_kernels(args.kernels)
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be a positive integer")
     if args.execution not in (None, "serial") and (

@@ -17,6 +17,9 @@ The layering inside this subpackage follows the paper:
   execution layer running the greedy skeleton through a pluggable backend
   (loop-based ``"reference"`` or vectorised ``"numpy"``, bit-identical), with
   a batch API sharing work across configuration sweeps.
+* :mod:`repro.core.kernels` — the low-level ranking/bucketing kernels the
+  vectorised hot path runs on, in two bit-identical generations selectable
+  via ``--kernels {classic,fast}``.
 * :mod:`repro.core.formation` — the :func:`~repro.core.formation.form_groups`
   facade dispatching to greedy, baseline and exact algorithms.
 """
@@ -45,6 +48,13 @@ from repro.core.engine import (
     NumpyBackend,
     ReferenceBackend,
     get_backend,
+)
+from repro.core.kernels import (
+    DEFAULT_KERNELS,
+    KERNEL_MODES,
+    get_kernels,
+    set_kernels,
+    use_kernels,
 )
 from repro.core.sharded import ShardedFormation
 from repro.core.topk_index import MutableTopKIndex, TopKIndex
@@ -108,6 +118,12 @@ __all__ = [
     "ShardedFormation",
     "TopKIndex",
     "get_backend",
+    # kernel layer
+    "DEFAULT_KERNELS",
+    "KERNEL_MODES",
+    "get_kernels",
+    "set_kernels",
+    "use_kernels",
     # group recommendation
     "GroupRecommender",
     "group_item_scores",

@@ -12,13 +12,17 @@ the three-step skeleton is executed:
     the executable specification the other backends are tested against.
 ``"numpy"``
     A vectorised implementation of the same specification: users are
-    bucketed by lexsorting packed ``uint64`` key rows instead of per-user
-    dict hashing, and bucket heap scores are computed with vectorised
-    reductions (``np.bincount`` accumulates member contributions in the same
-    ascending-user order as the reference loop).  Its results are
-    bit-identical to the reference backend — the parity suite in
-    ``tests/core/test_engine.py`` asserts this on randomised, tie-heavy
-    instances for every GRD variant.
+    bucketed on packed ``uint64`` key rows instead of per-user dict hashing,
+    and bucket heap scores are computed with vectorised reductions
+    (``np.bincount`` accumulates member contributions in the same
+    ascending-user order as the reference loop).  The ranking and bucketing
+    primitives live in :mod:`repro.core.kernels`, which offers two
+    bit-identical generations (``classic`` lexsort/argmax-peel and the
+    ``fast`` partition-select/fingerprint overhaul) selectable via the
+    ``--kernels`` flag.  Its results are bit-identical to the reference
+    backend — the parity suite in ``tests/core/test_engine.py`` asserts
+    this on randomised, tie-heavy instances for every GRD variant, and
+    ``tests/core/test_kernels.py`` asserts classic/fast kernel parity.
 
 Rating data reaches the engine through the
 :class:`~repro.recsys.store.RatingStore` interface (a raw complete array or
@@ -77,9 +81,10 @@ from repro.core.greedy_framework import (
     as_complete_values,
     make_variant,
 )
+from repro.core import kernels
 from repro.core.group_recommender import group_satisfaction
 from repro.core.grouping import Group, GroupFormationResult, build_group
-from repro.core.preferences import _top_k_table_dispatch, _top_k_table_sorted
+from repro.core.preferences import _top_k_table_sorted
 from repro.core.semantics import Semantics
 from repro.core.topk_index import TopKIndex
 from repro.recsys.matrix import RatingMatrix
@@ -291,10 +296,10 @@ class NumpyBackend(FormationBackend):
     name = "numpy"
 
     def top_k_table(self, values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Per-user top-``k`` of ``values`` via the fastest exact kernel."""
-        # The engine already rejected non-finite ratings, so the dispatch can
+        """Per-user top-``k`` of ``values`` via the active kernel generation."""
+        # The engine already rejected non-finite ratings, so the kernel can
         # skip its -inf sentinel scan.
-        return _top_k_table_dispatch(values, k, assume_finite=True)
+        return kernels.top_k_table(values, k, assume_finite=True)
 
     @staticmethod
     def _pack_keys(
@@ -302,54 +307,30 @@ class NumpyBackend(FormationBackend):
     ) -> np.ndarray:
         """Pack each user's bucket key into one row of ``uint64`` words.
 
-        Item indices are stored as their integer values and rating scores as
-        their raw IEEE-754 bit patterns, so two rows are equal exactly when
-        the reference backend's concatenated byte keys are equal.
+        Thin wrapper over :func:`repro.core.kernels.pack_key_rows` (kept as
+        the historical backend-level seam): two packed rows are equal
+        exactly when the reference backend's concatenated byte keys are
+        equal.
         """
-        n_users, k = items_table.shape
-        if key_scores == "none":
-            score_part = None
-        elif key_scores == "first":
-            score_part = scores_table[:, :1]
-        elif key_scores == "last":
-            score_part = scores_table[:, -1:]
-        else:
-            score_part = scores_table
-        n_score_cols = 0 if score_part is None else score_part.shape[1]
-        packed = np.empty((n_users, k + n_score_cols), dtype=np.uint64)
-        packed[:, :k] = items_table.astype(np.uint64, copy=False)
-        if score_part is not None:
-            packed[:, k:] = np.ascontiguousarray(score_part).view(np.uint64)
-        return packed
+        return kernels.pack_key_rows(items_table, scores_table, key_scores)
 
     @classmethod
     def _bucketize(
         cls, items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Group users with equal keys.
+        """Group users with equal keys via :func:`repro.core.kernels.bucketize`.
 
         Returns ``(inverse, sorted_users, starts)`` where ``inverse[u]`` is
-        the bucket id of user ``u``, ``sorted_users`` lists all users sorted
-        by (bucket key, user index) and ``starts`` holds each bucket's first
-        position in ``sorted_users``.  The lexsort is stable, so each
-        bucket's segment is in ascending user order and its first element is
-        the bucket representative (first user encountered by the reference
-        loop).
+        the bucket id of user ``u``, ``sorted_users`` lists all users with
+        buckets contiguous and each bucket's segment in ascending user order
+        (its first element is the bucket representative — the first user the
+        reference loop would encounter), and ``starts`` holds each bucket's
+        first position in ``sorted_users``.  The active kernel generation
+        decides *how*: a stable lexsort over every packed key column
+        (``classic``) or collision-checked 64-bit fingerprint grouping
+        (``fast``).
         """
-        packed = cls._pack_keys(items_table, scores_table, key_scores)
-        n_users = packed.shape[0]
-        if n_users == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty, empty
-        sorted_users = np.lexsort(packed.T[::-1])
-        srt = packed[sorted_users]
-        new_segment = np.empty(n_users, dtype=bool)
-        new_segment[0] = True
-        np.any(srt[1:] != srt[:-1], axis=1, out=new_segment[1:])
-        starts = np.flatnonzero(new_segment)
-        inverse = np.empty(n_users, dtype=np.int64)
-        inverse[sorted_users] = np.cumsum(new_segment) - 1
-        return inverse, sorted_users, starts
+        return kernels.bucketize(items_table, scores_table, key_scores)
 
     @staticmethod
     def _contributions(
@@ -414,12 +395,9 @@ class NumpyBackend(FormationBackend):
         n_buckets = starts.size
         ends = np.append(starts[1:], n_users)
         representatives = sorted_users[starts]
-        if variant.combine == "sum":
-            bucket_scores = np.bincount(
-                inverse, weights=contributions, minlength=n_buckets
-            )
-        else:
-            bucket_scores = contributions[representatives]
+        bucket_scores = kernels.bucket_reduce(
+            inverse, contributions, n_buckets, variant.combine, representatives
+        )
 
         # Step 2: highest score first, ties by smallest representative —
         # the same total order as the reference heap of (-score, rep, key).

@@ -1,0 +1,552 @@
+"""Low-level, allocation-conscious kernels of the formation hot path.
+
+Profiling million-user formation runs shows nearly all the time goes to two
+single-core kernels: ranking every user's top-``k`` items (the
+:class:`~repro.core.topk_index.TopKIndex` build) and grouping users whose
+top-``k`` key rows are identical (step 1 bucketing).  This module owns both,
+in two selectable generations:
+
+``"classic"``
+    The historical kernels, kept verbatim as the executable baseline:
+    ``k`` argmax "peels" over a fresh full-matrix copy for the top-k table
+    (:func:`repro.core.preferences._top_k_table_dispatch`) and an
+    ``np.lexsort`` over all ``k (+ score)`` packed ``uint64`` key columns
+    for bucketing.
+``"fast"``
+    The overhauled kernels (the default).  The top-k table is built in
+    bounded **row blocks** over reusable thread-local scratch — an argmax
+    peel while ``k`` is small (each pass then runs over a cache-resident
+    block instead of streaming the full matrix from RAM) and a
+    partition-select with a deterministic tail re-sort once ``k`` grows —
+    and bucketing hashes each packed key row to a single 64-bit polynomial
+    **fingerprint**, groups by one stable integer argsort, verifies the
+    groups against the exact keys, and falls back to the classic lexsort
+    only when a fingerprint collision is detected.
+
+Both generations are **bit-identical** by construction and by test
+(``tests/core/test_kernels.py``): the top-k kernels reproduce the
+library-wide tie-break (rating descending, item index ascending) exactly,
+and the bucketing kernels produce the same partition of users with the same
+ascending member order per bucket.  The only permitted difference is bucket
+*enumeration order* (key-sorted vs fingerprint-sorted), which no consumer
+depends on: greedy selection totally orders buckets by ``(score,
+representative)`` and member/remaining lists are user-ordered.
+
+The active generation is a process-wide switch (:func:`set_kernels` /
+:func:`use_kernels`), threaded through the ``--kernels {classic,fast}``
+CLI flag and shipped to executor worker processes with each task.
+:data:`KERNEL_GENERATION` feeds the artifact-cache key so artifacts
+persisted by older kernel generations are invalidated rather than mixed.
+
+Inputs are assumed NaN-free (every rating store validates completeness);
+``±inf`` is handled exactly by the partition-select path, which is why the
+fast dispatch never needs the classic kernel's ``-inf`` sentinel scan to
+pick an algorithm.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.preferences import _top_k_table_dispatch, _top_k_table_sorted
+
+__all__ = [
+    "DEFAULT_KERNELS",
+    "KERNEL_GENERATION",
+    "KERNEL_MODES",
+    "bucket_reduce",
+    "bucketize",
+    "clear_scratch",
+    "fingerprint_rows",
+    "float_to_ordinal",
+    "get_kernels",
+    "group_key_rows",
+    "pack_key_rows",
+    "set_kernels",
+    "top_k_table",
+    "use_kernels",
+]
+
+#: Kernel generations selectable via ``--kernels``.
+KERNEL_MODES: tuple[str, ...] = ("classic", "fast")
+
+#: Generation used when none is requested explicitly.
+DEFAULT_KERNELS = "fast"
+
+#: Monotone cache-key component: bumped whenever a kernel generation changes
+#: in a way that alters *persisted artifact layout or provenance* (e.g. the
+#: packed-key encoding), so :class:`~repro.execution.cache.ArtifactCache`
+#: entries written by older kernels are invalidated instead of silently
+#: mixed with new ones.
+KERNEL_GENERATION = 2
+
+_active = DEFAULT_KERNELS
+_scratch = threading.local()
+
+#: Peak bytes of the reusable float64 scratch block (per thread); the fast
+#: top-k kernel sizes its row blocks so one block fits in cache and the
+#: peak working set stays bounded on dense 1M x 10k inputs.
+_SCRATCH_TARGET_BYTES = 8 << 20
+_MAX_BLOCK_ROWS = 2048
+_MIN_BLOCK_ROWS = 64
+
+#: Odd 64-bit multiplier (2^64 / golden ratio) for the polynomial row hash.
+_FINGERPRINT_MULTIPLIER = 0x9E3779B97F4A7C15
+
+
+def get_kernels() -> str:
+    """The active kernel generation (``"classic"`` or ``"fast"``)."""
+    return _active
+
+
+def set_kernels(name: str) -> str:
+    """Select the active kernel generation process-wide.
+
+    Parameters
+    ----------
+    name:
+        ``"classic"`` or ``"fast"``.
+
+    Returns
+    -------
+    str
+        The previously active generation (so callers can restore it).
+    """
+    global _active
+    key = str(name).strip().lower()
+    if key not in KERNEL_MODES:
+        known = ", ".join(KERNEL_MODES)
+        raise ValueError(f"unknown kernel generation {name!r}; expected one of: {known}")
+    previous = _active
+    _active = key
+    return previous
+
+
+@contextmanager
+def use_kernels(name: str) -> Iterator[str]:
+    """Context manager: run a block under the given kernel generation.
+
+    Parameters
+    ----------
+    name:
+        ``"classic"`` or ``"fast"``; the previous generation is restored on
+        exit.
+    """
+    previous = set_kernels(name)
+    try:
+        yield _active
+    finally:
+        set_kernels(previous)
+
+
+def clear_scratch() -> None:
+    """Drop this thread's reusable kernel scratch buffers.
+
+    The fast kernels keep one set of block-sized work arrays per thread to
+    avoid re-faulting fresh pages on every call; long-lived hosts that want
+    the memory back (or tests measuring allocations) call this.
+    """
+    _scratch.__dict__.clear()
+
+
+def _scratch_array(name: str, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """A reusable per-thread array of at least ``shape`` (uninitialised)."""
+    key = (name, np.dtype(dtype).str)
+    cached = _scratch.__dict__.get(key)
+    needed = int(np.prod(shape))
+    if cached is None or cached.size < needed:
+        cached = np.empty(needed, dtype=dtype)
+        _scratch.__dict__[key] = cached
+    return cached[:needed].reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# Monotone float -> uint64 ordinal transform
+# --------------------------------------------------------------------------- #
+
+
+def float_to_ordinal(values: np.ndarray) -> np.ndarray:
+    """Map floats to ``uint64`` ordinals that sort and compare like the floats.
+
+    The transform is the standard sign-flip trick on the IEEE-754 bit
+    pattern: non-negative patterns get the sign bit set, negative patterns
+    are bitwise complemented.  It is a **bijection** on bit patterns with
+    two properties the kernels rely on:
+
+    * **order**: for non-NaN ``a < b`` implies ``ord(a) < ord(b)`` — packed
+      score columns keep their exact ordering under unsigned integer
+      comparison (``-0.0`` orders strictly below ``+0.0``, refining the IEEE
+      tie);
+    * **equality**: ``ord(a) == ord(b)`` exactly when ``a`` and ``b`` have
+      identical bit patterns — the same equality the reference backend's
+      byte keys implement (so ``-0.0`` and ``+0.0`` stay *distinct* keys,
+      and every NaN payload is distinct but deterministic).
+
+    ``float32`` input is upcast to ``float64`` first (exact and monotone),
+    so both widths share one ordinal space.  Subnormals and ``±inf`` need no
+    special cases: subnormal patterns already sit between zero and the
+    smallest normal, and ``±inf`` between the finite range and the NaN
+    patterns (positive NaNs map above ``+inf``, negative NaNs below
+    ``-inf``).
+
+    Parameters
+    ----------
+    values:
+        Array of ``float64`` or ``float32`` (any shape).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of the same shape.
+    """
+    values = np.asarray(values)
+    if values.dtype != np.float64:
+        values = values.astype(np.float64)
+    bits = np.ascontiguousarray(values).view(np.uint64)
+    sign = np.uint64(1) << np.uint64(63)
+    return np.where(bits & sign, ~bits, bits | sign)
+
+
+# --------------------------------------------------------------------------- #
+# Top-k table kernels
+# --------------------------------------------------------------------------- #
+
+
+def _fast_block_rows(n_items: int) -> int:
+    """Rows per block so one float64 block hits the scratch byte target."""
+    rows = _SCRATCH_TARGET_BYTES // (8 * max(n_items, 1))
+    return max(_MIN_BLOCK_ROWS, min(_MAX_BLOCK_ROWS, int(rows)))
+
+
+def _topk_block_peel(
+    block: np.ndarray, k: int, items_out: np.ndarray, values_out: np.ndarray
+) -> None:
+    """Argmax-peel one row block over reusable scratch (small ``k``).
+
+    ``np.argmax`` returns the first occurrence of the maximum — the lowest
+    item index — which is exactly the library tie-break, so ``k`` peels
+    reproduce the stable-sort table bit for bit.  The scratch copy keeps
+    the peel's ``-inf`` masking off the caller's data, and the output
+    values are gathered from the original ``block`` so bit patterns (e.g.
+    ``-0.0``) survive untouched.
+    """
+    n_rows = block.shape[0]
+    work = _scratch_array("topk_work", block.shape, np.float64)
+    np.copyto(work, block)
+    rows = np.arange(n_rows)
+    for rank in range(k):
+        best = np.argmax(work, axis=1)
+        items_out[:, rank] = best
+        work[rows, best] = -np.inf
+    values_out[:] = np.take_along_axis(block, items_out, axis=1)
+
+
+def _topk_block_select(
+    block: np.ndarray, k: int, items_out: np.ndarray, values_out: np.ndarray
+) -> None:
+    """Partition-select one row block with a deterministic tail re-sort.
+
+    One in-place introselect over scratch finds each row's k-th largest
+    value; items strictly above it are all selected, and ties *at* the
+    boundary are resolved to the lowest item indices (the library
+    tie-break) by ranking the equal entries in index order.  A stable
+    ``O(k log k)`` argsort of the selected candidates then reproduces the
+    (rating descending, item ascending) order bit for bit — equal values
+    keep the ascending index order the candidates arrive in.  Exact for
+    ``±inf``; only NaN (excluded by store validation) is undefined.
+    """
+    n_rows, n_items = block.shape
+    work = _scratch_array("topk_work", block.shape, np.float64)
+    np.copyto(work, block)
+    work.partition(n_items - k, axis=1)
+    boundary = np.ascontiguousarray(work[:, n_items - k])[:, None]
+
+    keep = _scratch_array("topk_keep", block.shape, np.bool_)
+    np.greater_equal(block, boundary, out=keep)
+    equal = _scratch_array("topk_equal", block.shape, np.bool_)
+    np.equal(block, boundary, out=equal)
+    n_keep = keep.sum(axis=1)
+    n_equal = equal.sum(axis=1)
+    # Of the entries equal to the boundary, only the first
+    # (k - #strictly-greater) per row survive.
+    quota = (k - (n_keep - n_equal))[:, None]
+    rank = _scratch_array("topk_rank", block.shape, np.int32)
+    np.cumsum(equal, axis=1, dtype=np.int32, out=rank)
+    spill = _scratch_array("topk_spill", block.shape, np.bool_)
+    np.greater(rank, quota, out=spill)
+    spill &= equal
+    keep &= ~spill
+
+    candidates = np.nonzero(keep)[1].reshape(n_rows, k)
+    candidate_values = np.take_along_axis(block, candidates, axis=1)
+    order = np.argsort(-candidate_values, axis=1, kind="stable")
+    items_out[:] = np.take_along_axis(candidates, order, axis=1)
+    values_out[:] = np.take_along_axis(candidate_values, order, axis=1)
+
+
+def _top_k_table_fast(values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The fast blocked top-k kernel (validation already done)."""
+    n_users, n_items = values.shape
+    items_table = np.empty((n_users, k), dtype=np.int64)
+    values_table = np.empty((n_users, k), dtype=np.float64)
+    # The peel streams k cache-resident passes; the partition-select pays a
+    # few extra mask passes but only one selection pass, which wins once k
+    # grows past a small fraction of the catalogue (measured crossover).
+    use_peel = k <= max(16, n_items // 8)
+    block_rows = _fast_block_rows(n_items)
+    for start in range(0, n_users, block_rows):
+        stop = min(start + block_rows, n_users)
+        block = values[start:stop]
+        if use_peel:
+            _topk_block_peel(block, k, items_table[start:stop], values_table[start:stop])
+        else:
+            _topk_block_select(
+                block, k, items_table[start:stop], values_table[start:stop]
+            )
+    return items_table, values_table
+
+
+def top_k_table(
+    values: np.ndarray, k: int, assume_finite: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-user top-``k`` items and ratings under the active kernel generation.
+
+    Both generations implement the library tie-break (rating descending,
+    item index ascending) bit for bit; only speed and peak memory differ.
+    Validation (2-D shape, ``1 <= k <= n_items``, no NaN) is the caller's
+    responsibility, matching the internal kernels this function fronts.
+
+    Parameters
+    ----------
+    values:
+        Complete ``(n_users, n_items)`` float rating array (NaN-free).
+    k:
+        Top-k prefix length.
+    assume_finite:
+        Promise that ``values`` contains no ``-inf``; lets the classic
+        dispatch skip its sentinel scan (the fast path handles ``±inf``
+        exactly either way, but an explicit ``-inf`` would collide with the
+        classic peel's mask sentinel).
+
+    Returns
+    -------
+    (items, values):
+        ``(n_users, k)`` int64 item table and float64 rating table.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if _active == "classic":
+        return _top_k_table_dispatch(values, k, assume_finite=assume_finite)
+    if not assume_finite and np.isneginf(values).any():
+        # The peel branch masks with -inf; the classic contract handles
+        # explicit -inf ratings through the full stable sort.
+        return _top_k_table_sorted(values, k)
+    return _top_k_table_fast(values, k)
+
+
+# --------------------------------------------------------------------------- #
+# Bucketing kernels
+# --------------------------------------------------------------------------- #
+
+
+def pack_key_rows(
+    items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+) -> np.ndarray:
+    """Pack each user's bucket key into one row of ``uint64`` words.
+
+    Item indices are stored as their integer values; the score columns a
+    variant keys on (``key_scores`` of ``"none"`` / ``"first"`` / ``"last"``
+    / ``"all"``) are stored as their :func:`float_to_ordinal` ordinals, so
+    two packed rows are equal exactly when the reference backend's
+    concatenated byte keys are equal *and* unsigned comparison of the packed
+    words preserves the score ordering.  The packing is
+    kernel-generation-independent — summaries produced under ``classic`` and
+    ``fast`` kernels carry interchangeable keys.
+
+    Parameters
+    ----------
+    items_table, scores_table:
+        The ``(n_users, k)`` ranked top-k tables.
+    key_scores:
+        Which score columns join the key (see
+        :class:`~repro.core.greedy_framework.GreedyVariant`).
+    """
+    n_users, k = items_table.shape
+    if key_scores == "none":
+        score_part = None
+    elif key_scores == "first":
+        score_part = scores_table[:, :1]
+    elif key_scores == "last":
+        score_part = scores_table[:, -1:]
+    else:
+        score_part = scores_table
+    n_score_cols = 0 if score_part is None else score_part.shape[1]
+    packed = np.empty((n_users, k + n_score_cols), dtype=np.uint64)
+    packed[:, :k] = items_table.astype(np.uint64, copy=False)
+    if score_part is not None:
+        packed[:, k:] = float_to_ordinal(score_part)
+    return packed
+
+
+def fingerprint_rows(packed: np.ndarray) -> np.ndarray:
+    """Hash each packed key row to one ``uint64`` polynomial fingerprint.
+
+    The fingerprint of row ``r`` is ``sum_j packed[r, j] * R**(j+1)`` in
+    wrapping 64-bit arithmetic with ``R`` an odd multiplier, so equal rows
+    always share a fingerprint and unequal rows collide with probability
+    ``~2^-64`` per pair.  Collisions are *detected* (and survived) by
+    :func:`group_key_rows`, never assumed absent.
+
+    Parameters
+    ----------
+    packed:
+        ``(n_rows, width)`` ``uint64`` key matrix from :func:`pack_key_rows`.
+    """
+    width = packed.shape[1]
+    weights = np.empty(width, dtype=np.uint64)
+    acc = 1
+    for j in range(width):
+        acc = (acc * _FINGERPRINT_MULTIPLIER) & 0xFFFFFFFFFFFFFFFF
+        weights[j] = acc
+    return (packed * weights).sum(axis=1, dtype=np.uint64)
+
+
+def _group_rows_lexsort(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The classic grouping: stable lexsort over every packed key column."""
+    n_rows = packed.shape[0]
+    order = np.lexsort(packed.T[::-1])
+    srt = packed[order]
+    new_segment = np.empty(n_rows, dtype=bool)
+    new_segment[0] = True
+    np.any(srt[1:] != srt[:-1], axis=1, out=new_segment[1:])
+    return order, new_segment
+
+
+def _group_rows_fingerprint(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fingerprint grouping with exact verification and lexsort fallback."""
+    n_rows = packed.shape[0]
+    fingerprints = fingerprint_rows(packed)
+    # Stable argsort (radix for integers): users with equal keys stay in
+    # ascending user order, so each bucket's first member is its
+    # representative, exactly as in the classic grouping.
+    order = np.argsort(fingerprints, kind="stable")
+    sorted_fp = fingerprints[order]
+    same_fp = sorted_fp[1:] == sorted_fp[:-1]
+    new_segment = np.empty(n_rows, dtype=bool)
+    new_segment[0] = True
+    np.logical_not(same_fp, out=new_segment[1:])
+    # Verify every adjacent same-fingerprint pair against the exact keys:
+    # a genuine bucket is a run of identical rows, so any difference inside
+    # a same-fingerprint run proves a collision.  (An interleaved run like
+    # A,B,A always has an adjacent differing pair, so this scan cannot miss.)
+    suspects = np.flatnonzero(same_fp) + 1
+    if suspects.size:
+        if suspects.size * 4 >= n_rows:
+            # Dense buckets: one contiguous gather + adjacent compare is
+            # cheaper than two fancy-indexed subset gathers.
+            srt = packed[order]
+            collision = np.any(srt[1:] != srt[:-1], axis=1)[suspects - 1]
+        else:
+            collision = np.any(
+                packed[order[suspects]] != packed[order[suspects - 1]], axis=1
+            )
+        if collision.any():
+            return _group_rows_lexsort(packed)
+    return order, new_segment
+
+
+def group_key_rows(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Group equal rows of a packed key matrix under the active kernels.
+
+    Returns
+    -------
+    (order, new_segment):
+        ``order`` lists all row indices with equal rows contiguous and each
+        group's rows in ascending index order; ``new_segment[i]`` marks
+        positions in ``order`` where a new group starts.  The classic
+        generation enumerates groups in key-lexicographic order, the fast
+        generation in fingerprint order; the *partition* and within-group
+        order are identical (no formation consumer depends on group
+        enumeration order — greedy selection totally orders buckets by
+        ``(score, representative)``).
+
+    Parameters
+    ----------
+    packed:
+        ``(n_rows, width)`` ``uint64`` key matrix from :func:`pack_key_rows`.
+    """
+    if packed.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool)
+    if _active == "classic":
+        return _group_rows_lexsort(packed)
+    return _group_rows_fingerprint(packed)
+
+
+def bucketize(
+    items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group users with equal bucket keys (step 1 of the greedy skeleton).
+
+    Parameters
+    ----------
+    items_table, scores_table:
+        The ``(n_users, k)`` ranked top-k tables.
+    key_scores:
+        Which score columns join the key (see
+        :class:`~repro.core.greedy_framework.GreedyVariant`).
+
+    Returns
+    -------
+    (inverse, sorted_users, starts):
+        ``inverse[u]`` is the bucket id of user ``u``; ``sorted_users``
+        lists all users with buckets contiguous and members ascending;
+        ``starts`` holds each bucket's first position in ``sorted_users``.
+    """
+    packed = pack_key_rows(items_table, scores_table, key_scores)
+    n_users = packed.shape[0]
+    if n_users == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    sorted_users, new_segment = group_key_rows(packed)
+    starts = np.flatnonzero(new_segment)
+    inverse = np.empty(n_users, dtype=np.int64)
+    inverse[sorted_users] = np.cumsum(new_segment) - 1
+    return inverse, sorted_users, starts
+
+
+def bucket_reduce(
+    inverse: np.ndarray,
+    contributions: np.ndarray,
+    n_buckets: int,
+    combine: str,
+    representatives: np.ndarray,
+) -> np.ndarray:
+    """Reduce per-user contributions to one heap score per bucket.
+
+    The ``"sum"`` rule is a single fused ``np.bincount`` accumulation —
+    members are added in ascending user order, the same sequential order
+    (and therefore the same floating-point rounding) as the reference
+    backend's dict loop, with no intermediate per-bucket arrays or copies.
+    The ``"first"`` rule gathers each representative's contribution.
+
+    Parameters
+    ----------
+    inverse:
+        ``(n_users,)`` bucket id per user.
+    contributions:
+        ``(n_users,)`` per-user personal aggregated top-k values.
+    n_buckets:
+        Number of buckets.
+    combine:
+        ``"sum"`` or ``"first"`` (see
+        :class:`~repro.core.greedy_framework.GreedyVariant`).
+    representatives:
+        ``(n_buckets,)`` first (smallest-index) member per bucket.
+    """
+    if combine == "sum":
+        return np.bincount(inverse, weights=contributions, minlength=n_buckets)
+    return contributions[representatives]

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.aggregation import Aggregation
 from repro.core.engine import (
     FormationPlan,
@@ -52,7 +53,6 @@ from repro.core.engine import (
 )
 from repro.core.greedy_framework import GreedyVariant, make_variant
 from repro.core.grouping import GroupFormationResult
-from repro.core.preferences import _top_k_table_dispatch
 from repro.core.semantics import Semantics
 from repro.recsys.matrix import RatingMatrix
 from repro.recsys.store import DEFAULT_BLOCK_USERS, RatingStore
@@ -151,7 +151,7 @@ def summarise_shard(
     ShardSummary
         The shard's bucket-level digest.
     """
-    items_table, scores_table = _top_k_table_dispatch(block, k, assume_finite=True)
+    items_table, scores_table = kernels.top_k_table(block, k, assume_finite=True)
     return summarise_tables(items_table, scores_table, start, variant)
 
 
@@ -197,7 +197,7 @@ def summarise_store_shard(
     pieces_scores = []
     for sub_start in range(start, stop, block_cap):
         sub_stop = min(sub_start + block_cap, stop)
-        items_table, scores_table = _top_k_table_dispatch(
+        items_table, scores_table = kernels.top_k_table(
             store.block(sub_start, sub_stop), k, assume_finite=True
         )
         pieces_items.append(items_table)
@@ -212,10 +212,15 @@ def merge_summaries(
 ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
     """Merge shard bucket digests into the global intermediate groups.
 
-    Shards must be in ascending user order; the stable lexsort then keeps
-    each merged bucket's constituents in shard order, so concatenated member
+    Shards must be in ascending user order; the stable key grouping
+    (:func:`repro.core.kernels.group_key_rows` — lexsort under ``classic``
+    kernels, collision-checked fingerprints under ``fast``) then keeps each
+    merged bucket's constituents in shard order, so concatenated member
     arrays are ascending and the first constituent's representative is the
     global (smallest-index) representative — matching the unsharded engine.
+    Only the merged buckets' *enumeration order* depends on the kernel
+    generation, which no consumer reads (selection totally orders buckets
+    by ``(score, representative)``).
 
     Parameters
     ----------
@@ -236,11 +241,7 @@ def merge_summaries(
     bucket_items = np.vstack([s.items_rows for s in summaries])
 
     n_total = all_keys.shape[0]
-    order = np.lexsort(all_keys.T[::-1])
-    srt = all_keys[order]
-    new_segment = np.empty(n_total, dtype=bool)
-    new_segment[0] = True
-    np.any(srt[1:] != srt[:-1], axis=1, out=new_segment[1:])
+    order, new_segment = kernels.group_key_rows(all_keys)
     starts = np.flatnonzero(new_segment)
     ends = np.append(starts[1:], n_total)
 
@@ -651,19 +652,21 @@ def summarise_tables(
     ShardSummary
         The shard's bucket-level digest.
     """
-    inverse, sorted_users, starts = NumpyBackend._bucketize(
-        items_table, scores_table, variant.key_scores
-    )
-    packed = NumpyBackend._pack_keys(items_table, scores_table, variant.key_scores)
-    contributions = NumpyBackend._contributions(scores_table, variant.aggregation)
+    # Pack once and reuse the matrix for both the grouping and the summary
+    # keys (the engine's _bucketize would pack a second time internally).
+    packed = kernels.pack_key_rows(items_table, scores_table, variant.key_scores)
     n_users = items_table.shape[0]
+    sorted_users, new_segment = kernels.group_key_rows(packed)
+    starts = np.flatnonzero(new_segment)
+    inverse = np.empty(n_users, dtype=np.int64)
+    inverse[sorted_users] = np.cumsum(new_segment) - 1
+    contributions = NumpyBackend._contributions(scores_table, variant.aggregation)
     n_buckets = starts.size
     ends = np.append(starts[1:], n_users)
     reps_local = sorted_users[starts]
-    if variant.combine == "sum":
-        scores = np.bincount(inverse, weights=contributions, minlength=n_buckets)
-    else:
-        scores = contributions[reps_local]
+    scores = kernels.bucket_reduce(
+        inverse, contributions, n_buckets, variant.combine, reps_local
+    )
     members = [
         sorted_users[starts[b]:ends[b]].astype(np.int64) + start
         for b in range(n_buckets)

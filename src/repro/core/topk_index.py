@@ -18,10 +18,11 @@ and can be saved to disk and reloaded across processes (:meth:`TopKIndex.save`
 
 The index is built blockwise through the :class:`~repro.recsys.store.RatingStore`
 interface, so a sparse million-user matrix is densified at most one row
-block at a time.  The build path reuses the exact kernels of
-:mod:`repro.core.preferences`, which makes an index built from a
+block at a time.  The build path runs on the exact ranking kernels of
+:mod:`repro.core.kernels` (``classic`` argmax peel or ``fast`` blocked
+selection — bit-identical by contract), which makes an index built from a
 :class:`~repro.recsys.store.SparseStore` bit-identical to one built from the
-equivalent dense array.
+equivalent dense array under either kernel generation.
 """
 
 from __future__ import annotations
@@ -32,8 +33,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.errors import GroupFormationError
-from repro.core.preferences import _top_k_table_dispatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.recsys.matrix import RatingMatrix
@@ -136,7 +137,7 @@ class TopKIndex:
             # Stores guarantee complete, finite ratings at construction, so
             # the kernel can skip its -inf sentinel scan.
             def table_fn(block: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-                return _top_k_table_dispatch(block, k, assume_finite=True)
+                return kernels.top_k_table(block, k, assume_finite=True)
 
         if isinstance(store, DenseStore):
             # One vectorised pass over the whole array beats blockwise calls
@@ -434,7 +435,7 @@ class MutableTopKIndex(TopKIndex):
             return
         rows = self._store.rows(users)
         if self._table_fn is None:
-            items_t, values_t = _top_k_table_dispatch(
+            items_t, values_t = kernels.top_k_table(
                 rows, self.k_max, assume_finite=True
             )
         else:
@@ -585,7 +586,7 @@ class MutableTopKIndex(TopKIndex):
         start = self.n_users
         self._store.append_users(rows)
         if self._table_fn is None:
-            items_t, values_t = _top_k_table_dispatch(
+            items_t, values_t = kernels.top_k_table(
                 rows, self.k_max, assume_finite=True
             )
         else:

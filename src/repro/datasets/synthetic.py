@@ -365,8 +365,10 @@ def iter_synthetic_triples(
         rows, cols, ratings = _sparse_block_coords(
             stop - start, n_items, density, levels, generator
         )
-        for r, c, v in zip(rows.tolist(), cols.tolist(), ratings.tolist()):
-            yield start + r, c, v
+        # The global-index shift is vectorised and the triples are zipped in
+        # C from pre-converted lists — the generator's only per-triple
+        # Python work is the yield itself.
+        yield from zip((rows + start).tolist(), cols.tolist(), ratings.tolist())
 
 
 def synthetic_sparse_store(

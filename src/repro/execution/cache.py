@@ -18,8 +18,15 @@ the store's kind, shape, scale, fill value and raw array bytes — so that:
 
 Cache key format (documented contract, also in ``docs/architecture.md``)::
 
-    index entry    sha256("index-v1:<fingerprint>:<k_max>")
-    summary entry  sha256("summary-v1:<fingerprint>:<k>:<variant>:<start>:<stop>")
+    index entry    sha256("index-v1:<fingerprint>:<k_max>:kg<KERNEL_GENERATION>")
+    summary entry  sha256("summary-v1:<fingerprint>:<k>:<variant>:<start>:<stop>:kg<KERNEL_GENERATION>")
+
+The trailing ``kg<N>`` component is
+:data:`repro.core.kernels.KERNEL_GENERATION`: artifacts persisted by an
+older kernel generation (e.g. the pre-overhaul argmax-peel path, whose
+summaries packed score columns as raw bit patterns) become unreachable
+after a kernel bump instead of being silently mixed with new-generation
+artifacts.
 
 Entries are written atomically (temp path → rename), and temp files are
 removed on failure, so a crashed or interrupted writer can never leave a
@@ -136,14 +143,28 @@ class ArtifactCache:
 
     @staticmethod
     def index_key(fingerprint: str, k_max: int) -> str:
-        """Entry digest of the index artifact for ``(fingerprint, k_max)``."""
-        return hashlib.sha256(f"index-v1:{fingerprint}:{int(k_max)}".encode()).hexdigest()
+        """Entry digest of the index artifact for ``(fingerprint, k_max)``.
+
+        The digest includes the library's
+        :data:`~repro.core.kernels.KERNEL_GENERATION`, so indexes persisted
+        by an older kernel generation are invalidated (left unreachable)
+        rather than mixed with current-generation artifacts.
+        """
+        from repro.core.kernels import KERNEL_GENERATION
+
+        raw = f"index-v1:{fingerprint}:{int(k_max)}:kg{KERNEL_GENERATION}"
+        return hashlib.sha256(raw.encode()).hexdigest()
 
     @staticmethod
     def summary_key(
         fingerprint: str, k: int, variant_name: str, start: int, stop: int
     ) -> str:
         """Entry digest of one shard summary.
+
+        As for :meth:`index_key`, the digest carries the
+        :data:`~repro.core.kernels.KERNEL_GENERATION` so summaries written
+        by an older kernel generation (whose packed key encoding may
+        differ) can never be merged with current-generation summaries.
 
         Parameters
         ----------
@@ -159,7 +180,12 @@ class ArtifactCache:
         start, stop:
             Global user range of the shard.
         """
-        raw = f"summary-v1:{fingerprint}:{int(k)}:{variant_name}:{int(start)}:{int(stop)}"
+        from repro.core.kernels import KERNEL_GENERATION
+
+        raw = (
+            f"summary-v1:{fingerprint}:{int(k)}:{variant_name}:"
+            f"{int(start)}:{int(stop)}:kg{KERNEL_GENERATION}"
+        )
         return hashlib.sha256(raw.encode()).hexdigest()
 
     def _entry_path(self, digest: str) -> Path:

@@ -396,10 +396,12 @@ def _worker_cached(spec, builder):
 
 def _process_summarise_store(args):
     """Worker task: summarise one store shard from shared memory."""
-    store_spec, start, stop, k, variant_key, block_users = args
+    store_spec, start, stop, k, variant_key, block_users, kernel_mode = args
     from repro.core.greedy_framework import make_variant
+    from repro.core.kernels import set_kernels
     from repro.core.sharded import summarise_store_shard
 
+    set_kernels(kernel_mode)
     store = _worker_cached(store_spec, attach_store)
     variant = make_variant(*variant_key)
     return summarise_store_shard(store, start, stop, k, variant, block_users=block_users)
@@ -407,10 +409,12 @@ def _process_summarise_store(args):
 
 def _process_summarise_tables(args):
     """Worker task: summarise one table shard from shared memory."""
-    tables_spec, start, stop, variant_key = args
+    tables_spec, start, stop, variant_key, kernel_mode = args
     from repro.core.greedy_framework import make_variant
+    from repro.core.kernels import set_kernels
     from repro.core.sharded import summarise_tables
 
+    set_kernels(kernel_mode)
     items_table, values_table = _worker_cached(tables_spec, attach_tables)
     variant = make_variant(*variant_key)
     return summarise_tables(
@@ -420,7 +424,10 @@ def _process_summarise_tables(args):
 
 def _process_run_config(args):
     """Worker task: run one sweep configuration from shared memory."""
-    store_spec, tables_spec, config, backend = args
+    store_spec, tables_spec, config, backend, kernel_mode = args
+    from repro.core.kernels import set_kernels
+
+    set_kernels(kernel_mode)
     store = _worker_cached(store_spec, attach_store)
     topk = _worker_cached(tables_spec, attach_index)
     return _run_config(store, config, backend, topk)
@@ -470,14 +477,18 @@ class ProcessExecutor(Executor):
         ``store`` / ``bounds`` / ``k`` / ``variant`` / ``block_users`` /
         ``shard_ids``.
         """
+        from repro.core.kernels import get_kernels
+
         pool = self._ensure_pool()
         key = _variant_key(variant)
+        kernel_mode = get_kernels()
         if shard_ids is None:
             shard_ids = range(bounds.size - 1)
         with SharedExports() as exports:
             spec = exports.export_store(store)
             tasks = [
-                (spec, int(bounds[s]), int(bounds[s + 1]), k, key, block_users)
+                (spec, int(bounds[s]), int(bounds[s + 1]), k, key, block_users,
+                 kernel_mode)
                 for s in shard_ids
             ]
             return list(pool.map(_process_summarise_store, tasks))
@@ -493,8 +504,11 @@ class ProcessExecutor(Executor):
         :meth:`Executor.map_table_shards` for ``items_table`` /
         ``scores_table`` / ``bounds`` / ``shard_ids`` / ``variant``.
         """
+        from repro.core.kernels import get_kernels
+
         pool = self._ensure_pool()
         key = _variant_key(variant)
+        kernel_mode = get_kernels()
         # The table-shard workers only ever attach_tables(); n_items is
         # recorded as 0 ("not a full index") rather than paying an
         # O(n_users * k) scan to derive a value nothing reads —
@@ -503,7 +517,8 @@ class ProcessExecutor(Executor):
 
         def run(spec: TablesSpec):
             tasks = [
-                (spec, int(bounds[s]), int(bounds[s + 1]), key) for s in shard_ids
+                (spec, int(bounds[s]), int(bounds[s + 1]), key, kernel_mode)
+                for s in shard_ids
             ]
             return list(pool.map(_process_summarise_tables, tasks))
 
@@ -530,13 +545,19 @@ class ProcessExecutor(Executor):
         the duration of the call; see :meth:`Executor.map_configs` for
         ``store`` / ``configs`` / ``backend`` / ``topk``.
         """
+        from repro.core.kernels import get_kernels
+
         pool = self._ensure_pool()
+        kernel_mode = get_kernels()
         with SharedExports() as exports:
             store_spec = exports.export_store(store)
             tables_spec = exports.export_tables(
                 topk.items, topk.values, topk.n_items
             )
-            tasks = [(store_spec, tables_spec, config, backend) for config in configs]
+            tasks = [
+                (store_spec, tables_spec, config, backend, kernel_mode)
+                for config in configs
+            ]
             return list(pool.map(_process_run_config, tasks))
 
     def warm(self) -> None:

@@ -193,19 +193,41 @@ class RatingMatrix:
         user_pos = {label: idx for idx, label in enumerate(user_ids)}
         item_pos = {label: idx for idx, label in enumerate(item_ids)}
         values = np.full((len(user_ids), len(item_ids)), np.nan)
-        for user, item, rating in triples:
-            if user not in user_pos:
-                raise RatingDataError(f"unknown user label {user!r} in triples")
-            if item not in item_pos:
-                raise RatingDataError(f"unknown item label {item!r} in triples")
-            row, col = user_pos[user], item_pos[item]
-            existing = values[row, col]
-            if not np.isnan(existing) and existing != rating:
-                raise RatingDataError(
-                    f"conflicting ratings for user {user!r}, item {item!r}: "
-                    f"{existing} vs {rating}"
-                )
-            values[row, col] = float(rating)
+        if not triples:
+            return cls(values, user_ids=user_ids, item_ids=item_ids, scale=scale)
+        # Label lookups stream through fromiter at C speed (-1 marks an
+        # unknown label); duplicate detection and the scatter are vectorised.
+        count = len(triples)
+        rows = np.fromiter(
+            (user_pos.get(t[0], -1) for t in triples), dtype=np.int64, count=count
+        )
+        cols = np.fromiter(
+            (item_pos.get(t[1], -1) for t in triples), dtype=np.int64, count=count
+        )
+        vals = np.fromiter((t[2] for t in triples), dtype=np.float64, count=count)
+        if (rows < 0).any():
+            offender = triples[int(np.flatnonzero(rows < 0)[0])][0]
+            raise RatingDataError(f"unknown user label {offender!r} in triples")
+        if (cols < 0).any():
+            offender = triples[int(np.flatnonzero(cols < 0)[0])][1]
+            raise RatingDataError(f"unknown item label {offender!r} in triples")
+        order = np.lexsort((cols, rows))
+        srt_rows, srt_cols, srt_vals = rows[order], cols[order], vals[order]
+        duplicate = (srt_rows[1:] == srt_rows[:-1]) & (srt_cols[1:] == srt_cols[:-1])
+        # The stable lexsort keeps same-cell triples in stream order, so this
+        # reproduces the historical sequential rule exactly: a NaN already in
+        # the cell means "unset" and may be overwritten by anything (including
+        # another NaN), while a set value conflicts with any different
+        # successor (NaN included, since NaN != value).
+        conflict = duplicate & ~np.isnan(srt_vals[:-1]) & (srt_vals[1:] != srt_vals[:-1])
+        if conflict.any():
+            where = int(np.flatnonzero(conflict)[0])
+            user, item, _ = triples[int(order[where])]
+            raise RatingDataError(
+                f"conflicting ratings for user {user!r}, item {item!r}: "
+                f"{srt_vals[where]} vs {srt_vals[where + 1]}"
+            )
+        values[rows, cols] = vals
         return cls(values, user_ids=user_ids, item_ids=item_ids, scale=scale)
 
     def copy(self) -> "RatingMatrix":

@@ -19,6 +19,7 @@ import signal
 import sys
 from collections.abc import Sequence
 
+from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
 from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
 from repro.execution.executor import EXECUTION_MODES
 
@@ -65,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cached-summary shards (default: 8)")
     serve.add_argument("--backend", default=DEFAULT_BACKEND, choices=list(BACKENDS),
                        help=f"formation backend (default: {DEFAULT_BACKEND})")
+    serve.add_argument("--kernels", default=DEFAULT_KERNELS, choices=list(KERNEL_MODES),
+                       help="ranking/bucketing kernel generation (classic or "
+                            f"fast; bit-identical results, default: {DEFAULT_KERNELS})")
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="seconds an update batch stays open to coalesce "
                             "concurrent writers (default: 0.01)")
@@ -97,6 +101,7 @@ def bootstrap_service(args: argparse.Namespace):
     """
     from repro.service.service import FormationService
 
+    set_kernels(getattr(args, "kernels", DEFAULT_KERNELS))
     if args.store == "sparse":
         from repro.datasets.synthetic import synthetic_sparse_store
 

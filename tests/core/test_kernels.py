@@ -1,0 +1,388 @@
+"""Kernel-layer suites: classic/fast parity and the ordinal-transform contract.
+
+Three families of guarantees:
+
+* the ``fast`` kernels (blocked partition-select top-k, fingerprint
+  bucketing) are **bit-identical** to the ``classic`` kernels (argmax peel,
+  packed-key lexsort) on the full parity matrix — semantics x aggregation x
+  dense/sparse x k sweep — including at the formation-result level;
+* the :func:`repro.core.kernels.float_to_ordinal` transform is a monotone
+  bijection on IEEE-754 bit patterns, exercised on the nasty cases (NaN,
+  ``±0.0``, ``±inf``, subnormals, ``float32`` and ``float64``);
+* a fingerprint collision is detected and survived exactly (lexsort
+  fallback), never silently mis-grouped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import kernels
+from repro.core.engine import FormationEngine
+from repro.core.preferences import top_k_table
+from repro.recsys.store import SparseStore
+from repro.recsys.matrix import RatingScale
+
+NASTY_FLOATS = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    np.inf,
+    -np.inf,
+    5e-324,          # smallest positive subnormal
+    -5e-324,
+    2.2250738585072014e-308,   # smallest positive normal
+    -2.2250738585072014e-308,
+    1.5,
+    -1.5,
+    np.nextafter(1.0, 2.0),
+    1.7976931348623157e308,    # largest finite
+    -1.7976931348623157e308,
+]
+
+
+def run_result_fingerprint(result):
+    """Everything a formation result promises, as a comparable tuple."""
+    return (
+        result.objective,
+        [g.members for g in result.groups],
+        [g.items for g in result.groups],
+        [tuple(g.item_scores) for g in result.groups],
+        [g.satisfaction for g in result.groups],
+        result.extras["n_intermediate_groups"],
+        result.extras["last_group_pseudocode_score"],
+    )
+
+
+def buckets_as_partition(inverse, sorted_users, starts):
+    """Canonical form of a bucketing: the set of member tuples."""
+    ends = np.append(starts[1:], sorted_users.size)
+    buckets = sorted(
+        tuple(sorted_users[a:b].tolist()) for a, b in zip(starts, ends)
+    )
+    # The inverse must agree with the segments.
+    for bucket in buckets:
+        ids = {int(inverse[u]) for u in bucket}
+        assert len(ids) == 1
+    return buckets
+
+
+class TestFloatToOrdinal:
+    """The monotone float -> uint64 transform on its documented contract."""
+
+    @given(
+        st.lists(
+            st.floats(width=64, allow_nan=False) | st.sampled_from(NASTY_FLOATS),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_strictly_monotone_on_non_nan(self, values):
+        """``a < b`` implies ``ord(a) < ord(b)`` for every non-NaN pair."""
+        arr = np.array(values, dtype=np.float64)
+        ords = kernels.float_to_ordinal(arr)
+        comparison = arr[:, None] < arr[None, :]
+        assert np.array_equal(ords[:, None] < ords[None, :], comparison | (
+            # -0.0 < +0.0 in ordinal space refines the IEEE tie; mask that
+            # single permitted extra strictness out of the equivalence.
+            (arr[:, None] == arr[None, :])
+            & (np.signbit(arr)[:, None] & ~np.signbit(arr)[None, :])
+        ))
+
+    @given(
+        st.lists(
+            st.floats(width=64, allow_nan=True) | st.sampled_from(NASTY_FLOATS),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_bijective_on_bit_patterns(self, values):
+        """Equal ordinals exactly when the IEEE bit patterns are equal."""
+        arr = np.array(values, dtype=np.float64)
+        bits = arr.view(np.uint64)
+        ords = kernels.float_to_ordinal(arr)
+        assert np.array_equal(
+            ords[:, None] == ords[None, :], bits[:, None] == bits[None, :]
+        )
+
+    def test_nasty_case_ordering(self):
+        """-inf < min normal < subnormals < -0.0 < +0.0 < ... < +inf < NaN."""
+        ladder = np.array(
+            [
+                -np.inf,
+                -1.7976931348623157e308,
+                -2.2250738585072014e-308,
+                -5e-324,
+                -0.0,
+                0.0,
+                5e-324,
+                2.2250738585072014e-308,
+                1.0,
+                1.7976931348623157e308,
+                np.inf,
+                np.nan,
+            ]
+        )
+        ords = kernels.float_to_ordinal(ladder)
+        assert np.all(ords[1:] > ords[:-1])
+
+    @given(st.lists(st.floats(width=32, allow_nan=False), min_size=1, max_size=50))
+    def test_float32_consistent_with_float64(self, values):
+        """float32 input shares the float64 ordinal space (exact upcast)."""
+        arr32 = np.array(values, dtype=np.float32)
+        assert np.array_equal(
+            kernels.float_to_ordinal(arr32),
+            kernels.float_to_ordinal(arr32.astype(np.float64)),
+        )
+
+    def test_zero_signs_stay_distinct_keys(self):
+        """±0.0 map to distinct adjacent ordinals (byte-key equality kept)."""
+        ords = kernels.float_to_ordinal(np.array([-0.0, 0.0]))
+        assert ords[0] != ords[1]
+        assert int(ords[1]) - int(ords[0]) == 1
+
+
+def matrices(min_users=1, max_users=40, min_items=1, max_items=25):
+    """Rating-matrix strategy mixing tie-heavy integers and nasty floats."""
+    shapes = st.tuples(
+        st.integers(min_users, max_users), st.integers(min_items, max_items)
+    )
+    return shapes.flatmap(
+        lambda shape: st.one_of(
+            hnp.arrays(
+                np.float64, shape, elements=st.integers(1, 5).map(float)
+            ),
+            hnp.arrays(
+                np.float64,
+                shape,
+                elements=st.floats(-10, 10, allow_nan=False) | st.sampled_from(
+                    [0.0, -0.0, 2.0, -2.0]
+                ),
+            ),
+        )
+    )
+
+
+class TestTopKParity:
+    """fast == classic bit for bit on the top-k table."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), values=matrices())
+    def test_fast_matches_classic(self, data, values):
+        """Random (tie-heavy and continuous) matrices, every k."""
+        k = data.draw(st.integers(1, values.shape[1]))
+        with kernels.use_kernels("classic"):
+            classic = kernels.top_k_table(values, k)
+        with kernels.use_kernels("fast"):
+            fast = kernels.top_k_table(values, k)
+        assert np.array_equal(classic[0], fast[0])
+        # View as bits: -0.0 must survive with its sign.
+        assert np.array_equal(
+            classic[1].view(np.uint64), fast[1].view(np.uint64)
+        )
+
+    @pytest.mark.parametrize("k", [1, 3, 16, 17, 40, 99, 100])
+    def test_both_fast_branches_match_spec(self, k):
+        """The peel branch (small k) and select branch (large k) agree with
+        the full-sort specification on a tie-heavy instance."""
+        rng = np.random.default_rng(k)
+        values = rng.integers(1, 6, size=(257, 100)).astype(float)
+        spec = top_k_table(values, k)
+        with kernels.use_kernels("fast"):
+            fast = kernels.top_k_table(values, k, assume_finite=True)
+        assert np.array_equal(spec[0], fast[0])
+        assert np.array_equal(spec[1], fast[1])
+
+    def test_negative_infinity_rows(self):
+        """-inf ratings (the classic peel's sentinel) stay exact."""
+        values = np.array(
+            [
+                [-np.inf, -np.inf, -np.inf],
+                [1.0, -np.inf, 2.0],
+                [np.inf, -np.inf, np.inf],
+            ]
+        )
+        for k in (1, 2, 3):
+            with kernels.use_kernels("classic"):
+                classic = kernels.top_k_table(values, k)
+            with kernels.use_kernels("fast"):
+                fast = kernels.top_k_table(values, k)
+            assert np.array_equal(classic[0], fast[0])
+            assert np.array_equal(classic[1], fast[1])
+
+    def test_blocking_is_invisible(self, monkeypatch):
+        """Tiny row blocks produce the same table as one big block."""
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 6, size=(53, 12)).astype(float)
+        with kernels.use_kernels("fast"):
+            whole = kernels.top_k_table(values, 4, assume_finite=True)
+        monkeypatch.setattr(kernels, "_fast_block_rows", lambda n_items: 7)
+        with kernels.use_kernels("fast"):
+            blocked = kernels.top_k_table(values, 4, assume_finite=True)
+        assert np.array_equal(whole[0], blocked[0])
+        assert np.array_equal(whole[1], blocked[1])
+
+
+class TestBucketizeParity:
+    """fast and classic bucketing produce the same partition of users."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), values=matrices(min_items=2))
+    def test_same_partition_every_key_scheme(self, data, values):
+        """Both kernels agree on buckets, member order and representatives."""
+        k = data.draw(st.integers(1, values.shape[1]))
+        with kernels.use_kernels("classic"):
+            items_table, scores_table = kernels.top_k_table(values, k)
+        for key_scores in ("none", "first", "last", "all"):
+            with kernels.use_kernels("classic"):
+                classic = kernels.bucketize(items_table, scores_table, key_scores)
+            with kernels.use_kernels("fast"):
+                fast = kernels.bucketize(items_table, scores_table, key_scores)
+            assert buckets_as_partition(*classic) == buckets_as_partition(*fast)
+
+    def test_collision_fallback_is_exact(self, monkeypatch):
+        """With every fingerprint colliding, grouping degrades to lexsort."""
+        rng = np.random.default_rng(1)
+        items_table = rng.integers(0, 3, size=(40, 2)).astype(np.int64)
+        scores_table = rng.integers(1, 3, size=(40, 2)).astype(float)
+        with kernels.use_kernels("classic"):
+            classic = kernels.bucketize(items_table, scores_table, "all")
+        monkeypatch.setattr(
+            kernels,
+            "fingerprint_rows",
+            lambda packed: np.zeros(packed.shape[0], dtype=np.uint64),
+        )
+        with kernels.use_kernels("fast"):
+            collided = kernels.bucketize(items_table, scores_table, "all")
+        # The fallback is the classic path itself: identical arrays, not
+        # just an equivalent partition.
+        for a, b in zip(classic, collided):
+            assert np.array_equal(a, b)
+
+    def test_interleaved_collision_detected(self, monkeypatch):
+        """An A,B,A interleave inside one fingerprint run cannot slip through."""
+        items_table = np.array([[0], [1], [0], [1], [0]], dtype=np.int64)
+        scores_table = np.ones((5, 1), dtype=float)
+        monkeypatch.setattr(
+            kernels,
+            "fingerprint_rows",
+            lambda packed: np.zeros(packed.shape[0], dtype=np.uint64),
+        )
+        with kernels.use_kernels("fast"):
+            inverse, sorted_users, starts = kernels.bucketize(
+                items_table, scores_table, "none"
+            )
+        assert buckets_as_partition(inverse, sorted_users, starts) == [
+            (0, 2, 4),
+            (1, 3),
+        ]
+
+
+class TestFormationParity:
+    """--kernels fast is bit-identical to classic at the result level."""
+
+    @pytest.mark.parametrize("semantics", ["lm", "av"])
+    @pytest.mark.parametrize("aggregation", ["min", "max", "sum", "weighted-sum"])
+    @pytest.mark.parametrize("store_kind", ["dense", "sparse"])
+    def test_full_matrix(self, semantics, aggregation, store_kind):
+        """semantics x aggregation x dense/sparse x k sweep, both backends."""
+        rng = np.random.default_rng(abs(hash((semantics, aggregation))) % 2**32)
+        values = rng.integers(1, 6, size=(120, 24)).astype(float)
+        if store_kind == "sparse":
+            import scipy.sparse as sp
+
+            ratings = SparseStore(
+                sp.csr_matrix(values), scale=RatingScale(1.0, 5.0)
+            )
+        else:
+            ratings = values
+        engine = FormationEngine("numpy")
+        for k in (1, 3, 8):
+            for max_groups in (2, 7):
+                with kernels.use_kernels("classic"):
+                    classic = engine.run(
+                        ratings, max_groups, k, semantics, aggregation
+                    )
+                with kernels.use_kernels("fast"):
+                    fast = engine.run(ratings, max_groups, k, semantics, aggregation)
+                assert run_result_fingerprint(classic) == run_result_fingerprint(fast)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), values=matrices(min_users=2, min_items=2))
+    def test_property_parity_against_reference(self, data, values):
+        """Fast kernels agree with the loop-based reference specification."""
+        # The reference backend rejects non-finite ratings; clamp to finite.
+        values = np.nan_to_num(values, posinf=10.0, neginf=-10.0)
+        k = data.draw(st.integers(1, values.shape[1]))
+        max_groups = data.draw(st.integers(1, 6))
+        semantics = data.draw(st.sampled_from(["lm", "av"]))
+        aggregation = data.draw(st.sampled_from(["min", "max", "sum"]))
+        reference = FormationEngine("reference").run(
+            values, max_groups, k, semantics, aggregation
+        )
+        with kernels.use_kernels("fast"):
+            fast = FormationEngine("numpy").run(
+                values, max_groups, k, semantics, aggregation
+            )
+        assert run_result_fingerprint(reference) == run_result_fingerprint(fast)
+
+
+class TestKernelSwitch:
+    """The --kernels switch itself."""
+
+    def test_default_is_fast(self):
+        """The shipped default generation is the overhauled one."""
+        assert kernels.DEFAULT_KERNELS == "fast"
+
+    def test_set_and_restore(self):
+        """set_kernels returns the previous mode; use_kernels restores it."""
+        before = kernels.get_kernels()
+        previous = kernels.set_kernels("classic")
+        assert previous == before
+        with kernels.use_kernels("fast"):
+            assert kernels.get_kernels() == "fast"
+        assert kernels.get_kernels() == "classic"
+        kernels.set_kernels(before)
+
+    def test_unknown_mode_rejected(self):
+        """Typos raise instead of silently running some default."""
+        with pytest.raises(ValueError, match="unknown kernel generation"):
+            kernels.set_kernels("turbo")
+
+    def test_nan_duplicate_triples_keep_historical_contract(self):
+        """RatingMatrix.from_triples: NaN in a cell means "unset" — exact NaN
+        duplicates and NaN-then-value overwrites are tolerated, while a set
+        value still conflicts with any different successor."""
+        from repro.core.errors import RatingDataError
+        from repro.recsys.matrix import RatingMatrix
+
+        nan = float("nan")
+        tolerated = RatingMatrix.from_triples(
+            [("u", "i", nan), ("u", "i", nan), ("u", "i", 5.0), ("v", "i", 3.0)]
+        )
+        assert tolerated.rating(
+            tolerated.user_index("u"), tolerated.item_index("i")
+        ) == 5.0
+        with pytest.raises(RatingDataError):
+            RatingMatrix.from_triples([("u", "i", 5.0), ("u", "i", nan)])
+        with pytest.raises(RatingDataError):
+            RatingMatrix.from_triples([("u", "i", 5.0), ("u", "i", 3.0)])
+
+    def test_cache_keys_carry_kernel_generation(self, monkeypatch):
+        """Artifact-cache keys change when KERNEL_GENERATION is bumped."""
+        from repro.execution.cache import ArtifactCache
+
+        import repro.core.kernels as kernel_module
+
+        old_index = ArtifactCache.index_key("fp", 5)
+        old_summary = ArtifactCache.summary_key("fp", 5, "GRD-LM-MIN", 0, 10)
+        monkeypatch.setattr(
+            kernel_module, "KERNEL_GENERATION", kernel_module.KERNEL_GENERATION + 1
+        )
+        assert ArtifactCache.index_key("fp", 5) != old_index
+        assert ArtifactCache.summary_key("fp", 5, "GRD-LM-MIN", 0, 10) != old_summary

@@ -26,6 +26,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 DOCUMENTED_MODULES = [
     SRC / "core" / "engine.py",
+    SRC / "core" / "kernels.py",
     SRC / "core" / "topk_index.py",
     SRC / "core" / "sharded.py",
     SRC / "recsys" / "store.py",
