@@ -33,10 +33,12 @@ small scale through both engine backends and fails when
 
 ``--service`` additionally runs the online-service bench
 (``bench_service_updates.py``) at a small scale as a **non-blocking trend
-gate**: its numbers are printed and written to ``BENCH_service.json`` so
-the update-throughput trajectory is tracked across PRs, but they never
-fail this gate (the acceptance-scale speedup check lives in the bench's
-own ``--min-speedup``).
+gate**: its numbers — incremental update throughput, durable typed-event
+ingest (events/s under mixed read/write load) and the snapshot+WAL-replay
+recovery time — are printed and written to ``BENCH_service.json`` so the
+trajectory is tracked across PRs, but they never fail this gate (the
+acceptance-scale speedup check lives in the bench's own
+``--min-speedup``).
 
 Each run also writes ``BENCH_regression.json`` (per-instance wall time,
 backend, store, commit) so the perf trajectory is tracked across PRs.
@@ -364,6 +366,8 @@ def main(argv=None) -> int:
                 "--batches", "3",
                 "--batch-size", "200",
                 "--requests", "12",
+                "--event-batches", "4",
+                "--event-batch-size", "100",
                 "--min-speedup", "0",
             ])
         except Exception as exc:  # noqa: BLE001 - trend-only, never gate

@@ -35,6 +35,7 @@ from repro.core.aggregation import (
 from repro.core.errors import (
     GroupFormationError,
     InfeasibleInstanceError,
+    IngestError,
     RatingDataError,
     ReproError,
     SolverError,
@@ -150,6 +151,7 @@ __all__ = [
     "ReproError",
     "RatingDataError",
     "GroupFormationError",
+    "IngestError",
     "InfeasibleInstanceError",
     "SolverError",
 ]

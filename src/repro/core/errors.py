@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "RatingDataError",
     "GroupFormationError",
+    "IngestError",
     "InfeasibleInstanceError",
     "SolverError",
 ]
@@ -35,6 +36,17 @@ class GroupFormationError(ReproError):
 
     For instance requesting ``k`` larger than the number of items, or a group
     budget ``max_groups`` smaller than 1.
+    """
+
+
+class IngestError(ReproError):
+    """Raised by the durable ingestion layer (:mod:`repro.ingest`).
+
+    Covers malformed feedback events, write-ahead-log misuse (appending to
+    a closed log), and snapshot/recovery state that cannot be adopted
+    (e.g. a snapshot whose ``k_max`` differs from the service
+    configuration).  Torn or checksum-corrupt WAL *tail* records are not
+    errors — recovery treats them as the unacknowledged end of the log.
     """
 
 

@@ -621,6 +621,39 @@ class MutableTopKIndex(TopKIndex):
         self._repair(users)
         self._finish_batch()
 
+    def adopt_state(
+        self,
+        version: int,
+        removed: "Sequence[int] | np.ndarray" = (),
+        staleness: int = 0,
+    ) -> None:
+        """Restore snapshot bookkeeping onto a freshly-constructed index.
+
+        Crash recovery (:mod:`repro.ingest`) rebuilds the index from a
+        snapshot's tables via the ``base=`` constructor path, then calls
+        this to restore the counters a live process would have had —
+        making the recovered index indistinguishable from one that never
+        restarted.
+
+        Parameters
+        ----------
+        version:
+            The :attr:`version` the index had when the snapshot was taken.
+        removed:
+            Tombstoned user indices recorded in the snapshot.
+        staleness:
+            Rows repaired since the snapshot's last full build.
+        """
+        version = int(version)
+        if version < 0:
+            raise GroupFormationError(f"version must be >= 0, got {version}")
+        removed = np.asarray(removed, dtype=np.int64).ravel()
+        if removed.size and (removed.min() < 0 or removed.max() >= self.n_users):
+            raise GroupFormationError("adopt_state removed index out of range")
+        self._version = version
+        self._removed = {int(u) for u in removed}
+        self._staleness = int(staleness)
+
     def compact(self) -> None:
         """Rebuild the whole index from the store in one blockwise pass.
 

@@ -1,0 +1,50 @@
+"""Durable streaming ingestion: typed events, WAL, snapshots, recovery.
+
+This package makes the online serving layer (:mod:`repro.service`)
+survive crashes.  The pieces, bottom-up:
+
+* :mod:`repro.ingest.events` — the typed feedback-event vocabulary
+  (explicit ratings, deletes, clicks, completions) and the deterministic
+  fold onto store upserts/deletes.
+* :mod:`repro.ingest.wal` — an append-only, checksummed, fsync-batched
+  write-ahead log; every accepted batch is journaled *before* it is
+  applied.
+* :mod:`repro.ingest.snapshot` — atomic store + index checkpoints that
+  bound replay time and let the log truncate.
+* :mod:`repro.ingest.pipeline` — :class:`IngestPipeline`, which wires
+  the above around a live service and implements crash recovery: latest
+  snapshot + WAL-tail replay reproduces the pre-crash store and index
+  **bit for bit**.
+
+See the "Durability" section of ``docs/architecture.md`` for the record
+format, snapshot cadence and recovery invariant.
+"""
+
+from repro.ingest.events import (
+    Click,
+    Completion,
+    Event,
+    ExplicitRating,
+    FoldPolicy,
+    RatingDelete,
+    event_from_dict,
+    fold_events,
+)
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.snapshot import SnapshotManager, SnapshotState
+from repro.ingest.wal import WriteAheadLog
+
+__all__ = [
+    "Click",
+    "Completion",
+    "Event",
+    "ExplicitRating",
+    "FoldPolicy",
+    "IngestPipeline",
+    "RatingDelete",
+    "SnapshotManager",
+    "SnapshotState",
+    "WriteAheadLog",
+    "event_from_dict",
+    "fold_events",
+]

@@ -1,0 +1,401 @@
+"""Typed feedback events and their folding onto store updates.
+
+The online service historically accepted raw matrix writes — bare
+``(user, item, rating)`` triples.  Real traffic is richer: explicit star
+ratings, rating retractions, and *implicit* signals (clicks, completions)
+that carry no score of their own.  This module defines the typed event
+vocabulary of the v1 ingest API and the single documented mapping from an
+ordered event batch onto the ``(upserts, deletes)`` pairs that
+:meth:`repro.core.MutableTopKIndex.apply` consumes:
+
+* :class:`ExplicitRating` — an explicit score; **last-wins** per
+  ``(user, item)`` cell within a batch.
+* :class:`RatingDelete` — retracts a cell back to the store's fill value;
+  participates in the same last-wins ordering as explicit ratings.
+* :class:`Click` / :class:`Completion` — implicit signals folded to a
+  score by a pluggable :class:`FoldPolicy`.  An implicit event only
+  touches a cell when no *explicit* event in the same batch addressed it
+  (explicit feedback always outranks inferred scores); among implicit
+  events on the same cell, the last one wins.
+
+:func:`fold_events` implements that mapping deterministically: the
+resulting ``(upserts, deletes)`` lists are ordered by first touch of each
+cell, so folding is a pure function of the event sequence.  The write-ahead
+log (:mod:`repro.ingest.wal`) journals the *folded* operations, which keeps
+replay independent of policy evolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.core.errors import IngestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable, Sequence
+
+    from repro.recsys.matrix import RatingScale
+
+__all__ = [
+    "Click",
+    "Completion",
+    "Event",
+    "ExplicitRating",
+    "FoldPolicy",
+    "RatingDelete",
+    "event_from_dict",
+    "fold_events",
+]
+
+
+def _check_coords(kind: str, user: object, item: object) -> tuple[int, int]:
+    """Validate ``(user, item)`` as non-negative integers.
+
+    Parameters
+    ----------
+    kind:
+        Event type name used in error messages.
+    user, item:
+        Raw coordinates from the caller (ints, or floats from JSON).
+
+    Returns
+    -------
+    tuple
+        The coordinates as plain ``int``.
+
+    Raises
+    ------
+    IngestError
+        On booleans, fractional floats, or negative values.
+    """
+    coords = []
+    for name, value in (("user", user), ("item", item)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise IngestError(f"{kind}.{name} must be an integer, got {value!r}")
+        if isinstance(value, float) and not value.is_integer():
+            raise IngestError(f"{kind}.{name} must be an integer, got {value!r}")
+        value = int(value)
+        if value < 0:
+            raise IngestError(f"{kind}.{name} must be >= 0, got {value}")
+        coords.append(value)
+    return coords[0], coords[1]
+
+
+def _check_number(kind: str, name: str, value: object) -> float:
+    """Validate a finite numeric field and return it as ``float``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise IngestError(f"{kind}.{name} must be a number, got {value!r}")
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise IngestError(f"{kind}.{name} must be finite, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExplicitRating:
+    """A user explicitly scored an item.
+
+    Attributes
+    ----------
+    user:
+        User row index.
+    item:
+        Item column index.
+    score:
+        The rating; must be finite (scale membership is enforced by the
+        store at apply time, so one validation path serves every entry
+        point).
+    """
+
+    user: int
+    item: int
+    score: float
+
+    kind = "rating"
+
+    def __post_init__(self) -> None:
+        user, item = _check_coords(self.kind, self.user, self.item)
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "item", item)
+        object.__setattr__(
+            self, "score", _check_number(self.kind, "score", self.score)
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (round-trips via :func:`event_from_dict`)."""
+        return {"kind": self.kind, "user": self.user, "item": self.item,
+                "score": self.score}
+
+
+@dataclass(frozen=True)
+class RatingDelete:
+    """A user retracted their rating for an item.
+
+    The cell reverts to the store's fill value.  Deleting a cell that was
+    never rated is a valid no-op (idempotent retraction).
+
+    Attributes
+    ----------
+    user:
+        User row index.
+    item:
+        Item column index.
+    """
+
+    user: int
+    item: int
+
+    kind = "delete"
+
+    def __post_init__(self) -> None:
+        user, item = _check_coords(self.kind, self.user, self.item)
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "item", item)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (round-trips via :func:`event_from_dict`)."""
+        return {"kind": self.kind, "user": self.user, "item": self.item}
+
+
+@dataclass(frozen=True)
+class Click:
+    """An implicit signal: the user clicked/selected an item.
+
+    Folded to a score by :meth:`FoldPolicy.score`.
+
+    Attributes
+    ----------
+    user:
+        User row index.
+    item:
+        Item column index.
+    """
+
+    user: int
+    item: int
+
+    kind = "click"
+
+    def __post_init__(self) -> None:
+        user, item = _check_coords(self.kind, self.user, self.item)
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "item", item)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (round-trips via :func:`event_from_dict`)."""
+        return {"kind": self.kind, "user": self.user, "item": self.item}
+
+
+@dataclass(frozen=True)
+class Completion:
+    """An implicit signal: the user consumed ``progress`` of an item.
+
+    Attributes
+    ----------
+    user:
+        User row index.
+    item:
+        Item column index.
+    progress:
+        Fraction consumed, in ``[0, 1]``.
+    """
+
+    user: int
+    item: int
+    progress: float
+
+    kind = "completion"
+
+    def __post_init__(self) -> None:
+        user, item = _check_coords(self.kind, self.user, self.item)
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "item", item)
+        progress = _check_number(self.kind, "progress", self.progress)
+        if not 0.0 <= progress <= 1.0:
+            raise IngestError(
+                f"completion.progress must be in [0, 1], got {progress}"
+            )
+        object.__setattr__(self, "progress", progress)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (round-trips via :func:`event_from_dict`)."""
+        return {"kind": self.kind, "user": self.user, "item": self.item,
+                "progress": self.progress}
+
+
+#: Union of every event type accepted by the v1 ingest surface.
+Event = Union[ExplicitRating, RatingDelete, Click, Completion]
+
+_EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls for cls in (ExplicitRating, RatingDelete, Click, Completion)
+}
+
+_EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    "rating": ("user", "item", "score"),
+    "delete": ("user", "item"),
+    "click": ("user", "item"),
+    "completion": ("user", "item", "progress"),
+}
+
+
+def event_from_dict(payload: object) -> Event:
+    """Parse one JSON-decoded event object into its typed dataclass.
+
+    Parameters
+    ----------
+    payload:
+        A mapping with a ``"kind"`` discriminator plus that kind's fields
+        (exactly what :meth:`ExplicitRating.as_dict` and friends emit).
+
+    Returns
+    -------
+    Event
+        The validated typed event.
+
+    Raises
+    ------
+    IngestError
+        On non-mapping payloads, unknown kinds, or missing/extra fields.
+
+    Examples
+    --------
+    >>> event_from_dict({"kind": "rating", "user": 0, "item": 2, "score": 4.0})
+    ExplicitRating(user=0, item=2, score=4.0)
+    """
+    if not isinstance(payload, dict):
+        raise IngestError(f"event must be an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    cls = _EVENT_KINDS.get(kind)
+    if cls is None:
+        raise IngestError(
+            f"unknown event kind {kind!r}; expected one of "
+            f"{sorted(_EVENT_KINDS)}"
+        )
+    fields = _EVENT_FIELDS[kind]
+    extra = set(payload) - set(fields) - {"kind"}
+    if extra:
+        raise IngestError(f"{kind} event has unknown fields {sorted(extra)}")
+    missing = [name for name in fields if name not in payload]
+    if missing:
+        raise IngestError(f"{kind} event is missing fields {missing}")
+    return cls(**{name: payload[name] for name in fields})
+
+
+@dataclass(frozen=True)
+class FoldPolicy:
+    """How implicit signals fold to scores on the store's rating scale.
+
+    The defaults express the usual implicit-feedback prior: a click is a
+    weak positive (half-way up the scale by default), a completion scales
+    linearly with consumed fraction.  Scores are clipped into the scale.
+
+    Attributes
+    ----------
+    click_weight:
+        Position of a click on the scale's span, in ``[0, 1]``
+        (``0.5`` → the scale midpoint).
+    """
+
+    click_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        weight = _check_number("policy", "click_weight", self.click_weight)
+        if not 0.0 <= weight <= 1.0:
+            raise IngestError(
+                f"policy.click_weight must be in [0, 1], got {weight}"
+            )
+        object.__setattr__(self, "click_weight", weight)
+
+    def score(self, event: Event, scale: "RatingScale") -> float:
+        """The folded score of one implicit ``event`` on ``scale``.
+
+        Parameters
+        ----------
+        event:
+            A :class:`Click` or :class:`Completion`.
+        scale:
+            The store's rating scale.
+        """
+        if isinstance(event, Click):
+            raw = scale.minimum + self.click_weight * scale.spread
+        elif isinstance(event, Completion):
+            raw = scale.minimum + event.progress * scale.spread
+        else:
+            raise IngestError(
+                f"policy cannot fold explicit event kind {event.kind!r}"
+            )
+        return float(scale.clip(raw))
+
+
+def fold_events(
+    events: "Iterable[Event]",
+    scale: "RatingScale",
+    policy: FoldPolicy | None = None,
+) -> tuple[list[tuple[int, int, float]], list[tuple[int, int]]]:
+    """Fold an ordered event sequence into one store-update batch.
+
+    Resolution is per ``(user, item)`` cell: explicit operations
+    (:class:`ExplicitRating`, :class:`RatingDelete`) are strictly
+    last-wins among themselves; implicit events only take effect on cells
+    with *no* explicit operation in the batch, last-wins among implicit.
+    The returned lists are ordered by first touch of each cell, making the
+    fold a deterministic function of the event order — this is what lets
+    WAL replay reproduce a live process bit for bit.
+
+    Parameters
+    ----------
+    events:
+        Typed events, in arrival order.
+    scale:
+        The target store's rating scale (implicit folding needs the span).
+    policy:
+        Implicit-folding policy (default :class:`FoldPolicy()`).
+
+    Returns
+    -------
+    tuple
+        ``(upserts, deletes)`` — disjoint ``(user, item, score)`` triples
+        and ``(user, item)`` pairs ready for
+        :meth:`repro.core.MutableTopKIndex.apply`.
+
+    Examples
+    --------
+    >>> from repro.recsys.matrix import RatingScale
+    >>> fold_events(
+    ...     [ExplicitRating(0, 1, 5.0), RatingDelete(0, 1),
+    ...      ExplicitRating(0, 1, 2.0)],
+    ...     RatingScale(),
+    ... )
+    ([(0, 1, 2.0)], [])
+    """
+    if policy is None:
+        policy = FoldPolicy()
+    explicit: dict[tuple[int, int], float | None] = {}
+    implicit: dict[tuple[int, int], float] = {}
+    for event in events:
+        if not isinstance(event, _EVENT_TYPES):
+            raise IngestError(
+                f"expected a typed event, got {type(event).__name__}"
+            )
+        cell = (event.user, event.item)
+        if isinstance(event, ExplicitRating):
+            explicit[cell] = event.score
+        elif isinstance(event, RatingDelete):
+            explicit[cell] = None
+        else:
+            implicit[cell] = policy.score(event, scale)
+    upserts: list[tuple[int, int, float]] = []
+    deletes: list[tuple[int, int]] = []
+    for cell, score in explicit.items():
+        if score is None:
+            deletes.append(cell)
+        else:
+            upserts.append((cell[0], cell[1], score))
+    for cell, score in implicit.items():
+        if cell not in explicit:
+            upserts.append((cell[0], cell[1], score))
+    return upserts, deletes
+
+
+_EVENT_TYPES = (ExplicitRating, RatingDelete, Click, Completion)

@@ -1,0 +1,319 @@
+"""The durable ingestion pipeline: events → WAL → service → snapshots.
+
+:class:`IngestPipeline` ties the pieces of :mod:`repro.ingest` around a
+live :class:`~repro.service.FormationService`:
+
+* :meth:`IngestPipeline.ingest` folds a typed event batch
+  (:func:`repro.ingest.events.fold_events`) and applies it through the
+  service.  The service's attached journal appends the folded batch to
+  the :class:`~repro.ingest.wal.WriteAheadLog` *before* any state
+  changes, so an acknowledged batch survives a crash.
+* every ``snapshot_every`` applied batches (and on demand via
+  :meth:`snapshot`) the store + index are checkpointed through
+  :class:`~repro.ingest.snapshot.SnapshotManager`; the WAL is rotated
+  and segments fully covered by the oldest retained snapshot are
+  truncated away, bounding both replay time and disk usage.
+* :meth:`IngestPipeline.open` performs crash recovery: load the latest
+  snapshot, replay the WAL tail through the exact same
+  ``apply_updates`` path a live process used (journaling disabled during
+  replay), and hand back a pipeline whose store and index are
+  **bit-identical** to a process that applied every logged batch —
+  ``tests/ingest/test_recovery.py`` proves the invariant property-based,
+  ``tests/ingest/test_crash_recovery.py`` proves it across a real
+  ``kill -9``.
+
+A batch that was journaled but then rejected (bad coordinates) fails
+atomically and deterministically, so replay skips it exactly as the live
+process did — the invariant is over *logged* batches, not accepted HTTP
+requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.errors import IngestError, ReproError
+from repro.ingest.events import FoldPolicy, fold_events
+from repro.ingest.snapshot import SnapshotManager
+from repro.ingest.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable, Sequence
+
+    from repro.ingest.events import Event
+    from repro.ingest.snapshot import SnapshotState
+    from repro.service.service import FormationService
+
+__all__ = ["IngestPipeline"]
+
+
+class IngestPipeline:
+    """Durability coordinator for one service + WAL + snapshot directory.
+
+    Build one with :meth:`open` (which performs recovery) rather than the
+    constructor — the constructor assumes ``service`` is already in sync
+    with the log and attaches the journal immediately.
+
+    Parameters
+    ----------
+    service:
+        The live formation service; its ``journal`` is attached to
+        ``wal`` so every applied batch is logged first.
+    wal:
+        The write-ahead log, already recovered/positioned.
+    snapshots:
+        The snapshot manager over this pipeline's checkpoint directory.
+    snapshot_every:
+        Take a snapshot every this many applied batches (``0`` disables
+        automatic snapshots; :meth:`snapshot` still works).
+    policy:
+        Implicit-event folding policy (default :class:`FoldPolicy()`).
+    """
+
+    def __init__(
+        self,
+        service: "FormationService",
+        wal: WriteAheadLog,
+        snapshots: SnapshotManager,
+        snapshot_every: int = 64,
+        policy: FoldPolicy | None = None,
+    ) -> None:
+        if snapshot_every < 0:
+            raise IngestError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self.service = service
+        self.wal = wal
+        self.snapshots = snapshots
+        self.snapshot_every = int(snapshot_every)
+        self.policy = policy if policy is not None else FoldPolicy()
+        self._lock = threading.RLock()
+        self._batches_since_snapshot = 0
+        self.batches_ingested = 0
+        self.events_ingested = 0
+        self.snapshots_taken = 0
+        #: Recovery bookkeeping filled in by :meth:`open` (None otherwise).
+        self.recovery: dict[str, Any] | None = None
+        service.journal = wal
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, events: "Sequence[Event]") -> dict[str, Any]:
+        """Fold and durably apply one ordered event batch.
+
+        Parameters
+        ----------
+        events:
+            Typed events in arrival order (see
+            :mod:`repro.ingest.events` for the folding contract).
+
+        Returns
+        -------
+        dict
+            The service's batch bookkeeping (including ``wal_seq``) plus
+            ``{"events": <count>, "snapshot_taken": <bool>}``.
+        """
+        with self._lock:
+            upserts, deletes = fold_events(
+                events, self.service.store.scale, self.policy
+            )
+            stats = self.service.apply_updates(upserts=upserts, deletes=deletes)
+            self.batches_ingested += 1
+            self.events_ingested += len(events)
+            stats["events"] = len(events)
+            stats["snapshot_taken"] = self._after_batch()
+            return stats
+
+    def apply(self, **batch: Any) -> dict[str, Any]:
+        """Durably apply one raw update batch (non-event entry point).
+
+        Forwards ``**batch`` to
+        :meth:`~repro.service.FormationService.apply_updates` (so
+        ``add_users``/``remove_users`` flows are journaled too) and runs
+        the same snapshot cadence as :meth:`ingest`.
+        """
+        with self._lock:
+            stats = self.service.apply_updates(**batch)
+            self.batches_ingested += 1
+            stats["snapshot_taken"] = self._after_batch()
+            return stats
+
+    def _after_batch(self) -> bool:
+        """Advance the snapshot cadence; snapshot when it comes due."""
+        self._batches_since_snapshot += 1
+        if self.snapshot_every and self._batches_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Durability controls
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, Any]:
+        """Checkpoint now: fsync the WAL, save state, rotate + truncate.
+
+        Returns
+        -------
+        dict
+            ``{"path", "applied_seq", "segments_truncated"}``.
+        """
+        with self._lock:
+            self.wal.sync()
+            applied_seq = self.wal.last_seq
+            path = self.snapshots.save(self.service.index, applied_seq)
+            self.wal.rotate()
+            oldest = self.snapshots.oldest_retained_seq()
+            truncated = (
+                self.wal.truncate_through(oldest) if oldest is not None else 0
+            )
+            self._batches_since_snapshot = 0
+            self.snapshots_taken += 1
+            return {
+                "path": str(path),
+                "applied_seq": applied_seq,
+                "segments_truncated": truncated,
+            }
+
+    def sync(self) -> None:
+        """fsync any batched-but-unsynced WAL appends (group-commit flush)."""
+        self.wal.sync()
+
+    def close(self) -> None:
+        """Flush and close the WAL; the service stops journaling."""
+        self.wal.close()
+        self.service.journal = None
+
+    def stats(self) -> dict[str, Any]:
+        """Durability bookkeeping for monitoring/tests."""
+        with self._lock:
+            return {
+                "wal_last_seq": self.wal.last_seq,
+                "wal_syncs": self.wal.syncs,
+                "batches_ingested": self.batches_ingested,
+                "events_ingested": self.events_ingested,
+                "snapshots_taken": self.snapshots_taken,
+                "snapshot_every": self.snapshot_every,
+                "batches_since_snapshot": self._batches_since_snapshot,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def replay_record(service: "FormationService", record: dict) -> bool:
+        """Re-apply one journaled batch to ``service`` (journal detached).
+
+        Parameters
+        ----------
+        service:
+            The service being recovered (must have no journal attached).
+        record:
+            A WAL record as written by
+            ``FormationService._journal_record``.
+
+        Returns
+        -------
+        bool
+            ``True`` when the batch applied; ``False`` when it was
+            rejected — deterministic validation means the live process
+            rejected it identically, so skipping preserves bit-identity.
+        """
+        add_users = record.get("add_users")
+        try:
+            service.apply_updates(
+                upserts=[tuple(u) for u in record.get("upserts", [])],
+                deletes=[tuple(d) for d in record.get("deletes", [])],
+                add_users=(
+                    np.asarray(add_users, dtype=np.float64)
+                    if add_users is not None
+                    else None
+                ),
+                remove_users=record.get("remove_users"),
+            )
+        except ReproError:
+            return False
+        return True
+
+    @classmethod
+    def open(
+        cls,
+        directory: "str | Path",
+        service_factory: "Callable[[SnapshotState | None], FormationService]",
+        snapshot_every: int = 64,
+        sync_every: int = 1,
+        retain: int = 4,
+        policy: FoldPolicy | None = None,
+    ) -> "IngestPipeline":
+        """Open (or recover) the durable state rooted at ``directory``.
+
+        Layout: ``<directory>/wal/`` holds the log segments,
+        ``<directory>/snapshots/`` the checkpoints.  A fresh directory
+        gets an immediate baseline snapshot (``applied_seq=0``) so
+        recovery always has a floor to replay from.
+
+        Parameters
+        ----------
+        directory:
+            Root of the durability tree (created if missing).
+        service_factory:
+            ``(SnapshotState | None) -> FormationService`` — called with
+            the loaded snapshot (or ``None`` on a fresh directory) and
+            expected to return a service whose store/index match it
+            exactly (:meth:`repro.service.ServiceConfig.build_service`
+            is the canonical implementation).
+        snapshot_every, sync_every, retain, policy:
+            Forwarded to the pipeline / WAL / snapshot manager.
+
+        Returns
+        -------
+        IngestPipeline
+            With the WAL tail replayed and the journal attached; the
+            returned service state is bit-identical to a process that
+            applied every logged batch.
+        """
+        root = Path(directory)
+        snapshots = SnapshotManager(root / "snapshots", retain=retain)
+        state = snapshots.load_latest()
+        service = service_factory(state)
+        if service.journal is not None:
+            raise IngestError(
+                "service_factory must return a service without a journal "
+                "attached (recovery must not re-journal the replay)"
+            )
+        wal = WriteAheadLog(root / "wal", sync_every=sync_every)
+        started = time.perf_counter()
+        applied = state.applied_seq if state is not None else 0
+        replayed = skipped = 0
+        for _seq, record in wal.replay(after=applied):
+            if cls.replay_record(service, record):
+                replayed += 1
+            else:
+                skipped += 1
+        pipeline = cls(
+            service,
+            wal,
+            snapshots,
+            snapshot_every=snapshot_every,
+            policy=policy,
+        )
+        pipeline.recovery = {
+            "snapshot_seq": applied,
+            "wal_last_seq": wal.last_seq,
+            "batches_replayed": replayed,
+            "batches_skipped": skipped,
+            "seconds": time.perf_counter() - started,
+        }
+        if state is None and wal.last_seq == 0:
+            # Fresh directory: baseline checkpoint so there is always a
+            # snapshot to recover from (and a floor for WAL truncation).
+            pipeline.snapshot()
+        return pipeline

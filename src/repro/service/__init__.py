@@ -8,14 +8,19 @@ system that can take traffic:
   formation results keyed by ``(parameters, index version)`` and recycles
   cached per-shard bucket summaries across updates.
 * :class:`~repro.service.http.ServiceServer` — a dependency-free asyncio
-  JSON/HTTP front end with update batching and request coalescing.
+  JSON/HTTP front end (versioned ``/v1`` API, typed event ingestion)
+  with update batching and request coalescing.
+* :class:`~repro.service.config.ServiceConfig` — one validated config
+  object from which the CLI, tests and benchmarks build identical
+  stacks (and recover durable ones through :mod:`repro.ingest`).
 * :mod:`repro.service.cli` — the ``repro serve`` console entry point.
 
 See ``docs/architecture.md`` for how the pieces fit the data plane and
 ``docs/api.md`` for the request/response reference.
 """
 
+from repro.service.config import ServiceConfig
 from repro.service.http import ServiceServer
 from repro.service.service import FormationService
 
-__all__ = ["FormationService", "ServiceServer"]
+__all__ = ["FormationService", "ServiceConfig", "ServiceServer"]

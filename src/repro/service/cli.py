@@ -4,11 +4,20 @@
 
     repro serve --users 5000 --items 500 --port 8321
     repro serve --store sparse --users 100000 --items 1000 --density 0.02
+    repro serve --wal-dir ./state --snapshot-every 64   # durable ingestion
 
 Boots a synthetic rating instance (the same generators the experiment
 harness uses), wraps it in a :class:`~repro.service.FormationService` and
-serves JSON over HTTP until interrupted.  See ``docs/api.md`` for the
-endpoint reference and ``repro serve --help`` for every flag.
+serves JSON over HTTP until interrupted.  With ``--wal-dir`` the server
+runs durably: every accepted event batch is journaled to a write-ahead
+log before it is applied, checkpoints are taken every
+``--snapshot-every`` batches, and restarting over the same directory
+recovers the pre-crash store and index bit for bit.  See ``docs/api.md``
+for the endpoint reference and ``repro serve --help`` for every flag.
+
+All flag plumbing funnels through
+:class:`~repro.service.config.ServiceConfig`, so tests and benchmarks
+build byte-identical stacks from the same object.
 """
 
 from __future__ import annotations
@@ -19,11 +28,11 @@ import signal
 import sys
 from collections.abc import Sequence
 
-from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
+from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES
 from repro.experiments.config import BACKENDS, DEFAULT_BACKEND
 from repro.execution.executor import EXECUTION_MODES
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "bootstrap_service"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +53,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve formation requests over JSON/HTTP",
         description=(
             "Bootstrap a rating instance, build the incremental top-k index and "
-            "answer /recommend and /updates requests over JSON/HTTP."
+            "answer /v1/recommend and /v1/events requests over JSON/HTTP "
+            "(durable when --wal-dir is given)."
         ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -83,11 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact-cache directory: cold starts load the "
                             "top-k index for the bootstrapped instance instead "
                             "of rebuilding it")
+    serve.add_argument("--wal-dir", default=None, dest="wal_dir",
+                       help="durability root: write-ahead log + snapshots live "
+                            "here, and restarting over the same directory "
+                            "recovers the pre-crash state bit for bit "
+                            "(default: non-durable)")
+    serve.add_argument("--snapshot-every", type=int, default=64,
+                       dest="snapshot_every",
+                       help="take a store+index snapshot (and truncate the "
+                            "WAL) every N applied batches (default: 64; "
+                            "0 disables automatic snapshots)")
+    serve.add_argument("--fsync-every", type=int, default=1, dest="fsync_every",
+                       help="group-commit size: fsync the WAL every N appends "
+                            "(default: 1 — every batch is durable when "
+                            "acknowledged)")
     return parser
 
 
 def bootstrap_service(args: argparse.Namespace):
-    """Build the :class:`~repro.service.FormationService` a ``serve`` run uses.
+    """Build the service (and pipeline) a ``serve`` run uses.
 
     Parameters
     ----------
@@ -96,33 +120,17 @@ def bootstrap_service(args: argparse.Namespace):
 
     Returns
     -------
-    FormationService
-        Service over a synthetic dense or sparse instance.
+    tuple
+        ``(service, pipeline)`` — the pipeline is ``None`` without
+        ``--wal-dir``.
     """
-    from repro.service.service import FormationService
+    from repro.service.config import ServiceConfig
 
-    set_kernels(getattr(args, "kernels", DEFAULT_KERNELS))
-    if args.store == "sparse":
-        from repro.datasets.synthetic import synthetic_sparse_store
-
-        store = synthetic_sparse_store(
-            args.users, args.items, density=args.density, rng=args.seed
-        )
-    else:
-        from repro.datasets import synthetic_yahoo_music
-        from repro.recsys.store import DenseStore
-
-        matrix = synthetic_yahoo_music(args.users, args.items, rng=args.seed)
-        store = DenseStore(matrix.values, scale=matrix.scale)
-    return FormationService(
-        store,
-        k_max=min(args.k_max, args.items),
-        shards=args.shards,
-        backend=args.backend,
-        execution=getattr(args, "execution", None),
-        workers=getattr(args, "workers", None),
-        cache_dir=getattr(args, "cache_dir", None),
-    )
+    config = ServiceConfig.from_args(args)
+    if config.wal_dir is not None:
+        pipeline = config.build_pipeline()
+        return pipeline.service, pipeline
+    return config.build_service(), None
 
 
 async def _serve(args: argparse.Namespace) -> None:
@@ -131,15 +139,16 @@ async def _serve(args: argparse.Namespace) -> None:
     Termination signals set an event instead of unwinding the event loop
     with ``KeyboardInterrupt``: the serve task is cancelled, the listening
     socket closes, any pending (batched but unflushed) update requests are
-    applied as one final batch, and the service's executor is released —
-    so Ctrl-C never tracebacks and never drops acknowledged updates.
+    applied as one final batch, the WAL (if any) is fsynced, and the
+    service's executor is released — so Ctrl-C never tracebacks, never
+    drops acknowledged updates, and a clean stop never needs replay.
 
     Parameters
     ----------
     args:
         Parsed ``repro serve`` arguments.
     """
-    from repro.service.http import ServiceServer
+    from repro.service.config import ServiceConfig
 
     # Register the handlers before binding the socket, so a signal arriving
     # any time after the address is announced is guaranteed a clean path.
@@ -153,24 +162,29 @@ async def _serve(args: argparse.Namespace) -> None:
         except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
             pass
 
-    service = bootstrap_service(args)
-    server = ServiceServer(
-        service,
-        host=args.host,
-        port=args.port,
-        batch_window=args.batch_window,
-    )
+    config = ServiceConfig.from_args(args)
+    service, pipeline = bootstrap_service(args)
+    server = config.build_server(service, pipeline)
     await server.start()
     stats = service.stats()
+    durability = ""
+    if pipeline is not None:
+        recovery = pipeline.recovery or {}
+        durability = (
+            f", wal at {config.wal_dir} (seq {pipeline.wal.last_seq}, "
+            f"{recovery.get('batches_replayed', 0)} batches replayed)"
+        )
     print(
         f"repro serve: {stats['n_users']} users x {stats['n_items']} items "
         f"({args.store} store, k_max={stats['k_max']}, {stats['shards']} shards, "
         f"{stats['backend']} backend, {stats['execution']} execution"
         + (", warm index cache" if stats.get("index_cache_hit") else "")
+        + durability
         + ")"
     )
     print(f"listening on http://{server.host}:{server.port}  "
-          f"(endpoints: /healthz /stats /recommend /updates)", flush=True)
+          f"(endpoints: /v1/healthz /v1/stats /v1/recommend /v1/events "
+          f"/v1/snapshot; legacy: /recommend /updates)", flush=True)
 
     serve_task = asyncio.create_task(server.run_forever())
     try:
@@ -185,6 +199,8 @@ async def _serve(args: argparse.Namespace) -> None:
         except (asyncio.CancelledError, Exception):
             pass
         await server.shutdown()
+        if pipeline is not None:
+            pipeline.close()
         service.close()
         for sig in registered:
             loop.remove_signal_handler(sig)

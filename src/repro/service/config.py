@@ -1,0 +1,266 @@
+"""One validated configuration object for building the serving stack.
+
+Historically ``repro serve``, the service tests and the benchmarks each
+hand-plumbed the same dozen knobs through ``FormationService`` /
+``ServiceServer`` constructors.  :class:`ServiceConfig` consolidates them:
+parse once (``from_args``), validate once (``__post_init__``), and build
+every component the same way (:meth:`build_store`,
+:meth:`build_service`, :meth:`build_pipeline`, :meth:`build_server`).
+
+``build_service`` doubles as the recovery factory: called with a
+:class:`~repro.ingest.snapshot.SnapshotState` it reconstructs the service
+around the snapshot's store and saved index tables instead of
+bootstrapping a fresh instance — which is exactly the
+``service_factory`` contract of
+:meth:`repro.ingest.IngestPipeline.open`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import IngestError
+from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
+from repro.utils.validation import require_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.pipeline import IngestPipeline
+    from repro.ingest.snapshot import SnapshotState
+    from repro.recsys.store import MutableRatingStore
+    from repro.service.http import ServiceServer
+    from repro.service.service import FormationService
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of the serving stack, validated in one place.
+
+    Attributes
+    ----------
+    users, items, density, store, seed:
+        Synthetic bootstrap instance: size, explicit-rating density (only
+        meaningful for ``store="sparse"``), storage kind and RNG seed.
+    k_max, shards, backend, kernels, compaction_fraction:
+        Formation-service parameters (``k_max`` is clamped to ``items``).
+    execution, workers, cache_dir:
+        Shard fan-out strategy, its parallelism, and the optional
+        artifact-cache directory for warm index starts.
+    host, port, batch_window:
+        HTTP front-end bind address and update-coalescing window.
+    wal_dir, snapshot_every, fsync_every:
+        Durability: the WAL/snapshot root directory (``None`` disables
+        durability), snapshot cadence in applied batches, and the WAL
+        group-commit size (1 = fsync every batch).
+    """
+
+    users: int = 2000
+    items: int = 300
+    density: float = 0.05
+    store: str = "dense"
+    seed: int = 0
+    k_max: int = 20
+    shards: int = 8
+    backend: str | None = None
+    kernels: str = DEFAULT_KERNELS
+    compaction_fraction: float | None = 0.25
+    execution: str | None = None
+    workers: int | None = None
+    cache_dir: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 8321
+    batch_window: float = 0.01
+    wal_dir: str | None = None
+    snapshot_every: int = 64
+    fsync_every: int = 1
+
+    def __post_init__(self) -> None:
+        try:
+            require_positive_int(self.users, "users")
+            require_positive_int(self.items, "items")
+            require_positive_int(self.shards, "shards")
+            require_positive_int(self.fsync_every, "fsync_every")
+        except (TypeError, ValueError) as exc:
+            raise IngestError(str(exc)) from exc
+        if self.store not in ("dense", "sparse"):
+            raise IngestError(
+                f"store must be 'dense' or 'sparse', got {self.store!r}"
+            )
+        if not 0 < self.density <= 1:
+            raise IngestError(f"density must be in (0, 1], got {self.density}")
+        if self.kernels not in KERNEL_MODES:
+            raise IngestError(
+                f"kernels must be one of {sorted(KERNEL_MODES)}, "
+                f"got {self.kernels!r}"
+            )
+        if self.snapshot_every < 0:
+            raise IngestError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.k_max < 1:
+            raise IngestError(f"k_max must be >= 1, got {self.k_max}")
+        if self.batch_window < 0:
+            raise IngestError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "ServiceConfig":
+        """Build a config from parsed ``repro serve`` arguments.
+
+        Unknown namespace attributes are ignored; missing ones fall back
+        to the dataclass defaults, so the same function serves the CLI,
+        tests and benchmarks.
+
+        Parameters
+        ----------
+        args:
+            An ``argparse.Namespace`` (or anything with the flag
+            attributes).
+        """
+        values = {
+            name: getattr(args, name)
+            for name in cls.__dataclass_fields__
+            if getattr(args, name, None) is not None
+        }
+        # execution="serial" is the CLI's spelling of "no executor".
+        if values.get("execution") == "serial":
+            values["execution"] = None
+        return cls(**values)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The configuration as a plain JSON-serialisable dict."""
+        return asdict(self)
+
+    @property
+    def effective_k_max(self) -> int:
+        """``k_max`` clamped to the catalogue size."""
+        return min(self.k_max, self.items)
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+
+    def build_store(self) -> "MutableRatingStore":
+        """Bootstrap the synthetic rating store this config describes."""
+        if self.store == "sparse":
+            from repro.datasets.synthetic import synthetic_sparse_store
+
+            return synthetic_sparse_store(
+                self.users, self.items, density=self.density, rng=self.seed
+            )
+        from repro.datasets import synthetic_yahoo_music
+        from repro.recsys.store import DenseStore
+
+        matrix = synthetic_yahoo_music(self.users, self.items, rng=self.seed)
+        return DenseStore(matrix.values, scale=matrix.scale)
+
+    def build_service(
+        self, state: "SnapshotState | None" = None
+    ) -> "FormationService":
+        """Build the formation service — fresh, or from a snapshot.
+
+        Parameters
+        ----------
+        state:
+            ``None`` bootstraps the synthetic instance.  A
+            :class:`~repro.ingest.snapshot.SnapshotState` instead adopts
+            the snapshot's store and saved index tables (and restores the
+            index version/tombstones), which is the
+            ``service_factory`` contract of
+            :meth:`repro.ingest.IngestPipeline.open`.
+
+        Raises
+        ------
+        IngestError
+            When the snapshot's ``k_max`` differs from this config's —
+            changing ``--k-max`` over an existing WAL directory is not a
+            recovery, it is a different index.
+        """
+        from repro.service.service import FormationService
+
+        set_kernels(self.kernels)
+        if state is None:
+            return FormationService(
+                self.build_store(),
+                k_max=self.effective_k_max,
+                shards=self.shards,
+                backend=self.backend,
+                compaction_fraction=self.compaction_fraction,
+                execution=self.execution,
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+            )
+        from repro.core.topk_index import TopKIndex
+
+        if state.k_max != min(self.k_max, state.store.n_items):
+            raise IngestError(
+                f"snapshot k_max ({state.k_max}) does not match the "
+                f"configured k_max ({min(self.k_max, state.store.n_items)}); "
+                f"recover with the original --k-max"
+            )
+        service = FormationService(
+            state.store,
+            k_max=state.k_max,
+            shards=self.shards,
+            backend=self.backend,
+            compaction_fraction=self.compaction_fraction,
+            execution=self.execution,
+            workers=self.workers,
+            base_index=TopKIndex(
+                state.index_items, state.index_values, state.store.n_items
+            ),
+        )
+        service.index.adopt_state(state.version, state.removed, state.staleness)
+        return service
+
+    def build_pipeline(self) -> "IngestPipeline":
+        """Open (or recover) the durable pipeline at :attr:`wal_dir`.
+
+        Raises
+        ------
+        IngestError
+            When no ``wal_dir`` is configured.
+        """
+        if self.wal_dir is None:
+            raise IngestError("build_pipeline needs wal_dir to be set")
+        from repro.ingest.pipeline import IngestPipeline
+
+        return IngestPipeline.open(
+            self.wal_dir,
+            self.build_service,
+            snapshot_every=self.snapshot_every,
+            sync_every=self.fsync_every,
+        )
+
+    def build_server(
+        self,
+        service: "FormationService",
+        pipeline: "IngestPipeline | None" = None,
+    ) -> "ServiceServer":
+        """Wrap ``service`` in the HTTP front end this config describes.
+
+        Parameters
+        ----------
+        service:
+            The formation service to serve.
+        pipeline:
+            Optional durable pipeline; when given, ``/v1/events`` batches
+            are journaled and ``/v1/snapshot`` is enabled.
+        """
+        from repro.service.http import ServiceServer
+
+        return ServiceServer(
+            service,
+            host=self.host,
+            port=self.port,
+            batch_window=self.batch_window,
+            pipeline=pipeline,
+        )

@@ -1,28 +1,38 @@
 """Asyncio JSON-over-HTTP front end for the formation service.
 
 A deliberately dependency-free server (stdlib ``asyncio`` only — no
-aiohttp, no web framework) speaking just enough HTTP/1.1 to serve JSON:
+aiohttp, no web framework) speaking just enough HTTP/1.1 to serve JSON.
+The **v1 surface** (see ``docs/api.md`` for the full reference):
 
-``GET /healthz``
-    Liveness probe; reports the current index version.
-``GET /stats``
-    :meth:`~repro.service.FormationService.stats` as JSON.
-``POST /recommend``
+``GET /v1/healthz``
+    Liveness probe; reports the current index version and durability.
+``GET /v1/stats``
+    Service counters plus (when durable) the pipeline's WAL bookkeeping.
+``POST /v1/recommend``
     Body ``{"k": 5, "max_groups": 8, "semantics": "lm",
     "aggregation": "min", "user_ids": null}`` → the formation result.
-``POST /updates``
-    Body ``{"upserts": [[user, item, rating], ...],
-    "deletes": [[user, item], ...]}`` → the applied batch's bookkeeping.
+``POST /v1/events``
+    Body ``{"events": [{"kind": "rating", "user": 0, "item": 1,
+    "score": 4.5}, ...]}`` — a typed feedback batch
+    (:mod:`repro.ingest.events`) → the applied batch's bookkeeping.
+``POST /v1/snapshot``
+    Force a checkpoint (``409 not_durable`` without a pipeline).
+
+Errors are uniformly ``{"error": {"code": "...", "message": "..."}}``.
+The pre-v1 routes (``/recommend``, ``/updates``, ``/healthz``,
+``/stats``) remain as thin aliases — ``/updates`` translates its raw
+``upserts``/``deletes`` body into explicit-score events — answered with
+a ``Deprecation: true`` header and a one-time warning log line.
 
 Two serving-layer behaviours make the thin protocol production-shaped:
 
-* **Update batching** — concurrent ``POST /updates`` requests arriving
-  within ``batch_window`` seconds are coalesced into a *single*
-  :meth:`~repro.service.FormationService.apply_updates` batch (one store
-  write, one index repair, one invalidation), and every caller receives
-  the shared batch's bookkeeping.  Per-batch cost is what makes CSR
-  mutation and shard invalidation affordable under write bursts.
-* **Request coalescing** — identical concurrent ``POST /recommend``
+* **Update batching** — concurrent event batches arriving within
+  ``batch_window`` seconds are coalesced into a *single* apply (one WAL
+  append, one store write, one index repair, one invalidation), with
+  the event streams concatenated in arrival order and folded once, so
+  cross-request last-wins ordering is preserved.  Every caller receives
+  the shared batch's bookkeeping.
+* **Request coalescing** — identical concurrent ``POST /v1/recommend``
   requests (same parameters, same index version) share one in-flight
   computation instead of each paying for the formation.
 
@@ -35,14 +45,38 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any
+import logging
+from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ReproError
+from repro.ingest.events import (
+    Event,
+    ExplicitRating,
+    FoldPolicy,
+    RatingDelete,
+    event_from_dict,
+    fold_events,
+)
 from repro.service.service import FormationService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.pipeline import IngestPipeline
 
 __all__ = ["ServiceServer"]
 
 _MAX_BODY = 32 * 1024 * 1024  # 32 MiB request-body cap
+
+_LOG = logging.getLogger("repro.service")
+
+#: Default error code per HTTP status (overridable per raise site).
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    500: "internal",
+}
 
 
 def _json_default(obj: Any) -> Any:
@@ -54,13 +88,28 @@ def _json_default(obj: Any) -> Any:
     raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
 
 
+def _error_payload(status: int, message: str, code: str | None = None) -> dict:
+    """The structured ``{"error": {"code", "message"}}`` body."""
+    return {
+        "error": {
+            "code": code or _DEFAULT_CODES.get(status, "error"),
+            "message": message,
+        }
+    }
+
+
 class _HTTPError(Exception):
     """Internal: maps straight to an HTTP error response."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, code: str | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code
+
+    def payload(self) -> dict:
+        """The structured error body for this exception."""
+        return _error_payload(self.status, self.message, self.code)
 
 
 class ServiceServer:
@@ -76,6 +125,15 @@ class ServiceServer:
     batch_window:
         Seconds an update batch stays open to coalesce concurrent writers
         (default ``0.01``).
+    pipeline:
+        Optional :class:`~repro.ingest.IngestPipeline`: event batches are
+        applied through it (journaled to the WAL before any state
+        changes, snapshotted at its cadence) and ``POST /v1/snapshot``
+        becomes available.  Without a pipeline the server serves the same
+        API non-durably.
+    fold_policy:
+        Implicit-event folding policy used when no ``pipeline`` is given
+        (a pipeline brings its own).
 
     Examples
     --------
@@ -91,15 +149,23 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 8321,
         batch_window: float = 0.01,
+        pipeline: "IngestPipeline | None" = None,
+        fold_policy: FoldPolicy | None = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.batch_window = float(batch_window)
+        self.pipeline = pipeline
+        self.fold_policy = (
+            pipeline.policy if pipeline is not None
+            else (fold_policy if fold_policy is not None else FoldPolicy())
+        )
         self._server: asyncio.AbstractServer | None = None
-        self._pending_updates: list[tuple[dict[str, Any], asyncio.Future]] = []
+        self._pending_updates: list[tuple[list[Event], asyncio.Future]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
         self._inflight: dict[tuple, asyncio.Future] = {}
+        self._deprecation_warned: set[str] = set()
         self.coalesced_recommends = 0
         self.batched_updates = 0
 
@@ -129,18 +195,18 @@ class ServiceServer:
             self._server = None
 
     async def shutdown(self) -> None:
-        """Graceful stop: stop accepting, flush pending updates, release.
+        """Graceful stop: stop accepting, flush updates, fsync, release.
 
         This is the SIGINT/SIGTERM path of ``repro serve``: the listener
         stops accepting new connections, the open update batch (if any) is
-        applied as one final ``apply_updates`` call so
-        acknowledged-but-batched writers get their bookkeeping instead of
-        a dropped future, and only then is the socket awaited closed.
-        The flush must come *before* ``wait_closed()``: on Python >= 3.12
-        ``wait_closed`` waits for in-flight connection handlers, and the
-        ``POST /updates`` handlers are themselves awaiting the batch
-        future the flush resolves — flushing after would deadlock.
-        Idempotent.
+        applied as one final batch so acknowledged-but-batched writers get
+        their bookkeeping instead of a dropped future, the WAL is fsynced
+        (a clean shutdown must never require replay), and only then is
+        the socket awaited closed.  The flush must come *before*
+        ``wait_closed()``: on Python >= 3.12 ``wait_closed`` waits for
+        in-flight connection handlers, and the update handlers are
+        themselves awaiting the batch future the flush resolves —
+        flushing after would deadlock.  Idempotent.
         """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -150,6 +216,12 @@ class ServiceServer:
             server.close()
         if self._pending_updates:
             await self._flush_updates()
+        if self.pipeline is not None:
+            # Group-committed appends may still be buffered; make the
+            # clean-shutdown state durable before the listener is gone.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pipeline.sync
+            )
         if server is not None:
             await server.wait_closed()
 
@@ -165,17 +237,20 @@ class ServiceServer:
             try:
                 method, path, body = await self._read_request(reader)
             except _HTTPError as exc:
-                await self._respond(writer, exc.status, {"error": exc.message})
+                await self._respond(writer, exc.status, exc.payload())
                 return
+            headers: dict[str, str] = {}
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(method, path, body, headers)
             except _HTTPError as exc:
-                status, payload = exc.status, {"error": exc.message}
+                status, payload = exc.status, exc.payload()
             except ReproError as exc:
-                status, payload = 400, {"error": str(exc)}
+                status, payload = 400, _error_payload(400, str(exc), "validation")
             except Exception as exc:  # noqa: BLE001 - boundary of the server
-                status, payload = 500, {"error": f"internal error: {exc}"}
-            await self._respond(writer, status, payload)
+                status, payload = 500, _error_payload(
+                    500, f"internal error: {exc}"
+                )
+            await self._respond(writer, status, payload, headers)
         finally:
             try:
                 writer.close()
@@ -228,17 +303,24 @@ class ServiceServer:
 
     @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
     ) -> None:
-        """Write one JSON response and flush."""
+        """Write one JSON response (plus any extra ``headers``) and flush."""
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   405: "Method Not Allowed", 413: "Payload Too Large",
-                   500: "Internal Server Error"}
+                   405: "Method Not Allowed", 409: "Conflict",
+                   413: "Payload Too Large", 500: "Internal Server Error"}
         data = json.dumps(payload, default=_json_default).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + data)
@@ -248,19 +330,46 @@ class ServiceServer:
     # Routing
     # ------------------------------------------------------------------ #
 
+    def _deprecated(self, path: str, replacement: str, headers: dict) -> None:
+        """Mark a legacy route: response header plus a one-time warning."""
+        headers["Deprecation"] = "true"
+        headers["Link"] = f'<{replacement}>; rel="successor-version"'
+        if path not in self._deprecation_warned:
+            self._deprecation_warned.add(path)
+            _LOG.warning(
+                "deprecated route %s used; migrate to %s", path, replacement
+            )
+
     async def _route(
-        self, method: str, path: str, body: dict[str, Any]
+        self, method: str, path: str, body: dict[str, Any], headers: dict[str, str]
     ) -> tuple[int, dict[str, Any]]:
         """Dispatch one parsed request to its handler."""
-        if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok", "version": self.service.version}
-        if path == "/stats" and method == "GET":
-            return 200, self.service.stats()
+        if path in ("/v1/healthz", "/healthz") and method == "GET":
+            return 200, {
+                "status": "ok",
+                "version": self.service.version,
+                "durable": self.pipeline is not None,
+            }
+        if path in ("/v1/stats", "/stats") and method == "GET":
+            stats = self.service.stats()
+            if self.pipeline is not None:
+                stats["durability"] = self.pipeline.stats()
+            return 200, stats
+        if path == "/v1/recommend" and method == "POST":
+            return 200, await self._recommend(body)
+        if path == "/v1/events" and method == "POST":
+            return 200, await self._events(self._parse_events(body))
+        if path == "/v1/snapshot" and method == "POST":
+            return 200, await self._snapshot()
         if path == "/recommend" and method == "POST":
+            self._deprecated(path, "/v1/recommend", headers)
             return 200, await self._recommend(body)
         if path == "/updates" and method == "POST":
-            return 200, await self._updates(body)
-        if path in {"/healthz", "/stats", "/recommend", "/updates"}:
+            self._deprecated(path, "/v1/events", headers)
+            return 200, await self._events(self._translate_updates(body))
+        if path in {"/healthz", "/stats", "/recommend", "/updates",
+                    "/v1/healthz", "/v1/stats", "/v1/recommend",
+                    "/v1/events", "/v1/snapshot"}:
             raise _HTTPError(405, f"{method} not allowed on {path}")
         raise _HTTPError(404, f"unknown path {path}")
 
@@ -306,12 +415,61 @@ class ServiceServer:
         payload["coalesced"] = self.coalesced_recommends
         return payload
 
-    async def _updates(self, body: dict[str, Any]) -> dict[str, Any]:
-        """Join the currently open update batch (opening one if needed)."""
+    @staticmethod
+    def _parse_events(body: dict[str, Any]) -> list[Event]:
+        """Parse a ``POST /v1/events`` body into typed events."""
+        events = body.get("events")
+        if not isinstance(events, list):
+            raise _HTTPError(
+                400, "body must be {\"events\": [...]}", code="validation"
+            )
+        # IngestError from a malformed event propagates as a structured
+        # 400 via the ReproError handler in _handle_connection.
+        return [event_from_dict(item) for item in events]
+
+    @staticmethod
+    def _translate_updates(body: dict[str, Any]) -> list[Event]:
+        """Translate a legacy ``/updates`` body into explicit-score events.
+
+        Raw ``upserts`` become :class:`ExplicitRating` and ``deletes``
+        become :class:`RatingDelete`, preserving order (upserts first,
+        matching the legacy apply order).
+        """
         upserts = body.get("upserts", [])
         deletes = body.get("deletes", [])
         if not isinstance(upserts, list) or not isinstance(deletes, list):
             raise _HTTPError(400, "upserts and deletes must be lists")
+        events: list[Event] = []
+        for entry in upserts:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise _HTTPError(
+                    400, "upserts must be [user, item, rating] triples"
+                )
+            events.append(ExplicitRating(entry[0], entry[1], entry[2]))
+        for entry in deletes:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise _HTTPError(400, "deletes must be [user, item] pairs")
+            events.append(RatingDelete(entry[0], entry[1]))
+        return events
+
+    def _apply_events_sync(self, events: list[Event]) -> dict[str, Any]:
+        """Apply one folded event batch (runs on the executor thread)."""
+        if self.pipeline is not None:
+            return self.pipeline.ingest(events)
+        upserts, deletes = fold_events(
+            events, self.service.store.scale, self.fold_policy
+        )
+        stats = self.service.apply_updates(upserts=upserts, deletes=deletes)
+        stats["events"] = len(events)
+        return stats
+
+    async def _events(self, events: list[Event]) -> dict[str, Any]:
+        """Join the currently open event batch (opening one if needed).
+
+        The queue stores each request's *event list*; the flush
+        concatenates them in arrival order and folds once, so last-wins
+        resolution spans requests exactly as it would a single stream.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         if self._pending_updates:
@@ -320,13 +478,11 @@ class ServiceServer:
             self._flush_handle = loop.call_later(
                 self.batch_window, lambda: asyncio.ensure_future(self._flush_updates())
             )
-        self._pending_updates.append(
-            ({"upserts": upserts, "deletes": deletes}, future)
-        )
+        self._pending_updates.append((events, future))
         return await asyncio.shield(future)
 
     async def _flush_updates(self) -> None:
-        """Apply the open batch as one ``apply_updates`` call.
+        """Apply the open batch as one durable apply call.
 
         The merged call is atomic (validation happens before any write), so
         on failure the batch falls back to applying each request
@@ -337,23 +493,17 @@ class ServiceServer:
         self._flush_handle = None
         if not pending:
             return
-        upserts = [tuple(u) for req, _ in pending for u in req["upserts"]]
-        deletes = [tuple(d) for req, _ in pending for d in req["deletes"]]
+        merged = [event for events, _ in pending for event in events]
         loop = asyncio.get_running_loop()
         try:
             stats = await loop.run_in_executor(
-                None,
-                lambda: self.service.apply_updates(upserts=upserts, deletes=deletes),
+                None, lambda: self._apply_events_sync(merged)
             )
         except Exception:  # noqa: BLE001 - isolate the offending request(s)
-            for req, future in pending:
+            for events, future in pending:
                 try:
                     stats = await loop.run_in_executor(
-                        None,
-                        lambda _r=req: self.service.apply_updates(
-                            upserts=[tuple(u) for u in _r["upserts"]],
-                            deletes=[tuple(d) for d in _r["deletes"]],
-                        ),
+                        None, lambda _e=events: self._apply_events_sync(_e)
                     )
                 except Exception as exc:  # noqa: BLE001 - per-request verdict
                     if not future.done():
@@ -367,3 +517,15 @@ class ServiceServer:
         for _, future in pending:
             if not future.done():
                 future.set_result(dict(stats))
+
+    async def _snapshot(self) -> dict[str, Any]:
+        """Force a checkpoint through the pipeline (``409`` without one)."""
+        if self.pipeline is None:
+            raise _HTTPError(
+                409,
+                "server is not running with a WAL (--wal-dir); "
+                "snapshots need a durable pipeline",
+                code="not_durable",
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.pipeline.snapshot)

@@ -111,6 +111,13 @@ class FormationService:
         content fingerprint instead of building it (and saves the artifact
         after a cold build), so restarting a service over unchanged
         ratings skips index construction entirely.
+    base_index:
+        Optional prebuilt :class:`~repro.core.topk_index.TopKIndex` over
+        the *current* contents of ``store``, adopted instead of building
+        (or consulting the artifact cache).  Crash recovery
+        (:mod:`repro.ingest`) passes the snapshot's saved tables here so
+        the recovered index keeps its incrementally-repaired state bit
+        for bit.
 
     Raises
     ------
@@ -136,12 +143,17 @@ class FormationService:
         execution: "str | Executor | None" = None,
         workers: int | None = None,
         cache_dir: str | None = None,
+        base_index: TopKIndex | None = None,
     ) -> None:
         self._backend = get_backend(backend)
         self._engine = FormationEngine(self._backend)
-        base = None
+        base = base_index
         self._index_cache_hit = False
-        artifact_cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+        artifact_cache = (
+            ArtifactCache(cache_dir)
+            if cache_dir is not None and base_index is None
+            else None
+        )
         if artifact_cache is not None:
             fingerprint = store_fingerprint(store)
             base = artifact_cache.load_index(fingerprint, int(k_max))
@@ -175,6 +187,12 @@ class FormationService:
         self._summaries: dict[tuple[int, int, str], ShardSummary] = {}
         self._results: OrderedDict[tuple, GroupFormationResult] = OrderedDict()
         self._lock = threading.RLock()
+        #: Optional write-ahead log (:class:`repro.ingest.WriteAheadLog` or
+        #: anything with an ``append(record) -> int``): when attached, every
+        #: :meth:`apply_updates` batch is journaled *before* it is applied.
+        #: :meth:`repro.ingest.IngestPipeline.open` attaches it only after
+        #: replay, so recovery never re-journals.
+        self.journal = None
         self._counters = {
             "requests": 0,
             "result_hits": 0,
@@ -278,9 +296,11 @@ class FormationService:
         -------
         dict
             The index's batch bookkeeping plus ``{"invalidated_shards",
-            "version"}`` (``invalidated_shards`` counts the cached shard
-            summaries dropped by this batch, including wholesale drops on
-            compaction or user addition).
+            "version", "wal_seq"}`` (``invalidated_shards`` counts the
+            cached shard summaries dropped by this batch, including
+            wholesale drops on compaction or user addition; ``wal_seq`` is
+            the journal sequence the batch was logged at, or ``None``
+            when no :attr:`journal` is attached or the batch is empty).
 
         Notes
         -----
@@ -289,8 +309,21 @@ class FormationService:
         index's fast path) leaves every summary valid, and only the
         memoized results are refreshed (scoring reads below-top-k ratings
         from the store).
+
+        When a :attr:`journal` is attached, the batch is appended to it
+        *before* any state changes (redo-log contract).  A batch that is
+        journaled but then rejected (e.g. out-of-range coordinates) fails
+        atomically here and — because validation is deterministic — fails
+        identically on replay, so the journaled record is harmless.
         """
         with self._lock:
+            wal_seq = None
+            if self.journal is not None:
+                record = self._journal_record(
+                    upserts, deletes, add_users, remove_users
+                )
+                if record is not None:
+                    wal_seq = self.journal.append(record)
             stats = self._index.apply(upserts=upserts, deletes=deletes)
             touched = set(stats.pop("repaired_user_ids", ()))
             invalidated = 0
@@ -318,7 +351,52 @@ class FormationService:
             self._counters["updates_applied"] += stats["upserts"] + stats["deletes"]
             stats["invalidated_shards"] = invalidated
             stats["version"] = self._index.version
+            stats["wal_seq"] = wal_seq
             return stats
+
+    @staticmethod
+    def _journal_record(
+        upserts: Sequence[tuple[int, int, float]] | np.ndarray,
+        deletes: Sequence[tuple[int, int]] | np.ndarray,
+        add_users: np.ndarray | None,
+        remove_users: Sequence[int] | np.ndarray | None,
+    ) -> dict[str, Any] | None:
+        """Normalise one batch into its JSON-serialisable journal record.
+
+        Values are preserved exactly (coordinates stay floats so a
+        fractional index is rejected identically live and on replay);
+        ``None`` is returned for an empty batch, which is never journaled.
+
+        Parameters
+        ----------
+        upserts, deletes, add_users, remove_users:
+            The raw :meth:`apply_updates` arguments.
+
+        Raises
+        ------
+        GroupFormationError
+            When the batch cannot be normalised at all (malformed shapes
+            — the same inputs the index would reject before writing).
+        """
+        try:
+            record: dict[str, Any] = {
+                "upserts": [[float(u), float(i), float(v)] for u, i, v in upserts],
+                "deletes": [[float(u), float(i)] for u, i in deletes],
+            }
+            if add_users is not None:
+                rows = np.asarray(add_users, dtype=np.float64)
+                if rows.size:
+                    record["add_users"] = rows.tolist()
+            if remove_users is not None:
+                removal = [float(u) for u in np.asarray(remove_users).ravel()]
+                if removal:
+                    record["remove_users"] = removal
+        except (TypeError, ValueError) as exc:
+            raise GroupFormationError(f"malformed update batch: {exc}") from exc
+        if not any(record.get(key) for key in
+                   ("upserts", "deletes", "add_users", "remove_users")):
+            return None
+        return record
 
     def _invalidate_shards(self, users: set[int]) -> int:
         """Drop cached summaries of every shard containing ``users``."""

@@ -1,0 +1,217 @@
+"""Typed-event validation and the event→update folding contract.
+
+The documented precedence (``repro.ingest.events``): explicit operations
+(ratings, deletes) are last-wins among themselves per cell; implicit
+events only touch cells with no explicit operation in the batch,
+last-wins among implicit.  Hypothesis drives random event streams against
+a dict-based reference model of exactly that rule, then checks the folded
+batch through a real store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MutableTopKIndex, TopKIndex
+from repro.core.errors import IngestError
+from repro.ingest import (
+    Click,
+    Completion,
+    ExplicitRating,
+    FoldPolicy,
+    RatingDelete,
+    event_from_dict,
+    fold_events,
+)
+from repro.recsys import DenseStore
+from repro.recsys.matrix import RatingScale
+
+SCALE = RatingScale()  # 1-5
+
+
+# --------------------------------------------------------------------- #
+# Validation
+# --------------------------------------------------------------------- #
+
+def test_event_validation_rejects_bad_fields():
+    with pytest.raises(IngestError):
+        ExplicitRating(1.7, 0, 3.0)
+    with pytest.raises(IngestError):
+        ExplicitRating(-1, 0, 3.0)
+    with pytest.raises(IngestError):
+        ExplicitRating(0, 0, float("nan"))
+    with pytest.raises(IngestError):
+        ExplicitRating(True, 0, 3.0)
+    with pytest.raises(IngestError):
+        RatingDelete(0, "x")
+    with pytest.raises(IngestError):
+        Completion(0, 0, 1.5)
+    with pytest.raises(IngestError):
+        Completion(0, 0, -0.1)
+    # Integral floats (JSON numbers) are accepted and normalised to int.
+    event = ExplicitRating(2.0, 3.0, 4.5)
+    assert event.user == 2 and isinstance(event.user, int)
+
+
+def test_event_dict_round_trip():
+    events = [
+        ExplicitRating(0, 1, 4.5),
+        RatingDelete(2, 3),
+        Click(4, 5),
+        Completion(6, 7, 0.25),
+    ]
+    for event in events:
+        assert event_from_dict(event.as_dict()) == event
+
+
+def test_event_from_dict_rejects_malformed_payloads():
+    with pytest.raises(IngestError):
+        event_from_dict("not an object")
+    with pytest.raises(IngestError):
+        event_from_dict({"kind": "nope", "user": 0, "item": 0})
+    with pytest.raises(IngestError):
+        event_from_dict({"kind": "rating", "user": 0, "item": 0})  # no score
+    with pytest.raises(IngestError):
+        event_from_dict(
+            {"kind": "delete", "user": 0, "item": 0, "score": 1.0}  # extra
+        )
+
+
+def test_fold_policy_validation_and_scores():
+    with pytest.raises(IngestError):
+        FoldPolicy(click_weight=1.5)
+    policy = FoldPolicy(click_weight=0.5)
+    assert policy.score(Click(0, 0), SCALE) == 3.0  # midpoint of 1-5
+    assert policy.score(Completion(0, 0, 1.0), SCALE) == 5.0
+    assert policy.score(Completion(0, 0, 0.0), SCALE) == 1.0
+    with pytest.raises(IngestError):
+        policy.score(ExplicitRating(0, 0, 3.0), SCALE)
+
+
+def test_fold_rejects_untyped_input():
+    with pytest.raises(IngestError):
+        fold_events([(0, 1, 5.0)], SCALE)
+
+
+# --------------------------------------------------------------------- #
+# Explicit folding rules
+# --------------------------------------------------------------------- #
+
+def test_explicit_last_wins_across_delete_and_readd():
+    upserts, deletes = fold_events(
+        [ExplicitRating(0, 1, 5.0), RatingDelete(0, 1), ExplicitRating(0, 1, 2.0)],
+        SCALE,
+    )
+    assert upserts == [(0, 1, 2.0)] and deletes == []
+
+    upserts, deletes = fold_events(
+        [ExplicitRating(0, 1, 5.0), RatingDelete(0, 1)], SCALE
+    )
+    assert upserts == [] and deletes == [(0, 1)]
+
+
+def test_duplicate_events_within_batch_collapse():
+    upserts, deletes = fold_events(
+        [ExplicitRating(0, 1, 2.0), ExplicitRating(0, 1, 2.0),
+         ExplicitRating(0, 1, 4.0)],
+        SCALE,
+    )
+    assert upserts == [(0, 1, 4.0)] and deletes == []
+
+
+def test_implicit_yields_to_explicit_regardless_of_order():
+    # Explicit first, implicit later: the explicit score still wins.
+    upserts, _ = fold_events(
+        [ExplicitRating(0, 1, 2.0), Click(0, 1)], SCALE
+    )
+    assert upserts == [(0, 1, 2.0)]
+    # Implicit on an un-touched cell folds through the policy.
+    upserts, _ = fold_events([Click(0, 1), Click(0, 1)], SCALE)
+    assert upserts == [(0, 1, 3.0)]
+    # A delete also suppresses implicit signals on the cell.
+    upserts, deletes = fold_events(
+        [RatingDelete(0, 1), Completion(0, 1, 1.0)], SCALE
+    )
+    assert upserts == [] and deletes == [(0, 1)]
+
+
+# --------------------------------------------------------------------- #
+# Property: fold equals the documented per-cell resolution
+# --------------------------------------------------------------------- #
+
+@st.composite
+def event_streams(draw):
+    """A small instance plus a random ordered event stream."""
+    n_users = draw(st.integers(min_value=2, max_value=10))
+    n_items = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n_events = draw(st.integers(min_value=0, max_value=20))
+    events = []
+    for _ in range(n_events):
+        kind = draw(st.sampled_from(["rating", "delete", "click", "completion"]))
+        user = draw(st.integers(0, n_users - 1))
+        item = draw(st.integers(0, n_items - 1))
+        if kind == "rating":
+            events.append(
+                ExplicitRating(user, item, float(draw(st.integers(1, 5))))
+            )
+        elif kind == "delete":
+            events.append(RatingDelete(user, item))
+        elif kind == "click":
+            events.append(Click(user, item))
+        else:
+            events.append(
+                Completion(user, item, draw(st.sampled_from([0.0, 0.5, 1.0])))
+            )
+    return n_users, n_items, seed, events
+
+
+@given(data=event_streams())
+@settings(max_examples=50, deadline=None)
+def test_fold_matches_reference_resolution(data):
+    n_users, n_items, seed, events = data
+    policy = FoldPolicy()
+
+    # Reference model of the documented precedence, cell by cell.
+    explicit: dict[tuple[int, int], float | None] = {}
+    implicit: dict[tuple[int, int], float] = {}
+    for event in events:
+        cell = (event.user, event.item)
+        if isinstance(event, ExplicitRating):
+            explicit[cell] = event.score
+        elif isinstance(event, RatingDelete):
+            explicit[cell] = None
+        else:
+            implicit[cell] = policy.score(event, SCALE)
+    expected: dict[tuple[int, int], float | None] = dict(explicit)
+    for cell, score in implicit.items():
+        if cell not in explicit:
+            expected[cell] = score
+
+    upserts, deletes = fold_events(events, SCALE, policy)
+    # Disjoint cells, each appearing exactly once.
+    up_cells = [(u, i) for u, i, _ in upserts]
+    assert len(set(up_cells)) == len(up_cells)
+    assert set(up_cells).isdisjoint(deletes)
+    folded: dict[tuple[int, int], float | None] = {
+        (u, i): v for u, i, v in upserts
+    }
+    folded.update({cell: None for cell in deletes})
+    assert folded == expected
+
+    # And through a real store: the folded batch lands the expected cells.
+    rng = np.random.default_rng(seed)
+    values = rng.integers(1, 6, size=(n_users, n_items)).astype(float)
+    store = DenseStore(values.copy())
+    index = MutableTopKIndex(store, k_max=min(3, n_items))
+    index.apply(upserts=upserts, deletes=deletes)
+    shadow = values.copy()
+    for (user, item), value in expected.items():
+        shadow[user, item] = store.fill_value if value is None else value
+    assert np.array_equal(store.values, shadow)
+    fresh = TopKIndex.build(store, index.k_max)
+    assert np.array_equal(index.items, fresh.items)
+    assert np.array_equal(index.values, fresh.values)

@@ -47,7 +47,8 @@ def server():
     thread.join(timeout=5)
 
 
-def request(srv: ServiceServer, path: str, body=None, method=None):
+def request(srv: ServiceServer, path: str, body=None, method=None,
+            with_headers=False):
     data = json.dumps(body).encode() if body is not None else None
     req = urllib.request.Request(
         f"http://127.0.0.1:{srv.port}{path}",
@@ -57,9 +58,14 @@ def request(srv: ServiceServer, path: str, body=None, method=None):
     )
     try:
         with urllib.request.urlopen(req, timeout=10) as resp:
-            return resp.status, json.loads(resp.read())
+            out = resp.status, json.loads(resp.read())
+            headers = dict(resp.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        out = exc.code, json.loads(exc.read())
+        headers = dict(exc.headers)
+    if with_headers:
+        return (*out, headers)
+    return out
 
 
 def test_healthz_and_stats(server):
@@ -163,7 +169,7 @@ def test_malformed_framing_gets_a_400_not_a_dropped_connection(server):
 def test_fractional_coordinates_rejected_over_http(server):
     srv, _ = server
     status, payload = request(srv, "/updates", {"upserts": [[1.7, 2, 5.0]]})
-    assert status == 400 and "integer" in payload["error"]
+    assert status == 400 and "integer" in payload["error"]["message"]
 
 
 def test_error_responses(server):
@@ -175,3 +181,68 @@ def test_error_responses(server):
     assert request(srv, "/updates", {"upserts": [[0, 999, 3.0]]})[0] == 400
     status, payload = request(srv, "/updates", {"upserts": "nope"})
     assert status == 400 and "error" in payload
+
+
+def test_errors_are_structured_payloads(server):
+    srv, _ = server
+    status, payload = request(srv, "/nope")
+    assert status == 404 and payload["error"]["code"] == "not_found"
+    status, payload = request(srv, "/v1/recommend", method="GET")
+    assert status == 405 and payload["error"]["code"] == "method_not_allowed"
+    status, payload = request(srv, "/v1/events", {"events": [{"kind": "wat"}]})
+    assert status == 400 and payload["error"]["code"] == "validation"
+    assert "message" in payload["error"]
+
+
+def test_v1_routes_serve_all_documented_endpoints(server):
+    srv, values = server
+    status, payload = request(srv, "/v1/healthz")
+    assert status == 200 and payload["status"] == "ok"
+    assert payload["durable"] is False
+    status, payload = request(srv, "/v1/stats")
+    assert status == 200 and payload["n_users"] == 60
+    status, payload = request(srv, "/v1/recommend", {"k": 3, "max_groups": 5})
+    assert status == 200
+    want = FormationEngine("numpy").run(DenseStore(values), 5, 3, "lm", "min")
+    assert payload["objective"] == want.objective
+    status, payload = request(srv, "/v1/snapshot", {}, method="POST")
+    assert status == 409 and payload["error"]["code"] == "not_durable"
+
+
+def test_v1_events_apply_typed_feedback(server):
+    srv, values = server
+    events = [
+        {"kind": "rating", "user": 0, "item": 1, "score": 5.0},
+        {"kind": "delete", "user": 2, "item": 3},
+        {"kind": "click", "user": 4, "item": 5},
+        {"kind": "completion", "user": 5, "item": 6, "progress": 1.0},
+    ]
+    status, stats = request(srv, "/v1/events", {"events": events})
+    assert status == 200
+    assert stats["events"] == 4
+    assert stats["upserts"] == 3 and stats["deletes"] == 1
+    # Shadow the fold: click -> midpoint, completion 1.0 -> scale max.
+    shadow = DenseStore(values.copy())
+    shadow.upsert([0, 4, 5], [1, 5, 6], [5.0, 3.0, 5.0])
+    shadow.delete([2], [3])
+    want = FormationEngine("numpy").run(shadow, 5, 3, "lm", "min")
+    _, after = request(srv, "/v1/recommend", {"k": 3, "max_groups": 5})
+    assert after["objective"] == want.objective
+
+
+def test_legacy_routes_send_deprecation_headers(server):
+    srv, _ = server
+    status, _, headers = request(
+        srv, "/recommend", {"k": 3, "max_groups": 5}, with_headers=True
+    )
+    assert status == 200 and headers.get("Deprecation") == "true"
+    assert "/v1/recommend" in headers.get("Link", "")
+    status, _, headers = request(
+        srv, "/updates", {"upserts": [[0, 0, 4.0]]}, with_headers=True
+    )
+    assert status == 200 and headers.get("Deprecation") == "true"
+    # v1 routes carry no deprecation marker.
+    status, _, headers = request(
+        srv, "/v1/recommend", {"k": 3, "max_groups": 5}, with_headers=True
+    )
+    assert status == 200 and "Deprecation" not in headers

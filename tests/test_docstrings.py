@@ -38,6 +38,12 @@ DOCUMENTED_MODULES = [
     SRC / "service" / "service.py",
     SRC / "service" / "http.py",
     SRC / "service" / "cli.py",
+    SRC / "service" / "config.py",
+    SRC / "ingest" / "__init__.py",
+    SRC / "ingest" / "events.py",
+    SRC / "ingest" / "wal.py",
+    SRC / "ingest" / "snapshot.py",
+    SRC / "ingest" / "pipeline.py",
 ]
 
 

@@ -36,8 +36,8 @@ _CONFIG_KEYS = (
 )
 #: Entry keys folded into the "notes" column (derived figures).
 _NOTE_KEYS = (
-    "speedup", "updates_per_second", "peak_rss_gib", "objective",
-    "generate_seconds",
+    "speedup", "updates_per_second", "events_per_second", "batches_replayed",
+    "peak_rss_gib", "objective", "generate_seconds",
 )
 
 
