@@ -79,15 +79,27 @@ def bench_entry(
     seconds: float,
     backend: str,
     store: str = "dense",
+    kernels: str | None = None,
+    threads: int | None = None,
     **extra,
 ) -> dict:
-    """One machine-readable timing record for :func:`write_bench_json`."""
+    """One machine-readable timing record for :func:`write_bench_json`.
+
+    ``kernels`` (generation) and ``threads`` (compiled-kernel thread count)
+    are first-class schema fields so BENCH_kernels.json can carry the
+    thread-scaling curve; they are omitted when not applicable rather than
+    recorded as nulls.
+    """
     entry = {
         "instance": instance,
         "seconds": float(seconds),
         "backend": backend,
         "store": store,
     }
+    if kernels is not None:
+        entry["kernels"] = kernels
+    if threads is not None:
+        entry["threads"] = int(threads)
     entry.update(extra)
     return entry
 

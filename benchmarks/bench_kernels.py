@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Kernel-overhaul benchmark: classic vs fast on the fig4 largest instance.
+"""Kernel benchmark: classic vs fast vs compiled parallel on fig4's largest instance.
 
 Times the two stages the kernel layer owns — the ``TopKIndex`` build
 (ranking every user's top-k) and step-1 bucketing (grouping users by their
-packed key rows) — under both kernel generations, asserts they are
-bit-identical, and records the per-stage and combined speedups in
+bucket keys) — under every kernel generation, asserts they are
+bit-identical, and records the per-stage timings, speedups and the
+``parallel`` thread-scaling curve (``--threads`` comma sweep) in
 ``BENCH_kernels.json``.
 
 The default instance is the paper's Figure 4(a) user-sweep shape at its
@@ -14,13 +15,15 @@ container's RAM; fig4(b) shows GRD runtime is flat in the catalogue size,
 so the per-stage ratios carry.  ``l`` and ``k`` are the paper defaults
 (10, 5) and the variant is GRD-LM-MIN, exactly as in the fig4 benches.
 
-Gate semantics: parity failures always exit non-zero; the combined-speedup
-floor only gates when ``--min-speedup`` is positive (CI runs it
-non-blocking at smoke scale; the committed ``BENCH_kernels.json`` is
-produced by the full-size run, which must record >= 2x)::
+Gate semantics: parity failures always exit non-zero; the speedup floors
+only gate when positive (CI runs them non-blocking at smoke scale; the
+committed ``BENCH_kernels.json`` is produced by the full-size run).  When
+the compiled backend cannot be built (no C compiler) the ``parallel`` legs
+and their gate are skipped with a note — never silently::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py                   # full size
-    PYTHONPATH=src python benchmarks/bench_kernels.py --min-speedup 2.0 # acceptance
+    PYTHONPATH=src python benchmarks/bench_kernels.py --min-speedup 2.0 \
+        --min-parallel-speedup 3.0 --min-bucket-speedup 1.5             # acceptance
     PYTHONPATH=src python benchmarks/bench_kernels.py --users 4000 --items 400 \
         --min-speedup 0                                                 # smoke
 """
@@ -45,6 +48,34 @@ def bucket_partition(inverse, sorted_users, starts):
     return sorted(tuple(sorted_users[a:b].tolist()) for a, b in zip(starts, ends))
 
 
+def parse_threads(text: str) -> list[int]:
+    """Parse the ``--threads`` comma sweep ("1,2,4,8") into thread counts."""
+    counts = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        value = int(part)
+        if value < 1:
+            raise ValueError(f"thread counts must be >= 1, got {value}")
+        counts.append(value)
+    if not counts:
+        raise ValueError("--threads needs at least one thread count")
+    return counts
+
+
+def time_stages(store, k: int, rounds: int):
+    """(timings dict, top-k tables, bucketing, formation result) for one setup."""
+    build_seconds, index = best_seconds(lambda: TopKIndex.build(store, k), rounds)
+    items_table, scores_table = index.top_k(k)
+    # GRD-LM-MIN keys on the item sequence plus the k-th score.
+    bucket_seconds, bucketing = best_seconds(
+        lambda: kernels.bucketize(items_table, scores_table, "last"), rounds
+    )
+    timings = {"index_build": build_seconds, "bucketing": bucket_seconds}
+    return timings, (items_table, scores_table), bucketing, index
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--users", type=int, default=100_000,
@@ -56,12 +87,27 @@ def main(argv=None) -> int:
     parser.add_argument("--k", type=int, default=5, help="recommended list length")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds; the best round counts (default: 3)")
+    parser.add_argument("--threads", type=parse_threads, default="1,2,4,8",
+                        metavar="T1,T2,...",
+                        help="comma-separated thread counts for the parallel "
+                             "kernel scaling curve (default: 1,2,4,8)")
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="required combined (build+bucket) classic/fast "
                              "runtime ratio; 0 disables the speedup gate "
                              "(parity always gates)")
+    parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                        dest="min_parallel_speedup",
+                        help="required combined fast/parallel runtime ratio at "
+                             "the best swept thread count; 0 disables; skipped "
+                             "with a note when no C compiler is available")
+    parser.add_argument("--min-bucket-speedup", type=float, default=0.0,
+                        dest="min_bucket_speedup",
+                        help="required classic/fast bucketing-stage ratio (the "
+                             "fused-fingerprint micro gate); 0 disables")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
+    if isinstance(args.threads, str):  # default string bypasses type=
+        args.threads = parse_threads(args.threads)
 
     ratings = synthetic_yahoo_music(
         n_users=args.users, n_items=args.items, rng=args.seed
@@ -71,6 +117,7 @@ def main(argv=None) -> int:
         f"fig4 largest instance ({args.users}x{args.items}, "
         f"l={args.groups}, k={args.k})"
     )
+    parallel_ok = kernels.parallel_available()
 
     timings: dict[str, dict[str, float]] = {}
     tables: dict[str, tuple[np.ndarray, np.ndarray]] = {}
@@ -79,41 +126,82 @@ def main(argv=None) -> int:
     entries = []
     for mode in ("classic", "fast"):
         with kernels.use_kernels(mode):
-            build_seconds, index = best_seconds(
-                lambda: TopKIndex.build(store, args.k), args.rounds
+            timings[mode], tables[mode], bucketing, index = time_stages(
+                store, args.k, args.rounds
             )
-            items_table, scores_table = index.top_k(args.k)
-            # GRD-LM-MIN keys on the item sequence plus the k-th score.
-            bucket_seconds, bucketing = best_seconds(
-                lambda: kernels.bucketize(items_table, scores_table, "last"),
-                args.rounds,
-            )
-            _, result = best_seconds(
+            _, results[mode] = best_seconds(
                 lambda: FormationEngine("numpy").run(
                     store, args.groups, args.k, "lm", "min", topk=index
                 ),
                 1,
             )
-        timings[mode] = {"index_build": build_seconds, "bucketing": bucket_seconds}
-        tables[mode] = (items_table, scores_table)
         buckets[mode] = bucket_partition(*bucketing)
-        results[mode] = result
         for stage, seconds in timings[mode].items():
             entries.append(bench_entry(
                 instance, seconds, backend="numpy", store="dense",
                 kernels=mode, stage=stage,
             ))
 
+    # The parallel generation: one timing pass per swept thread count, all
+    # bit-identical; the best-thread pass feeds the combined speedup.
+    parallel_curve: dict[int, dict[str, float]] = {}
+    if parallel_ok:
+        with kernels.use_kernels("parallel"):
+            for threads in args.threads:
+                with kernels.use_kernel_threads(threads):
+                    stage_times, mode_tables, bucketing, index = time_stages(
+                        store, args.k, args.rounds
+                    )
+                parallel_curve[threads] = stage_times
+                if "parallel" not in tables:
+                    tables["parallel"] = mode_tables
+                    buckets["parallel"] = bucket_partition(*bucketing)
+                    with kernels.use_kernel_threads(threads):
+                        _, results["parallel"] = best_seconds(
+                            lambda: FormationEngine("numpy").run(
+                                store, args.groups, args.k, "lm", "min", topk=index
+                            ),
+                            1,
+                        )
+                elif not (
+                    np.array_equal(tables["parallel"][0], mode_tables[0])
+                    and np.array_equal(tables["parallel"][1], mode_tables[1])
+                ):
+                    print(f"\nFAIL: parallel kernels at {threads} threads differ "
+                          f"from {args.threads[0]} threads", file=sys.stderr)
+                    return 1
+                for stage, seconds in stage_times.items():
+                    entries.append(bench_entry(
+                        instance, seconds, backend="numpy", store="dense",
+                        kernels="parallel", threads=threads, stage=stage,
+                    ))
+        best_threads = min(
+            parallel_curve,
+            key=lambda t: parallel_curve[t]["index_build"]
+            + parallel_curve[t]["bucketing"],
+        )
+        timings["parallel"] = parallel_curve[best_threads]
+    else:
+        from repro.core import kernels_cc
+
+        reason = kernels_cc.unavailable_reason() or "unknown"
+        print(f"note: compiled parallel backend unavailable ({reason}); "
+              f"parallel legs skipped")
+
     failures = []
-    if not (
-        np.array_equal(tables["classic"][0], tables["fast"][0])
-        and np.array_equal(tables["classic"][1], tables["fast"][1])
-    ):
-        failures.append("kernel parity: top-k tables differ between generations")
-    if buckets["classic"] != buckets["fast"]:
-        failures.append("kernel parity: bucket partitions differ between generations")
-    if not results_identical(results["classic"], results["fast"]):
-        failures.append("kernel parity: formation results differ between generations")
+    reference = tables["classic"]
+    for mode in tables:
+        if mode == "classic":
+            continue
+        if not (
+            np.array_equal(reference[0], tables[mode][0])
+            and np.array_equal(reference[1], tables[mode][1])
+        ):
+            failures.append(f"kernel parity: {mode} top-k tables differ from classic")
+        if buckets["classic"] != buckets[mode]:
+            failures.append(f"kernel parity: {mode} bucket partition differs")
+        if not results_identical(results["classic"], results[mode]):
+            failures.append(f"kernel parity: {mode} formation result differs")
 
     combined = {
         mode: timings[mode]["index_build"] + timings[mode]["bucketing"]
@@ -128,17 +216,54 @@ def main(argv=None) -> int:
     ))
 
     print(f"{instance}")
-    print(f"  index build: classic {timings['classic']['index_build']*1000:8.1f} ms | "
-          f"fast {timings['fast']['index_build']*1000:8.1f} ms | {build_speedup:5.2f}x")
-    print(f"  bucketing:   classic {timings['classic']['bucketing']*1000:8.1f} ms | "
-          f"fast {timings['fast']['bucketing']*1000:8.1f} ms | {bucket_speedup:5.2f}x")
-    print(f"  combined:    classic {combined['classic']*1000:8.1f} ms | "
-          f"fast {combined['fast']*1000:8.1f} ms | {speedup:5.2f}x")
+
+    def stage_line(stage: str, label: str) -> str:
+        cells = [f"classic {timings['classic'][stage]*1000:8.1f} ms",
+                 f"fast {timings['fast'][stage]*1000:8.1f} ms"]
+        if "parallel" in timings:
+            cells.append(f"parallel {timings['parallel'][stage]*1000:8.1f} ms")
+        return f"  {label} " + " | ".join(cells)
+
+    print(stage_line("index_build", "index build:"))
+    print(stage_line("bucketing", "bucketing:  "))
+    print(f"  fast vs classic: build {build_speedup:.2f}x, "
+          f"bucket {bucket_speedup:.2f}x, combined {speedup:.2f}x")
+
+    if parallel_ok:
+        parallel_speedup = combined["fast"] / combined["parallel"]
+        entries.append(bench_entry(
+            instance, combined["parallel"], backend="numpy", store="dense",
+            kernels="parallel", threads=best_threads,
+            stage="index_build+bucketing",
+            speedup=round(combined["classic"] / combined["parallel"], 2),
+            speedup_vs_fast=round(parallel_speedup, 2),
+        ))
+        curve = ", ".join(
+            f"{t}t {(c['index_build'] + c['bucketing'])*1000:.1f} ms"
+            for t, c in sorted(parallel_curve.items())
+        )
+        print(f"  parallel scaling: {curve}")
+        print(f"  parallel vs fast: {parallel_speedup:.2f}x combined "
+              f"(best at {best_threads} threads; "
+              f"{combined['classic'] / combined['parallel']:.2f}x vs classic)")
+        if (
+            args.min_parallel_speedup > 0
+            and parallel_speedup < args.min_parallel_speedup
+        ):
+            failures.append(
+                f"parallel/fast combined speedup {parallel_speedup:.2f}x < "
+                f"required {args.min_parallel_speedup:.2f}x"
+            )
 
     if args.min_speedup > 0 and speedup < args.min_speedup:
         failures.append(
             f"combined kernel speedup {speedup:.2f}x < required "
             f"{args.min_speedup:.2f}x"
+        )
+    if args.min_bucket_speedup > 0 and bucket_speedup < args.min_bucket_speedup:
+        failures.append(
+            f"bucketing-stage speedup {bucket_speedup:.2f}x < required "
+            f"{args.min_bucket_speedup:.2f}x (fused-fingerprint micro gate)"
         )
 
     path = write_bench_json("kernels", entries)

@@ -23,13 +23,15 @@ small scale through both engine backends and fails when
 * (``--cache-dir DIR``) a warm :class:`repro.execution.cache.ArtifactCache`
   run fails to skip TopKIndex construction (verified by the index build
   counter) or the cached, memory-mapped index changes any result; or
-* (``--kernel-gate``) the ``--kernels fast`` generation disagrees with
-  ``classic`` on any formation result (blocking), or — only when
-  ``--min-kernel-speedup`` is positive — the fast kernels' combined index
-  build + bucketing time fails to beat classic by the required factor
-  (non-blocking by default: the honest speedup measurement lives in
-  ``bench_kernels.py`` at the fig4 largest instance; this CI-scale smoke
-  only reports the trend).
+* (``--kernel-gate``) the ``--kernels fast`` or compiled ``parallel``
+  generation disagrees with ``classic`` on any formation result (blocking;
+  the parallel leg is skipped with a note when no C compiler is
+  available), or — only when ``--min-kernel-speedup`` /
+  ``--min-parallel-speedup`` are positive — the fast (vs classic) or
+  parallel (vs fast) combined index build + bucketing time fails to beat
+  its baseline by the required factor (non-blocking by default: the honest
+  speedup measurements live in ``bench_kernels.py`` at the fig4 largest
+  instance; this CI-scale smoke only reports the trend).
 
 ``--service`` additionally runs the online-service bench
 (``bench_service_updates.py``) at a small scale as a **non-blocking trend
@@ -110,15 +112,23 @@ def main(argv=None) -> int:
                         help="also run the online-service bench at small scale "
                              "as a non-blocking trend report")
     parser.add_argument("--kernel-gate", action="store_true", dest="kernel_gate",
-                        help="also gate the --kernels fast generation: "
-                             "formation-result parity with classic (blocking) "
-                             "plus a kernel-stage speedup report")
+                        help="also gate the --kernels fast and parallel "
+                             "generations: formation-result parity with classic "
+                             "(blocking; the parallel leg is skipped with a "
+                             "note when no C compiler is available) plus a "
+                             "kernel-stage speedup report")
     parser.add_argument("--min-kernel-speedup", type=float, default=0.0,
                         dest="min_kernel_speedup",
                         help="required classic/fast combined kernel-stage "
                              "runtime ratio for --kernel-gate (default: 0 = "
                              "parity-only; the >= 2x acceptance floor runs "
                              "through bench_kernels.py at full size)")
+    parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                        dest="min_parallel_speedup",
+                        help="required fast/parallel combined kernel-stage "
+                             "runtime ratio for --kernel-gate (default: 0 = "
+                             "parity-only trend report; the >= 3x acceptance "
+                             "floor runs through bench_kernels.py at full size)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
 
@@ -311,7 +321,16 @@ def main(argv=None) -> int:
             items_table, scores_table = index.top_k(args.k)
             kernels.bucketize(items_table, scores_table, "last")
 
-        for mode in ("classic", "fast"):
+        gate_modes = ["classic", "fast"]
+        if kernels.parallel_available():
+            gate_modes.append("parallel")
+        else:
+            from repro.core import kernels_cc
+
+            reason = kernels_cc.unavailable_reason() or "unknown"
+            print(f"kernels: parallel leg skipped ({reason}); "
+                  f"fast-vs-classic gate still runs")
+        for mode in gate_modes:
             with kernels.use_kernels(mode):
                 stage_seconds[mode], _ = best_seconds(
                     kernel_stages, rounds=args.rounds
@@ -325,29 +344,45 @@ def main(argv=None) -> int:
                 entries.append(bench_entry(
                     f"kernel stages {instance}", stage_seconds[mode], backend="numpy",
                     store="dense", kernels=mode, stage="index_build+bucketing",
+                    threads=(
+                        kernels.get_kernel_threads() if mode == "parallel" else None
+                    ),
                 ))
         kernel_speedup = stage_seconds["classic"] / stage_seconds["fast"]
         status = "ok"
-        for semantics in ("lm", "av"):
-            if not results_identical(
-                kernel_runs["classic"][semantics], kernel_runs["fast"][semantics]
-            ):
-                status = "PARITY MISMATCH"
-                failures.append(
-                    f"kernels: fast generation disagrees with classic "
-                    f"(GRD-{semantics.upper()}-MIN)"
-                )
+        for mode in gate_modes[1:]:
+            for semantics in ("lm", "av"):
+                if not results_identical(
+                    kernel_runs["classic"][semantics], kernel_runs[mode][semantics]
+                ):
+                    status = "PARITY MISMATCH"
+                    failures.append(
+                        f"kernels: {mode} generation disagrees with classic "
+                        f"(GRD-{semantics.upper()}-MIN)"
+                    )
         if status == "ok" and kernel_speedup < args.min_kernel_speedup:
             status = "TOO SLOW"
             failures.append(
                 f"kernels: combined stage speedup {kernel_speedup:.2f}x < "
                 f"required {args.min_kernel_speedup:.2f}x"
             )
+        if "parallel" in stage_seconds:
+            parallel_speedup = stage_seconds["fast"] / stage_seconds["parallel"]
+            if status == "ok" and parallel_speedup < args.min_parallel_speedup:
+                status = "TOO SLOW"
+                failures.append(
+                    f"kernels: parallel/fast stage speedup {parallel_speedup:.2f}x "
+                    f"< required {args.min_parallel_speedup:.2f}x"
+                )
+        cells = [
+            f"classic {stage_seconds['classic'] * 1000:7.1f} ms",
+            f"fast {stage_seconds['fast'] * 1000:7.1f} ms",
+        ]
+        if "parallel" in stage_seconds:
+            cells.append(f"parallel {stage_seconds['parallel'] * 1000:7.1f} ms")
         print(
-            f"kernels ({instance}): "
-            f"classic {stage_seconds['classic'] * 1000:7.1f} ms | "
-            f"fast {stage_seconds['fast'] * 1000:7.1f} ms | "
-            f"speedup {kernel_speedup:5.2f}x | {status}"
+            f"kernels ({instance}): " + " | ".join(cells)
+            + f" | fast speedup {kernel_speedup:5.2f}x | {status}"
         )
 
     path = write_bench_json("regression", entries)

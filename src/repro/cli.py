@@ -40,7 +40,12 @@ from repro.experiments import (
     table3,
     table4,
 )
-from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
+from repro.core.kernels import (
+    DEFAULT_KERNELS,
+    KERNEL_MODES,
+    set_kernel_threads,
+    set_kernels,
+)
 from repro.execution.executor import EXECUTION_MODES
 from repro.experiments.config import (
     BACKENDS,
@@ -110,9 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNEL_MODES),
         help=(
             "ranking/bucketing kernel generation for the hot path: the "
-            "historical argmax-peel + lexsort kernels or the blocked "
-            "partition-select + fingerprint-bucketing overhaul; results are "
-            f"bit-identical (default: {DEFAULT_KERNELS})"
+            "historical argmax-peel + lexsort kernels (classic), the blocked "
+            "partition-select + fused-fingerprint overhaul (fast), or the "
+            "compiled thread-parallel generation (parallel; falls back to "
+            "fast with a warning when no C compiler is available); results "
+            f"are bit-identical (default: {DEFAULT_KERNELS})"
+        ),
+    )
+    parser.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=None,
+        dest="kernel_threads",
+        metavar="T",
+        help=(
+            "thread count for the compiled parallel kernels (default: the "
+            "REPRO_KERNEL_THREADS environment variable, else the CPU count); "
+            "thread count never changes results, only wall-clock time"
         ),
     )
     parser.add_argument(
@@ -274,6 +293,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     backend = normalize_backend(args.backend)
     store = normalize_store(args.store)
     set_kernels(args.kernels)
+    if args.kernel_threads is not None and args.kernel_threads < 1:
+        parser.error("--kernel-threads must be a positive integer")
+    set_kernel_threads(args.kernel_threads)
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be a positive integer")
     if args.execution not in (None, "serial") and (

@@ -18,8 +18,9 @@ The layering inside this subpackage follows the paper:
   (loop-based ``"reference"`` or vectorised ``"numpy"``, bit-identical), with
   a batch API sharing work across configuration sweeps.
 * :mod:`repro.core.kernels` — the low-level ranking/bucketing kernels the
-  vectorised hot path runs on, in two bit-identical generations selectable
-  via ``--kernels {classic,fast}``.
+  vectorised hot path runs on, in three bit-identical generations selectable
+  via ``--kernels {classic,fast,parallel}`` (the compiled ``parallel``
+  generation threads the hot loops and honours ``--kernel-threads``).
 * :mod:`repro.core.formation` — the :func:`~repro.core.formation.form_groups`
   facade dispatching to greedy, baseline and exact algorithms.
 """
@@ -53,8 +54,12 @@ from repro.core.engine import (
 from repro.core.kernels import (
     DEFAULT_KERNELS,
     KERNEL_MODES,
+    get_kernel_threads,
     get_kernels,
+    parallel_available,
+    set_kernel_threads,
     set_kernels,
+    use_kernel_threads,
     use_kernels,
 )
 from repro.core.sharded import ShardedFormation
@@ -122,8 +127,12 @@ __all__ = [
     # kernel layer
     "DEFAULT_KERNELS",
     "KERNEL_MODES",
+    "get_kernel_threads",
     "get_kernels",
+    "parallel_available",
+    "set_kernel_threads",
     "set_kernels",
+    "use_kernel_threads",
     "use_kernels",
     # group recommendation
     "GroupRecommender",

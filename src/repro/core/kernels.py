@@ -18,12 +18,27 @@ in two selectable generations:
     peel while ``k`` is small (each pass then runs over a cache-resident
     block instead of streaming the full matrix from RAM) and a
     partition-select with a deterministic tail re-sort once ``k`` grows —
-    and bucketing hashes each packed key row to a single 64-bit polynomial
-    **fingerprint**, groups by one stable integer argsort, verifies the
-    groups against the exact keys, and falls back to the classic lexsort
-    only when a fingerprint collision is detected.
+    and bucketing hashes each bucket key to a single 64-bit polynomial
+    **fingerprint** (computed in one fused pass over the top-k tables,
+    without materialising the packed key matrix), groups by one stable
+    integer argsort, verifies the groups against the exact keys, and
+    falls back to the classic lexsort only when a fingerprint collision
+    is detected.
+``"parallel"``
+    Generation 3: the same two hot loops lowered into a small C library
+    compiled on first use with the system compiler and threaded over
+    per-call POSIX threads (:mod:`repro.core.kernels_cc`).  The per-row
+    top-k selection
+    keeps the deterministic lowest-index boundary-tie resolution in C,
+    and the fused pack+fingerprint pass emits the exact fingerprints of
+    the fast generation.  Rows are independent, so results are
+    bit-identical for **every** thread count (:func:`set_kernel_threads`
+    / ``REPRO_KERNEL_THREADS``).  When no C compiler is available the
+    generation falls back to ``fast`` with a single warning; the
+    collision-checked lexsort fallback of the bucketing path always
+    stays in Python, so exactness never depends on compiled code.
 
-Both generations are **bit-identical** by construction and by test
+All generations are **bit-identical** by construction and by test
 (``tests/core/test_kernels.py``): the top-k kernels reproduce the
 library-wide tie-break (rating descending, item index ascending) exactly,
 and the bucketing kernels produce the same partition of users with the same
@@ -33,10 +48,16 @@ depends on: greedy selection totally orders buckets by ``(score,
 representative)`` and member/remaining lists are user-ordered.
 
 The active generation is a process-wide switch (:func:`set_kernels` /
-:func:`use_kernels`), threaded through the ``--kernels {classic,fast}``
-CLI flag and shipped to executor worker processes with each task.
+:func:`use_kernels`), threaded through the ``--kernels
+{classic,fast,parallel}`` CLI flag and shipped to executor worker
+processes with each task, alongside the kernel thread count
+(:func:`set_kernel_threads`, the ``--kernel-threads`` flag and the
+``REPRO_KERNEL_THREADS`` environment variable).
 :data:`KERNEL_GENERATION` feeds the artifact-cache key so artifacts
-persisted by older kernel generations are invalidated rather than mixed.
+persisted by older kernel generations are invalidated rather than mixed;
+the ``parallel`` generation shares generation 2's artifact layout and
+bytes, so its artifacts are interchangeable with ``fast``'s and no bump
+is needed.
 
 Inputs are assumed NaN-free (every rating store validates completeness);
 ``±inf`` is handled exactly by the partition-select path, which is why the
@@ -46,7 +67,9 @@ pick an algorithm.
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
 
@@ -58,21 +81,30 @@ __all__ = [
     "DEFAULT_KERNELS",
     "KERNEL_GENERATION",
     "KERNEL_MODES",
+    "KERNEL_THREADS_ENV",
     "bucket_reduce",
     "bucketize",
     "clear_scratch",
     "fingerprint_rows",
     "float_to_ordinal",
+    "fused_fingerprint_rows",
+    "get_kernel_threads",
     "get_kernels",
     "group_key_rows",
     "pack_key_rows",
+    "parallel_available",
+    "set_kernel_threads",
     "set_kernels",
     "top_k_table",
+    "use_kernel_threads",
     "use_kernels",
 ]
 
 #: Kernel generations selectable via ``--kernels``.
-KERNEL_MODES: tuple[str, ...] = ("classic", "fast")
+KERNEL_MODES: tuple[str, ...] = ("classic", "fast", "parallel")
+
+#: Environment variable supplying the default kernel thread count.
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
 
 #: Generation used when none is requested explicitly.
 DEFAULT_KERNELS = "fast"
@@ -81,11 +113,19 @@ DEFAULT_KERNELS = "fast"
 #: in a way that alters *persisted artifact layout or provenance* (e.g. the
 #: packed-key encoding), so :class:`~repro.execution.cache.ArtifactCache`
 #: entries written by older kernels are invalidated instead of silently
-#: mixed with new ones.
+#: mixed with new ones.  The ``parallel`` generation is bit-identical to
+#: generation 2 and shares its artifact layout, so it deliberately does
+#: not bump this value: its artifacts are interchangeable with ``fast``'s.
 KERNEL_GENERATION = 2
 
 _active = DEFAULT_KERNELS
 _scratch = threading.local()
+
+#: Explicit kernel thread count (``None`` = auto: the
+#: :data:`KERNEL_THREADS_ENV` environment variable, else the CPU count).
+_threads: int | None = None
+
+_fallback_warned = False
 
 #: Peak bytes of the reusable float64 scratch block (per thread); the fast
 #: top-k kernel sizes its row blocks so one block fits in cache and the
@@ -98,29 +138,65 @@ _MIN_BLOCK_ROWS = 64
 _FINGERPRINT_MULTIPLIER = 0x9E3779B97F4A7C15
 
 
+def _load_parallel():
+    """The compiled backend, or ``None`` when it cannot be built/loaded."""
+    from repro.core import kernels_cc
+
+    return kernels_cc.load_compiled()
+
+
+def parallel_available() -> bool:
+    """Whether the compiled ``parallel`` generation can run in this process.
+
+    Building/loading the compiled library happens (once) on the first
+    call; a box without a C compiler — or with the backend disabled via
+    ``REPRO_KERNEL_CC=none`` — reports ``False`` and the ``parallel``
+    generation falls back to ``fast``.
+    """
+    return _load_parallel() is not None
+
+
 def get_kernels() -> str:
-    """The active kernel generation (``"classic"`` or ``"fast"``)."""
+    """The active kernel generation (``"classic"``, ``"fast"`` or ``"parallel"``)."""
     return _active
 
 
 def set_kernels(name: str) -> str:
     """Select the active kernel generation process-wide.
 
+    Requesting ``"parallel"`` when the compiled backend is unavailable
+    (no C compiler, or disabled via ``REPRO_KERNEL_CC``) activates
+    ``"fast"`` instead and emits a single :class:`RuntimeWarning` per
+    process — results are bit-identical either way, only speed differs.
+
     Parameters
     ----------
     name:
-        ``"classic"`` or ``"fast"``.
+        ``"classic"``, ``"fast"`` or ``"parallel"``.
 
     Returns
     -------
     str
         The previously active generation (so callers can restore it).
     """
-    global _active
+    global _active, _fallback_warned
     key = str(name).strip().lower()
     if key not in KERNEL_MODES:
         known = ", ".join(KERNEL_MODES)
         raise ValueError(f"unknown kernel generation {name!r}; expected one of: {known}")
+    if key == "parallel" and _load_parallel() is None:
+        if not _fallback_warned:
+            from repro.core import kernels_cc
+
+            reason = kernels_cc.unavailable_reason() or "compiled backend unavailable"
+            warnings.warn(
+                f"parallel kernels unavailable ({reason}); falling back to the "
+                f"bit-identical 'fast' generation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _fallback_warned = True
+        key = "fast"
     previous = _active
     _active = key
     return previous
@@ -133,14 +209,77 @@ def use_kernels(name: str) -> Iterator[str]:
     Parameters
     ----------
     name:
-        ``"classic"`` or ``"fast"``; the previous generation is restored on
-        exit.
+        ``"classic"``, ``"fast"`` or ``"parallel"``; the previous
+        generation is restored on exit.
     """
     previous = set_kernels(name)
     try:
         yield _active
     finally:
         set_kernels(previous)
+
+
+def get_kernel_threads() -> int:
+    """The kernel thread count compiled kernels run with (always >= 1).
+
+    Resolution order: an explicit :func:`set_kernel_threads` value, the
+    :data:`KERNEL_THREADS_ENV` environment variable, then the CPU count.
+    Thread count never affects results — the compiled kernels are
+    row-independent — only wall-clock time.
+    """
+    if _threads is not None:
+        return _threads
+    env = os.environ.get(KERNEL_THREADS_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return os.cpu_count() or 1
+
+
+def set_kernel_threads(n: int | None) -> int | None:
+    """Set the kernel thread count process-wide.
+
+    Parameters
+    ----------
+    n:
+        Thread count (>= 1), or ``None`` to restore the automatic
+        default (environment variable, then CPU count).
+
+    Returns
+    -------
+    int or None
+        The previous explicit setting (``None`` when it was automatic),
+        so callers can restore it.
+    """
+    global _threads
+    if n is not None:
+        n = int(n)
+        if n < 1:
+            raise ValueError(f"kernel thread count must be >= 1, got {n}")
+    previous = _threads
+    _threads = n
+    return previous
+
+
+@contextmanager
+def use_kernel_threads(n: int | None) -> Iterator[int]:
+    """Context manager: run a block with the given kernel thread count.
+
+    Parameters
+    ----------
+    n:
+        Thread count (>= 1) or ``None`` for automatic; the previous
+        setting is restored on exit.
+    """
+    previous = set_kernel_threads(n)
+    try:
+        yield get_kernel_threads()
+    finally:
+        set_kernel_threads(previous)
 
 
 def clear_scratch() -> None:
@@ -315,7 +454,7 @@ def top_k_table(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-user top-``k`` items and ratings under the active kernel generation.
 
-    Both generations implement the library tie-break (rating descending,
+    Every generation implements the library tie-break (rating descending,
     item index ascending) bit for bit; only speed and peak memory differ.
     Validation (2-D shape, ``1 <= k <= n_items``, no NaN) is the caller's
     responsibility, matching the internal kernels this function fronts.
@@ -330,7 +469,8 @@ def top_k_table(
         Promise that ``values`` contains no ``-inf``; lets the classic
         dispatch skip its sentinel scan (the fast path handles ``±inf``
         exactly either way, but an explicit ``-inf`` would collide with the
-        classic peel's mask sentinel).
+        classic peel's mask sentinel; the parallel kernel's comparison-based
+        selection needs no sentinel at all, so it skips the scan too).
 
     Returns
     -------
@@ -340,6 +480,10 @@ def top_k_table(
     values = np.asarray(values, dtype=np.float64)
     if _active == "classic":
         return _top_k_table_dispatch(values, k, assume_finite=assume_finite)
+    if _active == "parallel":
+        backend = _load_parallel()
+        if backend is not None:
+            return backend.top_k(values, k, get_kernel_threads())
     if not assume_finite and np.isneginf(values).any():
         # The peel branch masks with -inf; the classic contract handles
         # explicit -inf ratings through the full stable sort.
@@ -405,13 +549,88 @@ def fingerprint_rows(packed: np.ndarray) -> np.ndarray:
     packed:
         ``(n_rows, width)`` ``uint64`` key matrix from :func:`pack_key_rows`.
     """
-    width = packed.shape[1]
+    if _active == "parallel":
+        backend = _load_parallel()
+        if backend is not None:
+            return backend.fingerprint_packed(packed, get_kernel_threads())
+    return (packed * _fingerprint_weights(packed.shape[1])).sum(axis=1, dtype=np.uint64)
+
+
+def _fingerprint_weights(width: int) -> np.ndarray:
+    """``w[j] = R^(j+1)`` in wrapping uint64 arithmetic, ``R`` the multiplier."""
     weights = np.empty(width, dtype=np.uint64)
     acc = 1
     for j in range(width):
         acc = (acc * _FINGERPRINT_MULTIPLIER) & 0xFFFFFFFFFFFFFFFF
         weights[j] = acc
-    return (packed * weights).sum(axis=1, dtype=np.uint64)
+    return weights
+
+
+def _key_score_columns(k: int, key_scores: str) -> tuple[int, ...]:
+    """Which ``scores_table`` columns join the bucket key for ``key_scores``."""
+    if key_scores == "none":
+        return ()
+    if key_scores == "first":
+        return (0,)
+    if key_scores == "last":
+        return (k - 1,)
+    return tuple(range(k))
+
+
+def fused_fingerprint_rows(
+    items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+) -> np.ndarray:
+    """Bucket-key fingerprints in one fused pass over the top-k tables.
+
+    Word-for-word identical to
+    ``fingerprint_rows(pack_key_rows(items_table, scores_table,
+    key_scores))`` — same weights, same wrapping arithmetic — but the
+    packed key matrix is never materialised: the ``parallel`` generation
+    computes each row's fingerprint in one compiled threaded pass, and
+    ``fast``/``classic`` generations accumulate column products over
+    reusable scratch (the packing, ordinal-transform and product
+    temporaries that used to eat the fingerprint win at fig4 scale are
+    all gone).
+
+    Parameters
+    ----------
+    items_table, scores_table:
+        The ``(n_users, k)`` ranked top-k tables.
+    key_scores:
+        Which score columns join the key (``"none"`` / ``"first"`` /
+        ``"last"`` / ``"all"``).
+    """
+    if _active == "parallel":
+        backend = _load_parallel()
+        if backend is not None:
+            return backend.fused_fingerprint(
+                items_table, scores_table, key_scores, get_kernel_threads()
+            )
+    n_users, k = items_table.shape
+    cols = _key_score_columns(k, key_scores)
+    weights = _fingerprint_weights(k + len(cols))
+    out = np.zeros(n_users, dtype=np.uint64)
+    tmp = _scratch_array("fp_tmp", (n_users,), np.uint64)
+    items_bits = np.ascontiguousarray(items_table, dtype=np.int64).view(np.uint64)
+    for j in range(k):
+        np.multiply(items_bits[:, j], weights[j], out=tmp)
+        out += tmp
+    if cols:
+        score_bits = np.ascontiguousarray(scores_table, dtype=np.float64).view(np.uint64)
+        ordinal = _scratch_array("fp_ordinal", (n_users,), np.uint64)
+        sign = np.uint64(1) << np.uint64(63)
+        for t, j in enumerate(cols):
+            bits = score_bits[:, j]
+            # In-place float_to_ordinal: xor with the all-ones mask for
+            # negative bit patterns (arithmetic shift of the sign bit) or
+            # with just the sign bit for non-negative ones.
+            np.right_shift(bits.view(np.int64), np.int64(63), out=ordinal.view(np.int64))
+            np.right_shift(ordinal, np.uint64(1), out=ordinal)
+            np.bitwise_or(ordinal, sign, out=ordinal)
+            np.bitwise_xor(ordinal, bits, out=ordinal)
+            np.multiply(ordinal, weights[k + t], out=tmp)
+            out += tmp
+    return out
 
 
 def _group_rows_lexsort(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -455,6 +674,86 @@ def _group_rows_fingerprint(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]
             )
         if collision.any():
             return _group_rows_lexsort(packed)
+    return order, new_segment
+
+
+def _table_rows_differ(
+    items_table: np.ndarray,
+    scores_table: np.ndarray,
+    cols: tuple[int, ...],
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+) -> np.ndarray:
+    """Whether each ``(rows_a[i], rows_b[i])`` pair has unequal bucket keys.
+
+    The exact-key comparison of the fused bucketing path: item columns
+    compare as integers, score columns compare as IEEE-754 **bit
+    patterns** (the same equality the ordinal transform implements), so
+    this is precisely packed-key inequality without building packed keys.
+
+    Parameters
+    ----------
+    items_table, scores_table:
+        The ``(n_users, k)`` ranked top-k tables.
+    cols:
+        Score columns participating in the key.
+    rows_a, rows_b:
+        Equal-length arrays of row indices to compare pairwise.
+    """
+    differ = np.any(items_table[rows_a] != items_table[rows_b], axis=1)
+    if cols:
+        cols_list = list(cols)
+        bits_a = np.ascontiguousarray(
+            scores_table[rows_a][:, cols_list], dtype=np.float64
+        ).view(np.uint64)
+        bits_b = np.ascontiguousarray(
+            scores_table[rows_b][:, cols_list], dtype=np.float64
+        ).view(np.uint64)
+        differ |= np.any(bits_a != bits_b, axis=1)
+    return differ
+
+
+def _group_tables_fused(
+    items_table: np.ndarray, scores_table: np.ndarray, key_scores: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fingerprint grouping straight from the top-k tables (fused pass).
+
+    The ``fast``/``parallel`` bucketing hot path: fingerprints come from
+    :func:`fused_fingerprint_rows` (no packed keys materialised), the
+    stable argsort and collision verification mirror the packed-key
+    grouping, and the packed matrix is only ever built when verification
+    goes dense (many duplicate keys — one contiguous gather beats
+    pairwise fancy indexing) or an actual collision forces the exact
+    lexsort fallback, which always runs in Python.
+    """
+    n_rows = items_table.shape[0]
+    fingerprints = fused_fingerprint_rows(items_table, scores_table, key_scores)
+    order = np.argsort(fingerprints, kind="stable")
+    sorted_fp = fingerprints[order]
+    same_fp = sorted_fp[1:] == sorted_fp[:-1]
+    new_segment = np.empty(n_rows, dtype=bool)
+    new_segment[0] = True
+    np.logical_not(same_fp, out=new_segment[1:])
+    suspects = np.flatnonzero(same_fp) + 1
+    if suspects.size:
+        if suspects.size * 4 >= n_rows:
+            # Dense buckets: one contiguous gather + adjacent compare is
+            # cheaper than two fancy-indexed subset gathers.
+            packed = pack_key_rows(items_table, scores_table, key_scores)
+            srt = packed[order]
+            collision = np.any(srt[1:] != srt[:-1], axis=1)[suspects - 1]
+        else:
+            collision = _table_rows_differ(
+                items_table,
+                scores_table,
+                _key_score_columns(items_table.shape[1], key_scores),
+                order[suspects],
+                order[suspects - 1],
+            )
+        if collision.any():
+            return _group_rows_lexsort(
+                pack_key_rows(items_table, scores_table, key_scores)
+            )
     return order, new_segment
 
 
@@ -506,12 +805,19 @@ def bucketize(
         lists all users with buckets contiguous and members ascending;
         ``starts`` holds each bucket's first position in ``sorted_users``.
     """
-    packed = pack_key_rows(items_table, scores_table, key_scores)
-    n_users = packed.shape[0]
+    n_users = items_table.shape[0]
     if n_users == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, empty
-    sorted_users, new_segment = group_key_rows(packed)
+    if _active == "classic":
+        packed = pack_key_rows(items_table, scores_table, key_scores)
+        sorted_users, new_segment = _group_rows_lexsort(packed)
+    else:
+        # fast/parallel: fused fingerprints straight off the tables — the
+        # packed key matrix never materialises unless verification needs it.
+        sorted_users, new_segment = _group_tables_fused(
+            items_table, scores_table, key_scores
+        )
     starts = np.flatnonzero(new_segment)
     inverse = np.empty(n_users, dtype=np.int64)
     inverse[sorted_users] = np.cumsum(new_segment) - 1

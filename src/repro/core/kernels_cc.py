@@ -1,0 +1,622 @@
+"""Build and load the compiled (generation-3) kernel library.
+
+The ``parallel`` kernel generation of :mod:`repro.core.kernels` runs its
+two hot loops — the per-row top-k selection and the fused
+pack+fingerprint pass — in a small C library compiled **on first use**
+with the system C compiler and loaded through :mod:`ctypes`.  A compiled
+extension was chosen over numba because it adds **zero** Python
+dependencies: any box with ``cc`` (every CI runner, most dev machines)
+gets threaded compiled kernels, and a box without one falls back to the
+``fast`` generation with a single warning (see
+:func:`repro.core.kernels.set_kernels`).
+
+Design constraints the C source honours:
+
+* **Bit-identical results.**  The kernels perform no floating-point
+  arithmetic — only IEEE-754 comparisons, bit reinterpretation and
+  wrapping ``uint64`` integer arithmetic — so no compiler flag, FMA
+  contraction or vectorisation choice can change a result.  The top-k
+  selection reproduces the library tie-break (rating descending, item
+  index ascending; ``-0.0 == +0.0`` under comparison, resolved by index)
+  and the fingerprints are word-for-word the polynomial of
+  :func:`repro.core.kernels.fingerprint_rows`.
+* **Thread-count independence.**  Rows are independent and the driver
+  only partitions the row loop into contiguous chunks (a deterministic
+  function of ``(n_rows, n_threads)``), so any thread count produces the
+  same bytes.
+* **Fork safety.**  Threads are plain POSIX threads created per call and
+  joined before the call returns — no persistent pool and no runtime
+  state that survives a ``fork()``.  OpenMP was deliberately avoided:
+  libgomp deadlocks in a process-pool worker forked after the parent ran
+  a parallel region, and the execution plane forks workers routinely.
+* **Graceful degradation.**  If ``cc -pthread`` fails the build retries
+  without the flag; if no compiler works, :func:`load_compiled` reports
+  the reason and the caller falls back to the ``fast`` generation.
+
+Compiled libraries are cached by source hash under
+``$REPRO_KERNEL_CACHE`` (default: ``~/.cache/repro-kernels``), so a
+process pays the ~1 s compile at most once per source revision per
+machine.  Set ``REPRO_KERNEL_CC`` to a compiler executable to override
+discovery, or to ``none``/``off``/``0`` to disable the compiled backend
+entirely (CI uses this to exercise the fallback leg).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CompiledKernels", "load_compiled", "unavailable_reason"]
+
+#: Environment variable naming the C compiler (or disabling the backend).
+CC_ENV = "REPRO_KERNEL_CC"
+
+#: Environment variable overriding the compiled-library cache directory.
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+_DISABLE_VALUES = {"none", "off", "0", "disabled"}
+
+_SOURCE = r"""
+#include <pthread.h>
+#include <stdint.h>
+#include <string.h>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+/* 2^64 / golden ratio — must match repro.core.kernels._FINGERPRINT_MULTIPLIER. */
+#define FP_MULT 0x9E3779B97F4A7C15ULL
+
+/* ------------------------------------------------------------------ */
+/* Row-parallel driver: contiguous chunks over per-call POSIX threads.
+ *
+ * Threads are created per call and joined before returning — no
+ * persistent pool and no runtime state that survives the call.  This is
+ * deliberate: the execution plane forks worker processes, and OpenMP
+ * runtimes (libgomp) deadlock in children forked after the parent ran a
+ * parallel region.  Fresh pthreads per call are fork-safe, and the
+ * per-call cost (tens of microseconds) is noise against the
+ * multi-millisecond row loops this library exists for.
+ *
+ * Rows are independent and chunks are a deterministic function of
+ * (n_rows, n_threads) only, so every thread count produces identical
+ * bytes.  If pthread_create fails the chunk runs inline instead.      */
+
+typedef void (*row_range_fn)(void *ctx, int64_t start, int64_t stop);
+
+typedef struct {
+    row_range_fn fn;
+    void *ctx;
+    int64_t start, stop;
+} chunk_task;
+
+static void *chunk_thread(void *arg)
+{
+    chunk_task *task = (chunk_task *)arg;
+    task->fn(task->ctx, task->start, task->stop);
+    return NULL;
+}
+
+#define MAX_THREADS 128
+
+static void run_rows(row_range_fn fn, void *ctx, int64_t n_rows,
+                     int32_t n_threads)
+{
+    if (n_threads > MAX_THREADS)
+        n_threads = MAX_THREADS;
+    if ((int64_t)n_threads > n_rows)
+        n_threads = (int32_t)n_rows;
+    if (n_threads < 2) {
+        fn(ctx, 0, n_rows);
+        return;
+    }
+    pthread_t tids[MAX_THREADS];
+    chunk_task tasks[MAX_THREADS];
+    int started[MAX_THREADS];
+    for (int32_t i = 0; i < n_threads; ++i) {
+        tasks[i].fn = fn;
+        tasks[i].ctx = ctx;
+        tasks[i].start = n_rows * i / n_threads;
+        tasks[i].stop = n_rows * (i + 1) / n_threads;
+    }
+    for (int32_t i = 1; i < n_threads; ++i)
+        started[i] = pthread_create(&tids[i], NULL, chunk_thread, &tasks[i]) == 0;
+    for (int32_t i = 1; i < n_threads; ++i)
+        if (!started[i])
+            chunk_thread(&tasks[i]);
+    chunk_thread(&tasks[0]);
+    for (int32_t i = 1; i < n_threads; ++i)
+        if (started[i])
+            pthread_join(tids[i], NULL);
+}
+
+/* Top-k of one row under the library tie-break: rating descending, item
+ * index ascending.  The output buffer is kept sorted by (value desc,
+ * index asc); a new item is inserted after every incumbent with an equal
+ * or greater value, so equal values keep ascending index order and the
+ * boundary tie resolves to the lowest indices.  Comparisons treat
+ * -0.0 == +0.0 (resolved by index) and handle +-inf exactly, matching
+ * the numpy generations; NaN input is excluded by store validation.
+ */
+static void topk_insert(double v, int64_t idx, int64_t k,
+                        int64_t *items_out, double *values_out)
+{
+    int64_t p = k - 1;
+    while (p > 0 && values_out[p - 1] < v)
+        --p;
+    /* shift [p, k-2] one slot right, dropping the old last slot */
+    if (k - 1 - p > 0) {
+        memmove(&values_out[p + 1], &values_out[p],
+                (size_t)(k - 1 - p) * sizeof(double));
+        memmove(&items_out[p + 1], &items_out[p],
+                (size_t)(k - 1 - p) * sizeof(int64_t));
+    }
+    values_out[p] = v;
+    items_out[p] = idx;
+}
+
+static void topk_one_row(const double *row, int64_t n_items, int64_t k,
+                         int64_t *items_out, double *values_out)
+{
+    /* Fill phase: the first min(k, n_items) items, kept sorted. */
+    int64_t fill = k < n_items ? k : n_items;
+    int64_t j = 0;
+    for (; j < fill; ++j) {
+        double v = row[j];
+        int64_t p = j;
+        while (p > 0 && values_out[p - 1] < v)
+            --p;
+        if (j - p > 0) {
+            memmove(&values_out[p + 1], &values_out[p],
+                    (size_t)(j - p) * sizeof(double));
+            memmove(&items_out[p + 1], &items_out[p],
+                    (size_t)(j - p) * sizeof(int64_t));
+        }
+        values_out[p] = v;
+        items_out[p] = j;
+    }
+    if (j >= n_items)
+        return;
+    /* Scan phase.  `worst` mirrors values_out[k-1] in a register; an item
+     * enters the buffer only when strictly greater (boundary ties keep the
+     * incumbent lower indices).  Blocks where nothing beats `worst` are
+     * skipped via a branchless compare-reduction the compiler can
+     * vectorise; skipped elements are exactly the ones the element-wise
+     * loop would reject, so blocking cannot change the result. */
+    double worst = values_out[k - 1];
+    enum { BLK = 32 };
+#if defined(__SSE2__)
+    /* CMPPD(GT) is the same IEEE-754 ordered comparison as the scalar
+     * `>` (NaN compares false either way), so the vector screen rejects
+     * exactly the elements the scalar loop would. */
+    __m128d vworst = _mm_set1_pd(worst);
+    for (; j + BLK <= n_items; j += BLK) {
+        __m128d hits = _mm_setzero_pd();
+        for (int b = 0; b < BLK; b += 2)
+            hits = _mm_or_pd(
+                hits, _mm_cmpgt_pd(_mm_loadu_pd(row + j + b), vworst));
+        if (!_mm_movemask_pd(hits))
+            continue;
+        for (int b = 0; b < BLK; ++b) {
+            double v = row[j + b];
+            if (!(v > worst))
+                continue;
+            topk_insert(v, j + b, k, items_out, values_out);
+            worst = values_out[k - 1];
+        }
+        vworst = _mm_set1_pd(worst);
+    }
+#else
+    for (; j + BLK <= n_items; j += BLK) {
+        int any = 0;
+        for (int b = 0; b < BLK; ++b)
+            any |= (row[j + b] > worst);
+        if (!any)
+            continue;
+        for (int b = 0; b < BLK; ++b) {
+            double v = row[j + b];
+            if (!(v > worst))
+                continue;
+            topk_insert(v, j + b, k, items_out, values_out);
+            worst = values_out[k - 1];
+        }
+    }
+#endif
+    for (; j < n_items; ++j) {
+        double v = row[j];
+        if (!(v > worst))
+            continue;
+        topk_insert(v, j, k, items_out, values_out);
+        worst = values_out[k - 1];
+    }
+}
+
+typedef struct {
+    const double *values;
+    int64_t n_items, k;
+    int64_t *items_out;
+    double *values_out;
+} topk_ctx;
+
+static void topk_range(void *vctx, int64_t start, int64_t stop)
+{
+    topk_ctx *c = (topk_ctx *)vctx;
+    for (int64_t r = start; r < stop; ++r)
+        topk_one_row(c->values + r * c->n_items, c->n_items, c->k,
+                     c->items_out + r * c->k, c->values_out + r * c->k);
+}
+
+void repro_topk_rows(const double *values, int64_t n_users, int64_t n_items,
+                     int64_t k, int64_t *items_out, double *values_out,
+                     int32_t n_threads)
+{
+    topk_ctx ctx = {values, n_items, k, items_out, values_out};
+    run_rows(topk_range, &ctx, n_users, n_threads);
+}
+
+/* The monotone sign-flip bijection of repro.core.kernels.float_to_ordinal. */
+static inline uint64_t float_ordinal(double v)
+{
+    uint64_t u;
+    memcpy(&u, &v, sizeof u);
+    return (u >> 63) ? ~u : (u | 0x8000000000000000ULL);
+}
+
+/* Fused pack_key_rows + fingerprint_rows: one pass over the top-k tables
+ * producing each row's polynomial fingerprint without materialising the
+ * packed key matrix.  score_mode: 0 = none, 1 = first, 2 = last, 3 = all
+ * (the key_scores vocabulary of repro.core.kernels.pack_key_rows).  The
+ * weights array has k + n_score_cols entries, w[j] = FP_MULT^(j+1).
+ */
+typedef struct {
+    const int64_t *items;
+    const double *scores;
+    int64_t k, items_stride, scores_stride;
+    int32_t score_mode;
+    const uint64_t *weights;
+    uint64_t *out;
+} fused_ctx;
+
+static void fused_range(void *vctx, int64_t start, int64_t stop)
+{
+    fused_ctx *c = (fused_ctx *)vctx;
+    for (int64_t r = start; r < stop; ++r) {
+        const int64_t *it = c->items + r * c->items_stride;
+        const double *sc = c->scores + r * c->scores_stride;
+        uint64_t fp = 0;
+        for (int64_t j = 0; j < c->k; ++j)
+            fp += (uint64_t)it[j] * c->weights[j];
+        if (c->score_mode == 1)
+            fp += float_ordinal(sc[0]) * c->weights[c->k];
+        else if (c->score_mode == 2)
+            fp += float_ordinal(sc[c->k - 1]) * c->weights[c->k];
+        else if (c->score_mode == 3)
+            for (int64_t j = 0; j < c->k; ++j)
+                fp += float_ordinal(sc[j]) * c->weights[c->k + j];
+        c->out[r] = fp;
+    }
+}
+
+/* Row strides are element counts, so column-sliced (row-strided) top-k
+ * tables fingerprint in place without a contiguous copy. */
+void repro_fused_fingerprint(const int64_t *items, int64_t items_stride,
+                             const double *scores, int64_t scores_stride,
+                             int64_t n_rows, int64_t k, int32_t score_mode,
+                             const uint64_t *weights, uint64_t *out,
+                             int32_t n_threads)
+{
+    fused_ctx ctx = {items, scores, k, items_stride, scores_stride,
+                     score_mode, weights, out};
+    run_rows(fused_range, &ctx, n_rows, n_threads);
+}
+
+/* Row fingerprints of an already-packed uint64 key matrix (the sharded
+ * merge path), identical to repro.core.kernels.fingerprint_rows. */
+typedef struct {
+    const uint64_t *packed;
+    int64_t width;
+    uint64_t *out;
+} packed_ctx;
+
+static void packed_range(void *vctx, int64_t start, int64_t stop)
+{
+    packed_ctx *c = (packed_ctx *)vctx;
+    for (int64_t r = start; r < stop; ++r) {
+        const uint64_t *row = c->packed + r * c->width;
+        uint64_t fp = 0;
+        uint64_t w = 1;
+        for (int64_t j = 0; j < c->width; ++j) {
+            w *= FP_MULT;
+            fp += row[j] * w;
+        }
+        c->out[r] = fp;
+    }
+}
+
+void repro_fingerprint_packed(const uint64_t *packed, int64_t n_rows,
+                              int64_t width, uint64_t *out, int32_t n_threads)
+{
+    packed_ctx ctx = {packed, width, out};
+    run_rows(packed_range, &ctx, n_rows, n_threads);
+}
+"""
+
+_SCORE_MODES = {"none": 0, "first": 1, "last": 2, "all": 3}
+
+_backend: "CompiledKernels | None" = None
+_load_attempted = False
+_unavailable_reason: str | None = None
+
+
+def _cache_dir() -> Path:
+    """The directory compiled libraries are cached in (created on demand)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    """The C compiler to use, or ``None`` when disabled/not found."""
+    requested = os.environ.get(CC_ENV)
+    if requested is not None:
+        if requested.strip().lower() in _DISABLE_VALUES:
+            return None
+        return shutil.which(requested)
+    for candidate in ("cc", "gcc", "clang"):
+        found = shutil.which(candidate)
+        if found:
+            return found
+    return None
+
+
+def _compile(compiler: str, destination: Path) -> None:
+    """Compile the kernel source to ``destination``.
+
+    The build lands in a temporary file first and is moved into place
+    atomically, so concurrent processes racing on a cold cache each see
+    either nothing or a complete library.
+
+    Parameters
+    ----------
+    compiler:
+        Path to the C compiler executable.
+    destination:
+        Final ``.so`` path inside the cache directory.
+
+    Raises
+    ------
+    RuntimeError
+        When both the ``-pthread`` and the flag-free builds fail.
+    """
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=destination.parent) as workdir:
+        source_path = Path(workdir) / "repro_kernels.c"
+        source_path.write_text(_SOURCE, encoding="utf-8")
+        built = Path(workdir) / destination.name
+        base_cmd = [compiler, "-O3", "-fPIC", "-shared",
+                    str(source_path), "-o", str(built)]
+        errors = []
+        for extra in (["-pthread"], []):
+            proc = subprocess.run(
+                base_cmd[:1] + extra + base_cmd[1:],
+                capture_output=True, text=True, timeout=120,
+            )
+            if proc.returncode == 0:
+                os.replace(built, destination)
+                return
+            errors.append(proc.stderr.strip().splitlines()[-1] if proc.stderr else
+                          f"exit status {proc.returncode}")
+        raise RuntimeError(f"compilation failed: {'; '.join(errors)}")
+
+
+class CompiledKernels:
+    """ctypes facade over the compiled kernel library.
+
+    Wrapper methods validate/coerce array layouts once and hand raw
+    pointers to C; the ctypes calls release the GIL, so the library's
+    worker threads and any Python-side threads genuinely overlap.
+
+    Parameters
+    ----------
+    library:
+        The loaded :class:`ctypes.CDLL`.
+    """
+
+    def __init__(self, library: ctypes.CDLL) -> None:
+        self._lib = library
+        i64, u64, f64, i32 = (ctypes.c_int64, ctypes.c_uint64,
+                              ctypes.c_double, ctypes.c_int32)
+        p = ctypes.POINTER
+        library.repro_topk_rows.restype = None
+        library.repro_topk_rows.argtypes = [
+            p(f64), i64, i64, i64, p(i64), p(f64), i32,
+        ]
+        library.repro_fused_fingerprint.restype = None
+        library.repro_fused_fingerprint.argtypes = [
+            p(i64), i64, p(f64), i64, i64, i64, i32, p(u64), p(u64), i32,
+        ]
+        library.repro_fingerprint_packed.restype = None
+        library.repro_fingerprint_packed.argtypes = [
+            p(u64), i64, i64, p(u64), i32,
+        ]
+
+    @staticmethod
+    def _row_view(array: np.ndarray, dtype: type) -> tuple[np.ndarray, int]:
+        """``(array, row stride in elements)`` for the C row loops.
+
+        Column slices of the top-k tables (``table[:, :k]``) are
+        row-strided but contiguous within each row, which the C kernels
+        address directly — only genuinely scattered layouts pay a
+        contiguous copy.
+        """
+        array = np.asarray(array, dtype=dtype)
+        itemsize = array.dtype.itemsize
+        if (
+            array.ndim == 2
+            and array.size
+            and array.strides[1] == itemsize
+            and array.strides[0] >= array.shape[1] * itemsize
+            and array.strides[0] % itemsize == 0
+        ):
+            return array, array.strides[0] // itemsize
+        array = np.ascontiguousarray(array)
+        return array, array.shape[1] if array.ndim == 2 else 0
+
+    @staticmethod
+    def _weights(width: int) -> np.ndarray:
+        """``w[j] = R^(j+1)`` in wrapping uint64 arithmetic (matches Python)."""
+        weights = np.empty(width, dtype=np.uint64)
+        acc = 1
+        for j in range(width):
+            acc = (acc * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            weights[j] = acc
+        return weights
+
+    def top_k(
+        self, values: np.ndarray, k: int, n_threads: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row top-``k`` of a complete float64 matrix, threaded over rows.
+
+        Parameters
+        ----------
+        values:
+            ``(n_users, n_items)`` NaN-free rating matrix.
+        k:
+            Top-k prefix length (``1 <= k <= n_items``).
+        n_threads:
+            Thread count for the row loop (results are identical
+            for every value).
+
+        Returns
+        -------
+        (items, values):
+            ``(n_users, k)`` int64 item table and float64 rating table,
+            bit-identical to the ``classic``/``fast`` generations.
+        """
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        n_users, n_items = values.shape
+        items_out = np.empty((n_users, k), dtype=np.int64)
+        values_out = np.empty((n_users, k), dtype=np.float64)
+        if n_users:
+            self._lib.repro_topk_rows(
+                values.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+                n_users, n_items, k,
+                items_out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+                values_out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+                int(n_threads),
+            )
+        return items_out, values_out
+
+    def fused_fingerprint(
+        self,
+        items_table: np.ndarray,
+        scores_table: np.ndarray,
+        key_scores: str,
+        n_threads: int,
+    ) -> np.ndarray:
+        """Row fingerprints straight from the top-k tables (fused pass).
+
+        Equivalent to ``fingerprint_rows(pack_key_rows(items, scores,
+        key_scores))`` without materialising the packed key matrix.
+
+        Parameters
+        ----------
+        items_table, scores_table:
+            ``(n_users, k)`` ranked top-k tables.
+        key_scores:
+            ``"none"`` / ``"first"`` / ``"last"`` / ``"all"``.
+        n_threads:
+            Thread count for the row loop.
+        """
+        items_table, items_stride = self._row_view(items_table, np.int64)
+        scores_table, scores_stride = self._row_view(scores_table, np.float64)
+        n_rows, k = items_table.shape
+        mode = _SCORE_MODES[key_scores]
+        width = k + (k if mode == 3 else (0 if mode == 0 else 1))
+        weights = self._weights(width)
+        out = np.empty(n_rows, dtype=np.uint64)
+        if n_rows:
+            self._lib.repro_fused_fingerprint(
+                items_table.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+                items_stride,
+                scores_table.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+                scores_stride,
+                n_rows, k, mode,
+                weights.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+                out.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+                int(n_threads),
+            )
+        return out
+
+    def fingerprint_packed(self, packed: np.ndarray, n_threads: int) -> np.ndarray:
+        """Row fingerprints of a packed ``uint64`` key matrix, threaded.
+
+        Parameters
+        ----------
+        packed:
+            ``(n_rows, width)`` ``uint64`` key matrix.
+        n_threads:
+            Thread count for the row loop.
+        """
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        n_rows, width = packed.shape
+        out = np.empty(n_rows, dtype=np.uint64)
+        if n_rows:
+            self._lib.repro_fingerprint_packed(
+                packed.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+                n_rows, width,
+                out.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64)),
+                int(n_threads),
+            )
+        return out
+
+
+def load_compiled() -> "CompiledKernels | None":
+    """The process-wide compiled backend, building/loading it on first call.
+
+    Returns ``None`` when the backend is disabled (``REPRO_KERNEL_CC=none``),
+    no C compiler is available, or the build/load fails — the reason is
+    then available from :func:`unavailable_reason`.  The outcome is cached:
+    a failed load is not retried within the process.
+    """
+    global _backend, _load_attempted, _unavailable_reason
+    if _backend is not None or _load_attempted:
+        return _backend
+    _load_attempted = True
+    try:
+        requested = os.environ.get(CC_ENV, "").strip().lower()
+        if requested in _DISABLE_VALUES:
+            _unavailable_reason = f"disabled via {CC_ENV}={os.environ[CC_ENV]!r}"
+            return None
+        compiler = _find_compiler()
+        if compiler is None:
+            _unavailable_reason = (
+                f"no C compiler found (set {CC_ENV} to a compiler, or install "
+                f"cc/gcc/clang)"
+            )
+            return None
+        digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+        library_path = _cache_dir() / f"repro_kernels_{digest}.so"
+        if not library_path.exists():
+            _compile(compiler, library_path)
+        _backend = CompiledKernels(ctypes.CDLL(str(library_path)))
+    except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
+        _unavailable_reason = str(exc)
+        _backend = None
+    return _backend
+
+
+def unavailable_reason() -> str | None:
+    """Why the compiled backend is unavailable (``None`` when it loaded)."""
+    return _unavailable_reason

@@ -394,14 +394,26 @@ def _worker_cached(spec, builder):
     return obj
 
 
-def _process_summarise_store(args):
-    """Worker task: summarise one store shard from shared memory."""
-    store_spec, start, stop, k, variant_key, block_users, kernel_mode = args
-    from repro.core.greedy_framework import make_variant
-    from repro.core.kernels import set_kernels
-    from repro.core.sharded import summarise_store_shard
+def _apply_kernel_state(kernel_mode, kernel_threads):
+    """Adopt the parent's kernel generation + thread count in a worker.
+
+    Spawn-start workers inherit neither process-wide switch, so every task
+    tuple carries both; results are thread-count-independent, only the
+    worker's wall-clock changes.
+    """
+    from repro.core.kernels import set_kernel_threads, set_kernels
 
     set_kernels(kernel_mode)
+    set_kernel_threads(kernel_threads)
+
+
+def _process_summarise_store(args):
+    """Worker task: summarise one store shard from shared memory."""
+    store_spec, start, stop, k, variant_key, block_users, kernel_mode, threads = args
+    from repro.core.greedy_framework import make_variant
+    from repro.core.sharded import summarise_store_shard
+
+    _apply_kernel_state(kernel_mode, threads)
     store = _worker_cached(store_spec, attach_store)
     variant = make_variant(*variant_key)
     return summarise_store_shard(store, start, stop, k, variant, block_users=block_users)
@@ -409,12 +421,11 @@ def _process_summarise_store(args):
 
 def _process_summarise_tables(args):
     """Worker task: summarise one table shard from shared memory."""
-    tables_spec, start, stop, variant_key, kernel_mode = args
+    tables_spec, start, stop, variant_key, kernel_mode, threads = args
     from repro.core.greedy_framework import make_variant
-    from repro.core.kernels import set_kernels
     from repro.core.sharded import summarise_tables
 
-    set_kernels(kernel_mode)
+    _apply_kernel_state(kernel_mode, threads)
     items_table, values_table = _worker_cached(tables_spec, attach_tables)
     variant = make_variant(*variant_key)
     return summarise_tables(
@@ -424,10 +435,8 @@ def _process_summarise_tables(args):
 
 def _process_run_config(args):
     """Worker task: run one sweep configuration from shared memory."""
-    store_spec, tables_spec, config, backend, kernel_mode = args
-    from repro.core.kernels import set_kernels
-
-    set_kernels(kernel_mode)
+    store_spec, tables_spec, config, backend, kernel_mode, threads = args
+    _apply_kernel_state(kernel_mode, threads)
     store = _worker_cached(store_spec, attach_store)
     topk = _worker_cached(tables_spec, attach_index)
     return _run_config(store, config, backend, topk)
@@ -477,18 +486,19 @@ class ProcessExecutor(Executor):
         ``store`` / ``bounds`` / ``k`` / ``variant`` / ``block_users`` /
         ``shard_ids``.
         """
-        from repro.core.kernels import get_kernels
+        from repro.core.kernels import get_kernel_threads, get_kernels
 
         pool = self._ensure_pool()
         key = _variant_key(variant)
         kernel_mode = get_kernels()
+        threads = get_kernel_threads()
         if shard_ids is None:
             shard_ids = range(bounds.size - 1)
         with SharedExports() as exports:
             spec = exports.export_store(store)
             tasks = [
                 (spec, int(bounds[s]), int(bounds[s + 1]), k, key, block_users,
-                 kernel_mode)
+                 kernel_mode, threads)
                 for s in shard_ids
             ]
             return list(pool.map(_process_summarise_store, tasks))
@@ -504,11 +514,12 @@ class ProcessExecutor(Executor):
         :meth:`Executor.map_table_shards` for ``items_table`` /
         ``scores_table`` / ``bounds`` / ``shard_ids`` / ``variant``.
         """
-        from repro.core.kernels import get_kernels
+        from repro.core.kernels import get_kernel_threads, get_kernels
 
         pool = self._ensure_pool()
         key = _variant_key(variant)
         kernel_mode = get_kernels()
+        threads = get_kernel_threads()
         # The table-shard workers only ever attach_tables(); n_items is
         # recorded as 0 ("not a full index") rather than paying an
         # O(n_users * k) scan to derive a value nothing reads —
@@ -517,7 +528,7 @@ class ProcessExecutor(Executor):
 
         def run(spec: TablesSpec):
             tasks = [
-                (spec, int(bounds[s]), int(bounds[s + 1]), key, kernel_mode)
+                (spec, int(bounds[s]), int(bounds[s + 1]), key, kernel_mode, threads)
                 for s in shard_ids
             ]
             return list(pool.map(_process_summarise_tables, tasks))
@@ -545,17 +556,18 @@ class ProcessExecutor(Executor):
         the duration of the call; see :meth:`Executor.map_configs` for
         ``store`` / ``configs`` / ``backend`` / ``topk``.
         """
-        from repro.core.kernels import get_kernels
+        from repro.core.kernels import get_kernel_threads, get_kernels
 
         pool = self._ensure_pool()
         kernel_mode = get_kernels()
+        threads = get_kernel_threads()
         with SharedExports() as exports:
             store_spec = exports.export_store(store)
             tables_spec = exports.export_tables(
                 topk.items, topk.values, topk.n_items
             )
             tasks = [
-                (store_spec, tables_spec, config, backend, kernel_mode)
+                (store_spec, tables_spec, config, backend, kernel_mode, threads)
                 for config in configs
             ]
             return list(pool.map(_process_run_config, tasks))

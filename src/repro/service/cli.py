@@ -77,8 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default=DEFAULT_BACKEND, choices=list(BACKENDS),
                        help=f"formation backend (default: {DEFAULT_BACKEND})")
     serve.add_argument("--kernels", default=DEFAULT_KERNELS, choices=list(KERNEL_MODES),
-                       help="ranking/bucketing kernel generation (classic or "
-                            f"fast; bit-identical results, default: {DEFAULT_KERNELS})")
+                       help="ranking/bucketing kernel generation (classic, fast "
+                            "or the compiled parallel generation; bit-identical "
+                            f"results, default: {DEFAULT_KERNELS})")
+    serve.add_argument("--kernel-threads", type=int, default=None,
+                       dest="kernel_threads",
+                       help="thread count for the compiled parallel kernels "
+                            "(default: REPRO_KERNEL_THREADS, else the CPU "
+                            "count); never changes results")
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="seconds an update batch stays open to coalesce "
                             "concurrent writers (default: 0.01)")

@@ -22,7 +22,12 @@ from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import IngestError
-from repro.core.kernels import DEFAULT_KERNELS, KERNEL_MODES, set_kernels
+from repro.core.kernels import (
+    DEFAULT_KERNELS,
+    KERNEL_MODES,
+    set_kernel_threads,
+    set_kernels,
+)
 from repro.utils.validation import require_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,8 +49,10 @@ class ServiceConfig:
     users, items, density, store, seed:
         Synthetic bootstrap instance: size, explicit-rating density (only
         meaningful for ``store="sparse"``), storage kind and RNG seed.
-    k_max, shards, backend, kernels, compaction_fraction:
-        Formation-service parameters (``k_max`` is clamped to ``items``).
+    k_max, shards, backend, kernels, kernel_threads, compaction_fraction:
+        Formation-service parameters (``k_max`` is clamped to ``items``;
+        ``kernel_threads=None`` resolves via ``REPRO_KERNEL_THREADS``,
+        then the CPU count).
     execution, workers, cache_dir:
         Shard fan-out strategy, its parallelism, and the optional
         artifact-cache directory for warm index starts.
@@ -66,6 +73,7 @@ class ServiceConfig:
     shards: int = 8
     backend: str | None = None
     kernels: str = DEFAULT_KERNELS
+    kernel_threads: int | None = None
     compaction_fraction: float | None = 0.25
     execution: str | None = None
     workers: int | None = None
@@ -95,6 +103,10 @@ class ServiceConfig:
             raise IngestError(
                 f"kernels must be one of {sorted(KERNEL_MODES)}, "
                 f"got {self.kernels!r}"
+            )
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise IngestError(
+                f"kernel_threads must be >= 1, got {self.kernel_threads}"
             )
         if self.snapshot_every < 0:
             raise IngestError(
@@ -187,6 +199,7 @@ class ServiceConfig:
         from repro.service.service import FormationService
 
         set_kernels(self.kernels)
+        set_kernel_threads(self.kernel_threads)
         if state is None:
             return FormationService(
                 self.build_store(),

@@ -1,11 +1,15 @@
-"""Kernel-layer suites: classic/fast parity and the ordinal-transform contract.
+"""Kernel-layer suites: three-way parity and the ordinal-transform contract.
 
-Three families of guarantees:
+Four families of guarantees:
 
-* the ``fast`` kernels (blocked partition-select top-k, fingerprint
+* the ``fast`` kernels (blocked partition-select top-k, fused fingerprint
   bucketing) are **bit-identical** to the ``classic`` kernels (argmax peel,
   packed-key lexsort) on the full parity matrix — semantics x aggregation x
   dense/sparse x k sweep — including at the formation-result level;
+* the compiled ``parallel`` generation joins that parity matrix bit for
+  bit, at every thread count (1 vs N identical), with the forced-collision
+  lexsort fallback still running in Python, and degrades to ``fast`` with
+  a single warning when the compiled backend cannot be built;
 * the :func:`repro.core.kernels.float_to_ordinal` transform is a monotone
   bijection on IEEE-754 bit patterns, exercised on the nasty cases (NaN,
   ``±0.0``, ``±inf``, subnormals, ``float32`` and ``float64``);
@@ -14,6 +18,8 @@ Three families of guarantees:
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 import pytest
@@ -26,6 +32,11 @@ from repro.core.engine import FormationEngine
 from repro.core.preferences import top_k_table
 from repro.recsys.store import SparseStore
 from repro.recsys.matrix import RatingScale
+
+requires_parallel = pytest.mark.skipif(
+    not kernels.parallel_available(),
+    reason="compiled parallel backend unavailable (no C compiler)",
+)
 
 NASTY_FLOATS = [
     0.0,
@@ -254,8 +265,10 @@ class TestBucketizeParity:
             classic = kernels.bucketize(items_table, scores_table, "all")
         monkeypatch.setattr(
             kernels,
-            "fingerprint_rows",
-            lambda packed: np.zeros(packed.shape[0], dtype=np.uint64),
+            "fused_fingerprint_rows",
+            lambda items, scores, key_scores: np.zeros(
+                items.shape[0], dtype=np.uint64
+            ),
         )
         with kernels.use_kernels("fast"):
             collided = kernels.bucketize(items_table, scores_table, "all")
@@ -270,8 +283,10 @@ class TestBucketizeParity:
         scores_table = np.ones((5, 1), dtype=float)
         monkeypatch.setattr(
             kernels,
-            "fingerprint_rows",
-            lambda packed: np.zeros(packed.shape[0], dtype=np.uint64),
+            "fused_fingerprint_rows",
+            lambda items, scores, key_scores: np.zeros(
+                items.shape[0], dtype=np.uint64
+            ),
         )
         with kernels.use_kernels("fast"):
             inverse, sorted_users, starts = kernels.bucketize(
@@ -283,14 +298,181 @@ class TestBucketizeParity:
         ]
 
 
-class TestFormationParity:
-    """--kernels fast is bit-identical to classic at the result level."""
+class TestParallelKernels:
+    """The compiled generation: parity, threading, fusion, fallback."""
 
+    @requires_parallel
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), values=matrices())
+    def test_top_k_three_way_parity(self, data, values):
+        """parallel == fast == classic bit for bit on random matrices."""
+        k = data.draw(st.integers(1, values.shape[1]))
+        tables = {}
+        for mode in ("classic", "fast", "parallel"):
+            with kernels.use_kernels(mode):
+                tables[mode] = kernels.top_k_table(values, k)
+        for mode in ("fast", "parallel"):
+            assert np.array_equal(tables["classic"][0], tables[mode][0])
+            assert np.array_equal(
+                tables["classic"][1].view(np.uint64),
+                tables[mode][1].view(np.uint64),
+            )
+
+    @requires_parallel
+    def test_nasty_ordinal_inputs(self):
+        """±inf / ±0.0 / subnormal ratings survive the compiled top-k exactly."""
+        rng = np.random.default_rng(7)
+        values = rng.integers(1, 4, size=(64, 9)).astype(float)
+        values[::3, 0] = np.inf
+        values[1::3, 1] = -np.inf
+        values[::4, 2] = 0.0
+        values[::5, 3] = -0.0
+        values[::7, 4] = 5e-324
+        for k in (1, 4, 9):
+            with kernels.use_kernels("classic"):
+                classic = kernels.top_k_table(values, k)
+            with kernels.use_kernels("parallel"):
+                compiled = kernels.top_k_table(values, k)
+            assert np.array_equal(classic[0], compiled[0])
+            assert np.array_equal(
+                classic[1].view(np.uint64), compiled[1].view(np.uint64)
+            )
+
+    @requires_parallel
+    def test_thread_count_independence(self):
+        """1 vs N threads: bit-identical tables, fingerprints and buckets."""
+        rng = np.random.default_rng(11)
+        values = rng.integers(1, 5, size=(211, 17)).astype(float)
+        with kernels.use_kernels("parallel"):
+            with kernels.use_kernel_threads(1):
+                one_tables = kernels.top_k_table(values, 5)
+                one_buckets = kernels.bucketize(*one_tables, "all")
+                one_fp = kernels.fused_fingerprint_rows(*one_tables, "all")
+            with kernels.use_kernel_threads(5):
+                many_tables = kernels.top_k_table(values, 5)
+                many_buckets = kernels.bucketize(*many_tables, "all")
+                many_fp = kernels.fused_fingerprint_rows(*many_tables, "all")
+        assert np.array_equal(one_tables[0], many_tables[0])
+        assert np.array_equal(
+            one_tables[1].view(np.uint64), many_tables[1].view(np.uint64)
+        )
+        assert np.array_equal(one_fp, many_fp)
+        for a, b in zip(one_buckets, many_buckets):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("key_scores", ["none", "first", "last", "all"])
+    def test_fused_fingerprints_match_packed(self, key_scores):
+        """Fused fingerprints == fingerprint_rows(pack_key_rows(...)) under
+        every generation, including NaN score bit patterns."""
+        rng = np.random.default_rng(13)
+        items_table = rng.integers(0, 50, size=(97, 6)).astype(np.int64)
+        scores_table = rng.normal(size=(97, 6))
+        scores_table[::9, 2] = np.nan
+        scores_table[::7, 4] = -0.0
+        with kernels.use_kernels("classic"):
+            packed = kernels.pack_key_rows(items_table, scores_table, key_scores)
+            expected = kernels.fingerprint_rows(packed)
+        for mode in kernels.KERNEL_MODES:
+            with kernels.use_kernels(mode):
+                fused = kernels.fused_fingerprint_rows(
+                    items_table, scores_table, key_scores
+                )
+            assert np.array_equal(expected, fused), mode
+
+    @requires_parallel
+    def test_collision_fallback_under_threading(self, monkeypatch):
+        """All-colliding fingerprints at 4 threads still degrade to the exact
+        Python lexsort — identical arrays to the classic grouping."""
+        rng = np.random.default_rng(17)
+        items_table = rng.integers(0, 3, size=(60, 2)).astype(np.int64)
+        scores_table = rng.integers(1, 3, size=(60, 2)).astype(float)
+        with kernels.use_kernels("classic"):
+            classic = kernels.bucketize(items_table, scores_table, "all")
+        monkeypatch.setattr(
+            kernels,
+            "fused_fingerprint_rows",
+            lambda items, scores, key_scores: np.zeros(
+                items.shape[0], dtype=np.uint64
+            ),
+        )
+        with kernels.use_kernels("parallel"), kernels.use_kernel_threads(4):
+            collided = kernels.bucketize(items_table, scores_table, "all")
+        for a, b in zip(classic, collided):
+            assert np.array_equal(a, b)
+
+    def test_unavailable_backend_falls_back_with_single_warning(self, monkeypatch):
+        """Backend absent: parallel -> fast, exactly one RuntimeWarning."""
+        monkeypatch.setattr(kernels, "_load_parallel", lambda: None)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        before = kernels.get_kernels()
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                kernels.set_kernels("parallel")
+            assert kernels.get_kernels() == "fast"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                kernels.set_kernels("parallel")  # second request stays silent
+            assert kernels.get_kernels() == "fast"
+        finally:
+            kernels.set_kernels(before)
+
+
+class TestKernelThreads:
+    """The --kernel-threads / REPRO_KERNEL_THREADS switch."""
+
+    def test_resolution_order(self, monkeypatch):
+        """Explicit setting > environment variable > CPU count."""
+        monkeypatch.delenv(kernels.KERNEL_THREADS_ENV, raising=False)
+        previous = kernels.set_kernel_threads(None)
+        try:
+            assert kernels.get_kernel_threads() >= 1
+            monkeypatch.setenv(kernels.KERNEL_THREADS_ENV, "3")
+            assert kernels.get_kernel_threads() == 3
+            kernels.set_kernel_threads(2)
+            assert kernels.get_kernel_threads() == 2
+        finally:
+            kernels.set_kernel_threads(previous)
+
+    def test_invalid_explicit_count_rejected(self):
+        """Zero or negative thread counts raise instead of wedging OpenMP."""
+        with pytest.raises(ValueError, match="thread count"):
+            kernels.set_kernel_threads(0)
+        with pytest.raises(ValueError, match="thread count"):
+            kernels.set_kernel_threads(-2)
+
+    def test_garbage_env_value_ignored(self, monkeypatch):
+        """A non-numeric environment value falls through to the CPU count."""
+        monkeypatch.setenv(kernels.KERNEL_THREADS_ENV, "banana")
+        previous = kernels.set_kernel_threads(None)
+        try:
+            assert kernels.get_kernel_threads() >= 1
+        finally:
+            kernels.set_kernel_threads(previous)
+
+    def test_use_kernel_threads_restores(self):
+        """The context manager yields the active count and restores on exit."""
+        previous = kernels.set_kernel_threads(None)
+        try:
+            outer = kernels.get_kernel_threads()
+            with kernels.use_kernel_threads(7) as active:
+                assert active == 7
+                assert kernels.get_kernel_threads() == 7
+            assert kernels.get_kernel_threads() == outer
+        finally:
+            kernels.set_kernel_threads(previous)
+
+
+class TestFormationParity:
+    """--kernels fast/parallel are bit-identical to classic at the result level."""
+
+    @pytest.mark.parametrize(
+        "mode", ["fast", pytest.param("parallel", marks=requires_parallel)]
+    )
     @pytest.mark.parametrize("semantics", ["lm", "av"])
     @pytest.mark.parametrize("aggregation", ["min", "max", "sum", "weighted-sum"])
     @pytest.mark.parametrize("store_kind", ["dense", "sparse"])
-    def test_full_matrix(self, semantics, aggregation, store_kind):
-        """semantics x aggregation x dense/sparse x k sweep, both backends."""
+    def test_full_matrix(self, semantics, aggregation, store_kind, mode):
+        """semantics x aggregation x dense/sparse x k sweep, every generation."""
         rng = np.random.default_rng(abs(hash((semantics, aggregation))) % 2**32)
         values = rng.integers(1, 6, size=(120, 24)).astype(float)
         if store_kind == "sparse":
@@ -308,9 +490,13 @@ class TestFormationParity:
                     classic = engine.run(
                         ratings, max_groups, k, semantics, aggregation
                     )
-                with kernels.use_kernels("fast"):
-                    fast = engine.run(ratings, max_groups, k, semantics, aggregation)
-                assert run_result_fingerprint(classic) == run_result_fingerprint(fast)
+                with kernels.use_kernels(mode):
+                    candidate = engine.run(
+                        ratings, max_groups, k, semantics, aggregation
+                    )
+                assert run_result_fingerprint(classic) == run_result_fingerprint(
+                    candidate
+                )
 
     @settings(max_examples=25, deadline=None)
     @given(data=st.data(), values=matrices(min_users=2, min_items=2))

@@ -31,12 +31,13 @@ END = "<!-- bench-trajectory:end -->"
 
 #: Entry keys folded into the "configuration" column, in display order.
 _CONFIG_KEYS = (
-    "backend", "store", "kernels", "stage", "semantics", "shards",
+    "backend", "store", "kernels", "threads", "stage", "semantics", "shards",
     "workers", "execution", "metric", "batch_size", "k", "max_groups",
 )
 #: Entry keys folded into the "notes" column (derived figures).
 _NOTE_KEYS = (
-    "speedup", "updates_per_second", "events_per_second", "batches_replayed",
+    "speedup", "speedup_vs_fast", "updates_per_second", "events_per_second",
+    "batches_replayed",
     "peak_rss_gib", "objective", "generate_seconds",
 )
 
