@@ -135,6 +135,61 @@ def write_bench_json(name: str, entries: list[dict], directory=None) -> Path:
     return path
 
 
+def merge_bench_json(
+    name: str,
+    entries: list[dict],
+    own_prefix: str,
+    owns_prefix: bool = True,
+    directory=None,
+) -> Path:
+    """Write ``BENCH_<name>.json``, replacing only this bench's entries.
+
+    Two benches share ``BENCH_service.json`` (the update/recovery bench
+    and the load harness); each owns a disjoint ``metric`` namespace
+    split by the ``load_`` prefix.  This writer preserves every existing
+    entry that belongs to the *other* bench and replaces this bench's own
+    entries with ``entries`` — so the benches can run in any order, at
+    any cadence, without clobbering each other's trend data.
+
+    Parameters mirror :func:`write_bench_json` plus: ``own_prefix`` is the
+    metric prefix splitting the namespaces (e.g. ``"load_"``), and
+    ``owns_prefix`` says which side this caller owns — ``True`` means
+    metrics starting with the prefix, ``False`` means the rest.  Entries
+    outside the caller's side raise ``ValueError`` (namespace discipline
+    is what makes the merge safe).
+    """
+    directory = Path(
+        directory
+        or os.environ.get("BENCH_OUTPUT_DIR")
+        or Path(__file__).resolve().parent
+    )
+
+    def owned(metric) -> bool:
+        return str(metric).startswith(own_prefix) == owns_prefix
+
+    kept: list[dict] = []
+    path = directory / f"BENCH_{name}.json"
+    if path.exists():
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            kept = [
+                entry
+                for entry in existing.get("entries", [])
+                if not owned(entry.get("metric", ""))
+            ]
+        except (OSError, ValueError):
+            kept = []
+    for entry in entries:
+        if not owned(entry.get("metric", "")):
+            raise ValueError(
+                f"merge_bench_json(own_prefix={own_prefix!r}, "
+                f"owns_prefix={owns_prefix}) got an entry outside its "
+                f"namespace: {entry.get('metric')!r}"
+            )
+    return write_bench_json(name, kept + entries, directory)
+
+
 def results_identical(a: GroupFormationResult, b: GroupFormationResult) -> bool:
     """Whether two formation results are bit-identical (timings excluded).
 

@@ -44,7 +44,7 @@ import time
 
 import numpy as np
 
-from _timing import bench_entry, write_bench_json
+from _timing import bench_entry, merge_bench_json
 
 from repro.core import FormationEngine, TopKIndex
 from repro.datasets.synthetic import synthetic_sparse_store
@@ -324,7 +324,9 @@ def main(argv=None) -> int:
                     metric="recommend_p99", k=args.k, max_groups=args.groups),
     ]
     entries.extend(durable_entries)
-    path = write_bench_json("service", entries)
+    # The load harness (bench_load.py) shares this file and owns the
+    # "load_" metric namespace; merge so neither bench clobbers the other.
+    path = merge_bench_json("service", entries, "load_", owns_prefix=False)
     print(f"  timings written to {path}")
 
     if args.min_speedup and speedup < args.min_speedup:

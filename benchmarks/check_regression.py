@@ -40,7 +40,12 @@ ingest (events/s under mixed read/write load) and the snapshot+WAL-replay
 recovery time — are printed and written to ``BENCH_service.json`` so the
 trajectory is tracked across PRs, but they never fail this gate (the
 acceptance-scale speedup check lives in the bench's own
-``--min-speedup``).
+``--min-speedup``).  It then runs the replica load harness
+(``bench_load.py``) with a 2-replica sweep: the throughput/latency
+numbers are a trend report, but **replica-parity is blocking** — a
+replica answering anything different from single-process serving fails
+this gate (the scaling floor is left to the bench's own
+``--min-scaling`` at acceptance scale).
 
 Each run also writes ``BENCH_regression.json`` (per-instance wall time,
 backend, store, commit) so the perf trajectory is tracked across PRs.
@@ -408,6 +413,31 @@ def main(argv=None) -> int:
         except Exception as exc:  # noqa: BLE001 - trend-only, never gate
             print(f"service trend bench failed (non-blocking): {exc}",
                   file=sys.stderr)
+
+        # Replica load harness: throughput/latency are trend-only, but the
+        # replica-parity leg inside the bench is blocking — replicas that
+        # compute different answers are a correctness bug.
+        print("\nreplica load harness (parity blocking, scaling trend):")
+        import bench_load
+
+        try:
+            load_rc = bench_load.main([
+                "--users", "300",
+                "--items", "60",
+                "--replicas", "0,2",
+                "--clients", "4",
+                "--requests", "6",
+                "--subsets", "8",
+                "--min-scaling", "0",
+            ])
+        except Exception as exc:  # noqa: BLE001 - harness crash = gate fail
+            load_rc = 1
+            print(f"load harness crashed: {exc}", file=sys.stderr)
+        if load_rc != 0:
+            failures.append(
+                "replica serving failed the load harness (parity with "
+                "single-process serving is blocking)"
+            )
 
     if failures:
         print("\nFAIL:", "; ".join(failures), file=sys.stderr)

@@ -343,9 +343,14 @@ class MutableTopKIndex(TopKIndex):
                     f"base index k_max ({base.k_max}) does not match the requested "
                     f"k_max ({k_max})"
                 )
-            # Copy into writable arrays: the base may be a read-only
-            # memory-map from the artifact cache, and repair writes rows.
-            base = TopKIndex(np.array(base.items), np.array(base.values), base.n_items)
+            # The base may be a read-only memory-map from the artifact
+            # cache, and repair writes rows — copy those into writable
+            # arrays.  Writable bases (e.g. shared-memory attachments in
+            # replica workers, which never mutate) are adopted in place.
+            if not (base.items.flags.writeable and base.values.flags.writeable):
+                base = TopKIndex(
+                    np.array(base.items), np.array(base.values), base.n_items
+                )
         else:
             base = TopKIndex.build(store, k_max, table_fn=table_fn)
         super().__init__(base.items, base.values, base.n_items)

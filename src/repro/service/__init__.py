@@ -10,6 +10,11 @@ system that can take traffic:
 * :class:`~repro.service.http.ServiceServer` — a dependency-free asyncio
   JSON/HTTP front end (versioned ``/v1`` API, typed event ingestion)
   with update batching and request coalescing.
+* :class:`~repro.service.pool.ReplicaPool` — N read-only worker
+  processes attached zero-copy to the writer's shared-memory
+  store/index exports; round-robin routing with in-flight caps, a
+  versioned index swap on every applied write, and crash supervision
+  with transparent retry.
 * :class:`~repro.service.config.ServiceConfig` — one validated config
   object from which the CLI, tests and benchmarks build identical
   stacks (and recover durable ones through :mod:`repro.ingest`).
@@ -21,6 +26,7 @@ See ``docs/architecture.md`` for how the pieces fit the data plane and
 
 from repro.service.config import ServiceConfig
 from repro.service.http import ServiceServer
+from repro.service.pool import ReplicaPool
 from repro.service.service import FormationService
 
-__all__ = ["FormationService", "ServiceConfig", "ServiceServer"]
+__all__ = ["FormationService", "ReplicaPool", "ServiceConfig", "ServiceServer"]

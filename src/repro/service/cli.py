@@ -5,6 +5,7 @@
     repro serve --users 5000 --items 500 --port 8321
     repro serve --store sparse --users 100000 --items 1000 --density 0.02
     repro serve --wal-dir ./state --snapshot-every 64   # durable ingestion
+    repro serve --replicas 2                            # horizontal serving
 
 Boots a synthetic rating instance (the same generators the experiment
 harness uses), wraps it in a :class:`~repro.service.FormationService` and
@@ -113,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="group-commit size: fsync the WAL every N appends "
                             "(default: 1 — every batch is durable when "
                             "acknowledged)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="read-only replica processes serving /v1/recommend "
+                            "(attached zero-copy to the writer's store/index "
+                            "exports; default: 0 — serve reads in-process)")
+    serve.add_argument("--replica-inflight", type=int, default=2,
+                       dest="replica_inflight",
+                       help="per-replica in-flight request cap before reads "
+                            "queue (default: 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       dest="queue_depth",
+                       help="bounded routing queue once every replica is at "
+                            "its cap; a full queue answers 503 overloaded "
+                            "(default: 64)")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       dest="heartbeat_interval",
+                       help="replica supervision cadence in seconds: liveness "
+                            "checks, idle pings and respawn of crashed "
+                            "replicas (default: 1.0)")
     return parser
 
 
@@ -170,7 +189,13 @@ async def _serve(args: argparse.Namespace) -> None:
 
     config = ServiceConfig.from_args(args)
     service, pipeline = bootstrap_service(args)
-    server = config.build_server(service, pipeline)
+    pool = config.build_pool(service)
+    if pool is not None:
+        # Spawn the replicas before the front end accepts (and before the
+        # event loop grows executor threads): each worker attaches to the
+        # current store/index exports and is ready to serve immediately.
+        pool.start()
+    server = config.build_server(service, pipeline, pool)
     await server.start()
     stats = service.stats()
     durability = ""
@@ -180,11 +205,18 @@ async def _serve(args: argparse.Namespace) -> None:
             f", wal at {config.wal_dir} (seq {pipeline.wal.last_seq}, "
             f"{recovery.get('batches_replayed', 0)} batches replayed)"
         )
+    serving = ""
+    if pool is not None:
+        serving = (
+            f", {pool.replicas} replicas (inflight {pool.inflight}, "
+            f"queue {pool.queue_depth})"
+        )
     print(
         f"repro serve: {stats['n_users']} users x {stats['n_items']} items "
         f"({args.store} store, k_max={stats['k_max']}, {stats['shards']} shards, "
         f"{stats['backend']} backend, {stats['execution']} execution"
         + (", warm index cache" if stats.get("index_cache_hit") else "")
+        + serving
         + durability
         + ")"
     )

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ingest.snapshot import SnapshotState
     from repro.recsys.store import MutableRatingStore
     from repro.service.http import ServiceServer
+    from repro.service.pool import ReplicaPool
     from repro.service.service import FormationService
 
 __all__ = ["ServiceConfig"]
@@ -62,6 +63,11 @@ class ServiceConfig:
         Durability: the WAL/snapshot root directory (``None`` disables
         durability), snapshot cadence in applied batches, and the WAL
         group-commit size (1 = fsync every batch).
+    replicas, replica_inflight, queue_depth, heartbeat_interval:
+        Horizontal serving: number of read-only replica processes
+        (``0`` disables the pool and serves reads in-process), the
+        per-replica in-flight request cap, the bounded routing-queue
+        depth, and the supervision heartbeat cadence in seconds.
     """
 
     users: int = 2000
@@ -84,6 +90,10 @@ class ServiceConfig:
     wal_dir: str | None = None
     snapshot_every: int = 64
     fsync_every: int = 1
+    replicas: int = 0
+    replica_inflight: int = 2
+    queue_depth: int = 64
+    heartbeat_interval: float = 1.0
 
     def __post_init__(self) -> None:
         try:
@@ -117,6 +127,20 @@ class ServiceConfig:
         if self.batch_window < 0:
             raise IngestError(
                 f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.replicas < 0:
+            raise IngestError(f"replicas must be >= 0, got {self.replicas}")
+        if self.replica_inflight < 1:
+            raise IngestError(
+                f"replica_inflight must be >= 1, got {self.replica_inflight}"
+            )
+        if self.queue_depth < 0:
+            raise IngestError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise IngestError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
             )
 
     # ------------------------------------------------------------------ #
@@ -253,10 +277,39 @@ class ServiceConfig:
             sync_every=self.fsync_every,
         )
 
+    def build_pool(self, service: "FormationService") -> "ReplicaPool | None":
+        """Build (without starting) the replica pool this config describes.
+
+        Parameters
+        ----------
+        service:
+            The writer-side formation service the pool publishes from.
+
+        Returns
+        -------
+        ReplicaPool or None
+            ``None`` when :attr:`replicas` is ``0`` (single-process
+            serving); otherwise an unstarted
+            :class:`~repro.service.pool.ReplicaPool` — call its
+            ``start()`` before the HTTP front end begins accepting.
+        """
+        if self.replicas == 0:
+            return None
+        from repro.service.pool import ReplicaPool
+
+        return ReplicaPool(
+            service,
+            replicas=self.replicas,
+            inflight=self.replica_inflight,
+            queue_depth=self.queue_depth,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+
     def build_server(
         self,
         service: "FormationService",
         pipeline: "IngestPipeline | None" = None,
+        pool: "ReplicaPool | None" = None,
     ) -> "ServiceServer":
         """Wrap ``service`` in the HTTP front end this config describes.
 
@@ -267,6 +320,9 @@ class ServiceConfig:
         pipeline:
             Optional durable pipeline; when given, ``/v1/events`` batches
             are journaled and ``/v1/snapshot`` is enabled.
+        pool:
+            Optional started replica pool (see :meth:`build_pool`); when
+            given, reads are routed across its replicas.
         """
         from repro.service.http import ServiceServer
 
@@ -276,4 +332,5 @@ class ServiceConfig:
             port=self.port,
             batch_window=self.batch_window,
             pipeline=pipeline,
+            pool=pool,
         )

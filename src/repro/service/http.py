@@ -57,10 +57,16 @@ from repro.ingest.events import (
     event_from_dict,
     fold_events,
 )
+from repro.service.pool import (
+    PoolOverloaded,
+    PoolShuttingDown,
+    ReplicaPoolError,
+)
 from repro.service.service import FormationService
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ingest.pipeline import IngestPipeline
+    from repro.service.pool import ReplicaPool
 
 __all__ = ["ServiceServer"]
 
@@ -76,6 +82,7 @@ _DEFAULT_CODES = {
     409: "conflict",
     413: "payload_too_large",
     500: "internal",
+    503: "service_unavailable",
 }
 
 
@@ -134,6 +141,14 @@ class ServiceServer:
     fold_policy:
         Implicit-event folding policy used when no ``pipeline`` is given
         (a pipeline brings its own).
+    pool:
+        Optional started :class:`~repro.service.pool.ReplicaPool`: when
+        given, ``/v1/recommend`` traffic is routed across its replica
+        processes and every applied write batch is published to them via
+        the pool's versioned index swap.  Overload and shutdown reject
+        with structured ``503`` bodies (codes ``overloaded`` /
+        ``shutting_down``).  Without a pool the service answers reads
+        in-process, exactly as before.
 
     Examples
     --------
@@ -151,12 +166,14 @@ class ServiceServer:
         batch_window: float = 0.01,
         pipeline: "IngestPipeline | None" = None,
         fold_policy: FoldPolicy | None = None,
+        pool: "ReplicaPool | None" = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.batch_window = float(batch_window)
         self.pipeline = pipeline
+        self.pool = pool
         self.fold_policy = (
             pipeline.policy if pipeline is not None
             else (fold_policy if fold_policy is not None else FoldPolicy())
@@ -200,13 +217,17 @@ class ServiceServer:
         This is the SIGINT/SIGTERM path of ``repro serve``: the listener
         stops accepting new connections, the open update batch (if any) is
         applied as one final batch so acknowledged-but-batched writers get
-        their bookkeeping instead of a dropped future, the WAL is fsynced
-        (a clean shutdown must never require replay), and only then is
-        the socket awaited closed.  The flush must come *before*
+        their bookkeeping instead of a dropped future, the replica routing
+        queue is drained (in-flight reads finish; queued-but-undispatched
+        reads are answered with a structured ``503 shutting_down`` instead
+        of a dropped connection), the WAL is fsynced (a clean shutdown
+        must never require replay), and only then is the socket awaited
+        closed.  The flush and the pool drain must come *before*
         ``wait_closed()``: on Python >= 3.12 ``wait_closed`` waits for
-        in-flight connection handlers, and the update handlers are
-        themselves awaiting the batch future the flush resolves —
-        flushing after would deadlock.  Idempotent.
+        in-flight connection handlers, and those handlers are themselves
+        awaiting the batch futures the flush resolves and the replica
+        replies the drain settles — waiting first would deadlock.
+        Idempotent.
         """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -216,6 +237,11 @@ class ServiceServer:
             server.close()
         if self._pending_updates:
             await self._flush_updates()
+        if self.pool is not None:
+            # Settles every routed read: dispatched requests drain,
+            # queued ones are rejected with PoolShuttingDown, which the
+            # recommend handler answers as a 503 shutting_down body.
+            await self.pool.shutdown()
         if self.pipeline is not None:
             # Group-committed appends may still be buffered; make the
             # clean-shutdown state durable before the listener is gone.
@@ -311,7 +337,8 @@ class ServiceServer:
         """Write one JSON response (plus any extra ``headers``) and flush."""
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 409: "Conflict",
-                   413: "Payload Too Large", 500: "Internal Server Error"}
+                   413: "Payload Too Large", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
         data = json.dumps(payload, default=_json_default).encode("utf-8")
         extra = "".join(
             f"{name}: {value}\r\n" for name, value in (headers or {}).items()
@@ -345,15 +372,22 @@ class ServiceServer:
     ) -> tuple[int, dict[str, Any]]:
         """Dispatch one parsed request to its handler."""
         if path in ("/v1/healthz", "/healthz") and method == "GET":
-            return 200, {
+            health = {
                 "status": "ok",
                 "version": self.service.version,
                 "durable": self.pipeline is not None,
             }
+            if self.pool is not None:
+                pool_stats = self.pool.stats()
+                health["replicas"] = pool_stats["alive"]
+                health["published_version"] = pool_stats["published_version"]
+            return 200, health
         if path in ("/v1/stats", "/stats") and method == "GET":
             stats = self.service.stats()
             if self.pipeline is not None:
                 stats["durability"] = self.pipeline.stats()
+            if self.pool is not None:
+                stats["pool"] = self.pool.stats()
             return 200, stats
         if path == "/v1/recommend" and method == "POST":
             return 200, await self._recommend(body)
@@ -389,29 +423,48 @@ class ServiceServer:
             user_ids = [int(u) for u in user_ids]
 
         loop = asyncio.get_running_loop()
+        routed = self.pool is not None
         key = (
             k, max_groups, semantics, aggregation,
             None if user_ids is None else tuple(user_ids),
-            self.service.version,
+            self.pool.version if routed else self.service.version,
         )
         future = self._inflight.get(key)
         if future is None:
-            future = loop.run_in_executor(
-                None,
-                lambda: self.service.recommend(
-                    k=k,
-                    max_groups=max_groups,
-                    semantics=semantics,
-                    aggregation=aggregation,
-                    user_ids=user_ids,
-                ),
-            )
+            if routed:
+                future = asyncio.ensure_future(
+                    self.pool.recommend(
+                        k=k,
+                        max_groups=max_groups,
+                        semantics=semantics,
+                        aggregation=aggregation,
+                        user_ids=user_ids,
+                    )
+                )
+            else:
+                future = loop.run_in_executor(
+                    None,
+                    lambda: self.service.recommend(
+                        k=k,
+                        max_groups=max_groups,
+                        semantics=semantics,
+                        aggregation=aggregation,
+                        user_ids=user_ids,
+                    ),
+                )
             self._inflight[key] = future
             future.add_done_callback(lambda _f, _k=key: self._inflight.pop(_k, None))
         else:
             self.coalesced_recommends += 1
-        result = await asyncio.shield(future)
-        payload = result.as_dict()
+        try:
+            result = await asyncio.shield(future)
+        except PoolShuttingDown as exc:
+            raise _HTTPError(503, str(exc), code="shutting_down")
+        except PoolOverloaded as exc:
+            raise _HTTPError(503, str(exc), code="overloaded")
+        except ReplicaPoolError as exc:
+            raise _HTTPError(503, str(exc), code="replicas_unavailable")
+        payload = dict(result) if routed else result.as_dict()
         payload["coalesced"] = self.coalesced_recommends
         return payload
 
@@ -512,11 +565,24 @@ class ServiceServer:
                     stats["batched_requests"] = 1
                     if not future.done():
                         future.set_result(stats)
+            await self._publish_pool()
             return
         stats["batched_requests"] = len(pending)
+        await self._publish_pool()
         for _, future in pending:
             if not future.done():
                 future.set_result(dict(stats))
+
+    async def _publish_pool(self) -> None:
+        """Push the writer's new index version to the replica pool.
+
+        A no-op without a pool or when the version is unchanged; called
+        after every applied batch so replicas adopt the new tables before
+        the writers' acknowledgements go out (a client that writes and
+        then reads observes its own write).
+        """
+        if self.pool is not None:
+            await self.pool.publish()
 
     async def _snapshot(self) -> dict[str, Any]:
         """Force a checkpoint through the pipeline (``409`` without one)."""

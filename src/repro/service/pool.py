@@ -1,0 +1,939 @@
+"""Multi-process replica pool: horizontal read scaling behind one front end.
+
+``repro serve`` historically answered every ``/v1/recommend`` in the same
+process that applied writes.  Recommend traffic is read-heavy and
+embarrassingly replicable, so this module runs **N read-only worker
+processes**, each attached *zero-copy* to the current store and top-k
+index through the shared-memory adapters of :mod:`repro.execution.shm`,
+behind the existing asyncio front end:
+
+* **Routing** — :meth:`ReplicaPool.recommend` assigns each request
+  round-robin across live replicas, with a per-replica in-flight cap and
+  one bounded overflow queue.  A full queue is rejected immediately with
+  :class:`PoolOverloaded` (a structured ``503 overloaded`` at the HTTP
+  layer) instead of building unbounded backlog.
+* **Single writer, versioned swap** — all writes keep flowing through the
+  front-end process (the :class:`~repro.ingest.IngestPipeline` writer).
+  After an applied batch, :meth:`ReplicaPool.publish` exports the new
+  store + index tables under a fresh set of shared-memory segments keyed
+  by the index version, tells every replica to adopt them, flips the
+  pool's current-publication pointer, and retires the previous export
+  once every live replica has switched.  Replicas serve the old version
+  until the instant they adopt the new one — readers never block on
+  writers, never observe a half-applied batch, and every response carries
+  the exact index version (``extras["service_version"]``) it was computed
+  at.
+* **Supervision** — a heartbeat task pings idle replicas and watches
+  liveness; a crashed replica (including ``SIGKILL``) is detected, its
+  in-flight request is retried on a surviving replica, and a fresh worker
+  is spawned and attached to the current publication.  Crash handling is
+  invisible to clients beyond latency.
+
+Replica answers are **bit-identical** to single-process serving: workers
+run the very same :class:`~repro.service.FormationService` recommend path
+over the very same bytes (the shared segments are exported from the
+writer's arrays).  ``tests/service/test_pool_faults.py`` asserts the
+parity across crashes; :func:`canonical_response` defines which response
+keys are serving bookkeeping (replica id, cache counters) rather than
+semantic payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import ReproError
+from repro.utils.validation import require_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+    from repro.execution.shm import SharedExports, StoreSpec, TablesSpec
+    from repro.service.service import FormationService
+
+__all__ = [
+    "ReplicaPool",
+    "ReplicaSettings",
+    "ReplicaPoolError",
+    "PoolOverloaded",
+    "PoolShuttingDown",
+    "ReplicaCrashed",
+    "canonical_response",
+]
+
+#: Response keys (top-level and under ``extras``) that describe *how* a
+#: response was served rather than *what* was recommended.  The replica
+#: parity gates compare responses with these stripped; everything else —
+#: groups, members, items, scores, objective, version — must match
+#: single-process serving bit for bit.
+BOOKKEEPING_KEYS = ("coalesced", "replica", "pool_version")
+BOOKKEEPING_EXTRAS = (
+    "shards_recycled",
+    "shards_recomputed",
+    "subset_size",
+    "formation_seconds",
+    "recommendation_seconds",
+)
+
+
+def canonical_response(payload: dict) -> dict:
+    """Strip serving bookkeeping from a recommend response for parity checks.
+
+    Parameters
+    ----------
+    payload:
+        A ``/v1/recommend`` response body (or ``result.as_dict()``).
+
+    Returns
+    -------
+    dict
+        The payload minus :data:`BOOKKEEPING_KEYS` and, inside ``extras``,
+        minus :data:`BOOKKEEPING_EXTRAS` — the part that must be
+        bit-identical between single-process and replica serving.
+    """
+    out = {k: v for k, v in payload.items() if k not in BOOKKEEPING_KEYS}
+    extras = out.get("extras")
+    if isinstance(extras, dict):
+        out["extras"] = {
+            k: v for k, v in extras.items() if k not in BOOKKEEPING_EXTRAS
+        }
+    return out
+
+
+class ReplicaPoolError(ReproError):
+    """Base class for replica-pool failures (routing, supervision, swap)."""
+
+
+class PoolOverloaded(ReplicaPoolError):
+    """Raised when every replica is at its in-flight cap and the queue is full."""
+
+
+class PoolShuttingDown(ReplicaPoolError):
+    """Raised for requests queued (or arriving) after shutdown began."""
+
+
+class ReplicaCrashed(ReplicaPoolError):
+    """Raised when a replica dies (or stops answering) mid-request."""
+
+
+@dataclass(frozen=True)
+class ReplicaSettings:
+    """Picklable knobs a replica worker needs to rebuild the serving stack.
+
+    Attributes
+    ----------
+    k_max:
+        Index width served (must match the exported tables).
+    shards:
+        Cached-summary shard count (same value as the writer, so replica
+        results are bit-identical to single-process serving).
+    backend:
+        Formation-engine backend name (``None`` = default).
+    kernels:
+        Kernel generation adopted in the worker
+        (:func:`repro.core.kernels.set_kernels`).
+    kernel_threads:
+        Compiled-kernel thread count adopted in the worker (``None`` =
+        environment/CPU default).
+    compaction_fraction:
+        Forwarded to the replica's index wrapper (never triggers — the
+        replica applies no updates — but kept identical for parity).
+    """
+
+    k_max: int
+    shards: int = 8
+    backend: str | None = None
+    kernels: str | None = None
+    kernel_threads: int | None = None
+    compaction_fraction: float | None = 0.25
+
+
+@dataclass(frozen=True)
+class _Publication:
+    """One immutable published version of the serving state.
+
+    Attributes
+    ----------
+    version:
+        The writer index version these exports were taken at.
+    store_spec, tables_spec:
+        Shared-memory specs of the store and the ``(items, values)``
+        top-k tables (see :mod:`repro.execution.shm`).
+    removed:
+        Tombstoned user ids at this version.
+    staleness:
+        The writer index's staleness counter (adopted for stats parity).
+    exports:
+        The owning :class:`~repro.execution.shm.SharedExports`; closed by
+        the pool once every live replica has adopted a newer publication.
+    """
+
+    version: int
+    store_spec: "StoreSpec"
+    tables_spec: "TablesSpec"
+    removed: tuple[int, ...]
+    staleness: int
+    exports: "SharedExports" = field(repr=False)
+
+
+# --------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------- #
+
+
+def _publication_segments(store_spec, tables_spec) -> tuple[str, ...]:
+    """Every shared-memory segment name a publication's specs refer to."""
+    names = [array_spec.segment for _, array_spec in store_spec.arrays]
+    names.extend((tables_spec.items.segment, tables_spec.values.segment))
+    return tuple(names)
+
+
+def _build_replica_service(store_spec, tables_spec, removed, staleness,
+                           version, settings: ReplicaSettings):
+    """Construct the read-only serving stack over attached shared memory.
+
+    Parameters
+    ----------
+    store_spec, tables_spec:
+        The publication's shared-memory specs.
+    removed, staleness, version:
+        Writer index state adopted so replica responses report the exact
+        version (and serve the same active-user set).
+    settings:
+        The picklable :class:`ReplicaSettings`.
+    """
+    from repro.core.topk_index import TopKIndex
+    from repro.execution.shm import attach_store, attach_tables
+    from repro.service.service import FormationService
+
+    store = attach_store(store_spec)
+    items, values = attach_tables(tables_spec)
+    base = TopKIndex(items, values, store.n_items)
+    service = FormationService(
+        store,
+        k_max=settings.k_max,
+        shards=settings.shards,
+        backend=settings.backend,
+        compaction_fraction=settings.compaction_fraction,
+        base_index=base,
+    )
+    service.index.adopt_state(version, removed, staleness)
+    return service
+
+
+def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
+    """Entry point of one replica worker process.
+
+    Serves a tiny sequential message loop over ``conn``: ``adopt`` swaps in
+    a newly published version (detaching the previous segments), ``recommend``
+    answers one formation request from the attached state, ``ping`` confirms
+    liveness, ``stop`` exits.  The loop is single-threaded on purpose: a
+    version swap can never interleave with a request, so every response is
+    computed against exactly one fully-applied publication.
+
+    Parameters
+    ----------
+    conn:
+        The worker end of the duplex control pipe.
+    settings:
+        Picklable service knobs (:class:`ReplicaSettings`).
+    """
+    import signal
+
+    from repro.core.kernels import set_kernel_threads, set_kernels
+    from repro.execution.shm import detach, detach_all
+
+    # The front end owns orchestrated shutdown; a terminal Ctrl-C must not
+    # race it by killing workers mid-reply.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    if settings.kernels is not None:
+        set_kernels(settings.kernels)
+    set_kernel_threads(settings.kernel_threads)
+
+    service = None
+    held_segments: tuple[str, ...] = ()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):  # parent gone: orphan cleanup
+                break
+            kind = message[0]
+            if kind == "adopt":
+                _, version, store_spec, tables_spec, removed, staleness = message
+                old_service, old_segments = service, held_segments
+                service = _build_replica_service(
+                    store_spec, tables_spec, removed, staleness, version,
+                    settings,
+                )
+                held_segments = _publication_segments(store_spec, tables_spec)
+                del old_service  # drop array views before detaching
+                if old_segments:
+                    detach(old_segments)
+                conn.send(("adopted", version))
+            elif kind == "recommend":
+                _, request_id, params = message
+                try:
+                    result = service.recommend(**params)
+                except ReproError as exc:
+                    conn.send(("error", request_id, "validation", str(exc)))
+                except Exception as exc:  # noqa: BLE001 - process boundary
+                    conn.send(("error", request_id, "internal", str(exc)))
+                else:
+                    conn.send(("ok", request_id, result.as_dict()))
+            elif kind == "ping":
+                _, request_id = message
+                conn.send(
+                    ("pong", request_id,
+                     service.version if service is not None else None)
+                )
+            elif kind == "stop":
+                break
+    finally:
+        detach_all()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Parent-side replica handle
+# --------------------------------------------------------------------- #
+
+
+class _ReplicaHandle:
+    """Parent-side endpoint of one replica worker (blocking send/recv pairs).
+
+    A :class:`threading.Lock` serialises request/response exchanges, so the
+    sequential worker always answers the message it just received; the
+    asyncio router enforces the in-flight cap above this and runs the
+    blocking exchange on the default thread-pool executor.
+    """
+
+    def __init__(self, index: int, process, conn: "Connection") -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.inflight = 0
+        self.alive = True
+        self.adopted_version: int | None = None
+        self.last_reply = time.monotonic()
+        self._request_ids = itertools.count()
+
+    def _exchange(self, message: tuple, timeout: float) -> tuple:
+        """Send one message and wait for its reply (caller holds the lock)."""
+        try:
+            self.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise ReplicaCrashed(
+                f"replica {self.index} pipe closed on send: {exc}"
+            ) from exc
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.conn.poll(0.05):
+                    reply = self.conn.recv()
+                    self.last_reply = time.monotonic()
+                    return reply
+            except (EOFError, OSError) as exc:
+                raise ReplicaCrashed(
+                    f"replica {self.index} died mid-request"
+                ) from exc
+            if not self.process.is_alive():
+                raise ReplicaCrashed(
+                    f"replica {self.index} (pid {self.process.pid}) is dead"
+                )
+            if time.monotonic() > deadline:
+                raise ReplicaCrashed(
+                    f"replica {self.index} did not answer within {timeout:.1f}s"
+                )
+
+    def recommend(self, params: dict, timeout: float) -> dict:
+        """Run one recommend request on this replica (blocking).
+
+        Parameters
+        ----------
+        params:
+            Keyword arguments for
+            :meth:`~repro.service.FormationService.recommend`.
+        timeout:
+            Seconds before the replica is declared crashed.
+        """
+        with self.lock:
+            request_id = next(self._request_ids)
+            reply = self._exchange(("recommend", request_id, params), timeout)
+        kind = reply[0]
+        if kind == "ok" and reply[1] == request_id:
+            return reply[2]
+        if kind == "error" and reply[1] == request_id:
+            _, _, code, message = reply
+            raise _REMOTE_ERRORS.get(code, RuntimeError)(message)
+        raise ReplicaCrashed(
+            f"replica {self.index} answered out of protocol: {reply[:1]}"
+        )
+
+    def adopt(self, publication: _Publication, timeout: float) -> None:
+        """Switch this replica to ``publication`` (blocking, serialized).
+
+        Parameters
+        ----------
+        publication:
+            The freshly exported :class:`_Publication`.
+        timeout:
+            Seconds before the replica is declared crashed.
+        """
+        with self.lock:
+            reply = self._exchange(
+                ("adopt", publication.version, publication.store_spec,
+                 publication.tables_spec, publication.removed,
+                 publication.staleness),
+                timeout,
+            )
+        if reply[:2] != ("adopted", publication.version):
+            raise ReplicaCrashed(
+                f"replica {self.index} failed to adopt version "
+                f"{publication.version}: {reply[:1]}"
+            )
+        self.adopted_version = publication.version
+
+    def ping(self, timeout: float) -> bool:
+        """Heartbeat: ``True`` when the replica answers (or is busy serving).
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for the pong.
+        """
+        if not self.lock.acquire(blocking=False):
+            return True  # busy serving a request — demonstrably alive
+        try:
+            request_id = next(self._request_ids)
+            reply = self._exchange(("ping", request_id), timeout)
+            return reply[0] == "pong"
+        finally:
+            self.lock.release()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Ask the worker to exit; escalate to SIGKILL if it does not.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for a voluntary exit before killing.
+        """
+        self.alive = False
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - wedged worker
+            self.process.kill()
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+#: Remote error codes mapped back to local exception types.
+def _validation_error(message: str) -> ReproError:
+    """Rebuild a replica-side validation failure as a local ReproError."""
+    from repro.core.errors import GroupFormationError
+
+    return GroupFormationError(message)
+
+
+_REMOTE_ERRORS: dict[str, Any] = {"validation": _validation_error}
+
+
+# --------------------------------------------------------------------- #
+# The pool
+# --------------------------------------------------------------------- #
+
+
+class ReplicaPool:
+    """Route read traffic across N replica processes; publish writes to them.
+
+    Parameters
+    ----------
+    service:
+        The writer-side :class:`~repro.service.FormationService`.  The pool
+        never mutates it; it exports its store/index state on
+        :meth:`publish` and copies its configuration into the replicas.
+    replicas:
+        Number of worker processes (``>= 1``).
+    inflight:
+        Per-replica in-flight cap: how many requests may be assigned to
+        one replica at a time (1 computing + the rest pipelined in its
+        control pipe; default 2).
+    queue_depth:
+        Bounded overflow queue once every replica is at its cap; a request
+        arriving with the queue full fails fast with
+        :class:`PoolOverloaded` (default 64; 0 disables queueing).
+    settings:
+        Optional :class:`ReplicaSettings` override; derived from
+        ``service``'s current kernel/backend state when omitted.
+    request_timeout:
+        Seconds a dispatched request may take before the replica is
+        declared crashed and the request retried elsewhere (default 30).
+    heartbeat_interval:
+        Seconds between supervision sweeps (liveness check + idle pings;
+        default 1.0).
+
+    Notes
+    -----
+    Call :meth:`start` before serving, ideally while the host process has
+    no running threads (the worker start method is chosen accordingly:
+    ``fork`` from a single-threaded host, ``spawn`` otherwise).  The pool
+    is asyncio-native: :meth:`recommend`, :meth:`publish` and
+    :meth:`shutdown` are coroutines driven by the serving event loop.
+    """
+
+    def __init__(
+        self,
+        service: "FormationService",
+        replicas: int,
+        inflight: int = 2,
+        queue_depth: int = 64,
+        settings: ReplicaSettings | None = None,
+        request_timeout: float = 30.0,
+        heartbeat_interval: float = 1.0,
+    ) -> None:
+        self.service = service
+        self.replicas = require_positive_int(replicas, "replicas")
+        self.inflight = require_positive_int(inflight, "inflight")
+        if queue_depth < 0:
+            raise ReplicaPoolError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        self.queue_depth = int(queue_depth)
+        if request_timeout <= 0 or heartbeat_interval <= 0:
+            raise ReplicaPoolError(
+                "request_timeout and heartbeat_interval must be positive"
+            )
+        self.request_timeout = float(request_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.settings = settings if settings is not None else self._derive_settings()
+        self._context = self._pick_context()
+        self._slots: list[_ReplicaHandle] = []
+        self._current: _Publication | None = None
+        self._rr = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self._publish_lock: asyncio.Lock | None = None
+        self._supervisor: asyncio.Task | None = None
+        self._respawning: set[int] = set()
+        self._closing = False
+        self._started = False
+        self.counters = {
+            "dispatched": 0,
+            "retries": 0,
+            "respawns": 0,
+            "rejected_overloaded": 0,
+            "rejected_shutdown": 0,
+            "published_versions": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _derive_settings(self) -> ReplicaSettings:
+        """Replica settings mirroring the writer service's configuration."""
+        from repro.core.kernels import get_kernel_threads, get_kernels
+
+        stats = self.service.stats()
+        return ReplicaSettings(
+            k_max=int(stats["k_max"]),
+            shards=int(stats["shards"]),
+            backend=str(stats["backend"]),
+            kernels=get_kernels(),
+            kernel_threads=get_kernel_threads(),
+        )
+
+    @staticmethod
+    def _pick_context():
+        """The multiprocessing context replica workers are started with.
+
+        ``fork`` is cheapest and is safe while the host is single-threaded
+        (the pool starts before the asyncio server spawns executor
+        threads); a host that already runs threads — e.g. a warmed process
+        executor's manager thread — gets ``spawn`` workers instead, which
+        never inherit locks mid-acquire.
+        """
+        import multiprocessing as mp
+
+        if ("fork" in mp.get_all_start_methods()
+                and threading.active_count() == 1):
+            return mp.get_context("fork")
+        return mp.get_context("spawn")
+
+    def _export_publication(self) -> _Publication:
+        """Export the writer's current store + tables as a new publication."""
+        from repro.execution.shm import SharedExports
+
+        index = self.service.index
+        exports = SharedExports()
+        try:
+            store_spec = exports.export_store(self.service.store)
+            tables_spec = exports.export_tables(
+                index.items, index.values, index.n_items
+            )
+        except Exception:
+            exports.close()
+            raise
+        return _Publication(
+            version=index.version,
+            store_spec=store_spec,
+            tables_spec=tables_spec,
+            removed=tuple(sorted(int(u) for u in index.removed)),
+            staleness=index.staleness,
+            exports=exports,
+        )
+
+    def _spawn(self, index: int) -> _ReplicaHandle:
+        """Start one worker process and return its parent-side handle."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_replica_main,
+            args=(child_conn, self.settings),
+            name=f"repro-replica-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _ReplicaHandle(index, process, parent_conn)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Spawn every replica and attach it to the current service state.
+
+        Blocking (fast at service-bootstrap time); call once, before the
+        HTTP front end starts accepting.  Idempotent.
+        """
+        if self._started:
+            return
+        publication = self._export_publication()
+        slots = []
+        try:
+            for index in range(self.replicas):
+                slot = self._spawn(index)
+                slot.adopt(publication, self.request_timeout)
+                slots.append(slot)
+        except Exception:
+            for slot in slots:
+                slot.stop()
+            publication.exports.close()
+            raise
+        self._slots = slots
+        self._current = publication
+        self._started = True
+        self.counters["published_versions"] += 1
+
+    @property
+    def version(self) -> int:
+        """The currently published index version (the routing cache token)."""
+        return self._current.version if self._current is not None else -1
+
+    def stats(self) -> dict[str, Any]:
+        """Routing/supervision counters and per-replica liveness."""
+        return {
+            "replicas": self.replicas,
+            "alive": sum(
+                1 for s in self._slots if s.alive and s.process.is_alive()
+            ),
+            "inflight": sum(s.inflight for s in self._slots),
+            "queued": len(self._waiters),
+            "inflight_cap": self.inflight,
+            "queue_depth": self.queue_depth,
+            "published_version": self.version,
+            **self.counters,
+        }
+
+    async def shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Stop routing, drain in-flight work, stop workers, release exports.
+
+        Queued-but-undispatched requests are rejected with
+        :class:`PoolShuttingDown` (the HTTP layer answers them with a
+        structured ``503 shutting_down`` instead of dropping the
+        connection); dispatched requests get up to ``drain_timeout``
+        seconds to finish.  Idempotent.
+
+        Parameters
+        ----------
+        drain_timeout:
+            Seconds to wait for dispatched requests before stopping the
+            workers regardless.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                self.counters["rejected_shutdown"] += 1
+                waiter.set_exception(
+                    PoolShuttingDown("service is shutting down")
+                )
+        deadline = time.monotonic() + drain_timeout
+        while any(s.inflight for s in self._slots):
+            if time.monotonic() > deadline:  # pragma: no cover - wedged
+                break
+            await asyncio.sleep(0.02)
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(loop.run_in_executor(None, slot.stop) for slot in self._slots)
+        )
+        self._slots = []
+        if self._current is not None:
+            self._current.exports.close()
+            self._current = None
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def _ensure_async_state(self) -> None:
+        """Create loop-bound state and the supervisor task lazily."""
+        if self._publish_lock is None:
+            self._publish_lock = asyncio.Lock()
+        if self._supervisor is None or self._supervisor.done():
+            self._supervisor = asyncio.ensure_future(self._supervise())
+
+    def _pick_slot(self) -> _ReplicaHandle | None:
+        """Next live replica below its in-flight cap, round-robin."""
+        n = len(self._slots)
+        for offset in range(n):
+            slot = self._slots[(self._rr + offset) % n]
+            if slot.alive and slot.inflight < self.inflight:
+                self._rr = (self._rr + offset + 1) % n
+                return slot
+        return None
+
+    async def _acquire(self) -> _ReplicaHandle:
+        """Reserve one replica slot, queueing (bounded) when all are busy."""
+        if self._closing:
+            self.counters["rejected_shutdown"] += 1
+            raise PoolShuttingDown("service is shutting down")
+        slot = self._pick_slot()
+        if slot is not None:
+            slot.inflight += 1
+            return slot
+        if len(self._waiters) >= self.queue_depth:
+            self.counters["rejected_overloaded"] += 1
+            raise PoolOverloaded(
+                f"all {len(self._slots)} replicas at in-flight cap "
+                f"{self.inflight} and the queue ({self.queue_depth}) is full"
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        return await waiter
+
+    def _release(self, slot: _ReplicaHandle) -> None:
+        """Return a reserved slot and hand free capacity to queued waiters."""
+        slot.inflight = max(0, slot.inflight - 1)
+        self._dispatch_waiters()
+
+    def _dispatch_waiters(self) -> None:
+        """Assign free replica capacity to queued requests, FIFO."""
+        while self._waiters:
+            slot = self._pick_slot()
+            if slot is None:
+                return
+            waiter = self._waiters.popleft()
+            if waiter.done():  # cancelled by a disconnected client
+                continue
+            slot.inflight += 1
+            waiter.set_result(slot)
+
+    async def recommend(self, **params: Any) -> dict[str, Any]:
+        """Answer one recommend request on some live replica.
+
+        Crashed replicas are transparent: the request is retried on a
+        surviving replica (up to one attempt per configured replica plus
+        one) while the supervisor respawns the dead worker.
+
+        Parameters
+        ----------
+        **params:
+            Keyword arguments for
+            :meth:`~repro.service.FormationService.recommend`
+            (``k``, ``max_groups``, ``semantics``, ``aggregation``,
+            ``user_ids``).
+
+        Returns
+        -------
+        dict
+            ``result.as_dict()`` plus the serving-bookkeeping keys
+            ``replica`` and ``pool_version``.
+        """
+        self._ensure_async_state()
+        loop = asyncio.get_running_loop()
+        attempts = self.replicas + 1
+        last_crash: ReplicaCrashed | None = None
+        for _ in range(attempts):
+            slot = await self._acquire()
+            try:
+                payload = await loop.run_in_executor(
+                    None, slot.recommend, params, self.request_timeout
+                )
+            except ReplicaCrashed as exc:
+                last_crash = exc
+                self.counters["retries"] += 1
+                self._mark_dead(slot)
+                continue
+            finally:
+                self._release(slot)
+            self.counters["dispatched"] += 1
+            payload["replica"] = slot.index
+            payload["pool_version"] = self.version
+            return payload
+        raise ReplicaCrashed(
+            f"no replica answered after {attempts} attempts: {last_crash}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Versioned swap
+    # ------------------------------------------------------------------ #
+
+    async def publish(self) -> bool:
+        """Publish the writer's current version to every replica.
+
+        Exports the store + index tables under fresh shared-memory
+        segments, adopts them on each live replica through its serialized
+        control channel (so a swap never interleaves with a request), flips
+        the current-publication pointer, and closes the previous export
+        once every live replica has moved off it.  A no-op when the
+        current publication already matches the writer's version.
+
+        Returns
+        -------
+        bool
+            ``True`` when a new version was published.
+        """
+        self._ensure_async_state()
+        loop = asyncio.get_running_loop()
+        async with self._publish_lock:
+            if (self._current is not None
+                    and self._current.version == self.service.version):
+                return False
+            publication = await loop.run_in_executor(
+                None, self._export_publication
+            )
+            for slot in list(self._slots):
+                if not slot.alive:
+                    continue
+                try:
+                    await loop.run_in_executor(
+                        None, slot.adopt, publication, self.request_timeout
+                    )
+                except ReplicaCrashed:
+                    self._mark_dead(slot)
+            retired, self._current = self._current, publication
+            self.counters["published_versions"] += 1
+            if retired is not None:
+                # Every live replica now holds the new attachment (adopt is
+                # serialized with requests), and dead replicas' mappings
+                # died with their process — the old segments are drained.
+                retired.exports.close()
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+
+    def _mark_dead(self, slot: _ReplicaHandle) -> None:
+        """Take a crashed replica out of rotation and schedule its respawn."""
+        if not slot.alive:
+            return
+        slot.alive = False
+        try:
+            slot.process.kill()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        if slot.index not in self._respawning and not self._closing:
+            self._respawning.add(slot.index)
+            asyncio.ensure_future(self._respawn(slot.index))
+
+    async def _respawn(self, index: int) -> None:
+        """Replace the dead replica at ``index`` with a fresh worker.
+
+        Parameters
+        ----------
+        index:
+            Slot index of the replica being replaced.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._publish_lock:
+                if self._closing or self._current is None:
+                    return
+                publication = self._current
+
+                def bring_up() -> _ReplicaHandle:
+                    slot = self._spawn(index)
+                    try:
+                        slot.adopt(publication, self.request_timeout)
+                    except BaseException:
+                        slot.stop()
+                        raise
+                    return slot
+
+                try:
+                    replacement = await loop.run_in_executor(None, bring_up)
+                except ReplicaCrashed:  # pragma: no cover - respawn raced a
+                    return  # crash; the supervisor retries next sweep
+                old = self._slots[index]
+                self._slots[index] = replacement
+                self.counters["respawns"] += 1
+                await loop.run_in_executor(None, old.stop)
+            self._dispatch_waiters()
+        finally:
+            self._respawning.discard(index)
+
+    async def _supervise(self) -> None:
+        """Heartbeat loop: detect silent crashes, respawn missing workers."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            await asyncio.sleep(self.heartbeat_interval)
+            for slot in list(self._slots):
+                if not slot.alive:
+                    if (slot.index not in self._respawning
+                            and self._slots[slot.index] is slot):
+                        self._respawning.add(slot.index)
+                        asyncio.ensure_future(self._respawn(slot.index))
+                    continue
+                if not slot.process.is_alive():
+                    self._mark_dead(slot)
+                    continue
+                idle_for = time.monotonic() - slot.last_reply
+                if slot.inflight == 0 and idle_for >= self.heartbeat_interval:
+                    try:
+                        ok = await loop.run_in_executor(
+                            None, slot.ping, self.heartbeat_interval * 5
+                        )
+                    except ReplicaCrashed:
+                        ok = False
+                    if not ok:
+                        self._mark_dead(slot)

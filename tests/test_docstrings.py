@@ -39,6 +39,7 @@ DOCUMENTED_MODULES = [
     SRC / "service" / "http.py",
     SRC / "service" / "cli.py",
     SRC / "service" / "config.py",
+    SRC / "service" / "pool.py",
     SRC / "ingest" / "__init__.py",
     SRC / "ingest" / "events.py",
     SRC / "ingest" / "wal.py",

@@ -32,11 +32,13 @@ END = "<!-- bench-trajectory:end -->"
 #: Entry keys folded into the "configuration" column, in display order.
 _CONFIG_KEYS = (
     "backend", "store", "kernels", "threads", "stage", "semantics", "shards",
-    "workers", "execution", "metric", "batch_size", "k", "max_groups",
+    "workers", "execution", "metric", "replicas", "clients", "read_ratio",
+    "batch_size", "k", "max_groups",
 )
 #: Entry keys folded into the "notes" column (derived figures).
 _NOTE_KEYS = (
     "speedup", "speedup_vs_fast", "updates_per_second", "events_per_second",
+    "requests_per_second", "scaling_vs_single", "physical_cap",
     "batches_replayed",
     "peak_rss_gib", "objective", "generate_seconds",
 )
