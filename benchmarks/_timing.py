@@ -138,25 +138,27 @@ def write_bench_json(name: str, entries: list[dict], directory=None) -> Path:
 def merge_bench_json(
     name: str,
     entries: list[dict],
-    own_prefix: str,
+    own_prefix: "str | tuple[str, ...]",
     owns_prefix: bool = True,
     directory=None,
 ) -> Path:
     """Write ``BENCH_<name>.json``, replacing only this bench's entries.
 
-    Two benches share ``BENCH_service.json`` (the update/recovery bench
-    and the load harness); each owns a disjoint ``metric`` namespace
-    split by the ``load_`` prefix.  This writer preserves every existing
-    entry that belongs to the *other* bench and replaces this bench's own
+    Three benches share ``BENCH_service.json`` (the update/recovery
+    bench, the load harness and the telemetry-overhead gate); each owns
+    a disjoint ``metric`` namespace split by prefix — ``load_`` for the
+    harness, ``obs_`` for the overhead gate, the unprefixed remainder
+    for the update bench.  This writer preserves every existing entry
+    that belongs to the *other* benches and replaces this bench's own
     entries with ``entries`` — so the benches can run in any order, at
     any cadence, without clobbering each other's trend data.
 
-    Parameters mirror :func:`write_bench_json` plus: ``own_prefix`` is the
-    metric prefix splitting the namespaces (e.g. ``"load_"``), and
-    ``owns_prefix`` says which side this caller owns — ``True`` means
-    metrics starting with the prefix, ``False`` means the rest.  Entries
-    outside the caller's side raise ``ValueError`` (namespace discipline
-    is what makes the merge safe).
+    Parameters mirror :func:`write_bench_json` plus: ``own_prefix`` is
+    the metric prefix (or tuple of prefixes) splitting the namespaces
+    (e.g. ``"load_"``), and ``owns_prefix`` says which side this caller
+    owns — ``True`` means metrics starting with the prefix(es),
+    ``False`` means the rest.  Entries outside the caller's side raise
+    ``ValueError`` (namespace discipline is what makes the merge safe).
     """
     directory = Path(
         directory

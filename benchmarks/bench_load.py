@@ -17,6 +17,11 @@ serve`` subprocess (``0`` replicas = the single-process baseline), then:
   ``user_ids`` subsets larger than the service's result memo, so the
   replicas do real formation work instead of answering from cache.
   Records read throughput and p50/p99 latency.
+* **telemetry cross-check (blocking)** — the server's ``/v1/metrics``
+  histograms are scraped before and after the load leg; the delta's
+  p50/p99 must land within one log-spaced bucket of the client-observed
+  percentiles, and (with replicas) the queue-wait vs replica-service
+  mean split is recorded as ``load_latency_split``.
 
 Results land in ``BENCH_service.json`` under the ``load_`` metric
 namespace (merged, so the update/recovery bench's entries survive):
@@ -55,6 +60,7 @@ import urllib.request
 
 from _timing import bench_entry, merge_bench_json
 
+from repro.obs.registry import LATENCY_BUCKETS, bucket_index, bucket_quantile
 from repro.service.pool import canonical_response
 
 
@@ -63,6 +69,69 @@ def percentile(samples, q):
     ordered = sorted(samples)
     idx = min(len(ordered) - 1, max(0, int(round(q / 100 * len(ordered) - 0.5))))
     return ordered[idx]
+
+
+def fetch_metrics(port: int) -> dict:
+    """Scrape the server's ``/v1/metrics`` JSON exposition."""
+    url = f"http://127.0.0.1:{port}/v1/metrics?format=json"
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.load(response)
+
+
+def hist_delta(before: dict, after: dict, key: str) -> dict:
+    """Per-bucket delta of one histogram between two metric scrapes.
+
+    The registry's counters are monotonic, so the difference isolates
+    exactly the observations made between the scrapes — here, the load
+    leg — regardless of what the parity script did earlier.
+    """
+    b = before["histograms"][key]
+    a = after["histograms"][key]
+    counts = [ab[1] - bb[1] for ab, bb in zip(a["buckets"], b["buckets"])]
+    counts.append(a["overflow"] - b["overflow"])
+    return {
+        "counts": counts,
+        "count": a["count"] - b["count"],
+        "sum": a["sum"] - b["sum"],
+    }
+
+
+def cross_check_latency(client_p50: float, client_p99: float,
+                        delta: dict, failures: list[str],
+                        label: str) -> dict:
+    """Require client- and server-side p50/p99 to land within one bucket.
+
+    The server histogram has fixed log-spaced buckets, so the strongest
+    honest claim is bucket-level agreement: the client-side percentile
+    must fall in the same bucket as the server-side one, or an adjacent
+    one (timestamps straddle the socket, so exact agreement is not
+    guaranteed).  A larger gap means the exposition is lying about the
+    latency distribution — that fails the bench.
+    """
+    report = {"server_count": delta["count"]}
+    if delta["count"] <= 0:
+        failures.append(
+            f"{label}: server recommend histogram recorded no observations "
+            f"during the load leg"
+        )
+        return report
+    for name, q, client_value in (("p50", 0.5, client_p50),
+                                  ("p99", 0.99, client_p99)):
+        server_bound = bucket_quantile(delta["counts"], q)
+        report[f"server_{name}_le"] = server_bound
+        if server_bound is None:  # overflow bucket: cannot localise
+            continue
+        server_idx = LATENCY_BUCKETS.index(server_bound)
+        client_idx = bucket_index(client_value)
+        report[f"{name}_bucket_gap"] = abs(client_idx - server_idx)
+        if abs(client_idx - server_idx) > 1:
+            failures.append(
+                f"{label}: client {name} {client_value * 1000:.2f} ms "
+                f"(bucket {client_idx}) vs server histogram {name} "
+                f"<= {server_bound * 1000:.2f} ms (bucket {server_idx}) "
+                f"disagree by more than one bucket"
+            )
+    return report
 
 
 def usable_cores() -> int:
@@ -329,16 +398,38 @@ def main(argv=None) -> int:
                     f"{replicas}-replica responses differ from single-process "
                     f"serving in {mismatch}/{len(trace)} scripted reads"
                 )
+            metrics_before = fetch_metrics(port)
             load = run_load(port, args, subsets)
+            metrics_after = fetch_metrics(port)
         finally:
             stop_server(proc)
+        recommend_key = 'repro_http_request_seconds{route="recommend"}'
+        check = cross_check_latency(
+            load["p50"], load["p99"],
+            hist_delta(metrics_before, metrics_after, recommend_key),
+            failures, f"replicas={replicas}",
+        )
+        split = {}
+        if replicas:
+            for metric, key in (("queue_wait", "repro_pool_queue_wait_seconds"),
+                                ("service_time",
+                                 "repro_pool_replica_call_seconds")):
+                d = hist_delta(metrics_before, metrics_after, key)
+                if d["count"] > 0:
+                    split[f"{metric}_mean"] = d["sum"] / d["count"]
         results[replicas] = load
         parity = "parity ok" if not failures else "PARITY MISMATCH"
+        split_text = ""
+        if split:
+            split_text = " | " + " ".join(
+                f"{name.replace('_mean', '')} {value * 1000:.2f} ms"
+                for name, value in sorted(split.items())
+            )
         print(
             f"  replicas={replicas}: {load['read_throughput']:7.1f} reads/s "
             f"({load['reads']} reads, {load['writes']} writes in "
             f"{load['seconds']:.1f}s) | p50 {load['p50'] * 1000:6.1f} ms | "
-            f"p99 {load['p99'] * 1000:6.1f} ms | {parity}"
+            f"p99 {load['p99'] * 1000:6.1f} ms | {parity}{split_text}"
         )
         common = {
             "replicas": replicas,
@@ -352,11 +443,19 @@ def main(argv=None) -> int:
                         reads=load["reads"], writes=load["writes"], **common),
             bench_entry(instance, load["p50"], backend="numpy",
                         store=args.store, metric="load_read_p50",
-                        k=args.k, max_groups=args.groups, **common),
+                        k=args.k, max_groups=args.groups,
+                        server_p50_le=check.get("server_p50_le"), **common),
             bench_entry(instance, load["p99"], backend="numpy",
                         store=args.store, metric="load_read_p99",
-                        k=args.k, max_groups=args.groups, **common),
+                        k=args.k, max_groups=args.groups,
+                        server_p99_le=check.get("server_p99_le"), **common),
         ])
+        if split:
+            entries.append(
+                bench_entry(instance, load["seconds"], backend="numpy",
+                            store=args.store, metric="load_latency_split",
+                            **split, **common)
+            )
 
     single = results.get(0)
     multi = {r: v for r, v in results.items() if r > 0}

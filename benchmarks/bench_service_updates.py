@@ -326,7 +326,7 @@ def main(argv=None) -> int:
     entries.extend(durable_entries)
     # The load harness (bench_load.py) shares this file and owns the
     # "load_" metric namespace; merge so neither bench clobbers the other.
-    path = merge_bench_json("service", entries, "load_", owns_prefix=False)
+    path = merge_bench_json("service", entries, ("load_", "obs_"), owns_prefix=False)
     print(f"  timings written to {path}")
 
     if args.min_speedup and speedup < args.min_speedup:

@@ -47,6 +47,15 @@ replica answering anything different from single-process serving fails
 this gate (the scaling floor is left to the bench's own
 ``--min-scaling`` at acceptance scale).
 
+``--obs-overhead`` gates the telemetry plane itself: the per-request
+cost of the recommend path's instrumentation sequence (measured
+differentially — a tight enabled loop minus the identical disabled
+loop), divided by the median end-to-end recommend latency over
+cache-busting subset reads, must stay within ``--max-obs-overhead``
+(default 2%) — the instrumented hot path is required to stay
+effectively free.  The measured ratio is recorded as ``obs_`` entries
+in ``BENCH_service.json``.
+
 Each run also writes ``BENCH_regression.json`` (per-instance wall time,
 backend, store, commit) so the perf trajectory is tracked across PRs.
 
@@ -134,6 +143,18 @@ def main(argv=None) -> int:
                              "runtime ratio for --kernel-gate (default: 0 = "
                              "parity-only trend report; the >= 3x acceptance "
                              "floor runs through bench_kernels.py at full size)")
+    parser.add_argument("--obs-overhead", action="store_true", dest="obs_overhead",
+                        help="also gate the telemetry plane's cost on the "
+                             "recommend hot path: interleaved metrics-on vs "
+                             "metrics-off legs over cache-busting subset "
+                             "reads, best-of-N each; blocking when the "
+                             "enabled/disabled ratio exceeds "
+                             "--max-obs-overhead")
+    parser.add_argument("--max-obs-overhead", type=float, default=0.02,
+                        dest="max_obs_overhead",
+                        help="max allowed fractional slowdown from enabled "
+                             "telemetry on the recommend hot path "
+                             "(default: 0.02 = 2%%)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
 
@@ -438,6 +459,124 @@ def main(argv=None) -> int:
                 "replica serving failed the load harness (parity with "
                 "single-process serving is blocking)"
             )
+
+    if args.obs_overhead:
+        # Telemetry-cost gate: the metrics plumbing on the recommend hot
+        # path must cost <= --max-obs-overhead when enabled.  End-to-end
+        # A/B wall-clock timing cannot gate this honestly on a shared CI
+        # box: A/A runs of an interleaved, order-balanced leg protocol
+        # swing by +-2% — the same magnitude as the threshold.  So the
+        # gate measures the two factors separately and combines them:
+        #
+        # * the median end-to-end recommend latency over cache-busting
+        #   subset reads (every request names a distinct subset and the
+        #   subset count exceeds the result memo, so each one computes);
+        # * the per-request cost of the exact instrumentation sequence
+        #   the recommend path executes (one counter inc + the two fused
+        #   span/histogram blocks — see the mutation audit in
+        #   docs/observability.md), timed differentially: a tight loop
+        #   with metrics enabled minus the identical loop disabled.
+        #
+        # overhead = instrumentation_cost / median_latency — the
+        # throughput delta attributable to telemetry, with engine noise
+        # factored out of the numerator.
+        import time as _time
+
+        import numpy as np
+
+        from _timing import merge_bench_json
+
+        from repro.obs.registry import (
+            H_KERNEL_BUCKETIZE,
+            H_RECOMMEND,
+            K_KERNEL_BUCKETIZE_CALLS,
+            K_REQUESTS,
+            set_enabled,
+        )
+        from repro.obs.runtime import observed
+        from repro.recsys import DenseStore
+        from repro.service import FormationService
+
+        print("\ntelemetry overhead gate:")
+        service = FormationService(
+            DenseStore(ratings.values, scale=ratings.scale),
+            k_max=args.k, shards=4,
+        )
+        obs_registry = service.metrics
+        rng = np.random.default_rng(args.seed + 2015)
+        subset_size = max(8, min(64, args.users // 4))
+        n_subsets = 160  # > the result memo (128): every request computes
+        subsets = [
+            np.sort(rng.choice(args.users, size=subset_size, replace=False)).tolist()
+            for _ in range(n_subsets)
+        ]
+
+        def obs_request_times() -> list:
+            times = []
+            for subset in subsets:
+                t0 = _time.perf_counter()
+                service.recommend(k=args.k, max_groups=args.groups,
+                                  user_ids=subset)
+                times.append(_time.perf_counter() - t0)
+            return times
+
+        def obs_instrumentation_seconds(reps: int) -> float:
+            t0 = _time.perf_counter()
+            for _ in range(reps):
+                obs_registry.inc(K_REQUESTS)
+                with observed("kernel.bucketize", H_KERNEL_BUCKETIZE,
+                              counter=K_KERNEL_BUCKETIZE_CALLS,
+                              registry=obs_registry):
+                    pass
+                with observed("service.recommend", H_RECOMMEND,
+                              registry=obs_registry):
+                    pass
+            return _time.perf_counter() - t0
+
+        obs_reps = 20000
+        try:
+            obs_request_times()  # warm (allocator, numpy, code paths)
+            latencies = sorted(obs_request_times())
+            median_latency = latencies[len(latencies) // 2]
+            obs_cost = {True: float("inf"), False: float("inf")}
+            for _ in range(max(args.rounds, 3)):
+                for obs_on in (True, False):
+                    set_enabled(obs_on)
+                    obs_cost[obs_on] = min(
+                        obs_cost[obs_on], obs_instrumentation_seconds(obs_reps)
+                    )
+        finally:
+            set_enabled(True)
+            service.close()
+        per_request = max(0.0, (obs_cost[True] - obs_cost[False]) / obs_reps)
+        obs_overhead = per_request / median_latency
+        status = "ok"
+        if obs_overhead > args.max_obs_overhead:
+            status = "TOO SLOW"
+            failures.append(
+                f"telemetry: enabled-metrics overhead "
+                f"{obs_overhead * 100:.2f}% > allowed "
+                f"{args.max_obs_overhead * 100:.2f}% on the recommend hot path"
+            )
+        print(
+            f"recommend hot path ({n_subsets} subset reads of "
+            f"{subset_size} users): "
+            f"median request {median_latency * 1000:7.3f} ms | "
+            f"instrumentation {per_request * 1e6:5.2f} us/request | "
+            f"overhead {obs_overhead * 100:+.2f}% | {status}"
+        )
+        obs_path = merge_bench_json("service", [
+            bench_entry(
+                f"obs overhead {instance}", median_latency, backend="numpy",
+                store="dense", metric="obs_recommend_median",
+                requests=n_subsets, obs_overhead=obs_overhead,
+            ),
+            bench_entry(
+                f"obs overhead {instance}", per_request, backend="numpy",
+                store="dense", metric="obs_instrumentation_per_request",
+            ),
+        ], "obs_")
+        print(f"telemetry overhead written to {obs_path}")
 
     if failures:
         print("\nFAIL:", "; ".join(failures), file=sys.stderr)

@@ -76,6 +76,13 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.core.preferences import _top_k_table_dispatch, _top_k_table_sorted
+from repro.obs.registry import (
+    H_KERNEL_BUCKETIZE,
+    H_KERNEL_TOPK,
+    K_KERNEL_BUCKETIZE_CALLS,
+    K_KERNEL_TOPK_CALLS,
+)
+from repro.obs.runtime import observed
 
 __all__ = [
     "DEFAULT_KERNELS",
@@ -478,17 +485,18 @@ def top_k_table(
         ``(n_users, k)`` int64 item table and float64 rating table.
     """
     values = np.asarray(values, dtype=np.float64)
-    if _active == "classic":
-        return _top_k_table_dispatch(values, k, assume_finite=assume_finite)
-    if _active == "parallel":
-        backend = _load_parallel()
-        if backend is not None:
-            return backend.top_k(values, k, get_kernel_threads())
-    if not assume_finite and np.isneginf(values).any():
-        # The peel branch masks with -inf; the classic contract handles
-        # explicit -inf ratings through the full stable sort.
-        return _top_k_table_sorted(values, k)
-    return _top_k_table_fast(values, k)
+    with observed("kernel.top_k", H_KERNEL_TOPK, counter=K_KERNEL_TOPK_CALLS):
+        if _active == "classic":
+            return _top_k_table_dispatch(values, k, assume_finite=assume_finite)
+        if _active == "parallel":
+            backend = _load_parallel()
+            if backend is not None:
+                return backend.top_k(values, k, get_kernel_threads())
+        if not assume_finite and np.isneginf(values).any():
+            # The peel branch masks with -inf; the classic contract handles
+            # explicit -inf ratings through the full stable sort.
+            return _top_k_table_sorted(values, k)
+        return _top_k_table_fast(values, k)
 
 
 # --------------------------------------------------------------------------- #
@@ -809,19 +817,22 @@ def bucketize(
     if n_users == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, empty
-    if _active == "classic":
-        packed = pack_key_rows(items_table, scores_table, key_scores)
-        sorted_users, new_segment = _group_rows_lexsort(packed)
-    else:
-        # fast/parallel: fused fingerprints straight off the tables — the
-        # packed key matrix never materialises unless verification needs it.
-        sorted_users, new_segment = _group_tables_fused(
-            items_table, scores_table, key_scores
-        )
-    starts = np.flatnonzero(new_segment)
-    inverse = np.empty(n_users, dtype=np.int64)
-    inverse[sorted_users] = np.cumsum(new_segment) - 1
-    return inverse, sorted_users, starts
+    with observed(
+        "kernel.bucketize", H_KERNEL_BUCKETIZE, counter=K_KERNEL_BUCKETIZE_CALLS
+    ):
+        if _active == "classic":
+            packed = pack_key_rows(items_table, scores_table, key_scores)
+            sorted_users, new_segment = _group_rows_lexsort(packed)
+        else:
+            # fast/parallel: fused fingerprints straight off the tables — the
+            # packed key matrix never materialises unless verification needs it.
+            sorted_users, new_segment = _group_tables_fused(
+                items_table, scores_table, key_scores
+            )
+        starts = np.flatnonzero(new_segment)
+        inverse = np.empty(n_users, dtype=np.int64)
+        inverse[sorted_users] = np.cumsum(new_segment) - 1
+        return inverse, sorted_users, starts
 
 
 def bucket_reduce(

@@ -468,14 +468,27 @@ class ProcessExecutor(Executor):
         if self._pool is None:
             import multiprocessing as mp
 
+            from repro.obs import runtime as obs_runtime
+
             context = (
                 mp.get_context("fork")
                 if "fork" in mp.get_all_start_methods()
                 else mp.get_context()
             )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
-            )
+            # When the telemetry plane reserved slab slots for executor
+            # workers (ServiceConfig stacks), each worker claims one in its
+            # initializer so its kernel metrics aggregate with the stack's.
+            worker_init = obs_runtime.worker_initializer()
+            if worker_init is not None:
+                initializer, initargs = worker_init
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context,
+                    initializer=initializer, initargs=initargs,
+                )
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
         return self._pool
 
     def map_shards(self, store, bounds, k, variant, block_users=None, shard_ids=None):

@@ -41,6 +41,16 @@ from repro.core.errors import IngestError, ReproError
 from repro.ingest.events import FoldPolicy, fold_events
 from repro.ingest.snapshot import SnapshotManager
 from repro.ingest.wal import WriteAheadLog
+from repro.obs.registry import (
+    G_LAST_SNAPSHOT_TS,
+    G_WAL_BACKLOG,
+    H_INGEST_APPLY,
+    H_SNAPSHOT,
+    K_EVENTS_INGESTED,
+    K_INGEST_BATCHES,
+    K_SNAPSHOTS,
+)
+from repro.obs.runtime import get_registry, observed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Callable, Sequence
@@ -97,6 +107,11 @@ class IngestPipeline:
         self.batches_ingested = 0
         self.events_ingested = 0
         self.snapshots_taken = 0
+        #: ``(applied_seq, unix mtime)`` of the newest snapshot — seeded
+        #: from disk so durability lag is honest right after recovery.
+        latest = snapshots.latest_info()
+        self.last_snapshot_seq = latest[0] if latest is not None else 0
+        self.last_snapshot_at = latest[1] if latest is not None else None
         #: Recovery bookkeeping filled in by :meth:`open` (None otherwise).
         self.recovery: dict[str, Any] | None = None
         service.journal = wal
@@ -121,12 +136,16 @@ class IngestPipeline:
             ``{"events": <count>, "snapshot_taken": <bool>}``.
         """
         with self._lock:
-            upserts, deletes = fold_events(
-                events, self.service.store.scale, self.policy
-            )
-            stats = self.service.apply_updates(upserts=upserts, deletes=deletes)
+            with observed("ingest.apply", H_INGEST_APPLY):
+                upserts, deletes = fold_events(
+                    events, self.service.store.scale, self.policy
+                )
+                stats = self.service.apply_updates(upserts=upserts, deletes=deletes)
             self.batches_ingested += 1
             self.events_ingested += len(events)
+            registry = get_registry()
+            registry.inc(K_INGEST_BATCHES)
+            registry.inc(K_EVENTS_INGESTED, len(events))
             stats["events"] = len(events)
             stats["snapshot_taken"] = self._after_batch()
             return stats
@@ -140,18 +159,24 @@ class IngestPipeline:
         the same snapshot cadence as :meth:`ingest`.
         """
         with self._lock:
-            stats = self.service.apply_updates(**batch)
+            with observed("ingest.apply", H_INGEST_APPLY):
+                stats = self.service.apply_updates(**batch)
             self.batches_ingested += 1
+            get_registry().inc(K_INGEST_BATCHES)
             stats["snapshot_taken"] = self._after_batch()
             return stats
 
     def _after_batch(self) -> bool:
         """Advance the snapshot cadence; snapshot when it comes due."""
         self._batches_since_snapshot += 1
+        taken = False
         if self.snapshot_every and self._batches_since_snapshot >= self.snapshot_every:
             self.snapshot()
-            return True
-        return False
+            taken = True
+        get_registry().gauge_set(
+            G_WAL_BACKLOG, self.wal.last_seq - self.last_snapshot_seq
+        )
+        return taken
 
     # ------------------------------------------------------------------ #
     # Durability controls
@@ -166,16 +191,22 @@ class IngestPipeline:
             ``{"path", "applied_seq", "segments_truncated"}``.
         """
         with self._lock:
-            self.wal.sync()
-            applied_seq = self.wal.last_seq
-            path = self.snapshots.save(self.service.index, applied_seq)
-            self.wal.rotate()
-            oldest = self.snapshots.oldest_retained_seq()
-            truncated = (
-                self.wal.truncate_through(oldest) if oldest is not None else 0
-            )
+            with observed("snapshot", H_SNAPSHOT, counter=K_SNAPSHOTS):
+                self.wal.sync()
+                applied_seq = self.wal.last_seq
+                path = self.snapshots.save(self.service.index, applied_seq)
+                self.wal.rotate()
+                oldest = self.snapshots.oldest_retained_seq()
+                truncated = (
+                    self.wal.truncate_through(oldest) if oldest is not None else 0
+                )
             self._batches_since_snapshot = 0
             self.snapshots_taken += 1
+            self.last_snapshot_seq = applied_seq
+            self.last_snapshot_at = time.time()
+            registry = get_registry()
+            registry.gauge_set(G_LAST_SNAPSHOT_TS, self.last_snapshot_at)
+            registry.gauge_set(G_WAL_BACKLOG, 0)
             return {
                 "path": str(path),
                 "applied_seq": applied_seq,
@@ -202,6 +233,33 @@ class IngestPipeline:
                 "snapshots_taken": self.snapshots_taken,
                 "snapshot_every": self.snapshot_every,
                 "batches_since_snapshot": self._batches_since_snapshot,
+            }
+
+    def durability(self) -> dict[str, Any]:
+        """Durability-lag readout surfaced by ``/v1/healthz``.
+
+        Returns
+        -------
+        dict
+            ``wal_backlog`` (records appended since the last snapshot),
+            ``last_snapshot_seq``, ``last_snapshot_age_seconds`` (``None``
+            before any snapshot exists) and ``last_fsync_seconds`` (0.0
+            before the first fsync) — the three numbers that grow when
+            recovery time is silently blowing up.
+        """
+        with self._lock:
+            age = (
+                max(0.0, round(time.time() - self.last_snapshot_at, 3))
+                if self.last_snapshot_at is not None
+                else None
+            )
+            backlog = self.wal.last_seq - self.last_snapshot_seq
+            get_registry().gauge_set(G_WAL_BACKLOG, float(backlog))
+            return {
+                "wal_backlog": backlog,
+                "last_snapshot_seq": self.last_snapshot_seq,
+                "last_snapshot_age_seconds": age,
+                "last_fsync_seconds": round(self.wal.last_sync_seconds, 6),
             }
 
     # ------------------------------------------------------------------ #

@@ -206,6 +206,23 @@ class SnapshotManager:
     # Load
     # ------------------------------------------------------------------ #
 
+    def latest_info(self) -> tuple[int, float] | None:
+        """``(applied_seq, mtime)`` of the newest snapshot on disk.
+
+        Returns ``None`` for an empty directory.  Used to seed the
+        durability-lag readout (`/v1/healthz`) after recovery without
+        parsing the snapshot payload.
+        """
+        paths = self._paths()
+        if not paths:
+            return None
+        newest = paths[-1]
+        try:
+            mtime = newest.stat().st_mtime
+        except OSError:  # pragma: no cover - racing an external prune
+            return None
+        return int(newest.stem.split("-", 1)[1]), float(mtime)
+
     def oldest_retained_seq(self) -> int | None:
         """``applied_seq`` of the oldest snapshot on disk (None when empty).
 

@@ -33,11 +33,20 @@ import io
 import json
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.errors import IngestError
+from repro.obs.registry import (
+    G_LAST_FSYNC,
+    H_WAL_APPEND,
+    H_WAL_FSYNC,
+    K_WAL_APPENDS,
+    K_WAL_FSYNCS,
+)
+from repro.obs.runtime import get_registry, observed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Iterator
@@ -128,6 +137,9 @@ class WriteAheadLog:
         self._unsynced = 0
         #: Total fsync calls issued (observable for tests/benchmarks).
         self.syncs = 0
+        #: Duration of the most recent fsync, in seconds (0.0 before the
+        #: first sync) — surfaced by ``/v1/healthz`` as durability lag.
+        self.last_sync_seconds = 0.0
         self._last_seq = 0
         self._recover_segments()
 
@@ -243,25 +255,26 @@ class WriteAheadLog:
         """
         if self._closed:
             raise IngestError("cannot append to a closed WAL")
-        seq = self._last_seq + 1
-        payload = json.dumps(
-            record, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        if self._handle is None:
-            self._open_segment(seq)
-        elif (
-            self._handle.tell() + _HEADER.size + len(payload) + _CRC.size
-            > self.segment_bytes
-            and self._handle.tell() > len(_MAGIC)
-        ):
-            self.rotate()
-            self._open_segment(seq)
-        header = _HEADER.pack(seq, len(payload))
-        frame = header + payload
-        self._handle.write(frame + _CRC.pack(zlib.crc32(frame)))
-        self._handle.flush()
-        self._last_seq = seq
-        self._unsynced += 1
+        with observed("wal.append", H_WAL_APPEND, counter=K_WAL_APPENDS):
+            seq = self._last_seq + 1
+            payload = json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            if self._handle is None:
+                self._open_segment(seq)
+            elif (
+                self._handle.tell() + _HEADER.size + len(payload) + _CRC.size
+                > self.segment_bytes
+                and self._handle.tell() > len(_MAGIC)
+            ):
+                self.rotate()
+                self._open_segment(seq)
+            header = _HEADER.pack(seq, len(payload))
+            frame = header + payload
+            self._handle.write(frame + _CRC.pack(zlib.crc32(frame)))
+            self._handle.flush()
+            self._last_seq = seq
+            self._unsynced += 1
         if self._unsynced >= self.sync_every:
             self.sync()
         return seq
@@ -269,9 +282,14 @@ class WriteAheadLog:
     def sync(self) -> None:
         """fsync the active segment (no-op when nothing is pending)."""
         if self._handle is not None and self._unsynced:
-            os.fsync(self._handle.fileno())
+            t0 = time.perf_counter()
+            with observed("wal.fsync", H_WAL_FSYNC, counter=K_WAL_FSYNCS):
+                os.fsync(self._handle.fileno())
+            self.last_sync_seconds = time.perf_counter() - t0
             self.syncs += 1
             self._unsynced = 0
+            registry = get_registry()
+            registry.gauge_set(G_LAST_FSYNC, self.last_sync_seconds)
 
     def rotate(self) -> None:
         """Seal the active segment; the next append opens a fresh one."""

@@ -1,0 +1,89 @@
+"""Exposition: render a metrics registry as Prometheus text or JSON.
+
+Two formats from the same aggregated snapshot:
+
+* :func:`render_prometheus` emits the Prometheus text exposition format
+  (``text/plain; version=0.0.4``): ``# HELP``/``# TYPE`` per family,
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` per
+  histogram — directly scrapeable;
+* :func:`render_json` returns the registry snapshot dict (with per-bucket
+  counts and precomputed ``p50``/``p95``/``p99``) — what ``bench_load``
+  and humans consume.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import HISTOGRAM, LATENCY_BUCKETS, MetricsRegistry
+
+__all__ = ["render_prometheus", "render_json", "CONTENT_TYPE_PROMETHEUS"]
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    """Render ``value`` the way Prometheus expects (integers bare)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    """Render ``labels`` (plus an optional pre-rendered ``extra`` pair)."""
+    parts = [f'{name}="{value}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry``, aggregated across slots, as Prometheus text.
+
+    Parameters
+    ----------
+    registry:
+        The registry to expose.
+    """
+    cells = registry.aggregate()
+    schema = registry.schema
+    lines: list[str] = []
+    announced: set[str] = set()
+    for spec in schema.specs:
+        if spec.name not in announced:
+            announced.add(spec.name)
+            lines.append(f"# HELP {spec.name} {spec.help}")
+            lines.append(f"# TYPE {spec.name} {spec.kind}")
+        offset = schema.offsets[spec.key]
+        if spec.kind == HISTOGRAM:
+            cumulative = 0.0
+            for i, le in enumerate(LATENCY_BUCKETS):
+                cumulative += cells[offset + i]
+                labels = _labels_text(spec.labels, f'le="{le}"')
+                lines.append(
+                    f"{spec.name}_bucket{labels} {_format_value(cumulative)}"
+                )
+            cumulative += cells[offset + len(LATENCY_BUCKETS)]
+            labels = _labels_text(spec.labels, 'le="+Inf"')
+            lines.append(f"{spec.name}_bucket{labels} {_format_value(cumulative)}")
+            plain = _labels_text(spec.labels)
+            total = cells[offset + len(LATENCY_BUCKETS) + 1]
+            lines.append(f"{spec.name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{spec.name}_count{plain} {_format_value(cumulative)}")
+        else:
+            labels = _labels_text(spec.labels)
+            lines.append(f"{spec.name}{labels} {_format_value(cells[offset])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry) -> dict:
+    """Return the JSON-exposition payload for ``registry``.
+
+    Parameters
+    ----------
+    registry:
+        The registry to expose.
+    """
+    payload = registry.snapshot()
+    payload["buckets"] = list(LATENCY_BUCKETS)
+    return payload

@@ -1,0 +1,78 @@
+"""Structured (JSON-lines) logging for the serving stack.
+
+``repro serve --log-format json`` switches the ``repro`` logger tree onto
+a :class:`JsonLineFormatter`: one JSON object per line with timestamp,
+level, logger and message, merged with any dict a call site attaches as
+``extra={"fields": {...}}`` — which is how the HTTP server emits per-request
+access records and slow-request trace dumps without string formatting on
+the hot path.  The default ``text`` format leaves logging exactly as
+before (stdlib ``lastResort`` handler, warnings and above only).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+__all__ = ["JsonLineFormatter", "configure_logging"]
+
+LOG_FORMATS = ("text", "json")
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format every record as one JSON object per line.
+
+    The serialised object carries ``ts`` (unix seconds), ``level``,
+    ``logger`` and ``message``, plus every key of the record's optional
+    ``fields`` dict (attached via ``extra={"fields": {...}}``).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Serialise ``record`` to a single JSON line.
+
+        Parameters
+        ----------
+        record:
+            The log record to serialise.
+        """
+        payload = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+def configure_logging(log_format: str = "text",
+                      level: int = logging.INFO) -> None:
+    """Configure the ``repro`` logger tree for ``log_format``.
+
+    Parameters
+    ----------
+    log_format:
+        ``"text"`` (leave stdlib logging untouched) or ``"json"``
+        (attach a stderr handler with :class:`JsonLineFormatter`).
+    level:
+        Level for the ``repro`` logger when JSON logging is enabled.
+    """
+    if log_format not in LOG_FORMATS:
+        raise ValueError(f"unknown log format: {log_format!r}")
+    if log_format != "json":
+        return
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_json", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(JsonLineFormatter())
+    handler._repro_json = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False

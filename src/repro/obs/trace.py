@@ -1,0 +1,177 @@
+"""Request-scoped tracing over ``contextvars`` with ~zero disabled cost.
+
+A trace is created per HTTP request (when the server was started with
+``--trace-slow-ms``) and travels implicitly through the async call graph in
+a :class:`contextvars.ContextVar`:
+
+* ``await`` chains propagate context automatically, so spans recorded deep
+  inside :meth:`ReplicaPool.recommend` land on the trace of the request
+  that *initiated* the coalesced computation;
+* ``loop.run_in_executor`` does **not** propagate context — callers that
+  hop to a thread while a trace is active wrap the callable with
+  ``contextvars.copy_context().run`` (see ``repro.service.http``);
+* replica processes build their own span list per traced request and ship
+  it back over the pipe; :func:`graft` re-bases those spans onto the
+  parent's clock.
+
+When no trace is active (the overwhelmingly common case), :func:`push` is
+one ``ContextVar.get`` plus a ``None`` check — there is no object
+allocation, no clock read beyond the caller's own, and nothing to clean up,
+which is what keeps instrumentation on by default affordable.
+
+Spans are recorded as a flat list of ``{name, start_ms, duration_ms}``
+dicts ordered by completion; nesting is implied by interval containment
+(a flat list sidesteps races when parallel contexts share one trace).
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextvars import ContextVar
+from typing import Any
+
+__all__ = [
+    "Trace",
+    "begin",
+    "end",
+    "active",
+    "push",
+    "pop",
+    "graft",
+    "new_request_id",
+]
+
+_current: ContextVar["Trace | None"] = ContextVar("repro_obs_trace", default=None)
+
+
+def new_request_id() -> str:
+    """Return a fresh opaque request id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+class Trace:
+    """Span collection for one request.
+
+    Parameters
+    ----------
+    request_id:
+        The request id this trace belongs to (honoured or generated
+        ``X-Request-Id``).
+    """
+
+    __slots__ = ("request_id", "t0", "spans")
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self.t0 = time.perf_counter()
+        self.spans: list[dict[str, Any]] = []
+
+    def as_dict(self, duration_ms: float | None = None) -> dict[str, Any]:
+        """Return the trace as a JSON-serialisable dict.
+
+        Parameters
+        ----------
+        duration_ms:
+            Total request duration to record, if known.
+        """
+        payload: dict[str, Any] = {
+            "request_id": self.request_id,
+            "spans": sorted(self.spans, key=lambda s: s["start_ms"]),
+        }
+        if duration_ms is not None:
+            payload["duration_ms"] = round(duration_ms, 3)
+        return payload
+
+
+def begin(request_id: str) -> tuple[Trace, Any]:
+    """Start a trace for ``request_id`` in the current context.
+
+    Parameters
+    ----------
+    request_id:
+        Id recorded on the trace.
+
+    Returns an opaque handle to pass to :func:`end`.
+    """
+    trace = Trace(request_id)
+    token = _current.set(trace)
+    return (trace, token)
+
+
+def end(handle: tuple[Trace, Any]) -> Trace:
+    """Finish the trace started by :func:`begin` and restore the context.
+
+    Parameters
+    ----------
+    handle:
+        The handle returned by :func:`begin`.
+    """
+    trace, token = handle
+    _current.reset(token)
+    return trace
+
+
+def active() -> Trace | None:
+    """Return the trace active in the current context, if any."""
+    return _current.get()
+
+
+def push(name: str):
+    """Open a span ``name`` on the active trace; ``None`` when not tracing.
+
+    Parameters
+    ----------
+    name:
+        Span name (see the taxonomy in ``docs/observability.md``).
+
+    Returns an opaque handle for :func:`pop`, or ``None`` when no trace is
+    active — the disabled path is one ``ContextVar.get`` and a comparison.
+    """
+    trace = _current.get()
+    if trace is None:
+        return None
+    return (trace, name, time.perf_counter())
+
+
+def pop(handle, duration: float) -> None:
+    """Close the span opened by :func:`push`.
+
+    Parameters
+    ----------
+    handle:
+        The (non-``None``) handle returned by :func:`push`.
+    duration:
+        Span duration in seconds.
+    """
+    trace, name, t0 = handle
+    trace.spans.append({
+        "name": name,
+        "start_ms": round((t0 - trace.t0) * 1000.0, 3),
+        "duration_ms": round(duration * 1000.0, 3),
+    })
+
+
+def graft(spans, base_ms: float = 0.0, prefix: str = "") -> None:
+    """Attach spans recorded in another process onto the active trace.
+
+    Parameters
+    ----------
+    spans:
+        Span dicts shipped back from the other process (its ``start_ms``
+        values are relative to its own trace start).
+    base_ms:
+        Offset to add to every ``start_ms`` — typically the parent-side
+        start of the span that covers the remote call.
+    prefix:
+        Prepended to every span name, e.g. ``"replica/"``.
+    """
+    trace = _current.get()
+    if trace is None or not spans:
+        return
+    for span in spans:
+        trace.spans.append({
+            "name": f"{prefix}{span['name']}" if prefix else span["name"],
+            "start_ms": round(span["start_ms"] + base_ms, 3),
+            "duration_ms": span["duration_ms"],
+        })

@@ -132,16 +132,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replica supervision cadence in seconds: liveness "
                             "checks, idle pings and respawn of crashed "
                             "replicas (default: 1.0)")
+    serve.add_argument("--no-obs", action="store_false", dest="obs",
+                       help="disable the telemetry plane: every metric "
+                            "mutation becomes a no-op (the overhead-gate "
+                            "baseline; /v1/metrics then reads all zeros)")
+    serve.add_argument("--trace-slow-ms", type=float, default=None,
+                       dest="trace_slow_ms",
+                       help="trace every request and log the span tree of "
+                            "any request slower than this many milliseconds "
+                            "(0 dumps every request; default: tracing off)")
+    serve.add_argument("--log-format", default="text", dest="log_format",
+                       choices=["text", "json"],
+                       help="request/operational log format: human text, or "
+                            "one JSON object per line for log shippers "
+                            "(default: text)")
     return parser
 
 
-def bootstrap_service(args: argparse.Namespace):
+def bootstrap_service(args: argparse.Namespace, config=None):
     """Build the service (and pipeline) a ``serve`` run uses.
 
     Parameters
     ----------
     args:
         Parsed ``repro serve`` arguments.
+    config:
+        Optional pre-built :class:`~repro.service.config.ServiceConfig` to
+        reuse (its cached telemetry registry included); built from
+        ``args`` when omitted.
 
     Returns
     -------
@@ -151,7 +169,8 @@ def bootstrap_service(args: argparse.Namespace):
     """
     from repro.service.config import ServiceConfig
 
-    config = ServiceConfig.from_args(args)
+    if config is None:
+        config = ServiceConfig.from_args(args)
     if config.wal_dir is not None:
         pipeline = config.build_pipeline()
         return pipeline.service, pipeline
@@ -187,8 +206,11 @@ async def _serve(args: argparse.Namespace) -> None:
         except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
             pass
 
+    from repro.obs.logs import configure_logging
+
     config = ServiceConfig.from_args(args)
-    service, pipeline = bootstrap_service(args)
+    configure_logging(config.log_format)
+    service, pipeline = bootstrap_service(args, config)
     pool = config.build_pool(service)
     if pool is not None:
         # Spawn the replicas before the front end accepts (and before the
@@ -221,8 +243,8 @@ async def _serve(args: argparse.Namespace) -> None:
         + ")"
     )
     print(f"listening on http://{server.host}:{server.port}  "
-          f"(endpoints: /v1/healthz /v1/stats /v1/recommend /v1/events "
-          f"/v1/snapshot; legacy: /recommend /updates)", flush=True)
+          f"(endpoints: /v1/healthz /v1/stats /v1/metrics /v1/recommend "
+          f"/v1/events /v1/snapshot; legacy: /recommend /updates)", flush=True)
 
     serve_task = asyncio.create_task(server.run_forever())
     try:
@@ -240,6 +262,7 @@ async def _serve(args: argparse.Namespace) -> None:
         if pipeline is not None:
             pipeline.close()
         service.close()
+        config.close_metrics()
         for sig in registered:
             loop.remove_signal_handler(sig)
     print("repro serve: stopped (listener closed, pending updates flushed)")

@@ -68,6 +68,12 @@ class ServiceConfig:
         (``0`` disables the pool and serves reads in-process), the
         per-replica in-flight request cap, the bounded routing-queue
         depth, and the supervision heartbeat cadence in seconds.
+    obs, trace_slow_ms, log_format:
+        Telemetry: ``obs=False`` turns every metrics mutation into a
+        no-op (the overhead-gate baseline), ``trace_slow_ms`` enables
+        request tracing and dumps the span tree of any request slower
+        than that many milliseconds, and ``log_format`` switches the
+        request log between human ``text`` and JSON lines.
     """
 
     users: int = 2000
@@ -94,6 +100,9 @@ class ServiceConfig:
     replica_inflight: int = 2
     queue_depth: int = 64
     heartbeat_interval: float = 1.0
+    obs: bool = True
+    trace_slow_ms: float | None = None
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
         try:
@@ -142,6 +151,18 @@ class ServiceConfig:
             raise IngestError(
                 f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
             )
+        from repro.obs.logs import LOG_FORMATS
+
+        if self.log_format not in LOG_FORMATS:
+            raise IngestError(
+                f"log_format must be one of {LOG_FORMATS}, "
+                f"got {self.log_format!r}"
+            )
+        if self.trace_slow_ms is not None and self.trace_slow_ms < 0:
+            raise IngestError(
+                f"trace_slow_ms must be >= 0, got {self.trace_slow_ms}"
+            )
+        self._metrics = None
 
     # ------------------------------------------------------------------ #
     # Conversions
@@ -184,6 +205,56 @@ class ServiceConfig:
     # Builders
     # ------------------------------------------------------------------ #
 
+    def build_metrics(self):
+        """Build (once) the telemetry registry the whole stack shares.
+
+        Sizes one shared-memory slab for every process this config will
+        run — slot 0 for the writer, slots ``1..replicas`` for replica
+        workers, and one slot per process-executor worker after that —
+        registers it as the process-global registry
+        (:func:`repro.obs.runtime.get_registry`), and arms the executor
+        worker-slot claim.  With neither replicas nor a process executor
+        the registry stays process-local (no segment at all).  Idempotent;
+        ``obs=False`` additionally turns all metric mutations into no-ops.
+
+        Returns
+        -------
+        MetricsRegistry
+            The writer-slot registry to hand to every component.
+        """
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.registry import MetricsRegistry, set_enabled
+
+        if self._metrics is not None:
+            return self._metrics
+        set_enabled(self.obs)
+        worker_slots = 0
+        if self.execution == "processes":
+            import os
+
+            worker_slots = self.workers or (os.cpu_count() or 1)
+        slots = 1 + self.replicas + worker_slots
+        if slots > 1:
+            registry = MetricsRegistry.create_shared(slots)
+            if worker_slots:
+                obs_runtime.configure_worker_slots(
+                    registry.slab_spec, 1 + self.replicas, worker_slots
+                )
+            else:
+                obs_runtime.configure_worker_slots(None)
+        else:
+            registry = MetricsRegistry()
+            obs_runtime.configure_worker_slots(None)
+        obs_runtime.set_registry(registry)
+        self._metrics = registry
+        return registry
+
+    def close_metrics(self) -> None:
+        """Release the telemetry slab built by :meth:`build_metrics`, if any."""
+        registry, self._metrics = self._metrics, None
+        if registry is not None:
+            registry.close()
+
     def build_store(self) -> "MutableRatingStore":
         """Bootstrap the synthetic rating store this config describes."""
         if self.store == "sparse":
@@ -224,6 +295,9 @@ class ServiceConfig:
 
         set_kernels(self.kernels)
         set_kernel_threads(self.kernel_threads)
+        # The slab must exist before the service constructs (and warms) a
+        # process executor, so forked workers can claim their slots.
+        metrics = self.build_metrics()
         if state is None:
             return FormationService(
                 self.build_store(),
@@ -234,6 +308,7 @@ class ServiceConfig:
                 execution=self.execution,
                 workers=self.workers,
                 cache_dir=self.cache_dir,
+                metrics=metrics,
             )
         from repro.core.topk_index import TopKIndex
 
@@ -254,6 +329,7 @@ class ServiceConfig:
             base_index=TopKIndex(
                 state.index_items, state.index_values, state.store.n_items
             ),
+            metrics=metrics,
         )
         service.index.adopt_state(state.version, state.removed, state.staleness)
         return service
@@ -303,6 +379,7 @@ class ServiceConfig:
             inflight=self.replica_inflight,
             queue_depth=self.queue_depth,
             heartbeat_interval=self.heartbeat_interval,
+            metrics=self.build_metrics(),
         )
 
     def build_server(
@@ -333,4 +410,7 @@ class ServiceConfig:
             batch_window=self.batch_window,
             pipeline=pipeline,
             pool=pool,
+            metrics=self.build_metrics(),
+            trace_slow_ms=self.trace_slow_ms,
+            log_format=self.log_format,
         )

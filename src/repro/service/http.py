@@ -44,9 +44,12 @@ kernels release the GIL).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import logging
+import time
 from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs
 
 from repro.core.errors import ReproError
 from repro.ingest.events import (
@@ -56,6 +59,22 @@ from repro.ingest.events import (
     RatingDelete,
     event_from_dict,
     fold_events,
+)
+from repro.obs import trace
+from repro.obs.expo import (
+    CONTENT_TYPE_PROMETHEUS,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import (
+    H_HTTP,
+    K_BATCHED_UPDATES,
+    K_COALESCED,
+    K_DEPRECATED,
+    K_HTTP_REQUESTS,
+    K_HTTP_RESPONSES,
+    K_TRACES_DUMPED,
+    MetricsRegistry,
 )
 from repro.service.pool import (
     PoolOverloaded,
@@ -73,6 +92,31 @@ __all__ = ["ServiceServer"]
 _MAX_BODY = 32 * 1024 * 1024  # 32 MiB request-body cap
 
 _LOG = logging.getLogger("repro.service")
+_REQUEST_LOG = logging.getLogger("repro.service.request")
+
+#: Route label per path, for the request counters; unknown paths count
+#: as ``other``.
+_ROUTE_LABELS = {
+    "/v1/recommend": "recommend",
+    "/v1/events": "events",
+    "/v1/snapshot": "snapshot",
+    "/v1/stats": "stats",
+    "/v1/healthz": "healthz",
+    "/v1/metrics": "metrics",
+    "/recommend": "legacy_recommend",
+    "/updates": "legacy_updates",
+    "/healthz": "healthz",
+    "/stats": "stats",
+}
+
+#: Latency-histogram family per route label (the low-traffic admin routes
+#: share the ``other`` family to keep the exposition small).
+_ROUTE_HIST_GROUPS = {
+    "recommend": "recommend",
+    "legacy_recommend": "recommend",
+    "events": "events",
+    "legacy_updates": "events",
+}
 
 #: Default error code per HTTP status (overridable per raise site).
 _DEFAULT_CODES = {
@@ -119,6 +163,16 @@ class _HTTPError(Exception):
         return _error_payload(self.status, self.message, self.code)
 
 
+class _Raw:
+    """Internal: a pre-serialised response body with its own content type."""
+
+    __slots__ = ("content_type", "data")
+
+    def __init__(self, content_type: str, data: bytes) -> None:
+        self.content_type = content_type
+        self.data = data
+
+
 class ServiceServer:
     """Serve a :class:`~repro.service.FormationService` over HTTP.
 
@@ -149,6 +203,19 @@ class ServiceServer:
         with structured ``503`` bodies (codes ``overloaded`` /
         ``shutting_down``).  Without a pool the service answers reads
         in-process, exactly as before.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` behind ``/v1/metrics``;
+        defaults to the service's own registry so the single-component
+        wiring stays one line.
+    trace_slow_ms:
+        When set, every request carries a span-recording trace and any
+        request slower than this many milliseconds has its span tree
+        logged as JSON (``0`` dumps every request).  ``None`` (default)
+        disables tracing entirely — requests pay one ``ContextVar`` read.
+    log_format:
+        ``"json"`` emits one structured JSON line per request on the
+        ``repro.service.request`` logger; ``"text"`` (default) logs
+        nothing per request.
 
     Examples
     --------
@@ -167,6 +234,9 @@ class ServiceServer:
         pipeline: "IngestPipeline | None" = None,
         fold_policy: FoldPolicy | None = None,
         pool: "ReplicaPool | None" = None,
+        metrics: MetricsRegistry | None = None,
+        trace_slow_ms: float | None = None,
+        log_format: str = "text",
     ) -> None:
         self.service = service
         self.host = host
@@ -174,6 +244,9 @@ class ServiceServer:
         self.batch_window = float(batch_window)
         self.pipeline = pipeline
         self.pool = pool
+        self.metrics = metrics if metrics is not None else service.metrics
+        self.trace_slow_ms = trace_slow_ms
+        self.log_format = log_format
         self.fold_policy = (
             pipeline.policy if pipeline is not None
             else (fold_policy if fold_policy is not None else FoldPolicy())
@@ -259,15 +332,28 @@ class ServiceServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Parse one HTTP/1.1 request, route it, write the JSON response."""
+        t0 = time.perf_counter()
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, target, body, req_headers = await self._read_request(
+                    reader
+                )
             except _HTTPError as exc:
                 await self._respond(writer, exc.status, exc.payload())
                 return
-            headers: dict[str, str] = {}
+            path, _, query_string = target.partition("?")
+            query = parse_qs(query_string) if query_string else {}
+            request_id = req_headers.get("x-request-id") or trace.new_request_id()
+            route = _ROUTE_LABELS.get(path, "other")
+            handle = (
+                trace.begin(request_id)
+                if self.trace_slow_ms is not None else None
+            )
+            headers: dict[str, str] = {"X-Request-Id": request_id}
             try:
-                status, payload = await self._route(method, path, body, headers)
+                status, payload = await self._route(
+                    method, path, body, headers, query
+                )
             except _HTTPError as exc:
                 status, payload = exc.status, exc.payload()
             except ReproError as exc:
@@ -276,7 +362,11 @@ class ServiceServer:
                 status, payload = 500, _error_payload(
                     500, f"internal error: {exc}"
                 )
+            finally:
+                if handle is not None:
+                    self._finish_trace(handle, t0)
             await self._respond(writer, status, payload, headers)
+            self._account(route, status, time.perf_counter() - t0, request_id)
         finally:
             try:
                 writer.close()
@@ -284,10 +374,62 @@ class ServiceServer:
             except Exception:  # pragma: no cover - socket already gone
                 pass
 
+    def _finish_trace(self, handle, t0: float) -> None:
+        """Close the request trace, dumping its span tree when too slow.
+
+        Parameters
+        ----------
+        handle:
+            The :func:`repro.obs.trace.begin` handle of this request.
+        t0:
+            ``perf_counter`` at request start.
+        """
+        finished = trace.end(handle)
+        duration_ms = (time.perf_counter() - t0) * 1000.0
+        if duration_ms >= self.trace_slow_ms:
+            self.metrics.inc(K_TRACES_DUMPED)
+            _LOG.warning(
+                "slow request trace: %s",
+                json.dumps(finished.as_dict(duration_ms)),
+            )
+
+    def _account(
+        self, route: str, status: int, elapsed: float, request_id: str
+    ) -> None:
+        """Record the per-request counters, latency and (optional) log line.
+
+        Parameters
+        ----------
+        route:
+            Route label (see ``_ROUTE_LABELS``).
+        status:
+            HTTP status answered.
+        elapsed:
+            Wall seconds from first byte to response flushed.
+        request_id:
+            The request's ``X-Request-Id``.
+        """
+        metrics = self.metrics
+        metrics.inc(K_HTTP_REQUESTS[route])
+        klass = f"{status // 100}xx"
+        metrics.inc(K_HTTP_RESPONSES.get(klass, K_HTTP_RESPONSES["5xx"]))
+        group = _ROUTE_HIST_GROUPS.get(route, "other")
+        metrics.observe(H_HTTP[group], elapsed)
+        if self.log_format == "json":
+            _REQUEST_LOG.info(
+                "request",
+                extra={"fields": {
+                    "request_id": request_id,
+                    "route": route,
+                    "status": status,
+                    "duration_ms": round(elapsed * 1000.0, 3),
+                }},
+            )
+
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, dict[str, Any]]:
+    ) -> tuple[str, str, dict[str, Any], dict[str, str]]:
         """Read request line, headers and (optional) JSON body."""
         try:
             request_line = await reader.readline()
@@ -299,12 +441,15 @@ class ServiceServer:
         method, path = parts[0].upper(), parts[1]
 
         content_length = 0
+        req_headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            req_headers[name] = value.strip()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
@@ -325,27 +470,45 @@ class ServiceServer:
                 raise _HTTPError(400, f"invalid JSON body: {exc}")
             if not isinstance(body, dict):
                 raise _HTTPError(400, "JSON body must be an object")
-        return method, path, body
+        return method, path, body, req_headers
 
     @staticmethod
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: "dict[str, Any] | _Raw",
         headers: dict[str, str] | None = None,
     ) -> None:
-        """Write one JSON response (plus any extra ``headers``) and flush."""
+        """Write one JSON (or pre-serialised) response and flush.
+
+        Parameters
+        ----------
+        writer:
+            The connection's stream writer.
+        status:
+            HTTP status code.
+        payload:
+            A JSON-serialisable dict, or a :class:`_Raw` body carrying its
+            own content type (the Prometheus exposition).
+        headers:
+            Extra response headers.
+        """
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 409: "Conflict",
                    413: "Payload Too Large", 500: "Internal Server Error",
                    503: "Service Unavailable"}
-        data = json.dumps(payload, default=_json_default).encode("utf-8")
+        if isinstance(payload, _Raw):
+            content_type = payload.content_type
+            data = payload.data
+        else:
+            content_type = "application/json"
+            data = json.dumps(payload, default=_json_default).encode("utf-8")
         extra = "".join(
             f"{name}: {value}\r\n" for name, value in (headers or {}).items()
         )
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"{extra}"
             f"Connection: close\r\n\r\n"
@@ -361,14 +524,53 @@ class ServiceServer:
         """Mark a legacy route: response header plus a one-time warning."""
         headers["Deprecation"] = "true"
         headers["Link"] = f'<{replacement}>; rel="successor-version"'
+        self.metrics.inc(
+            K_DEPRECATED["recommend" if path == "/recommend" else "updates"]
+        )
         if path not in self._deprecation_warned:
             self._deprecation_warned.add(path)
             _LOG.warning(
                 "deprecated route %s used; migrate to %s", path, replacement
             )
 
+    def _refresh_gauges(self) -> None:
+        """Bring the liveness gauges up to date before an exposition read.
+
+        Gauges that describe *current* state (replicas alive, queue depth)
+        are set when their owners are consulted, not on the hot path;
+        ``/v1/metrics`` and ``/v1/stats`` consult them here.
+        """
+        if self.pool is not None:
+            self.pool.stats()  # sets replicas_alive / queued gauges
+        if self.pipeline is not None:
+            self.pipeline.durability()  # sets the WAL-backlog gauge
+
+    def _render_metrics(self, query: dict[str, list[str]]) -> tuple[int, Any]:
+        """Answer ``GET /v1/metrics`` (Prometheus text, or JSON on request).
+
+        Parameters
+        ----------
+        query:
+            Parsed query string; ``format=json`` switches the body.
+        """
+        self._refresh_gauges()
+        fmt = (query.get("format") or ["prometheus"])[0]
+        if fmt == "json":
+            return 200, render_json(self.metrics)
+        if fmt not in ("prometheus", "text"):
+            raise _HTTPError(
+                400, f"unknown metrics format {fmt!r}", code="validation"
+            )
+        text = render_prometheus(self.metrics)
+        return 200, _Raw(CONTENT_TYPE_PROMETHEUS, text.encode("utf-8"))
+
     async def _route(
-        self, method: str, path: str, body: dict[str, Any], headers: dict[str, str]
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any],
+        headers: dict[str, str],
+        query: dict[str, list[str]] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Dispatch one parsed request to its handler."""
         if path in ("/v1/healthz", "/healthz") and method == "GET":
@@ -377,18 +579,23 @@ class ServiceServer:
                 "version": self.service.version,
                 "durable": self.pipeline is not None,
             }
+            if self.pipeline is not None:
+                health["durability"] = self.pipeline.durability()
             if self.pool is not None:
                 pool_stats = self.pool.stats()
                 health["replicas"] = pool_stats["alive"]
                 health["published_version"] = pool_stats["published_version"]
             return 200, health
         if path in ("/v1/stats", "/stats") and method == "GET":
+            self._refresh_gauges()
             stats = self.service.stats()
             if self.pipeline is not None:
                 stats["durability"] = self.pipeline.stats()
             if self.pool is not None:
                 stats["pool"] = self.pool.stats()
             return 200, stats
+        if path == "/v1/metrics" and method == "GET":
+            return self._render_metrics(query or {})
         if path == "/v1/recommend" and method == "POST":
             return 200, await self._recommend(body)
         if path == "/v1/events" and method == "POST":
@@ -403,7 +610,7 @@ class ServiceServer:
             return 200, await self._events(self._translate_updates(body))
         if path in {"/healthz", "/stats", "/recommend", "/updates",
                     "/v1/healthz", "/v1/stats", "/v1/recommend",
-                    "/v1/events", "/v1/snapshot"}:
+                    "/v1/events", "/v1/snapshot", "/v1/metrics"}:
             raise _HTTPError(405, f"{method} not allowed on {path}")
         raise _HTTPError(404, f"unknown path {path}")
 
@@ -442,20 +649,27 @@ class ServiceServer:
                     )
                 )
             else:
-                future = loop.run_in_executor(
-                    None,
-                    lambda: self.service.recommend(
-                        k=k,
-                        max_groups=max_groups,
-                        semantics=semantics,
-                        aggregation=aggregation,
-                        user_ids=user_ids,
-                    ),
+                compute = lambda: self.service.recommend(  # noqa: E731
+                    k=k,
+                    max_groups=max_groups,
+                    semantics=semantics,
+                    aggregation=aggregation,
+                    user_ids=user_ids,
                 )
+                if trace.active() is not None:
+                    # run_in_executor does not propagate contextvars;
+                    # carry the active trace onto the worker thread.
+                    context = contextvars.copy_context()
+                    future = loop.run_in_executor(None, context.run, compute)
+                else:
+                    future = loop.run_in_executor(None, compute)
             self._inflight[key] = future
             future.add_done_callback(lambda _f, _k=key: self._inflight.pop(_k, None))
         else:
             self.coalesced_recommends += 1
+            self.metrics.inc(K_COALESCED)
+        span = trace.push("http.recommend_wait")
+        wait_start = time.perf_counter()
         try:
             result = await asyncio.shield(future)
         except PoolShuttingDown as exc:
@@ -464,6 +678,9 @@ class ServiceServer:
             raise _HTTPError(503, str(exc), code="overloaded")
         except ReplicaPoolError as exc:
             raise _HTTPError(503, str(exc), code="replicas_unavailable")
+        finally:
+            if span is not None:
+                trace.pop(span, time.perf_counter() - wait_start)
         payload = dict(result) if routed else result.as_dict()
         payload["coalesced"] = self.coalesced_recommends
         return payload
@@ -527,12 +744,19 @@ class ServiceServer:
         future: asyncio.Future = loop.create_future()
         if self._pending_updates:
             self.batched_updates += 1
+            self.metrics.inc(K_BATCHED_UPDATES)
         else:
             self._flush_handle = loop.call_later(
                 self.batch_window, lambda: asyncio.ensure_future(self._flush_updates())
             )
         self._pending_updates.append((events, future))
-        return await asyncio.shield(future)
+        span = trace.push("http.batch_wait")
+        wait_start = time.perf_counter()
+        try:
+            return await asyncio.shield(future)
+        finally:
+            if span is not None:
+                trace.pop(span, time.perf_counter() - wait_start)
 
     async def _flush_updates(self) -> None:
         """Apply the open batch as one durable apply call.

@@ -49,11 +49,27 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ReproError
+from repro.obs import trace
+from repro.obs.registry import (
+    G_REPLICAS_ALIVE,
+    G_POOL_QUEUED,
+    H_QUEUE_WAIT,
+    H_REPLICA_CALL,
+    K_POOL_DISPATCHED,
+    K_POOL_PUBLISHED,
+    K_POOL_REJECTED,
+    K_POOL_RESPAWNS,
+    K_POOL_RETRIES,
+    K_REPLICA_SERVED,
+    MetricsRegistry,
+    MetricsSlab,
+)
 from repro.utils.validation import require_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
 
+    from repro.obs.registry import SlabSpec
     from repro.execution.shm import SharedExports, StoreSpec, TablesSpec
     from repro.service.service import FormationService
 
@@ -195,7 +211,8 @@ def _publication_segments(store_spec, tables_spec) -> tuple[str, ...]:
 
 
 def _build_replica_service(store_spec, tables_spec, removed, staleness,
-                           version, settings: ReplicaSettings):
+                           version, settings: ReplicaSettings,
+                           metrics: MetricsRegistry | None = None):
     """Construct the read-only serving stack over attached shared memory.
 
     Parameters
@@ -207,6 +224,9 @@ def _build_replica_service(store_spec, tables_spec, removed, staleness,
         version (and serve the same active-user set).
     settings:
         The picklable :class:`ReplicaSettings`.
+    metrics:
+        The replica's metrics registry (its slot of the shared telemetry
+        slab); ``None`` gives the service a private local registry.
     """
     from repro.core.topk_index import TopKIndex
     from repro.execution.shm import attach_store, attach_tables
@@ -222,12 +242,18 @@ def _build_replica_service(store_spec, tables_spec, removed, staleness,
         backend=settings.backend,
         compaction_fraction=settings.compaction_fraction,
         base_index=base,
+        metrics=metrics,
     )
     service.index.adopt_state(version, removed, staleness)
     return service
 
 
-def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
+def _replica_main(
+    conn: "Connection",
+    settings: ReplicaSettings,
+    slab_spec: "SlabSpec | None" = None,
+    slot: int | None = None,
+) -> None:
     """Entry point of one replica worker process.
 
     Serves a tiny sequential message loop over ``conn``: ``adopt`` swaps in
@@ -243,11 +269,19 @@ def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
         The worker end of the duplex control pipe.
     settings:
         Picklable service knobs (:class:`ReplicaSettings`).
+    slab_spec:
+        Shared telemetry-slab spec to attach to (``None`` = no shared
+        metrics; the worker falls back to a private registry).
+    slot:
+        This replica's slot row in the slab.  Respawned workers reuse the
+        slot of the replica they replace, so the row's counts accumulate
+        across crashes without double-counting.
     """
     import signal
 
     from repro.core.kernels import set_kernel_threads, set_kernels
     from repro.execution.shm import detach, detach_all
+    from repro.obs import runtime as obs_runtime
 
     # The front end owns orchestrated shutdown; a terminal Ctrl-C must not
     # race it by killing workers mid-reply.
@@ -258,6 +292,18 @@ def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
     if settings.kernels is not None:
         set_kernels(settings.kernels)
     set_kernel_threads(settings.kernel_threads)
+
+    # A forked worker inherits the parent's process-global registry, whose
+    # row belongs to the *writer*; rebind (or reset) before serving so the
+    # replica only ever writes its own slot.
+    metrics: MetricsRegistry | None = None
+    obs_runtime.reset_registry()
+    if slab_spec is not None and slot is not None:
+        try:
+            metrics = MetricsRegistry.attach(slab_spec, slot)
+            obs_runtime.set_registry(metrics)
+        except Exception:  # noqa: BLE001 - metrics must never kill a worker
+            metrics = None
 
     service = None
     held_segments: tuple[str, ...] = ()
@@ -273,7 +319,7 @@ def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
                 old_service, old_segments = service, held_segments
                 service = _build_replica_service(
                     store_spec, tables_spec, removed, staleness, version,
-                    settings,
+                    settings, metrics,
                 )
                 held_segments = _publication_segments(store_spec, tables_spec)
                 del old_service  # drop array views before detaching
@@ -281,7 +327,8 @@ def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
                     detach(old_segments)
                 conn.send(("adopted", version))
             elif kind == "recommend":
-                _, request_id, params = message
+                _, request_id, params, want_trace = message
+                handle = trace.begin(str(request_id)) if want_trace else None
                 try:
                     result = service.recommend(**params)
                 except ReproError as exc:
@@ -289,7 +336,16 @@ def _replica_main(conn: "Connection", settings: ReplicaSettings) -> None:
                 except Exception as exc:  # noqa: BLE001 - process boundary
                     conn.send(("error", request_id, "internal", str(exc)))
                 else:
-                    conn.send(("ok", request_id, result.as_dict()))
+                    spans = None
+                    if handle is not None:
+                        spans = trace.end(handle).spans
+                        handle = None
+                    if metrics is not None:
+                        metrics.inc(K_REPLICA_SERVED)
+                    conn.send(("ok", request_id, result.as_dict(), spans))
+                finally:
+                    if handle is not None:
+                        trace.end(handle)
             elif kind == "ping":
                 _, request_id = message
                 conn.send(
@@ -359,7 +415,9 @@ class _ReplicaHandle:
                     f"replica {self.index} did not answer within {timeout:.1f}s"
                 )
 
-    def recommend(self, params: dict, timeout: float) -> dict:
+    def recommend(
+        self, params: dict, timeout: float, want_trace: bool = False
+    ) -> tuple[dict, list | None]:
         """Run one recommend request on this replica (blocking).
 
         Parameters
@@ -369,13 +427,24 @@ class _ReplicaHandle:
             :meth:`~repro.service.FormationService.recommend`.
         timeout:
             Seconds before the replica is declared crashed.
+        want_trace:
+            When true the replica records its recommend span tree and
+            ships it back alongside the payload.
+
+        Returns
+        -------
+        tuple
+            ``(payload, spans)`` — the recommend response dict and the
+            replica-side span list (``None`` unless ``want_trace``).
         """
         with self.lock:
             request_id = next(self._request_ids)
-            reply = self._exchange(("recommend", request_id, params), timeout)
+            reply = self._exchange(
+                ("recommend", request_id, params, want_trace), timeout
+            )
         kind = reply[0]
         if kind == "ok" and reply[1] == request_id:
-            return reply[2]
+            return reply[2], reply[3]
         if kind == "error" and reply[1] == request_id:
             _, _, code, message = reply
             raise _REMOTE_ERRORS.get(code, RuntimeError)(message)
@@ -491,6 +560,12 @@ class ReplicaPool:
     heartbeat_interval:
         Seconds between supervision sweeps (liveness check + idle pings;
         default 1.0).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` for pool telemetry.
+        When it is slab-backed (the config wiring), replicas attach the
+        same slab at slots ``1 + replica_index``; when it is local (or
+        omitted), :meth:`start` migrates it onto a pool-owned slab so
+        replica counters still aggregate.
 
     Notes
     -----
@@ -510,6 +585,7 @@ class ReplicaPool:
         settings: ReplicaSettings | None = None,
         request_timeout: float = 30.0,
         heartbeat_interval: float = 1.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.service = service
         self.replicas = require_positive_int(replicas, "replicas")
@@ -536,6 +612,8 @@ class ReplicaPool:
         self._respawning: set[int] = set()
         self._closing = False
         self._started = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._own_slab: MetricsSlab | None = None
         self.counters = {
             "dispatched": 0,
             "retries": 0,
@@ -544,6 +622,27 @@ class ReplicaPool:
             "rejected_shutdown": 0,
             "published_versions": 0,
         }
+        self._counter_keys = {
+            "dispatched": K_POOL_DISPATCHED,
+            "retries": K_POOL_RETRIES,
+            "respawns": K_POOL_RESPAWNS,
+            "rejected_overloaded": K_POOL_REJECTED["overloaded"],
+            "rejected_shutdown": K_POOL_REJECTED["shutdown"],
+            "published_versions": K_POOL_PUBLISHED,
+        }
+
+    def _count(self, name: str, value: int = 1) -> None:
+        """Bump one pool counter in both the stats dict and the registry.
+
+        Parameters
+        ----------
+        name:
+            Key into :attr:`counters` (and its registry mirror).
+        value:
+            Increment amount (default 1).
+        """
+        self.counters[name] += value
+        self.metrics.inc(self._counter_keys[name], value)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -607,7 +706,7 @@ class ReplicaPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_replica_main,
-            args=(child_conn, self.settings),
+            args=(child_conn, self.settings, self.metrics.slab_spec, 1 + index),
             name=f"repro-replica-{index}",
             daemon=True,
         )
@@ -627,6 +726,13 @@ class ReplicaPool:
         """
         if self._started:
             return
+        if self.metrics.slab_spec is None:
+            # Bare pools (no config wiring) still get cross-process
+            # aggregation: migrate the local registry onto a pool-owned
+            # slab sized writer + replicas.
+            slab = MetricsSlab(1 + self.replicas)
+            self.metrics.rebind(slab, 0, own=True)
+            self._own_slab = slab
         publication = self._export_publication()
         slots = []
         try:
@@ -642,7 +748,7 @@ class ReplicaPool:
         self._slots = slots
         self._current = publication
         self._started = True
-        self.counters["published_versions"] += 1
+        self._count("published_versions")
 
     @property
     def version(self) -> int:
@@ -651,13 +757,17 @@ class ReplicaPool:
 
     def stats(self) -> dict[str, Any]:
         """Routing/supervision counters and per-replica liveness."""
+        alive = sum(
+            1 for s in self._slots if s.alive and s.process.is_alive()
+        )
+        queued = len(self._waiters)
+        self.metrics.gauge_set(G_REPLICAS_ALIVE, float(alive))
+        self.metrics.gauge_set(G_POOL_QUEUED, float(queued))
         return {
             "replicas": self.replicas,
-            "alive": sum(
-                1 for s in self._slots if s.alive and s.process.is_alive()
-            ),
+            "alive": alive,
             "inflight": sum(s.inflight for s in self._slots),
-            "queued": len(self._waiters),
+            "queued": queued,
             "inflight_cap": self.inflight,
             "queue_depth": self.queue_depth,
             "published_version": self.version,
@@ -692,7 +802,7 @@ class ReplicaPool:
         while self._waiters:
             waiter = self._waiters.popleft()
             if not waiter.done():
-                self.counters["rejected_shutdown"] += 1
+                self._count("rejected_shutdown")
                 waiter.set_exception(
                     PoolShuttingDown("service is shutting down")
                 )
@@ -709,6 +819,11 @@ class ReplicaPool:
         if self._current is not None:
             self._current.exports.close()
             self._current = None
+        if self._own_slab is not None:
+            # Migrate the aggregate back into a process-local registry so
+            # post-shutdown stats still read, then release the segment.
+            self.metrics.close()
+            self._own_slab = None
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -734,14 +849,14 @@ class ReplicaPool:
     async def _acquire(self) -> _ReplicaHandle:
         """Reserve one replica slot, queueing (bounded) when all are busy."""
         if self._closing:
-            self.counters["rejected_shutdown"] += 1
+            self._count("rejected_shutdown")
             raise PoolShuttingDown("service is shutting down")
         slot = self._pick_slot()
         if slot is not None:
             slot.inflight += 1
             return slot
         if len(self._waiters) >= self.queue_depth:
-            self.counters["rejected_overloaded"] += 1
+            self._count("rejected_overloaded")
             raise PoolOverloaded(
                 f"all {len(self._slots)} replicas at in-flight cap "
                 f"{self.inflight} and the queue ({self.queue_depth}) is full"
@@ -792,20 +907,44 @@ class ReplicaPool:
         loop = asyncio.get_running_loop()
         attempts = self.replicas + 1
         last_crash: ReplicaCrashed | None = None
-        for _ in range(attempts):
+        active = trace.active()
+        want_trace = active is not None
+        queue_handle = trace.push("pool.queue_wait")
+        wait_start = time.perf_counter()
+        try:
             slot = await self._acquire()
+        finally:
+            waited = time.perf_counter() - wait_start
+            if queue_handle is not None:
+                trace.pop(queue_handle, waited)
+        self.metrics.observe(H_QUEUE_WAIT, waited)
+        for attempt in range(attempts):
+            if attempt:
+                slot = await self._acquire()
+            call_handle = trace.push("pool.replica_call")
+            call_start = time.perf_counter()
             try:
-                payload = await loop.run_in_executor(
-                    None, slot.recommend, params, self.request_timeout
+                payload, spans = await loop.run_in_executor(
+                    None, slot.recommend, params, self.request_timeout,
+                    want_trace,
                 )
             except ReplicaCrashed as exc:
+                if call_handle is not None:
+                    trace.pop(call_handle, time.perf_counter() - call_start)
                 last_crash = exc
-                self.counters["retries"] += 1
+                self._count("retries")
                 self._mark_dead(slot)
                 continue
             finally:
                 self._release(slot)
-            self.counters["dispatched"] += 1
+            elapsed = time.perf_counter() - call_start
+            if call_handle is not None:
+                trace.pop(call_handle, elapsed)
+            self.metrics.observe(H_REPLICA_CALL, elapsed)
+            if want_trace and spans:
+                base_ms = (call_start - active.t0) * 1000.0
+                trace.graft(spans, base_ms=base_ms, prefix="replica/")
+            self._count("dispatched")
             payload["replica"] = slot.index
             payload["pool_version"] = self.version
             return payload
@@ -906,7 +1045,7 @@ class ReplicaPool:
                     return  # crash; the supervisor retries next sweep
                 old = self._slots[index]
                 self._slots[index] = replacement
-                self.counters["respawns"] += 1
+                self._count("respawns")
                 await loop.run_in_executor(None, old.stop)
             self._dispatch_waiters()
         finally:

@@ -61,6 +61,18 @@ from repro.core.sharded import (
 from repro.core.topk_index import MutableTopKIndex, TopKIndex
 from repro.execution.cache import ArtifactCache, store_fingerprint
 from repro.execution.executor import Executor, get_executor
+from repro.obs.registry import (
+    G_INDEX_VERSION,
+    H_RECOMMEND,
+    K_REQUESTS,
+    K_RESULT_HITS,
+    K_SHARDS_RECOMPUTED,
+    K_SHARDS_RECYCLED,
+    K_UPDATE_BATCHES,
+    K_UPDATES_APPLIED,
+    MetricsRegistry,
+)
+from repro.obs.runtime import observed
 from repro.recsys.store import DenseStore, MutableRatingStore
 from repro.utils.validation import require_positive_int
 
@@ -118,6 +130,12 @@ class FormationService:
         (:mod:`repro.ingest`) passes the snapshot's saved tables here so
         the recovered index keeps its incrementally-repaired state bit
         for bit.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` the service
+        records its counters and recommend-latency histogram into.  A
+        private local registry is created when omitted; ``ServiceConfig``
+        passes the stack's shared slab-backed registry so service counters
+        aggregate with the rest of the telemetry plane.
 
     Raises
     ------
@@ -144,7 +162,9 @@ class FormationService:
         workers: int | None = None,
         cache_dir: str | None = None,
         base_index: TopKIndex | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._backend = get_backend(backend)
         self._engine = FormationEngine(self._backend)
         base = base_index
@@ -193,14 +213,6 @@ class FormationService:
         #: :meth:`repro.ingest.IngestPipeline.open` attaches it only after
         #: replay, so recovery never re-journals.
         self.journal = None
-        self._counters = {
-            "requests": 0,
-            "result_hits": 0,
-            "shards_recycled": 0,
-            "shards_recomputed": 0,
-            "update_batches": 0,
-            "updates_applied": 0,
-        }
 
     # ------------------------------------------------------------------ #
     # State
@@ -228,8 +240,12 @@ class FormationService:
         -------
         dict
             Users/items/k_max/version/staleness, cache sizes, request and
-            shard recycle/recompute counters.
+            shard recycle/recompute counters.  The counters are read from
+            the service's :class:`~repro.obs.registry.MetricsRegistry`;
+            when that registry is slab-backed (a replica stack) they are
+            aggregated across every process recording into the slab.
         """
+        counters = self._counter_values()
         with self._lock:
             return {
                 "n_users": self._index.n_users,
@@ -246,8 +262,24 @@ class FormationService:
                     self._executor.name if self._executor is not None else "serial"
                 ),
                 "index_cache_hit": self._index_cache_hit,
-                **self._counters,
+                **counters,
             }
+
+    def _counter_values(self) -> dict[str, int]:
+        """Read the service counters back out of the metrics registry."""
+        cells = self.metrics.aggregate()
+        offsets = self.metrics.schema.offsets
+        return {
+            name: int(cells[offsets[key]])
+            for name, key in (
+                ("requests", K_REQUESTS),
+                ("result_hits", K_RESULT_HITS),
+                ("shards_recycled", K_SHARDS_RECYCLED),
+                ("shards_recomputed", K_SHARDS_RECOMPUTED),
+                ("update_batches", K_UPDATE_BATCHES),
+                ("updates_applied", K_UPDATES_APPLIED),
+            )
+        }
 
     def close(self) -> None:
         """Release the executor (if this service built it); idempotent.
@@ -347,8 +379,9 @@ class FormationService:
 
             invalidated += self._invalidate_shards(touched)
             self._results.clear()
-            self._counters["update_batches"] += 1
-            self._counters["updates_applied"] += stats["upserts"] + stats["deletes"]
+            self.metrics.inc(K_UPDATE_BATCHES)
+            self.metrics.inc(K_UPDATES_APPLIED, stats["upserts"] + stats["deletes"])
+            self.metrics.gauge_set(G_INDEX_VERSION, self._index.version)
             stats["invalidated_shards"] = invalidated
             stats["version"] = self._index.version
             stats["wal_seq"] = wal_seq
@@ -461,27 +494,28 @@ class FormationService:
             )
         variant = make_variant(semantics, aggregation)
         with self._lock:
-            self._counters["requests"] += 1
+            self.metrics.inc(K_REQUESTS)
             users_key = None if user_ids is None else tuple(int(u) for u in user_ids)
             key = (k, max_groups, variant_token(variant), users_key, self._index.version)
             cached = self._results.get(key)
             if cached is not None:
                 self._results.move_to_end(key)
-                self._counters["result_hits"] += 1
+                self.metrics.inc(K_RESULT_HITS)
                 return cached
 
-            if users_key is None and not self._index.removed:
-                result = self._recommend_all(k, max_groups, variant)
-            else:
-                explicit = users_key is not None
-                users = (
-                    np.asarray(users_key, dtype=np.int64)
-                    if explicit
-                    else self._index.active_users()
-                )
-                result = self._recommend_subset(
-                    users, k, max_groups, variant, validate=explicit
-                )
+            with observed("service.recommend", H_RECOMMEND, registry=self.metrics):
+                if users_key is None and not self._index.removed:
+                    result = self._recommend_all(k, max_groups, variant)
+                else:
+                    explicit = users_key is not None
+                    users = (
+                        np.asarray(users_key, dtype=np.int64)
+                        if explicit
+                        else self._index.active_users()
+                    )
+                    result = self._recommend_subset(
+                        users, k, max_groups, variant, validate=explicit
+                    )
 
             self._results[key] = result
             while len(self._results) > self._result_cache_size:
@@ -534,8 +568,8 @@ class FormationService:
         summaries = [cached[shard] for shard in range(self._bounds.size - 1)]
         recycled = self._bounds.size - 1 - len(missing)
         recomputed = len(missing)
-        self._counters["shards_recycled"] += recycled
-        self._counters["shards_recomputed"] += recomputed
+        self.metrics.inc(K_SHARDS_RECYCLED, recycled)
+        self.metrics.inc(K_SHARDS_RECOMPUTED, recomputed)
         return form_from_summaries(
             self.store,
             summaries,

@@ -1,0 +1,80 @@
+"""Tests for the Prometheus-text and JSON exposition formats."""
+
+from __future__ import annotations
+
+from repro.obs.expo import CONTENT_TYPE_PROMETHEUS, render_json, render_prometheus
+from repro.obs.registry import (
+    G_REPLICAS_ALIVE,
+    H_HTTP,
+    H_RECOMMEND,
+    K_HTTP_REQUESTS,
+    K_REQUESTS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc(K_REQUESTS, 3)
+    registry.inc(K_HTTP_REQUESTS["recommend"], 2)
+    registry.gauge_set(G_REPLICAS_ALIVE, 2.0)
+    registry.observe(H_RECOMMEND, 0.0008)
+    registry.observe(H_RECOMMEND, 0.004)
+    registry.observe(H_RECOMMEND, 99.0)  # overflow
+    return registry
+
+
+def test_prometheus_counters_gauges_and_labels():
+    text = render_prometheus(make_registry())
+    lines = text.splitlines()
+    assert "# TYPE repro_service_requests_total counter" in lines
+    assert "repro_service_requests_total 3" in lines
+    assert "# TYPE repro_replicas_alive gauge" in lines
+    assert "repro_replicas_alive 2" in lines
+    assert 'repro_http_requests_total{route="recommend"} 2' in lines
+    assert 'repro_http_requests_total{route="events"} 0' in lines
+    # HELP/TYPE are announced once per family, not once per labelled series.
+    assert lines.count("# TYPE repro_http_requests_total counter") == 1
+
+
+def test_prometheus_histogram_buckets_are_cumulative_with_inf():
+    text = render_prometheus(make_registry())
+    lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_recommend_seconds")
+    ]
+    bucket_lines = [line for line in lines if "_bucket" in line]
+    # One line per finite bucket plus +Inf.
+    assert len(bucket_lines) == len(LATENCY_BUCKETS) + 1
+    counts = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+    assert counts == sorted(counts)  # cumulative, monotone
+    assert bucket_lines[-1].startswith('repro_recommend_seconds_bucket{le="+Inf"}')
+    assert counts[-1] == 3.0  # +Inf bucket counts everything, overflow included
+    assert "repro_recommend_seconds_count 3" in lines
+    [sum_line] = [line for line in lines if line.startswith("repro_recommend_seconds_sum")]
+    assert abs(float(sum_line.rsplit(" ", 1)[1]) - (0.0008 + 0.004 + 99.0)) < 1e-9
+
+
+def test_prometheus_labelled_histograms_render_per_route():
+    registry = make_registry()
+    registry.observe(H_HTTP["recommend"], 0.002)
+    text = render_prometheus(registry)
+    assert 'repro_http_request_seconds_bucket{route="recommend",le="+Inf"} 1' in text
+    assert 'repro_http_request_seconds_count{route="recommend"} 1' in text
+    assert 'repro_http_request_seconds_count{route="events"} 0' in text
+
+
+def test_json_exposition_mirrors_the_snapshot():
+    payload = render_json(make_registry())
+    assert payload["counters"][K_REQUESTS] == 3
+    assert payload["gauges"][G_REPLICAS_ALIVE] == 2.0
+    hist = payload["histograms"][H_RECOMMEND]
+    assert hist["count"] == 3
+    assert hist["overflow"] == 1
+    assert hist["p50"] == 0.005  # rank 1.5 of 3 lands in the 4ms sample's bucket
+    assert payload["buckets"] == list(LATENCY_BUCKETS)
+
+
+def test_prometheus_content_type_constant():
+    assert CONTENT_TYPE_PROMETHEUS.startswith("text/plain; version=0.0.4")

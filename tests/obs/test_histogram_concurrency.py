@@ -1,0 +1,78 @@
+"""Property: histograms stay consistent under concurrent writers + readers.
+
+Same interleaving idiom as ``tests/service/test_pool_versioning.py``:
+hypothesis draws the observation schedule, writer threads hammer the same
+registry, and a concurrent reader snapshots mid-flight — every snapshot
+must be internally consistent (monotone counts, no partial observation)
+and the final state exact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import (
+    H_RECOMMEND,
+    K_REQUESTS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+# Observations spanning the finite buckets and the overflow bucket.
+observations = st.lists(
+    st.sampled_from([0.0002, 0.003, 0.04, 0.9, 50.0]),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(schedules=st.lists(observations, min_size=2, max_size=4))
+def test_concurrent_observers_never_lose_or_tear_samples(schedules):
+    registry = MetricsRegistry()
+    start = threading.Barrier(len(schedules) + 2)  # observers + reader + main
+    snapshots: list[dict] = []
+    done = threading.Event()
+
+    def observer(samples) -> None:
+        start.wait()
+        for seconds in samples:
+            registry.observe(H_RECOMMEND, seconds, counter=K_REQUESTS)
+
+    def reader() -> None:
+        start.wait()
+        while not done.is_set():
+            snapshots.append(registry.histogram(H_RECOMMEND))
+
+    workers = [threading.Thread(target=observer, args=(s,)) for s in schedules]
+    watcher = threading.Thread(target=reader)
+    for t in workers:
+        t.start()
+    watcher.start()
+    start.wait()
+    for t in workers:
+        t.join()
+    done.set()
+    watcher.join()
+    snapshots.append(registry.histogram(H_RECOMMEND))
+
+    all_samples = [s for schedule in schedules for s in schedule]
+    final = snapshots[-1]
+    assert final["count"] == len(all_samples)
+    assert abs(final["sum"] - sum(all_samples)) < 1e-9
+    assert registry.value(K_REQUESTS) == len(all_samples)
+    expected_overflow = sum(1 for s in all_samples if s > LATENCY_BUCKETS[-1])
+    assert final["overflow"] == expected_overflow
+
+    # Mid-flight snapshots are consistent views: counts never exceed the
+    # final tally and never decrease between successive reads.
+    prev_count = 0
+    for snap in snapshots:
+        assert 0 <= snap["count"] <= len(all_samples)
+        assert prev_count <= snap["count"]
+        prev_count = snap["count"]
+        for (_, count), (_, final_count) in zip(snap["buckets"], final["buckets"]):
+            assert 0 <= count <= final_count

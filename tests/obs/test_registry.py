@@ -1,0 +1,196 @@
+"""Unit and cross-process tests for the shared-memory metrics registry."""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.obs.registry import (
+    G_REPLICAS_ALIVE,
+    H_RECOMMEND,
+    K_REPLICA_SERVED,
+    K_REQUESTS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    MetricsSlab,
+    bucket_index,
+    bucket_quantile,
+    enabled,
+    set_enabled,
+)
+
+
+def test_counter_and_gauge_roundtrip():
+    registry = MetricsRegistry()
+    registry.inc(K_REQUESTS)
+    registry.inc(K_REQUESTS, 4)
+    registry.gauge_set(G_REPLICAS_ALIVE, 2.0)
+    assert registry.value(K_REQUESTS) == 5
+    assert registry.value(G_REPLICAS_ALIVE) == 2.0
+    registry.gauge_set(G_REPLICAS_ALIVE, 0.0)
+    assert registry.value(G_REPLICAS_ALIVE) == 0.0
+
+
+def test_histogram_buckets_count_and_sum():
+    registry = MetricsRegistry()
+    samples = [0.00005, 0.0008, 0.0008, 0.004, 99.0]  # last one overflows
+    for s in samples:
+        registry.observe(H_RECOMMEND, s)
+    hist = registry.histogram(H_RECOMMEND)
+    assert hist["count"] == len(samples)
+    assert hist["sum"] == pytest.approx(sum(samples))
+    assert hist["overflow"] == 1
+    counts = {le: c for le, c in hist["buckets"]}
+    assert counts[0.0001] == 1       # 50us lands in the first bucket
+    assert counts[0.001] == 2        # both 0.8ms samples
+    assert counts[0.005] == 1        # the 4ms sample
+    # Non-cumulative buckets plus overflow account for every sample.
+    assert sum(c for _, c in hist["buckets"]) + hist["overflow"] == len(samples)
+
+
+def test_observe_with_fused_counter():
+    registry = MetricsRegistry()
+    registry.observe(H_RECOMMEND, 0.002, counter=K_REQUESTS)
+    registry.observe(H_RECOMMEND, 0.003, counter=K_REQUESTS)
+    assert registry.value(K_REQUESTS) == 2
+    assert registry.histogram(H_RECOMMEND)["count"] == 2
+
+
+def test_bucket_quantile_readouts():
+    counts = [0] * (len(LATENCY_BUCKETS) + 1)
+    counts[3] = 10   # ten samples <= LATENCY_BUCKETS[3]
+    counts[7] = 10   # ten samples <= LATENCY_BUCKETS[7]
+    assert bucket_quantile(counts, 0.50) == LATENCY_BUCKETS[3]
+    assert bucket_quantile(counts, 0.95) == LATENCY_BUCKETS[7]
+    assert bucket_quantile([0] * (len(LATENCY_BUCKETS) + 1), 0.5) is None
+    overflow_only = [0] * (len(LATENCY_BUCKETS) + 1)
+    overflow_only[-1] = 5
+    assert bucket_quantile(overflow_only, 0.5) is None
+
+
+def test_bucket_index_matches_observe_placement():
+    assert bucket_index(0.0) == 0
+    assert bucket_index(LATENCY_BUCKETS[0]) == 0   # bounds are inclusive
+    assert bucket_index(LATENCY_BUCKETS[-1]) == len(LATENCY_BUCKETS) - 1
+    assert bucket_index(LATENCY_BUCKETS[-1] * 2) == len(LATENCY_BUCKETS)
+
+
+def test_set_enabled_false_makes_mutations_noops():
+    registry = MetricsRegistry()
+    assert enabled()
+    set_enabled(False)
+    try:
+        registry.inc(K_REQUESTS)
+        registry.observe(H_RECOMMEND, 0.001)
+        registry.gauge_set(G_REPLICAS_ALIVE, 3.0)
+        assert not enabled()
+    finally:
+        set_enabled(True)
+    assert registry.value(K_REQUESTS) == 0
+    assert registry.histogram(H_RECOMMEND)["count"] == 0
+    assert registry.value(G_REPLICAS_ALIVE) == 0.0
+    registry.inc(K_REQUESTS)
+    assert registry.value(K_REQUESTS) == 1
+
+
+def test_attach_rejects_mismatched_schema_fingerprint():
+    owner = MetricsRegistry.create_shared(2)
+    try:
+        spec = dataclasses.replace(owner.slab_spec, fingerprint="0" * 16)
+        with pytest.raises(ValueError, match="layout mismatch"):
+            MetricsRegistry.attach(spec, 1)
+    finally:
+        owner.close()
+
+
+def test_rebind_migrates_existing_counts_and_owns_slab():
+    registry = MetricsRegistry()
+    registry.inc(K_REQUESTS, 2)
+    slab = MetricsSlab(2)
+    registry.rebind(slab, 0, own=True)
+    registry.inc(K_REQUESTS)
+    assert registry.value(K_REQUESTS) == 3
+    registry.close()  # releases the slab it now owns
+    assert slab.closed
+    assert registry.value(K_REQUESTS) == 3  # aggregate survives the close
+
+
+def _child_inc(spec, slot: int, n: int) -> None:
+    registry = MetricsRegistry.attach(spec, slot)
+    for _ in range(n):
+        registry.inc(K_REPLICA_SERVED)
+        registry.observe(H_RECOMMEND, 0.001)
+
+
+def test_cross_process_aggregation_without_ipc():
+    ctx = multiprocessing.get_context("fork")
+    owner = MetricsRegistry.create_shared(3)
+    try:
+        owner.inc(K_REPLICA_SERVED, 2)
+        workers = [
+            ctx.Process(target=_child_inc, args=(owner.slab_spec, slot, 5))
+            for slot in (1, 2)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=30)
+            assert w.exitcode == 0
+        # The reader never messaged the workers: the slab IS the channel.
+        assert owner.value(K_REPLICA_SERVED) == 2 + 5 + 5
+        assert owner.histogram(H_RECOMMEND)["count"] == 10
+        assert owner.slot_value(K_REPLICA_SERVED, 1) == 5
+    finally:
+        owner.close()
+
+
+def _serve_forever(spec, slot: int, started) -> None:
+    registry = MetricsRegistry.attach(spec, slot)
+    registry.inc(K_REPLICA_SERVED, 3)
+    started.set()
+    time.sleep(60)  # parent SIGKILLs us long before this returns
+
+
+def test_counters_survive_kill_dash_nine_and_respawn():
+    """A replica's counts persist across kill -9 + respawn with no loss or
+    double-counting: the respawned process re-attaches the *same* slot and
+    attach deliberately does not reset the row."""
+    ctx = multiprocessing.get_context("fork")
+    owner = MetricsRegistry.create_shared(2)
+    try:
+        started = ctx.Event()
+        victim = ctx.Process(target=_serve_forever, args=(owner.slab_spec, 1, started))
+        victim.start()
+        assert started.wait(timeout=30)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        assert victim.exitcode == -signal.SIGKILL
+        # Counts recorded before the kill are still readable...
+        assert owner.value(K_REPLICA_SERVED) == 3
+        # ...and a respawn onto the same slot resumes, never resets.
+        respawn = ctx.Process(target=_child_inc, args=(owner.slab_spec, 1, 4))
+        respawn.start()
+        respawn.join(timeout=30)
+        assert respawn.exitcode == 0
+        assert owner.value(K_REPLICA_SERVED) == 3 + 4
+    finally:
+        owner.close()
+
+
+def test_close_preserves_cross_slot_aggregate():
+    ctx = multiprocessing.get_context("fork")
+    owner = MetricsRegistry.create_shared(2)
+    worker = ctx.Process(target=_child_inc, args=(owner.slab_spec, 1, 7))
+    worker.start()
+    worker.join(timeout=30)
+    assert worker.exitcode == 0
+    owner.inc(K_REPLICA_SERVED)
+    owner.close()
+    # The dead worker's counts were folded into the local row on close.
+    assert owner.value(K_REPLICA_SERVED) == 8
+    owner.close()  # idempotent

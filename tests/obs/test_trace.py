@@ -1,0 +1,122 @@
+"""Tests for request-scoped tracing: spans, context isolation, grafting."""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import time
+
+from repro.obs import trace
+from repro.obs.runtime import observed
+
+
+def test_push_returns_none_when_no_trace_is_active():
+    assert trace.active() is None
+    assert trace.push("anything") is None
+
+
+def test_begin_push_pop_end_builds_a_span_tree():
+    handle = trace.begin("req-1")
+    try:
+        assert trace.active() is not None
+        outer = trace.push("outer")
+        time.sleep(0.002)  # keep the two start_ms values distinct after rounding
+        inner = trace.push("inner")
+        trace.pop(inner, 0.002)
+        trace.pop(outer, 0.010)
+    finally:
+        finished = trace.end(handle)
+    assert trace.active() is None
+    names = [s["name"] for s in finished.spans]
+    assert names == ["inner", "outer"]  # ordered by completion
+    by_name = {s["name"]: s for s in finished.spans}
+    assert by_name["inner"]["duration_ms"] == 2.0
+    assert by_name["outer"]["duration_ms"] == 10.0
+    payload = finished.as_dict(duration_ms=12.5)
+    assert payload["request_id"] == "req-1"
+    assert payload["duration_ms"] == 12.5
+    # as_dict orders spans by start time: outer opened first.
+    assert [s["name"] for s in payload["spans"]] == ["outer", "inner"]
+
+
+def test_graft_rebases_and_prefixes_remote_spans():
+    handle = trace.begin("req-2")
+    try:
+        remote = [{"name": "service.recommend", "start_ms": 1.0, "duration_ms": 4.0}]
+        trace.graft(remote, base_ms=10.0, prefix="replica/")
+        spans = trace.active().spans
+    finally:
+        trace.end(handle)
+    assert spans == [
+        {"name": "replica/service.recommend", "start_ms": 11.0, "duration_ms": 4.0}
+    ]
+
+
+def test_graft_without_active_trace_is_a_noop():
+    trace.graft([{"name": "x", "start_ms": 0.0, "duration_ms": 1.0}], base_ms=5.0)
+    assert trace.active() is None
+
+
+def test_new_request_id_is_opaque_hex():
+    rid = trace.new_request_id()
+    assert len(rid) == 32
+    int(rid, 16)  # parses as hex
+    assert rid != trace.new_request_id()
+
+
+def test_traces_are_isolated_per_async_task():
+    """Two concurrent tasks each get their own trace; spans never leak
+    across task boundaries because the ContextVar is task-local."""
+    spans_by_request: dict[str, list[str]] = {}
+
+    async def traced(request_id: str, span: str) -> None:
+        handle = trace.begin(request_id)
+        try:
+            h = trace.push(span)
+            await asyncio.sleep(0.01)
+            trace.pop(h, 0.01)
+            spans_by_request[request_id] = [
+                s["name"] for s in trace.active().spans
+            ]
+        finally:
+            trace.end(handle)
+
+    async def scenario() -> None:
+        await asyncio.gather(traced("a", "span-a"), traced("b", "span-b"))
+
+    asyncio.run(scenario())
+    assert spans_by_request == {"a": ["span-a"], "b": ["span-b"]}
+
+
+def test_copy_context_carries_the_trace_across_threads():
+    """The executor-hop idiom the HTTP server uses: wrapping the callable
+    in ``copy_context().run`` makes thread-side spans land on the trace."""
+    handle = trace.begin("req-3")
+    try:
+        context = contextvars.copy_context()
+
+        def thread_side() -> None:
+            h = trace.push("thread.work")
+            trace.pop(h, 0.001)
+
+        import threading
+
+        worker = threading.Thread(target=context.run, args=(thread_side,))
+        worker.start()
+        worker.join()
+        names = [s["name"] for s in trace.active().spans]
+    finally:
+        trace.end(handle)
+    assert names == ["thread.work"]
+
+
+def test_observed_records_a_span_while_tracing():
+    handle = trace.begin("req-4")
+    try:
+        with observed("stage.one"):
+            time.sleep(0.001)
+        spans = trace.active().spans
+    finally:
+        trace.end(handle)
+    assert [s["name"] for s in spans] == ["stage.one"]
+    assert spans[0]["duration_ms"] >= 1.0

@@ -1,0 +1,198 @@
+"""End-to-end tests of the HTTP telemetry plane: request ids, /v1/metrics,
+deprecated-route counters and the healthz durability block."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import LATENCY_BUCKETS
+from repro.recsys import DenseStore
+from repro.service import FormationService, ServiceServer
+
+
+@pytest.fixture()
+def server():
+    values = np.random.default_rng(23).integers(1, 6, size=(50, 12)).astype(float)
+    service = FormationService(DenseStore(values.copy()), k_max=5, shards=3)
+    srv = ServiceServer(service, port=0, batch_window=0.05)
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.time() + 5
+    while srv._server is None:
+        if time.time() > deadline:  # pragma: no cover - startup failure
+            raise RuntimeError("server did not start")
+        time.sleep(0.01)
+    yield srv
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+def raw_request(srv, path, body=None, method=None, headers=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{srv.port}{path}",
+        data=data,
+        method=method or ("POST" if data else "GET"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def json_request(srv, path, body=None, method=None, headers=None):
+    status, raw, resp_headers = raw_request(srv, path, body, method, headers)
+    return status, json.loads(raw), resp_headers
+
+
+def test_request_id_is_honoured_end_to_end(server):
+    status, _, headers = json_request(
+        server, "/v1/recommend", {"k": 3, "max_groups": 4},
+        headers={"X-Request-Id": "trace-me-42"},
+    )
+    assert status == 200
+    assert headers["X-Request-Id"] == "trace-me-42"
+
+
+def test_request_id_is_generated_when_absent(server):
+    ids = set()
+    for _ in range(2):
+        status, _, headers = json_request(server, "/v1/healthz")
+        assert status == 200
+        rid = headers["X-Request-Id"]
+        int(rid, 16)  # opaque 32-hex id
+        assert len(rid) == 32
+        ids.add(rid)
+    assert len(ids) == 2  # fresh id per request
+
+
+def test_error_responses_still_carry_a_request_id(server):
+    status, _, headers = json_request(
+        server, "/nope", headers={"X-Request-Id": "err-1"}
+    )
+    assert status == 404
+    assert headers["X-Request-Id"] == "err-1"
+
+
+def test_metrics_prometheus_text_default(server):
+    json_request(server, "/v1/recommend", {"k": 3, "max_groups": 4})
+    status, raw, headers = raw_request(server, "/v1/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    text = raw.decode()
+    assert "# TYPE repro_http_requests_total counter" in text
+    assert 'repro_http_requests_total{route="recommend"} 1' in text
+    assert 'repro_http_request_seconds_bucket{route="recommend",le="+Inf"} 1' in text
+    assert "repro_service_requests_total" in text
+
+
+def test_metrics_json_format(server):
+    json_request(server, "/v1/recommend", {"k": 3, "max_groups": 4})
+    status, payload, headers = json_request(server, "/v1/metrics?format=json")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/json")
+    assert payload["buckets"] == list(LATENCY_BUCKETS)
+    assert payload["counters"]['repro_http_requests_total{route="recommend"}'] >= 1
+    hist = payload["histograms"]['repro_http_request_seconds{route="recommend"}']
+    assert hist["count"] >= 1
+    assert hist["sum"] > 0
+
+
+def test_metrics_rejects_unknown_format_and_post(server):
+    status, payload, _ = json_request(server, "/v1/metrics?format=xml")
+    assert status == 400 and payload["error"]["code"] == "validation"
+    status, payload, _ = json_request(server, "/v1/metrics", {}, method="POST")
+    assert status == 405
+
+
+def test_deprecated_requests_counted_per_legacy_route(server):
+    json_request(server, "/recommend", {"k": 3, "max_groups": 4})
+    json_request(server, "/recommend", {"k": 3, "max_groups": 4})
+    json_request(server, "/updates", {"upserts": [[0, 0, 4.0]]})
+    _, payload, _ = json_request(server, "/v1/metrics?format=json")
+    counters = payload["counters"]
+    assert counters['repro_deprecated_requests_total{route="recommend"}'] == 2
+    assert counters['repro_deprecated_requests_total{route="updates"}'] == 1
+    # The v1 routes never bump the deprecation counters.
+    json_request(server, "/v1/recommend", {"k": 3, "max_groups": 4})
+    _, payload, _ = json_request(server, "/v1/metrics?format=json")
+    assert payload["counters"][
+        'repro_deprecated_requests_total{route="recommend"}'
+    ] == 2
+
+
+def test_http_latency_histogram_matches_request_count(server):
+    for _ in range(3):
+        json_request(server, "/v1/recommend", {"k": 3, "max_groups": 4})
+    _, payload, _ = json_request(server, "/v1/metrics?format=json")
+    hist = payload["histograms"]['repro_http_request_seconds{route="recommend"}']
+    assert hist["count"] == 3
+    assert sum(c for _, c in hist["buckets"]) + hist["overflow"] == 3
+    assert hist["p50"] is not None
+
+
+def test_healthz_durability_block(tmp_path):
+    from repro.service.config import ServiceConfig
+
+    config = ServiceConfig(
+        users=40, items=10, wal_dir=str(tmp_path), snapshot_every=2,
+        batch_window=0.05,
+    )
+    pipeline = config.build_pipeline()
+    srv = config.build_server(pipeline.service, pipeline)
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.time() + 5
+    while srv._server is None:
+        if time.time() > deadline:  # pragma: no cover - startup failure
+            raise RuntimeError("server did not start")
+        time.sleep(0.01)
+    try:
+        status, health, _ = json_request(srv, "/v1/healthz")
+        assert status == 200 and health["durable"] is True
+        durability = health["durability"]
+        assert durability["wal_backlog"] == 0
+        assert "last_snapshot_age_seconds" in durability
+        assert "last_fsync_seconds" in durability
+        # One applied event batch raises the backlog until the next snapshot.
+        status, _, _ = json_request(
+            srv, "/v1/events",
+            {"events": [{"kind": "rating", "user": 0, "item": 1, "score": 5.0}]},
+        )
+        assert status == 200
+        _, health, _ = json_request(srv, "/v1/healthz")
+        assert health["durability"]["wal_backlog"] >= 1
+        assert health["durability"]["last_fsync_seconds"] > 0
+        # The WAL backlog gauge mirrors the healthz readout.
+        _, metrics, _ = json_request(srv, "/v1/metrics?format=json")
+        assert metrics["gauges"]["repro_wal_backlog_records"] >= 1
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5)
+        pipeline.close()
+        pipeline.service.close()
+        config.close_metrics()

@@ -45,6 +45,12 @@ DOCUMENTED_MODULES = [
     SRC / "ingest" / "wal.py",
     SRC / "ingest" / "snapshot.py",
     SRC / "ingest" / "pipeline.py",
+    SRC / "obs" / "__init__.py",
+    SRC / "obs" / "registry.py",
+    SRC / "obs" / "trace.py",
+    SRC / "obs" / "runtime.py",
+    SRC / "obs" / "expo.py",
+    SRC / "obs" / "logs.py",
 ]
 
 

@@ -33,7 +33,7 @@ END = "<!-- bench-trajectory:end -->"
 _CONFIG_KEYS = (
     "backend", "store", "kernels", "threads", "stage", "semantics", "shards",
     "workers", "execution", "metric", "replicas", "clients", "read_ratio",
-    "batch_size", "k", "max_groups",
+    "batch_size", "k", "max_groups", "requests",
 )
 #: Entry keys folded into the "notes" column (derived figures).
 _NOTE_KEYS = (
@@ -41,6 +41,8 @@ _NOTE_KEYS = (
     "requests_per_second", "scaling_vs_single", "physical_cap",
     "batches_replayed",
     "peak_rss_gib", "objective", "generate_seconds",
+    "server_p50_le", "server_p99_le", "queue_wait_mean", "service_time_mean",
+    "obs_overhead",
 )
 
 
