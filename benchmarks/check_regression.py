@@ -56,6 +56,15 @@ cache-busting subset reads, must stay within ``--max-obs-overhead``
 effectively free.  The measured ratio is recorded as ``obs_`` entries
 in ``BENCH_service.json``.
 
+``--faults-overhead`` gates the failpoint plane the same way: with no
+schedule configured every ``fault_fire``/``fault_check`` call must be a
+near-free early return.  The per-request cost of the hot path's site
+visits (HTTP dispatch check plus the WAL append/fsync and pipeline apply
+fires a write performs), measured differentially against an empty loop,
+divided by the median recommend latency, must stay within
+``--max-faults-overhead`` (default 2%).  Recorded as ``overhead_``
+entries in ``BENCH_faults.json``.
+
 Each run also writes ``BENCH_regression.json`` (per-instance wall time,
 backend, store, commit) so the perf trajectory is tracked across PRs.
 
@@ -154,6 +163,19 @@ def main(argv=None) -> int:
                         dest="max_obs_overhead",
                         help="max allowed fractional slowdown from enabled "
                              "telemetry on the recommend hot path "
+                             "(default: 0.02 = 2%%)")
+    parser.add_argument("--faults-overhead", action="store_true",
+                        dest="faults_overhead",
+                        help="also gate the failpoint plane's disabled cost "
+                             "on the hot path: per-request site-visit cost "
+                             "(measured differentially against an empty "
+                             "loop) over the median recommend latency; "
+                             "blocking when the ratio exceeds "
+                             "--max-faults-overhead")
+    parser.add_argument("--max-faults-overhead", type=float, default=0.02,
+                        dest="max_faults_overhead",
+                        help="max allowed fractional slowdown from the "
+                             "disabled failpoint plane on the hot path "
                              "(default: 0.02 = 2%%)")
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     args = parser.parse_args(argv)
@@ -577,6 +599,114 @@ def main(argv=None) -> int:
             ),
         ], "obs_")
         print(f"telemetry overhead written to {obs_path}")
+
+    if args.faults_overhead:
+        # Failpoint-cost gate: with no schedule configured, every
+        # fault_fire/fault_check must be a near-free early return — the
+        # plane ships in production builds and sits on the WAL, pipeline
+        # and dispatch hot paths.  Same two-factor methodology as the
+        # telemetry gate: the median end-to-end recommend latency over
+        # cache-busting subset reads, and the per-request cost of the
+        # site-visit sequence a durable write performs (the densest
+        # failpoint traffic any request generates), timed differentially
+        # against an empty loop of the same shape.
+        import time as _time
+
+        import numpy as np
+
+        from _timing import merge_bench_json
+
+        from repro import faults as _faults
+        from repro.recsys import DenseStore
+        from repro.service import FormationService
+
+        print("\nfailpoint overhead gate (plane disabled):")
+        _faults.reset()
+        service = FormationService(
+            DenseStore(ratings.values, scale=ratings.scale),
+            k_max=args.k, shards=4,
+        )
+        rng = np.random.default_rng(args.seed + 2015)
+        subset_size = max(8, min(64, args.users // 4))
+        n_subsets = 160  # > the result memo (128): every request computes
+        subsets = [
+            np.sort(rng.choice(args.users, size=subset_size, replace=False)).tolist()
+            for _ in range(n_subsets)
+        ]
+
+        def fault_request_times() -> list:
+            times = []
+            for subset in subsets:
+                t0 = _time.perf_counter()
+                service.recommend(k=args.k, max_groups=args.groups,
+                                  user_ids=subset)
+                times.append(_time.perf_counter() - t0)
+            return times
+
+        fire, chk = _faults.fire, _faults.check
+
+        def fault_site_visit_seconds(reps: int) -> float:
+            t0 = _time.perf_counter()
+            for _ in range(reps):
+                chk("http.dispatch")
+                fire("wal.append")
+                fire("wal.fsync")
+                fire("pipeline.apply")
+            return _time.perf_counter() - t0
+
+        def empty_loop_seconds(reps: int) -> float:
+            t0 = _time.perf_counter()
+            for _ in range(reps):
+                pass
+            return _time.perf_counter() - t0
+
+        fault_reps = 20000
+        try:
+            fault_request_times()  # warm (allocator, numpy, code paths)
+            latencies = sorted(fault_request_times())
+            median_latency = latencies[len(latencies) // 2]
+            visit_cost = {True: float("inf"), False: float("inf")}
+            for _ in range(max(args.rounds, 3)):
+                visit_cost[True] = min(
+                    visit_cost[True], fault_site_visit_seconds(fault_reps)
+                )
+                visit_cost[False] = min(
+                    visit_cost[False], empty_loop_seconds(fault_reps)
+                )
+        finally:
+            service.close()
+        per_request = max(
+            0.0, (visit_cost[True] - visit_cost[False]) / fault_reps
+        )
+        faults_ratio = per_request / median_latency
+        status = "ok"
+        if faults_ratio > args.max_faults_overhead:
+            status = "TOO SLOW"
+            failures.append(
+                f"failpoints: disabled-plane overhead "
+                f"{faults_ratio * 100:.2f}% > allowed "
+                f"{args.max_faults_overhead * 100:.2f}% on the hot path"
+            )
+        print(
+            f"recommend hot path ({n_subsets} subset reads of "
+            f"{subset_size} users): "
+            f"median request {median_latency * 1000:7.3f} ms | "
+            f"disabled site visits {per_request * 1e6:5.2f} us/request | "
+            f"overhead {faults_ratio * 100:+.2f}% | {status}"
+        )
+        faults_path = merge_bench_json("faults", [
+            bench_entry(
+                f"faults overhead {instance}", median_latency,
+                backend="numpy", store="dense",
+                metric="overhead_recommend_median",
+                requests=n_subsets, faults_overhead=faults_ratio,
+            ),
+            bench_entry(
+                f"faults overhead {instance}", per_request, backend="numpy",
+                store="dense", metric="overhead_site_visits_per_request",
+            ),
+        ], "overhead_")
+        print(f"failpoint overhead written to {faults_path}")
 
     if failures:
         print("\nFAIL:", "; ".join(failures), file=sys.stderr)

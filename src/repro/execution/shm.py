@@ -37,6 +37,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.faults import fire as fault_fire
 from repro.recsys.matrix import RatingScale
 from repro.recsys.store import DenseStore, RatingStore, SparseStore
 
@@ -151,6 +152,7 @@ class SharedExports:
         array:
             Any numpy array (made C-contiguous on export).
         """
+        fault_fire("shm.export")
         array = np.ascontiguousarray(array)
         segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
         self._segments.append(segment)
@@ -283,6 +285,7 @@ def attach_array(spec: ArraySpec) -> np.ndarray:
     spec:
         An :class:`ArraySpec` produced by :meth:`SharedExports.export_array`.
     """
+    fault_fire("shm.attach")
     segment = _open_segment(spec.segment)
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
 

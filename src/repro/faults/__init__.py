@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the durable serving stack.
+
+The package's one module, :mod:`repro.faults.plane`, holds the failpoint
+registry: named injection sites woven through every OS-touching layer
+(WAL, snapshots, shared memory, replica pool, HTTP dispatch), fired on a
+seeded deterministic schedule configured via ``REPRO_FAULTS`` /
+``repro serve --faults`` and compiled to a zero-cost no-op when disabled.
+See ``docs/architecture.md`` ("Fault injection & degraded modes") for the
+site catalogue and the schedule grammar.
+"""
+
+from repro.faults.plane import (
+    SITES,
+    FaultAction,
+    FaultSpecError,
+    active,
+    check,
+    configure,
+    configure_from_env,
+    execute,
+    fire,
+    parse_schedule,
+    reset,
+    stats,
+)
+
+__all__ = [
+    "SITES",
+    "FaultAction",
+    "FaultSpecError",
+    "active",
+    "check",
+    "configure",
+    "configure_from_env",
+    "execute",
+    "fire",
+    "parse_schedule",
+    "reset",
+    "stats",
+]

@@ -1,0 +1,436 @@
+"""Deterministic failpoint plane for the durable serving stack.
+
+Real outages are dominated by partial failures the happy path never
+exercises — a full disk mid-append, a torn write under a crash, an fsync
+that starts failing, a replica that dies the instant it is spawned.  This
+module makes those paths *testable and kept tested* by threading named
+**failpoint sites** through every layer that touches the OS (WAL,
+snapshots, shared memory, replica control, HTTP dispatch) and firing them
+on a deterministic, seeded schedule.
+
+Design rules (mirroring the telemetry plane's ``set_enabled`` discipline):
+
+* **zero-cost when disabled** — every site is a call to :func:`fire` (or
+  :func:`check`) whose first action is an early return when no plane is
+  configured; production pays one module-global load per site;
+* **deterministic** — triggers are hit-count based (``once:N``,
+  ``every:N``, ``first:N``, ``window:N:M``) or drawn from a per-site RNG
+  seeded from ``(seed, site)``, so a schedule replays identically across
+  runs and processes;
+* **schedules are data** — one string (``REPRO_FAULTS`` / ``--faults``)
+  configures the whole process, so a chaos harness drives a real
+  ``repro serve`` subprocess without bespoke hooks.
+
+Schedule grammar — ``;``-separated clauses of ``site=action@trigger``::
+
+    wal.fsync=enospc@window:3:6        # fsyncs 3..6 raise ENOSPC
+    wal.append=torn:7@once:4           # 4th append writes 7 bytes, fails
+    http.dispatch=delay:50@prob:0.1    # ~10% of requests stall 50 ms
+    pool.spawn=io@first:3              # first 3 replica spawns fail
+    snapshot.replace=abort@once:1      # die between tmp write and rename
+
+Actions: ``enospc`` (raise ``OSError(ENOSPC)``), ``io`` (raise
+``OSError(EIO)``), ``torn[:BYTES]`` (cooperative short write, see
+:func:`check`), ``delay:MS`` (sleep), ``abort`` (``os._exit(70)`` — the
+crash simulator).  Triggers: ``always``, ``once:N``, ``every:N``,
+``first:N``, ``window:N:M``, ``prob:P`` (trigger omitted = ``always``).
+Hit counters are per site, shared by all clauses on that site; the first
+matching clause wins.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "SITES",
+    "ACTION_KINDS",
+    "FaultAction",
+    "FaultSpecError",
+    "parse_schedule",
+    "configure",
+    "configure_from_env",
+    "reset",
+    "active",
+    "fire",
+    "check",
+    "execute",
+    "stats",
+]
+
+#: Environment variables the plane is configured from in subprocesses.
+ENV_SPEC = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULTS_SEED"
+
+#: Exit status of an ``abort`` action — distinguishable from a real crash.
+ABORT_STATUS = 70
+
+#: The failpoint site catalogue.  Every OS-touching layer declares its
+#: sites here; :func:`parse_schedule` rejects unknown names so a typo in a
+#: chaos schedule fails fast instead of silently injecting nothing.
+SITES: tuple[str, ...] = (
+    "wal.append",        # record write in WriteAheadLog.append
+    "wal.fsync",         # os.fsync in WriteAheadLog.sync / heal
+    "wal.rotate",        # segment seal in WriteAheadLog.rotate
+    "snapshot.write",    # tmp-file serialisation in SnapshotManager.save
+    "snapshot.replace",  # the atomic os.replace in SnapshotManager.save
+    "snapshot.prune",    # retention unlinks in SnapshotManager._prune
+    "pipeline.apply",    # batch apply in IngestPipeline.ingest/apply
+    "shm.export",        # shared-memory export in SharedExports
+    "shm.attach",        # shared-memory attach in attach_array
+    "pool.spawn",        # replica process spawn in ReplicaPool._spawn
+    "pool.control",      # control-pipe exchange in _ReplicaHandle
+    "pool.publish",      # versioned swap in ReplicaPool.publish
+    "http.dispatch",     # request routing in ServiceServer._route
+)
+
+ACTION_KINDS = ("enospc", "io", "torn", "delay", "abort")
+
+
+class FaultSpecError(ReproError):
+    """Raised for a malformed fault schedule string."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One parsed fault action.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ACTION_KINDS`.
+    arg:
+        Action parameter — bytes to keep for ``torn``, milliseconds for
+        ``delay``, unused otherwise.
+    """
+
+    kind: str
+    arg: float | None = None
+
+
+@dataclass(frozen=True)
+class _Trigger:
+    """One parsed trigger: when (by site hit count) a clause matches.
+
+    Attributes
+    ----------
+    kind:
+        ``always``, ``once``, ``every``, ``first``, ``window`` or ``prob``.
+    a, b:
+        Trigger parameters (``window`` uses both; ``prob`` stores the
+        probability in ``a``).
+    """
+
+    kind: str
+    a: float = 0.0
+    b: float = 0.0
+
+    def matches(self, hit: int, rng: random.Random) -> bool:
+        """Whether this trigger fires on the site's ``hit``-th visit (1-based).
+
+        Parameters
+        ----------
+        hit:
+            The site's hit counter after incrementing for this visit.
+        rng:
+            The site's seeded RNG (consumed only by ``prob`` triggers).
+        """
+        if self.kind == "always":
+            return True
+        if self.kind == "once":
+            return hit == int(self.a)
+        if self.kind == "every":
+            return hit % int(self.a) == 0
+        if self.kind == "first":
+            return hit <= int(self.a)
+        if self.kind == "window":
+            return int(self.a) <= hit <= int(self.b)
+        return rng.random() < self.a  # prob
+
+
+def _parse_action(text: str, site: str) -> FaultAction:
+    """Parse one ``action[:arg]`` fragment of a schedule clause."""
+    kind, _, arg = text.partition(":")
+    if kind not in ACTION_KINDS:
+        raise FaultSpecError(
+            f"unknown fault action {kind!r} at {site} "
+            f"(expected one of {ACTION_KINDS})"
+        )
+    if not arg:
+        if kind == "delay":
+            raise FaultSpecError(f"delay at {site} needs milliseconds (delay:MS)")
+        return FaultAction(kind)
+    try:
+        value = float(arg)
+    except ValueError:
+        raise FaultSpecError(f"bad argument {arg!r} for {kind} at {site}")
+    if value < 0:
+        raise FaultSpecError(f"{kind} argument must be >= 0 at {site}")
+    return FaultAction(kind, value)
+
+
+def _parse_trigger(text: str, site: str) -> _Trigger:
+    """Parse one ``trigger[:args]`` fragment of a schedule clause."""
+    kind, _, rest = text.partition(":")
+    if kind == "always":
+        return _Trigger("always")
+    if kind in ("once", "every", "first"):
+        try:
+            n = int(rest)
+        except ValueError:
+            raise FaultSpecError(f"{kind} at {site} needs an integer ({kind}:N)")
+        if n < 1:
+            raise FaultSpecError(f"{kind}:N at {site} needs N >= 1, got {n}")
+        return _Trigger(kind, n)
+    if kind == "window":
+        try:
+            lo, hi = (int(v) for v in rest.split(":"))
+        except ValueError:
+            raise FaultSpecError(f"window at {site} needs window:N:M")
+        if lo < 1 or hi < lo:
+            raise FaultSpecError(f"window:{lo}:{hi} at {site} must be 1 <= N <= M")
+        return _Trigger(kind, lo, hi)
+    if kind == "prob":
+        try:
+            p = float(rest)
+        except ValueError:
+            raise FaultSpecError(f"prob at {site} needs a probability (prob:P)")
+        if not 0.0 <= p <= 1.0:
+            raise FaultSpecError(f"prob:{p} at {site} must be in [0, 1]")
+        return _Trigger(kind, p)
+    raise FaultSpecError(f"unknown fault trigger {kind!r} at {site}")
+
+
+def parse_schedule(spec: str) -> dict[str, list[tuple[FaultAction, _Trigger]]]:
+    """Parse a schedule string into ``site -> [(action, trigger), ...]``.
+
+    Parameters
+    ----------
+    spec:
+        The grammar described in the module docstring.  Empty/whitespace
+        clauses are skipped, so trailing ``;`` are harmless.
+
+    Raises
+    ------
+    FaultSpecError
+        For an unknown site, action or trigger, or malformed arguments.
+    """
+    schedule: dict[str, list[tuple[FaultAction, _Trigger]]] = {}
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, sep, rest = clause.partition("=")
+        site = site.strip()
+        if not sep or not rest:
+            raise FaultSpecError(
+                f"malformed fault clause {clause!r} (want site=action@trigger)"
+            )
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} (known sites: {', '.join(SITES)})"
+            )
+        action_text, sep, trigger_text = rest.partition("@")
+        action = _parse_action(action_text.strip(), site)
+        trigger = (
+            _parse_trigger(trigger_text.strip(), site) if sep else _Trigger("always")
+        )
+        schedule.setdefault(site, []).append((action, trigger))
+    return schedule
+
+
+class _FaultPlane:
+    """Compiled schedule plus per-site hit counters and seeded RNGs.
+
+    Parameters
+    ----------
+    schedule:
+        Output of :func:`parse_schedule`.
+    seed:
+        Global seed; each site's RNG is seeded from ``(seed, site)`` so
+        probabilistic triggers are deterministic per site and independent
+        of evaluation order across sites.
+    """
+
+    def __init__(
+        self,
+        schedule: dict[str, list[tuple[FaultAction, _Trigger]]],
+        seed: int,
+    ) -> None:
+        self.schedule = schedule
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self.hits: dict[str, int] = {site: 0 for site in schedule}
+        self.injected: dict[str, int] = {site: 0 for site in schedule}
+        self._rngs = {
+            site: random.Random(f"{seed}:{site}") for site in schedule
+        }
+
+    def trigger(self, site: str) -> FaultAction | None:
+        """Count one visit to ``site``; return the matching action, if any."""
+        clauses = self.schedule.get(site)
+        if clauses is None:
+            return None
+        with self._lock:
+            self.hits[site] += 1
+            hit = self.hits[site]
+            rng = self._rngs[site]
+            for action, trig in clauses:
+                if trig.matches(hit, rng):
+                    self.injected[site] += 1
+                    break
+            else:
+                return None
+        _record_injection()
+        return action
+
+
+_PLANE: _FaultPlane | None = None
+
+
+def configure(spec: str, seed: int = 0) -> None:
+    """Install a fault schedule for this process.
+
+    Parameters
+    ----------
+    spec:
+        Schedule string (see module docstring); an empty string resets.
+    seed:
+        Seed for probabilistic triggers.
+
+    Raises
+    ------
+    FaultSpecError
+        For a malformed schedule.
+    """
+    global _PLANE
+    if not spec or not spec.strip():
+        _PLANE = None
+        return
+    _PLANE = _FaultPlane(parse_schedule(spec), seed)
+
+
+def configure_from_env() -> bool:
+    """Configure from :data:`ENV_SPEC` / :data:`ENV_SEED` if present.
+
+    A no-op when a plane is already configured (an explicit
+    :func:`configure` wins over the environment) or when the variable is
+    unset.  Returns whether a plane is active afterwards.  Worker
+    processes call this during startup so a chaos schedule set on a
+    ``repro serve`` subprocess reaches spawn-started replicas too.
+    """
+    if _PLANE is not None:
+        return True
+    spec = os.environ.get(ENV_SPEC, "")
+    if spec.strip():
+        configure(spec, seed=int(os.environ.get(ENV_SEED, "0") or "0"))
+    return _PLANE is not None
+
+
+def reset() -> None:
+    """Remove the installed schedule (test isolation helper)."""
+    global _PLANE
+    _PLANE = None
+
+
+def active() -> bool:
+    """Whether a fault schedule is currently installed in this process."""
+    return _PLANE is not None
+
+
+def _record_injection() -> None:
+    """Count one injected fault into the telemetry plane (best effort)."""
+    try:
+        from repro.obs.registry import K_FAULTS_INJECTED
+        from repro.obs.runtime import get_registry
+
+        get_registry().inc(K_FAULTS_INJECTED)
+    except Exception:  # noqa: BLE001 - telemetry must never mask the fault
+        pass
+
+
+def execute(action: FaultAction, site: str) -> None:
+    """Carry out a non-cooperative ``action`` at ``site``.
+
+    Parameters
+    ----------
+    action:
+        The matched :class:`FaultAction`.
+    site:
+        Site name, embedded in the raised error message.
+
+    Raises
+    ------
+    OSError
+        ``ENOSPC`` for ``enospc``, ``EIO`` for ``io`` and for ``torn`` at
+        a site with no cooperative short-write handling.
+    """
+    kind = action.kind
+    if kind == "enospc":
+        raise OSError(errno.ENOSPC, f"injected ENOSPC at {site}")
+    if kind == "delay":
+        time.sleep((action.arg or 0.0) / 1000.0)
+        return
+    if kind == "abort":
+        os._exit(ABORT_STATUS)
+    # "io", and "torn" at a site that cannot short-write cooperatively.
+    raise OSError(errno.EIO, f"injected I/O error at {site}")
+
+
+def fire(site: str) -> None:
+    """Visit failpoint ``site``; execute the scheduled action, if any.
+
+    The production fast path: one module-global load and an early return
+    when no plane is configured.
+
+    Parameters
+    ----------
+    site:
+        A name from :data:`SITES`.
+    """
+    plane = _PLANE
+    if plane is None:
+        return
+    action = plane.trigger(site)
+    if action is not None:
+        execute(action, site)
+
+
+def check(site: str) -> FaultAction | None:
+    """Visit ``site`` and return the matched action for cooperative handling.
+
+    Call sites that can enact an action more faithfully than a raised
+    exception — the WAL's torn short-write, the HTTP server's async delay
+    — use this form and fall back to :func:`execute` for the rest.
+
+    Parameters
+    ----------
+    site:
+        A name from :data:`SITES`.
+    """
+    plane = _PLANE
+    if plane is None:
+        return None
+    return plane.trigger(site)
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Per-site ``{"hits", "injected"}`` counts (empty when inactive)."""
+    plane = _PLANE
+    if plane is None:
+        return {}
+    with plane._lock:
+        return {
+            site: {
+                "hits": plane.hits[site],
+                "injected": plane.injected[site],
+            }
+            for site in plane.schedule
+        }

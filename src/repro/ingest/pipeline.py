@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.core.errors import IngestError, ReproError
+from repro.faults import fire as fault_fire
 from repro.ingest.events import FoldPolicy, fold_events
 from repro.ingest.snapshot import SnapshotManager
 from repro.ingest.wal import WriteAheadLog
@@ -137,6 +138,7 @@ class IngestPipeline:
         """
         with self._lock:
             with observed("ingest.apply", H_INGEST_APPLY):
+                fault_fire("pipeline.apply")
                 upserts, deletes = fold_events(
                     events, self.service.store.scale, self.policy
                 )
@@ -160,6 +162,7 @@ class IngestPipeline:
         """
         with self._lock:
             with observed("ingest.apply", H_INGEST_APPLY):
+                fault_fire("pipeline.apply")
                 stats = self.service.apply_updates(**batch)
             self.batches_ingested += 1
             get_registry().inc(K_INGEST_BATCHES)
@@ -216,6 +219,21 @@ class IngestPipeline:
     def sync(self) -> None:
         """fsync any batched-but-unsynced WAL appends (group-commit flush)."""
         self.wal.sync()
+
+    def heal(self) -> None:
+        """Probe and repair the durability tree after a write failure.
+
+        The degraded read-only mode's periodic disk probe: delegates to
+        :meth:`~repro.ingest.wal.WriteAheadLog.heal`, which truncates any
+        unacknowledged tail record and exercises the full
+        write+fsync path.  Raises ``OSError`` while the disk still fails
+        — the caller stays read-only and probes again later.  On success
+        the WAL is positioned exactly at the last acknowledged batch, so
+        writes may resume without breaking the recovery bit-identity
+        invariant.
+        """
+        with self._lock:
+            self.wal.heal()
 
     def close(self) -> None:
         """Flush and close the WAL; the service stops journaling."""

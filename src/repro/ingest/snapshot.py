@@ -34,6 +34,7 @@ from scipy import sparse as sp
 
 from repro.core.errors import IngestError
 from repro.core.topk_index import MutableTopKIndex
+from repro.faults import fire as fault_fire
 from repro.recsys.matrix import RatingScale
 from repro.recsys.store import DenseStore, SparseStore
 
@@ -121,6 +122,21 @@ class SnapshotManager:
         if retain < 1:
             raise IngestError(f"retain must be >= 1, got {retain}")
         self.retain = int(retain)
+        self._clean_strays()
+
+    def _clean_strays(self) -> None:
+        """Remove ``*.tmp`` leftovers from a crash inside the save window.
+
+        A process that dies between serialising the temp file and the
+        atomic ``os.replace`` leaves exactly one stray; sweeping at open
+        keeps the directory's invariant (only ``snapshot-*.npz`` entries)
+        without ever touching a completed snapshot.
+        """
+        for stray in self.directory.glob("*.tmp"):
+            try:
+                stray.unlink()
+            except OSError:  # pragma: no cover - racing another cleaner
+                pass
 
     def _paths(self) -> list[Path]:
         """Existing snapshot paths, oldest first."""
@@ -180,13 +196,15 @@ class SnapshotManager:
         final = self.directory / f"snapshot-{int(applied_seq):016d}.npz"
         tmp = final.with_suffix(".npz.tmp")
         try:
+            fault_fire("snapshot.write")
             with tmp.open("wb") as handle:
                 np.savez_compressed(handle, **payload)
                 handle.flush()
                 os.fsync(handle.fileno())
+            fault_fire("snapshot.replace")
             os.replace(tmp, final)
         finally:
-            if tmp.exists():  # pragma: no cover - failure cleanup
+            if tmp.exists():  # failure cleanup (fault/ENOSPC mid-save)
                 tmp.unlink()
         dir_fd = os.open(self.directory, os.O_RDONLY)
         try:
@@ -197,10 +215,19 @@ class SnapshotManager:
         return final
 
     def _prune(self) -> None:
-        """Delete the oldest snapshots beyond the retention budget."""
+        """Delete the oldest snapshots beyond the retention budget.
+
+        Best-effort: a failed unlink only delays reclamation (the next
+        prune retries) and must never fail the snapshot that was just
+        written durably.
+        """
         paths = self._paths()
         for path in paths[: max(0, len(paths) - self.retain)]:
-            path.unlink()
+            try:
+                fault_fire("snapshot.prune")
+                path.unlink()
+            except OSError:
+                continue
 
     # ------------------------------------------------------------------ #
     # Load

@@ -29,6 +29,7 @@ log for throughput.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
 import os
@@ -39,6 +40,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.errors import IngestError
+from repro.faults import check as fault_check
+from repro.faults import execute as fault_execute
+from repro.faults import fire as fault_fire
 from repro.obs.registry import (
     G_LAST_FSYNC,
     H_WAL_APPEND,
@@ -142,6 +146,10 @@ class WriteAheadLog:
         self.last_sync_seconds = 0.0
         self._last_seq = 0
         self._recover_segments()
+        #: Sequence of the last append acknowledged to a caller.  Recovery
+        #: equates it with the scan result; a failed append/fsync leaves
+        #: ``_last_seq`` ahead of it until :meth:`heal` truncates back.
+        self._acked_seq = self._last_seq
 
     # ------------------------------------------------------------------ #
     # Open / scan
@@ -218,6 +226,16 @@ class WriteAheadLog:
         return self._last_seq
 
     @property
+    def acked_seq(self) -> int:
+        """Sequence of the newest append that returned to its caller.
+
+        Trails :attr:`last_seq` only after a failed append/fsync — the gap
+        is exactly the record(s) no caller was ever acknowledged for,
+        which :meth:`heal` truncates away.
+        """
+        return self._acked_seq
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has been called."""
         return self._closed
@@ -271,19 +289,50 @@ class WriteAheadLog:
                 self._open_segment(seq)
             header = _HEADER.pack(seq, len(payload))
             frame = header + payload
-            self._handle.write(frame + _CRC.pack(zlib.crc32(frame)))
+            record = frame + _CRC.pack(zlib.crc32(frame))
+            action = fault_check("wal.append")
+            if action is not None:
+                self._inject_append_fault(action, record)
+            self._handle.write(record)
             self._handle.flush()
             self._last_seq = seq
             self._unsynced += 1
         if self._unsynced >= self.sync_every:
             self.sync()
+        self._acked_seq = seq
         return seq
+
+    def _inject_append_fault(self, action, record: bytes) -> None:
+        """Enact one injected fault on the append path (failpoint plane).
+
+        Parameters
+        ----------
+        action:
+            The matched :class:`~repro.faults.FaultAction`.
+        record:
+            The framed record about to be written; a ``torn`` action
+            writes only its prefix — the on-disk shape of a crash
+            mid-append — before raising.
+        """
+        if action.kind == "torn":
+            cut = (
+                int(action.arg)
+                if action.arg is not None
+                else max(1, len(record) // 2)
+            )
+            cut = max(0, min(cut, len(record) - 1))
+            self._handle.write(record[:cut])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise OSError(errno.EIO, "injected torn write at wal.append")
+        fault_execute(action, "wal.append")
 
     def sync(self) -> None:
         """fsync the active segment (no-op when nothing is pending)."""
         if self._handle is not None and self._unsynced:
             t0 = time.perf_counter()
             with observed("wal.fsync", H_WAL_FSYNC, counter=K_WAL_FSYNCS):
+                fault_fire("wal.fsync")
                 os.fsync(self._handle.fileno())
             self.last_sync_seconds = time.perf_counter() - t0
             self.syncs += 1
@@ -294,11 +343,98 @@ class WriteAheadLog:
     def rotate(self) -> None:
         """Seal the active segment; the next append opens a fresh one."""
         if self._handle is not None:
+            fault_fire("wal.rotate")
             self._unsynced = max(self._unsynced, 1)  # force the final fsync
             self.sync()
             self._handle.close()
             self._handle = None
             self._active = None
+
+    def _valid_bytes_through(self, path: Path, through_seq: int) -> int:
+        """Byte length of ``path``'s intact prefix with sequences ``<= through_seq``.
+
+        Parameters
+        ----------
+        path:
+            Segment to scan.
+        through_seq:
+            Scan stops *before* the first record beyond this sequence (or
+            at the first framing/CRC violation, whichever comes first).
+        """
+        data = path.read_bytes()
+        if not data.startswith(_MAGIC):
+            raise IngestError(f"{path} is not a WAL segment (bad magic)")
+        offset = len(_MAGIC)
+        while True:
+            header_end = offset + _HEADER.size
+            if header_end > len(data):
+                break
+            seq, length = _HEADER.unpack_from(data, offset)
+            record_end = header_end + length + _CRC.size
+            if length > _MAX_PAYLOAD or record_end > len(data):
+                break
+            (crc,) = _CRC.unpack_from(data, header_end + length)
+            if zlib.crc32(data[offset : header_end + length]) != crc:
+                break
+            if seq > through_seq:
+                break
+            offset = record_end
+        return offset
+
+    def heal(self) -> None:
+        """Re-verify and repair the log after a durability failure.
+
+        A failed append or fsync leaves the active segment in an unknown
+        state: bytes of an *unacknowledged* record — possibly a complete,
+        CRC-valid frame whose fsync failed — may or may not be on disk.
+        Keeping such a phantom record would break the recovery invariant
+        (replay would apply a batch the live process never did), so heal
+        truncates the tail back to the last acknowledged record
+        (:attr:`acked_seq`), fsyncs file and directory, and reopens the
+        append handle.  This doubles as the degraded-mode disk probe: it
+        raises ``OSError`` while the disk is still failing, in which case
+        the caller stays read-only and probes again later.
+
+        Raises
+        ------
+        IngestError
+            When the log is closed.
+        OSError
+            When the disk still fails (the probe outcome).
+        """
+        if self._closed:
+            raise IngestError("cannot heal a closed WAL")
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # a broken handle cannot make things worse
+                pass
+            self._handle = None
+            self._active = None
+        segments = self._segments()
+        if segments:
+            tail = segments[-1]
+            if (_segment_first_seq(tail) > self._acked_seq
+                    and not tail.read_bytes().startswith(_MAGIC)):
+                # A failed _open_segment left a file without a complete
+                # magic; no acknowledged record can live in it — drop it.
+                tail.unlink()
+                _fsync_dir(self.directory)
+                segments = self._segments()
+        if segments:
+            tail = segments[-1]
+            valid = self._valid_bytes_through(tail, self._acked_seq)
+            with tail.open("r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                fault_fire("wal.fsync")
+                os.fsync(handle.fileno())
+            _fsync_dir(self.directory)
+            self._active = tail
+            self._handle = tail.open("ab")
+            self._handle.seek(0, os.SEEK_END)
+        self._last_seq = self._acked_seq
+        self._unsynced = 0
 
     def truncate_through(self, seq: int) -> int:
         """Delete sealed segments whose records are *all* ``<= seq``.

@@ -230,12 +230,21 @@ K_REPLICA_SERVED = "repro_replica_requests_total"
 K_KERNEL_TOPK_CALLS = "repro_kernel_topk_calls_total"
 K_KERNEL_BUCKETIZE_CALLS = "repro_kernel_bucketize_calls_total"
 
+DEGRADED_DIRECTIONS = ("enter", "exit")
+K_FAULTS_INJECTED = "repro_faults_injected_total"
+K_DEGRADED_TRANSITIONS = {
+    d: sample_key("repro_degraded_transitions_total", direction=d)
+    for d in DEGRADED_DIRECTIONS
+}
+K_POOL_RESPAWN_FAILURES = "repro_pool_respawn_failures_total"
+
 G_INDEX_VERSION = "repro_index_version"
 G_REPLICAS_ALIVE = "repro_replicas_alive"
 G_POOL_QUEUED = "repro_pool_queued_requests"
 G_WAL_BACKLOG = "repro_wal_backlog_records"
 G_LAST_SNAPSHOT_TS = "repro_last_snapshot_timestamp_seconds"
 G_LAST_FSYNC = "repro_wal_last_fsync_seconds"
+G_SERVICE_STATE = "repro_service_state"
 
 H_HTTP = {
     r: sample_key("repro_http_request_seconds", route=r) for r in HTTP_HIST_ROUTES
@@ -249,6 +258,7 @@ H_WAL_APPEND = "repro_wal_append_seconds"
 H_WAL_FSYNC = "repro_wal_fsync_seconds"
 H_SNAPSHOT = "repro_snapshot_seconds"
 H_INGEST_APPLY = "repro_ingest_apply_seconds"
+H_RESPAWN_BACKOFF = "repro_pool_respawn_backoff_seconds"
 
 
 def _catalogue() -> tuple[MetricSpec, ...]:
@@ -302,12 +312,21 @@ def _catalogue() -> tuple[MetricSpec, ...]:
     counter(K_KERNEL_TOPK_CALLS, "top_k_table kernel invocations.")
     counter(K_KERNEL_BUCKETIZE_CALLS, "bucketize kernel invocations.")
 
+    counter(K_FAULTS_INJECTED, "Faults injected by the failpoint plane.")
+    for d in DEGRADED_DIRECTIONS:
+        counter("repro_degraded_transitions_total",
+                "Degraded read-only mode transitions by direction.",
+                direction=d)
+    counter(K_POOL_RESPAWN_FAILURES,
+            "Replica respawn attempts that failed (backoff accounting).")
+
     gauge(G_INDEX_VERSION, "Current writer index version.")
     gauge(G_REPLICAS_ALIVE, "Replica processes currently alive.")
     gauge(G_POOL_QUEUED, "Requests waiting in the pool queue.")
     gauge(G_WAL_BACKLOG, "WAL records appended since the last snapshot.")
     gauge(G_LAST_SNAPSHOT_TS, "Unix timestamp of the newest snapshot.")
     gauge(G_LAST_FSYNC, "Duration of the most recent WAL fsync, in seconds.")
+    gauge(G_SERVICE_STATE, "Serving state: 0 = ok, 1 = degraded read-only.")
 
     for r in HTTP_HIST_ROUTES:
         histogram("repro_http_request_seconds",
@@ -322,6 +341,8 @@ def _catalogue() -> tuple[MetricSpec, ...]:
     histogram(H_WAL_FSYNC, "WAL fsync latency.")
     histogram(H_SNAPSHOT, "Snapshot write latency.")
     histogram(H_INGEST_APPLY, "Ingest batch fold+apply latency.")
+    histogram(H_RESPAWN_BACKOFF,
+              "Backoff delay scheduled before a replica respawn attempt.")
     return tuple(specs)
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import signal
 import sys
 from collections.abc import Sequence
@@ -132,6 +133,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replica supervision cadence in seconds: liveness "
                             "checks, idle pings and respawn of crashed "
                             "replicas (default: 1.0)")
+    serve.add_argument("--respawn-backoff", type=float, default=0.5,
+                       dest="respawn_backoff",
+                       help="base delay before the second consecutive respawn "
+                            "of one replica slot; doubles per further failure "
+                            "(default: 0.5)")
+    serve.add_argument("--respawn-max-backoff", type=float, default=30.0,
+                       dest="respawn_max_backoff",
+                       help="respawn backoff ceiling, and the circuit-breaker "
+                            "cooldown before a half-open trial (default: 30)")
+    serve.add_argument("--respawn-budget", type=int, default=5,
+                       dest="respawn_budget",
+                       help="consecutive respawn failures after which a "
+                            "replica slot's circuit breaker opens "
+                            "(default: 5)")
+    serve.add_argument("--respawn-min-uptime", type=float, default=5.0,
+                       dest="respawn_min_uptime",
+                       help="seconds a replica must stay alive for its "
+                            "failure count to reset (default: 5)")
+    serve.add_argument("--request-timeout-ms", type=float, default=None,
+                       dest="request_timeout_ms",
+                       help="per-request deadline in milliseconds; requests "
+                            "past it answer a structured 504 "
+                            "deadline_exceeded (default: no deadline)")
+    serve.add_argument("--degraded-probe-interval", type=float, default=1.0,
+                       dest="degraded_probe_interval",
+                       help="seconds between disk probes while in degraded "
+                            "read-only mode; the first success re-enables "
+                            "writes (default: 1.0)")
+    serve.add_argument("--faults", default=os.environ.get("REPRO_FAULTS"),
+                       help="deterministic failpoint schedule, e.g. "
+                            "'wal.fsync=enospc@first:3;http.dispatch="
+                            "delay:50@prob:0.1' (default: $REPRO_FAULTS; "
+                            "unset = fault plane disabled)")
+    serve.add_argument("--faults-seed", type=int,
+                       default=int(os.environ.get("REPRO_FAULTS_SEED", "0")),
+                       dest="faults_seed",
+                       help="seed behind probabilistic fault triggers and "
+                            "respawn-backoff jitter (default: "
+                            "$REPRO_FAULTS_SEED, else 0)")
     serve.add_argument("--no-obs", action="store_false", dest="obs",
                        help="disable the telemetry plane: every metric "
                             "mutation becomes a no-op (the overhead-gate "
@@ -177,7 +217,7 @@ def bootstrap_service(args: argparse.Namespace, config=None):
     return config.build_service(), None
 
 
-async def _serve(args: argparse.Namespace) -> None:
+async def _serve(args: argparse.Namespace, config=None) -> None:
     """Start the server and run until SIGINT/SIGTERM, then shut down cleanly.
 
     Termination signals set an event instead of unwinding the event loop
@@ -191,6 +231,9 @@ async def _serve(args: argparse.Namespace) -> None:
     ----------
     args:
         Parsed ``repro serve`` arguments.
+    config:
+        Optional pre-validated :class:`ServiceConfig` (built from ``args``
+        when omitted).
     """
     from repro.service.config import ServiceConfig
 
@@ -208,8 +251,17 @@ async def _serve(args: argparse.Namespace) -> None:
 
     from repro.obs.logs import configure_logging
 
-    config = ServiceConfig.from_args(args)
+    if config is None:
+        config = ServiceConfig.from_args(args)
     configure_logging(config.log_format)
+    if config.faults:
+        from repro import faults
+
+        faults.configure(config.faults, seed=config.faults_seed)
+        # Spawn-context replica workers re-read the schedule from the
+        # environment (forked ones inherit the configured plane directly).
+        os.environ["REPRO_FAULTS"] = config.faults
+        os.environ["REPRO_FAULTS_SEED"] = str(config.faults_seed)
     service, pipeline = bootstrap_service(args, config)
     pool = config.build_pool(service)
     if pool is not None:
@@ -283,8 +335,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     if args.command == "serve":
+        from repro.core.errors import IngestError
+        from repro.service.config import ServiceConfig
+
         try:
-            asyncio.run(_serve(args))
+            config = ServiceConfig.from_args(args)
+        except IngestError as exc:
+            print(f"repro serve: error: {exc}", file=sys.stderr)
+            return 2
+        reason = config.validate_wal_dir()
+        if reason is not None:
+            print(f"repro serve: error: {reason}", file=sys.stderr)
+            return 2
+        try:
+            asyncio.run(_serve(args, config))
         except KeyboardInterrupt:  # pragma: no cover - signal race at startup
             print("repro serve: stopped")
         return 0

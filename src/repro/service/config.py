@@ -74,6 +74,19 @@ class ServiceConfig:
         request tracing and dumps the span tree of any request slower
         than that many milliseconds, and ``log_format`` switches the
         request log between human ``text`` and JSON lines.
+    faults, faults_seed:
+        Deterministic fault injection: a failpoint schedule in the
+        :func:`repro.faults.parse_schedule` grammar (``None`` — the
+        default — leaves the plane disabled, a zero-cost no-op), and the
+        seed behind its probabilistic triggers.
+    request_timeout_ms, degraded_probe_interval:
+        Graceful degradation: the optional per-request deadline (``504``
+        past it) and the disk-probe cadence while in degraded read-only
+        mode.
+    respawn_backoff, respawn_max_backoff, respawn_budget, respawn_min_uptime:
+        Replica respawn policy: base/exponential-cap backoff seconds,
+        the consecutive-failure budget that opens the circuit breaker,
+        and the uptime that resets the failure count.
     """
 
     users: int = 2000
@@ -103,6 +116,14 @@ class ServiceConfig:
     obs: bool = True
     trace_slow_ms: float | None = None
     log_format: str = "text"
+    faults: str | None = None
+    faults_seed: int = 0
+    request_timeout_ms: float | None = None
+    degraded_probe_interval: float = 1.0
+    respawn_backoff: float = 0.5
+    respawn_max_backoff: float = 30.0
+    respawn_budget: int = 5
+    respawn_min_uptime: float = 5.0
 
     def __post_init__(self) -> None:
         try:
@@ -162,6 +183,34 @@ class ServiceConfig:
             raise IngestError(
                 f"trace_slow_ms must be >= 0, got {self.trace_slow_ms}"
             )
+        if self.faults is not None:
+            from repro.faults import FaultSpecError, parse_schedule
+
+            try:
+                parse_schedule(self.faults)
+            except FaultSpecError as exc:
+                raise IngestError(f"invalid --faults schedule: {exc}") from exc
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise IngestError(
+                f"request_timeout_ms must be > 0, got {self.request_timeout_ms}"
+            )
+        if self.degraded_probe_interval <= 0:
+            raise IngestError(
+                "degraded_probe_interval must be > 0, "
+                f"got {self.degraded_probe_interval}"
+            )
+        if self.respawn_backoff <= 0 or self.respawn_max_backoff < self.respawn_backoff:
+            raise IngestError(
+                "respawn_backoff must be positive and <= respawn_max_backoff"
+            )
+        if self.respawn_budget < 1:
+            raise IngestError(
+                f"respawn_budget must be >= 1, got {self.respawn_budget}"
+            )
+        if self.respawn_min_uptime < 0:
+            raise IngestError(
+                f"respawn_min_uptime must be >= 0, got {self.respawn_min_uptime}"
+            )
         self._metrics = None
 
     # ------------------------------------------------------------------ #
@@ -200,6 +249,34 @@ class ServiceConfig:
     def effective_k_max(self) -> int:
         """``k_max`` clamped to the catalogue size."""
         return min(self.k_max, self.items)
+
+    def validate_wal_dir(self) -> str | None:
+        """Check the WAL directory is usable before the stack boots.
+
+        Returns a one-line human-readable reason when :attr:`wal_dir`
+        cannot host a WAL — it exists but is not a directory, cannot be
+        created, or is not writable — and ``None`` when it is fine (or
+        durability is disabled).  ``repro serve`` calls this up front so a
+        misconfigured ``--wal-dir`` fails fast with a single error line
+        instead of a recovery traceback.
+        """
+        if self.wal_dir is None:
+            return None
+        import os
+        from pathlib import Path
+
+        path = Path(self.wal_dir)
+        try:
+            if path.exists() and not path.is_dir():
+                return f"--wal-dir {path} exists and is not a directory"
+            path.mkdir(parents=True, exist_ok=True)
+            probe = path / f".wal-probe-{os.getpid()}"
+            with probe.open("wb") as handle:
+                handle.write(b"probe")
+            probe.unlink()
+        except OSError as exc:
+            return f"--wal-dir {path} is not writable: {exc}"
+        return None
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -379,6 +456,11 @@ class ServiceConfig:
             inflight=self.replica_inflight,
             queue_depth=self.queue_depth,
             heartbeat_interval=self.heartbeat_interval,
+            respawn_backoff=self.respawn_backoff,
+            respawn_max_backoff=self.respawn_max_backoff,
+            respawn_budget=self.respawn_budget,
+            respawn_min_uptime=self.respawn_min_uptime,
+            backoff_seed=self.faults_seed,
             metrics=self.build_metrics(),
         )
 
@@ -413,4 +495,6 @@ class ServiceConfig:
             metrics=self.build_metrics(),
             trace_slow_ms=self.trace_slow_ms,
             log_format=self.log_format,
+            request_timeout_ms=self.request_timeout_ms,
+            degraded_probe_interval=self.degraded_probe_interval,
         )

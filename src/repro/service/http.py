@@ -52,6 +52,8 @@ from typing import TYPE_CHECKING, Any
 from urllib.parse import parse_qs
 
 from repro.core.errors import ReproError
+from repro.faults import check as fault_check
+from repro.faults import execute as fault_execute
 from repro.ingest.events import (
     Event,
     ExplicitRating,
@@ -67,9 +69,11 @@ from repro.obs.expo import (
     render_prometheus,
 )
 from repro.obs.registry import (
+    G_SERVICE_STATE,
     H_HTTP,
     K_BATCHED_UPDATES,
     K_COALESCED,
+    K_DEGRADED_TRANSITIONS,
     K_DEPRECATED,
     K_HTTP_REQUESTS,
     K_HTTP_RESPONSES,
@@ -127,6 +131,7 @@ _DEFAULT_CODES = {
     413: "payload_too_large",
     500: "internal",
     503: "service_unavailable",
+    504: "deadline_exceeded",
 }
 
 
@@ -216,6 +221,17 @@ class ServiceServer:
         ``"json"`` emits one structured JSON line per request on the
         ``repro.service.request`` logger; ``"text"`` (default) logs
         nothing per request.
+    request_timeout_ms:
+        Optional per-request deadline: a request still unanswered after
+        this many milliseconds gets a structured ``504 deadline_exceeded``
+        (coalesced computations are shielded — the shared work keeps
+        running for the requests still inside their deadline).  ``None``
+        (default) disables deadlines.
+    degraded_probe_interval:
+        Seconds between disk probes while in degraded read-only mode
+        (default 1.0).  After a WAL append/fsync failure flips the server
+        read-only, each probe runs :meth:`IngestPipeline.heal`; the first
+        success re-enables writes.
 
     Examples
     --------
@@ -237,6 +253,8 @@ class ServiceServer:
         metrics: MetricsRegistry | None = None,
         trace_slow_ms: float | None = None,
         log_format: str = "text",
+        request_timeout_ms: float | None = None,
+        degraded_probe_interval: float = 1.0,
     ) -> None:
         self.service = service
         self.host = host
@@ -251,6 +269,21 @@ class ServiceServer:
             pipeline.policy if pipeline is not None
             else (fold_policy if fold_policy is not None else FoldPolicy())
         )
+        if request_timeout_ms is not None and request_timeout_ms <= 0:
+            raise ReproError(
+                f"request_timeout_ms must be positive, got {request_timeout_ms}"
+            )
+        self.request_timeout_ms = (
+            float(request_timeout_ms) if request_timeout_ms is not None else None
+        )
+        if degraded_probe_interval <= 0:
+            raise ReproError(
+                "degraded_probe_interval must be positive, "
+                f"got {degraded_probe_interval}"
+            )
+        self.degraded_probe_interval = float(degraded_probe_interval)
+        self._degraded: dict[str, Any] | None = None
+        self._probe_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._pending_updates: list[tuple[list[Event], asyncio.Future]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
@@ -302,6 +335,13 @@ class ServiceServer:
         replies the drain settles — waiting first would deadlock.
         Idempotent.
         """
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
@@ -318,9 +358,14 @@ class ServiceServer:
         if self.pipeline is not None:
             # Group-committed appends may still be buffered; make the
             # clean-shutdown state durable before the listener is gone.
-            await asyncio.get_running_loop().run_in_executor(
-                None, self.pipeline.sync
-            )
+            # A disk still failing (degraded shutdown) must not turn the
+            # graceful stop into a crash.
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.pipeline.sync
+                )
+            except OSError as exc:
+                _LOG.error("final WAL sync failed during shutdown: %s", exc)
         if server is not None:
             await server.wait_closed()
 
@@ -351,8 +396,21 @@ class ServiceServer:
             )
             headers: dict[str, str] = {"X-Request-Id": request_id}
             try:
-                status, payload = await self._route(
-                    method, path, body, headers, query
+                if self.request_timeout_ms is not None:
+                    status, payload = await asyncio.wait_for(
+                        self._route(method, path, body, headers, query),
+                        self.request_timeout_ms / 1000.0,
+                    )
+                else:
+                    status, payload = await self._route(
+                        method, path, body, headers, query
+                    )
+            except asyncio.TimeoutError:
+                status, payload = 504, _error_payload(
+                    504,
+                    f"request exceeded the {self.request_timeout_ms:g} ms "
+                    "deadline",
+                    "deadline_exceeded",
                 )
             except _HTTPError as exc:
                 status, payload = exc.status, exc.payload()
@@ -496,7 +554,7 @@ class ServiceServer:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 409: "Conflict",
                    413: "Payload Too Large", 500: "Internal Server Error",
-                   503: "Service Unavailable"}
+                   503: "Service Unavailable", 504: "Gateway Timeout"}
         if isinstance(payload, _Raw):
             content_type = payload.content_type
             data = payload.data
@@ -515,6 +573,82 @@ class ServiceServer:
         ).encode("latin-1")
         writer.write(head + data)
         await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Degraded read-only mode
+    # ------------------------------------------------------------------ #
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Flip the server read-only after a durability-path write failure.
+
+        Idempotent.  Reads keep serving; writes answer a structured
+        ``503 degraded_read_only`` until the periodic disk probe
+        (:meth:`_probe_degraded`) heals the WAL.  The transition is
+        counted (``repro_degraded_transitions_total{direction="enter"}``)
+        and mirrored into the ``repro_service_state`` gauge.
+
+        Parameters
+        ----------
+        reason:
+            Human-readable cause, surfaced in ``/v1/healthz`` and in the
+            write rejections.
+        """
+        if self._degraded is not None:
+            return
+        self._degraded = {"reason": reason, "since": time.monotonic()}
+        self.metrics.inc(K_DEGRADED_TRANSITIONS["enter"])
+        self.metrics.gauge_set(G_SERVICE_STATE, 1.0)
+        _LOG.error("entering degraded read-only mode: %s", reason)
+        if self.pipeline is not None and (
+                self._probe_task is None or self._probe_task.done()):
+            self._probe_task = asyncio.ensure_future(self._probe_degraded())
+
+    def _exit_degraded(self) -> None:
+        """Re-enable writes after a successful disk probe (idempotent)."""
+        if self._degraded is None:
+            return
+        outage = time.monotonic() - self._degraded["since"]
+        self._degraded = None
+        self.metrics.inc(K_DEGRADED_TRANSITIONS["exit"])
+        self.metrics.gauge_set(G_SERVICE_STATE, 0.0)
+        _LOG.warning(
+            "degraded read-only mode cleared after %.3fs; writes re-enabled",
+            outage,
+        )
+
+    async def _probe_degraded(self) -> None:
+        """Periodically probe the disk; exit degraded mode on recovery.
+
+        Each probe runs :meth:`IngestPipeline.heal` on the executor: it
+        truncates any unacknowledged WAL tail and exercises the full
+        write+fsync path, so a success proves the next append can be made
+        durable.  ``OSError`` keeps the loop probing; a ``ReproError``
+        (pipeline closed mid-shutdown) ends it.
+        """
+        loop = asyncio.get_running_loop()
+        while self._degraded is not None:
+            await asyncio.sleep(self.degraded_probe_interval)
+            if self._degraded is None:  # pragma: no cover - raced an exit
+                return
+            try:
+                await loop.run_in_executor(None, self.pipeline.heal)
+            except OSError as exc:
+                _LOG.info("degraded probe: disk still failing: %s", exc)
+                continue
+            except ReproError:  # pipeline closed underneath the probe
+                return
+            self._exit_degraded()
+            return
+
+    def _reject_degraded(self) -> _HTTPError:
+        """The structured 503 every write gets while read-only."""
+        reason = self._degraded["reason"] if self._degraded else "unknown"
+        return _HTTPError(
+            503,
+            f"service is in degraded read-only mode ({reason}); "
+            "writes are temporarily disabled",
+            code="degraded_read_only",
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -573,12 +707,31 @@ class ServiceServer:
         query: dict[str, list[str]] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Dispatch one parsed request to its handler."""
+        action = fault_check("http.dispatch")
+        if action is not None:
+            if action.kind == "delay":
+                # time.sleep would stall the event loop (and defeat the
+                # per-request deadline); injected delays must be awaited.
+                await asyncio.sleep(float(action.arg or 0.0) / 1000.0)
+            else:
+                fault_execute(action, "http.dispatch")
         if path in ("/v1/healthz", "/healthz") and method == "GET":
             health = {
                 "status": "ok",
+                "state": (
+                    "degraded_read_only" if self._degraded is not None
+                    else "ok"
+                ),
                 "version": self.service.version,
                 "durable": self.pipeline is not None,
             }
+            if self._degraded is not None:
+                health["degraded"] = {
+                    "reason": self._degraded["reason"],
+                    "since_seconds": round(
+                        time.monotonic() - self._degraded["since"], 3
+                    ),
+                }
             if self.pipeline is not None:
                 health["durability"] = self.pipeline.durability()
             if self.pool is not None:
@@ -740,6 +893,8 @@ class ServiceServer:
         concatenates them in arrival order and folds once, so last-wins
         resolution spans requests exactly as it would a single stream.
         """
+        if self._degraded is not None:
+            raise self._reject_degraded()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         if self._pending_updates:
@@ -776,12 +931,36 @@ class ServiceServer:
             stats = await loop.run_in_executor(
                 None, lambda: self._apply_events_sync(merged)
             )
+        except OSError as exc:
+            # The durability path itself failed (WAL append/fsync): the
+            # batch was journaled-or-nothing, so no state changed.  Flip
+            # read-only and reject every writer in the window — retrying
+            # per-request would just hammer the broken disk.
+            if self.pipeline is not None:
+                self._enter_degraded(f"durable apply failed: {exc}")
+                error = self._reject_degraded()
+            else:
+                error = _HTTPError(500, f"apply failed: {exc}")
+            for _, future in pending:
+                if not future.done():
+                    future.set_exception(error)
+            return
         except Exception:  # noqa: BLE001 - isolate the offending request(s)
             for events, future in pending:
+                if self._degraded is not None:
+                    if not future.done():
+                        future.set_exception(self._reject_degraded())
+                    continue
                 try:
                     stats = await loop.run_in_executor(
                         None, lambda _e=events: self._apply_events_sync(_e)
                     )
+                except OSError as exc:
+                    if self.pipeline is not None:
+                        self._enter_degraded(f"durable apply failed: {exc}")
+                        exc = self._reject_degraded()
+                    if not future.done():
+                        future.set_exception(exc)
                 except Exception as exc:  # noqa: BLE001 - per-request verdict
                     if not future.done():
                         future.set_exception(exc)
@@ -804,9 +983,19 @@ class ServiceServer:
         after every applied batch so replicas adopt the new tables before
         the writers' acknowledgements go out (a client that writes and
         then reads observes its own write).
+
+        Best-effort: a failed publish (export fault, replica trouble)
+        must not fail the already-durable write — replicas simply keep
+        serving the previous version until the next successful publish.
         """
         if self.pool is not None:
-            await self.pool.publish()
+            try:
+                await self.pool.publish()
+            except Exception as exc:  # noqa: BLE001 - publish is advisory
+                _LOG.warning(
+                    "pool publish failed; replicas keep serving the "
+                    "previous version: %s", exc,
+                )
 
     async def _snapshot(self) -> dict[str, Any]:
         """Force a checkpoint through the pipeline (``409`` without one)."""
@@ -817,5 +1006,11 @@ class ServiceServer:
                 "snapshots need a durable pipeline",
                 code="not_durable",
             )
+        if self._degraded is not None:
+            raise self._reject_degraded()
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.pipeline.snapshot)
+        try:
+            return await loop.run_in_executor(None, self.pipeline.snapshot)
+        except OSError as exc:
+            self._enter_degraded(f"snapshot failed: {exc}")
+            raise self._reject_degraded()

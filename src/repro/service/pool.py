@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import threading
 import time
 from collections import deque
@@ -49,15 +50,18 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import ReproError
+from repro.faults import fire as fault_fire
 from repro.obs import trace
 from repro.obs.registry import (
     G_REPLICAS_ALIVE,
     G_POOL_QUEUED,
     H_QUEUE_WAIT,
     H_REPLICA_CALL,
+    H_RESPAWN_BACKOFF,
     K_POOL_DISPATCHED,
     K_POOL_PUBLISHED,
     K_POOL_REJECTED,
+    K_POOL_RESPAWN_FAILURES,
     K_POOL_RESPAWNS,
     K_POOL_RETRIES,
     K_REPLICA_SERVED,
@@ -279,9 +283,15 @@ def _replica_main(
     """
     import signal
 
+    from repro import faults
     from repro.core.kernels import set_kernel_threads, set_kernels
     from repro.execution.shm import detach, detach_all
     from repro.obs import runtime as obs_runtime
+
+    # Forked workers inherit the parent's configured fault plane; spawned
+    # workers pick the schedule up again from REPRO_FAULTS (a no-op when
+    # the plane is already configured or the variable is unset).
+    faults.configure_from_env()
 
     # The front end owns orchestrated shutdown; a terminal Ctrl-C must not
     # race it by killing workers mid-reply.
@@ -384,12 +394,14 @@ class _ReplicaHandle:
         self.inflight = 0
         self.alive = True
         self.adopted_version: int | None = None
+        self.spawned_at = time.monotonic()
         self.last_reply = time.monotonic()
         self._request_ids = itertools.count()
 
     def _exchange(self, message: tuple, timeout: float) -> tuple:
         """Send one message and wait for its reply (caller holds the lock)."""
         try:
+            fault_fire("pool.control")
             self.conn.send(message)
         except (OSError, ValueError, BrokenPipeError) as exc:
             raise ReplicaCrashed(
@@ -527,6 +539,32 @@ def _validation_error(message: str) -> ReproError:
 _REMOTE_ERRORS: dict[str, Any] = {"validation": _validation_error}
 
 
+@dataclass
+class _RespawnState:
+    """Per-slot respawn accounting: consecutive failures, backoff, breaker.
+
+    Attributes
+    ----------
+    rng:
+        Per-slot seeded jitter source (``Random(f"{seed}:{index}")``), so
+        backoff delays are deterministic under a fixed ``backoff_seed``.
+    failures:
+        Consecutive failures (young deaths or failed bring-ups) since the
+        slot last stayed up for ``respawn_min_uptime`` seconds.
+    next_attempt:
+        Monotonic time before which no respawn may be attempted.
+    breaker:
+        Circuit breaker: ``True`` once ``failures`` reached the budget.
+        The supervisor half-opens it for a single trial respawn after a
+        ``respawn_max_backoff`` cooldown.
+    """
+
+    rng: random.Random
+    failures: int = 0
+    next_attempt: float = 0.0
+    breaker: bool = False
+
+
 # --------------------------------------------------------------------- #
 # The pool
 # --------------------------------------------------------------------- #
@@ -560,6 +598,22 @@ class ReplicaPool:
     heartbeat_interval:
         Seconds between supervision sweeps (liveness check + idle pings;
         default 1.0).
+    respawn_backoff:
+        Base delay before the *second* consecutive respawn of one slot;
+        doubles per further failure (default 0.5 s).  The first respawn
+        after a healthy run is always immediate.
+    respawn_max_backoff:
+        Backoff ceiling, and the circuit-breaker cooldown before a
+        half-open trial (default 30 s).
+    respawn_budget:
+        Consecutive failures after which the slot's breaker opens and
+        respawning pauses for the cooldown (default 5).
+    respawn_min_uptime:
+        Seconds a replica must stay alive for its failure count to reset
+        (default 5.0) — a crash-looping snapshot cannot ride forever on
+        "each spawn briefly succeeded".
+    backoff_seed:
+        Seed for the deterministic per-slot backoff jitter (default 0).
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry` for pool telemetry.
         When it is slab-backed (the config wiring), replicas attach the
@@ -585,6 +639,11 @@ class ReplicaPool:
         settings: ReplicaSettings | None = None,
         request_timeout: float = 30.0,
         heartbeat_interval: float = 1.0,
+        respawn_backoff: float = 0.5,
+        respawn_max_backoff: float = 30.0,
+        respawn_budget: int = 5,
+        respawn_min_uptime: float = 5.0,
+        backoff_seed: int = 0,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.service = service
@@ -601,6 +660,21 @@ class ReplicaPool:
             )
         self.request_timeout = float(request_timeout)
         self.heartbeat_interval = float(heartbeat_interval)
+        if respawn_backoff <= 0 or respawn_max_backoff < respawn_backoff:
+            raise ReplicaPoolError(
+                "respawn_backoff must be positive and <= respawn_max_backoff"
+            )
+        if respawn_min_uptime < 0:
+            raise ReplicaPoolError(
+                f"respawn_min_uptime must be >= 0, got {respawn_min_uptime}"
+            )
+        self.respawn_backoff = float(respawn_backoff)
+        self.respawn_max_backoff = float(respawn_max_backoff)
+        self.respawn_budget = require_positive_int(
+            respawn_budget, "respawn_budget"
+        )
+        self.respawn_min_uptime = float(respawn_min_uptime)
+        self.backoff_seed = int(backoff_seed)
         self.settings = settings if settings is not None else self._derive_settings()
         self._context = self._pick_context()
         self._slots: list[_ReplicaHandle] = []
@@ -610,6 +684,10 @@ class ReplicaPool:
         self._publish_lock: asyncio.Lock | None = None
         self._supervisor: asyncio.Task | None = None
         self._respawning: set[int] = set()
+        self._respawn_state = {
+            i: _RespawnState(rng=random.Random(f"{self.backoff_seed}:{i}"))
+            for i in range(self.replicas)
+        }
         self._closing = False
         self._started = False
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -618,6 +696,7 @@ class ReplicaPool:
             "dispatched": 0,
             "retries": 0,
             "respawns": 0,
+            "respawn_failures": 0,
             "rejected_overloaded": 0,
             "rejected_shutdown": 0,
             "published_versions": 0,
@@ -626,6 +705,7 @@ class ReplicaPool:
             "dispatched": K_POOL_DISPATCHED,
             "retries": K_POOL_RETRIES,
             "respawns": K_POOL_RESPAWNS,
+            "respawn_failures": K_POOL_RESPAWN_FAILURES,
             "rejected_overloaded": K_POOL_REJECTED["overloaded"],
             "rejected_shutdown": K_POOL_REJECTED["shutdown"],
             "published_versions": K_POOL_PUBLISHED,
@@ -702,7 +782,15 @@ class ReplicaPool:
         )
 
     def _spawn(self, index: int) -> _ReplicaHandle:
-        """Start one worker process and return its parent-side handle."""
+        """Start one worker process and return its parent-side handle.
+
+        The ``pool.spawn`` failpoint fires parent-side (not in the child):
+        an injected ``OSError`` here models a spawn that never comes up,
+        and parent-side hit counting keeps ``first:N``-style schedules
+        meaningful across forked children (each of which would otherwise
+        start its own count at zero).
+        """
+        fault_fire("pool.spawn")
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_replica_main,
@@ -771,6 +859,9 @@ class ReplicaPool:
             "inflight_cap": self.inflight,
             "queue_depth": self.queue_depth,
             "published_version": self.version,
+            "breakers_open": sum(
+                1 for state in self._respawn_state.values() if state.breaker
+            ),
             **self.counters,
         }
 
@@ -855,6 +946,16 @@ class ReplicaPool:
         if slot is not None:
             slot.inflight += 1
             return slot
+        if self._slots and not any(
+            s.alive and s.process.is_alive() for s in self._slots
+        ) and all(
+            self._respawn_state[s.index].breaker for s in self._slots
+        ):
+            # Nothing is alive and nothing will respawn before the breaker
+            # cooldown — fail fast instead of queueing into a dead pool.
+            raise ReplicaPoolError(
+                "no live replicas and every respawn circuit breaker is open"
+            )
         if len(self._waiters) >= self.queue_depth:
             self._count("rejected_overloaded")
             raise PoolOverloaded(
@@ -977,6 +1078,7 @@ class ReplicaPool:
             if (self._current is not None
                     and self._current.version == self.service.version):
                 return False
+            fault_fire("pool.publish")
             publication = await loop.run_in_executor(
                 None, self._export_publication
             )
@@ -1003,7 +1105,17 @@ class ReplicaPool:
     # ------------------------------------------------------------------ #
 
     def _mark_dead(self, slot: _ReplicaHandle) -> None:
-        """Take a crashed replica out of rotation and schedule its respawn."""
+        """Take a crashed replica out of rotation and plan its respawn.
+
+        Respawning is governed by the slot's :class:`_RespawnState`: the
+        first death after a healthy run respawns immediately, repeated
+        young deaths back off exponentially with seeded jitter, and once
+        ``respawn_budget`` consecutive failures accumulate the breaker
+        opens — no more attempts until a ``respawn_max_backoff`` cooldown
+        passes, after which the supervisor half-opens it for one trial.
+        A poisoned publication therefore costs a bounded number of spawns,
+        not a hot crash-loop.
+        """
         if not slot.alive:
             return
         slot.alive = False
@@ -1011,12 +1123,60 @@ class ReplicaPool:
             slot.process.kill()
         except (OSError, ValueError):  # pragma: no cover - already gone
             pass
-        if slot.index not in self._respawning and not self._closing:
-            self._respawning.add(slot.index)
-            asyncio.ensure_future(self._respawn(slot.index))
+        if self._closing:
+            return
+        state = self._respawn_state[slot.index]
+        uptime = time.monotonic() - slot.spawned_at
+        if uptime >= self.respawn_min_uptime:
+            state.failures = 1
+        else:
+            state.failures += 1
+        self._plan_respawn(slot.index, state)
+
+    def _backoff_delay(self, state: _RespawnState) -> float:
+        """Backoff before the next attempt: exponential with seeded jitter."""
+        if state.failures <= 1:
+            return 0.0
+        delay = min(
+            self.respawn_max_backoff,
+            self.respawn_backoff * 2.0 ** (state.failures - 2),
+        )
+        return delay * (1.0 + state.rng.random() * 0.25)
+
+    def _plan_respawn(self, index: int, state: _RespawnState) -> None:
+        """Open the breaker or schedule the next respawn attempt for ``index``."""
+        now = time.monotonic()
+        if state.failures >= self.respawn_budget:
+            state.breaker = True
+            state.next_attempt = now + self.respawn_max_backoff
+            return
+        delay = self._backoff_delay(state)
+        state.next_attempt = now + delay
+        if index not in self._respawning:
+            self._schedule_respawn(index, delay)
+
+    def _schedule_respawn(self, index: int, delay: float) -> None:
+        """Launch the respawn task for ``index`` after ``delay`` seconds."""
+        self._respawning.add(index)
+        self.metrics.observe(H_RESPAWN_BACKOFF, delay)
+        asyncio.ensure_future(self._respawn_after(index, delay))
+
+    async def _respawn_after(self, index: int, delay: float) -> None:
+        """Sleep out the backoff, then run the respawn attempt."""
+        try:
+            if delay > 0:
+                await asyncio.sleep(delay)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown race
+            self._respawning.discard(index)
+            raise
+        await self._respawn(index)
 
     async def _respawn(self, index: int) -> None:
         """Replace the dead replica at ``index`` with a fresh worker.
+
+        A failed bring-up (spawn fault, crash during adopt) counts against
+        the slot's respawn budget and pushes ``next_attempt`` out per the
+        backoff policy; the supervisor retries once it passes.
 
         Parameters
         ----------
@@ -1041,8 +1201,19 @@ class ReplicaPool:
 
                 try:
                     replacement = await loop.run_in_executor(None, bring_up)
-                except ReplicaCrashed:  # pragma: no cover - respawn raced a
-                    return  # crash; the supervisor retries next sweep
+                except (ReplicaCrashed, OSError):
+                    state = self._respawn_state[index]
+                    state.failures += 1
+                    self._count("respawn_failures")
+                    now = time.monotonic()
+                    if state.failures >= self.respawn_budget:
+                        state.breaker = True
+                        state.next_attempt = now + self.respawn_max_backoff
+                    else:
+                        delay = self._backoff_delay(state)
+                        self.metrics.observe(H_RESPAWN_BACKOFF, delay)
+                        state.next_attempt = now + delay
+                    return  # the supervisor retries once next_attempt passes
                 old = self._slots[index]
                 self._slots[index] = replacement
                 self._count("respawns")
@@ -1057,15 +1228,25 @@ class ReplicaPool:
         while not self._closing:
             await asyncio.sleep(self.heartbeat_interval)
             for slot in list(self._slots):
+                state = self._respawn_state[slot.index]
                 if not slot.alive:
                     if (slot.index not in self._respawning
-                            and self._slots[slot.index] is slot):
-                        self._respawning.add(slot.index)
-                        asyncio.ensure_future(self._respawn(slot.index))
+                            and self._slots[slot.index] is slot
+                            and time.monotonic() >= state.next_attempt):
+                        # Backoff (or breaker cooldown) elapsed: attempt a
+                        # respawn now; an open breaker half-opens for
+                        # exactly this one trial.
+                        self._schedule_respawn(slot.index, 0.0)
                     continue
                 if not slot.process.is_alive():
                     self._mark_dead(slot)
                     continue
+                if (state.failures or state.breaker) and (
+                        time.monotonic() - slot.spawned_at
+                        >= self.respawn_min_uptime):
+                    # Survived the probation window: healthy again.
+                    state.failures = 0
+                    state.breaker = False
                 idle_for = time.monotonic() - slot.last_reply
                 if slot.inflight == 0 and idle_for >= self.heartbeat_interval:
                     try:

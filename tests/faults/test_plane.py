@@ -1,0 +1,151 @@
+"""Failpoint plane: schedule grammar, triggers, determinism, zero-cost off."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro import faults
+from repro.faults import plane
+
+
+@pytest.fixture(autouse=True)
+def _reset_plane():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_disabled_plane_is_a_no_op():
+    assert not faults.active()
+    faults.fire("wal.append")  # must not raise
+    assert faults.check("wal.append") is None
+    assert faults.stats() == {}
+
+
+def test_parse_schedule_grammar():
+    schedule = faults.parse_schedule(
+        "wal.fsync=enospc@window:3:6; wal.append=torn:7@once:4;"
+        "http.dispatch=delay:50@prob:0.1;pool.spawn=io@first:3;"
+        "snapshot.replace=abort;"
+    )
+    assert set(schedule) == {
+        "wal.fsync", "wal.append", "http.dispatch", "pool.spawn",
+        "snapshot.replace",
+    }
+    action, trigger = schedule["wal.append"][0]
+    assert action.kind == "torn" and action.arg == 7
+    assert trigger.kind == "once" and trigger.a == 4
+    # Trigger omitted means always.
+    assert schedule["snapshot.replace"][0][1].kind == "always"
+
+
+@pytest.mark.parametrize("bad", [
+    "nope.site=io",                  # unknown site
+    "wal.fsync=explode",             # unknown action
+    "wal.fsync=io@sometimes",        # unknown trigger
+    "wal.fsync",                     # missing action
+    "wal.fsync=delay",               # delay without milliseconds
+    "wal.fsync=io@once:0",           # once needs N >= 1
+    "wal.fsync=io@window:5:2",       # window needs N <= M
+    "wal.fsync=io@prob:1.5",         # probability out of range
+])
+def test_malformed_schedules_fail_fast(bad):
+    with pytest.raises(faults.FaultSpecError):
+        faults.parse_schedule(bad)
+
+
+def test_hit_count_triggers():
+    faults.configure("wal.fsync=enospc@window:2:3")
+    outcomes = []
+    for _ in range(5):
+        try:
+            faults.fire("wal.fsync")
+            outcomes.append("ok")
+        except OSError as exc:
+            assert exc.errno == errno.ENOSPC
+            outcomes.append("enospc")
+    assert outcomes == ["ok", "enospc", "enospc", "ok", "ok"]
+    assert faults.stats()["wal.fsync"] == {"hits": 5, "injected": 2}
+
+
+def test_first_matching_clause_wins_and_counters_are_shared():
+    faults.configure("wal.append=io@once:1;wal.append=enospc@once:2")
+    with pytest.raises(OSError) as first:
+        faults.fire("wal.append")
+    assert first.value.errno == errno.EIO
+    with pytest.raises(OSError) as second:
+        faults.fire("wal.append")
+    assert second.value.errno == errno.ENOSPC
+    faults.fire("wal.append")  # hit 3 matches neither clause
+
+
+def test_prob_trigger_is_deterministic_per_seed():
+    def draw(seed):
+        faults.configure("http.dispatch=io@prob:0.5", seed=seed)
+        hits = []
+        for _ in range(32):
+            hits.append(faults.check("http.dispatch") is not None)
+        return hits
+
+    assert draw(7) == draw(7)
+    assert draw(7) != draw(8)
+    assert any(draw(7)) and not all(draw(7))
+
+
+def test_check_returns_action_without_executing():
+    faults.configure("http.dispatch=delay:25@always")
+    action = faults.check("http.dispatch")
+    assert action is not None
+    assert action.kind == "delay" and action.arg == 25
+
+
+def test_configure_from_env(monkeypatch):
+    monkeypatch.setenv(plane.ENV_SPEC, "wal.fsync=io@once:1")
+    monkeypatch.setenv(plane.ENV_SEED, "9")
+    assert faults.configure_from_env() is True
+    assert faults.active()
+    # An explicit configure wins over the environment (no reconfigure).
+    faults.configure("wal.append=io@once:1", seed=1)
+    monkeypatch.setenv(plane.ENV_SPEC, "wal.rotate=io")
+    assert faults.configure_from_env() is True
+    with pytest.raises(OSError):
+        faults.fire("wal.append")
+
+
+def test_empty_spec_resets():
+    faults.configure("wal.fsync=io")
+    assert faults.active()
+    faults.configure("")
+    assert not faults.active()
+
+
+def test_configured_schedule_rejects_unknown_site_in_fire():
+    # Sites not in the schedule stay transparent even when active.
+    faults.configure("wal.fsync=io@once:1")
+    faults.fire("wal.append")
+    assert "wal.append" not in faults.stats()
+
+
+def test_execute_maps_kinds_to_errors():
+    with pytest.raises(OSError) as enospc:
+        faults.execute(faults.FaultAction("enospc"), "wal.fsync")
+    assert enospc.value.errno == errno.ENOSPC
+    with pytest.raises(OSError) as eio:
+        faults.execute(faults.FaultAction("io"), "wal.fsync")
+    assert eio.value.errno == errno.EIO
+    faults.execute(faults.FaultAction("delay", 1.0), "http.dispatch")  # sleeps
+
+
+def test_injection_counter_reaches_metrics_registry():
+    from repro.obs.registry import K_FAULTS_INJECTED
+    from repro.obs.runtime import get_registry
+
+    registry = get_registry()
+    before = registry.snapshot()["counters"].get(K_FAULTS_INJECTED, 0)
+    faults.configure("wal.fsync=io@once:1")
+    with pytest.raises(OSError):
+        faults.fire("wal.fsync")
+    after = registry.snapshot()["counters"].get(K_FAULTS_INJECTED, 0)
+    assert after == before + 1

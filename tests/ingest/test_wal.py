@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import shutil
+
 import pytest
 
+from repro import faults
 from repro.core.errors import IngestError
 from repro.ingest import WriteAheadLog
+
+
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    faults.reset()
+    yield
+    faults.reset()
 
 
 def segments(tmp_path):
@@ -132,6 +142,105 @@ def test_closed_wal_rejects_appends(tmp_path):
         wal.append({"i": 1})
     # Replay still works on a closed log (recovery reads files directly).
     assert [seq for seq, _ in wal.replay()] == [1]
+
+
+def _tail_window(path):
+    """Build a 3-record WAL; return the tail record's byte range [lo, hi)."""
+    wal = WriteAheadLog(path)
+    wal.append({"i": 0})
+    wal.append({"i": 1})
+    lo = segments(path)[-1].stat().st_size
+    wal.append({"i": 2})
+    wal.close()
+    hi = segments(path)[-1].stat().st_size
+    assert lo < hi
+    return lo, hi
+
+
+def test_torture_truncation_at_every_tail_offset(tmp_path):
+    base = tmp_path / "base"
+    lo, hi = _tail_window(base)
+    for cut in range(lo, hi):
+        work = tmp_path / f"cut-{cut}"
+        shutil.copytree(base, work)
+        tail = segments(work)[-1]
+        with tail.open("r+b") as handle:
+            handle.truncate(cut)
+        wal = WriteAheadLog(work)
+        # Recovery always lands on the last whole record, never mid-frame.
+        assert wal.last_seq == 2, f"cut at byte {cut}"
+        assert [seq for seq, _ in wal.replay()] == [1, 2]
+        assert wal.append({"i": "new"}) == 3
+        assert list(wal.replay())[-1] == (3, {"i": "new"})
+        wal.close()
+        shutil.rmtree(work)
+
+
+def test_torture_garbled_byte_at_every_tail_offset(tmp_path):
+    base = tmp_path / "base"
+    lo, hi = _tail_window(base)
+    for offset in range(lo, hi):
+        work = tmp_path / f"flip-{offset}"
+        shutil.copytree(base, work)
+        tail = segments(work)[-1]
+        data = bytearray(tail.read_bytes())
+        data[offset] ^= 0xFF
+        tail.write_bytes(bytes(data))
+        wal = WriteAheadLog(work)
+        # A corrupt tail record is dropped; the prefix survives intact.
+        assert wal.last_seq == 2, f"garbled byte {offset}"
+        assert [seq for seq, _ in wal.replay()] == [1, 2]
+        assert wal.append({"i": "new"}) == 3
+        wal.close()
+        shutil.rmtree(work)
+
+
+def test_failpoint_torn_append_heals_to_clean_boundary(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync_every=1)
+    wal.append({"i": 0})
+    wal.append({"i": 1})
+    clean = segments(tmp_path)[-1].stat().st_size
+    faults.configure("wal.append=torn@once:1")
+    with pytest.raises(OSError):
+        wal.append({"i": 2})
+    faults.reset()
+    # The torn record was never assigned: both cursors still agree.
+    assert wal.last_seq == 2
+    assert wal.acked_seq == 2
+    assert segments(tmp_path)[-1].stat().st_size > clean  # partial frame on disk
+    wal.heal()
+    assert segments(tmp_path)[-1].stat().st_size == clean
+    assert wal.append({"i": 2}) == 3
+    assert [seq for seq, _ in wal.replay()] == [1, 2, 3]
+    wal.close()
+
+
+def test_failpoint_fsync_failure_phantom_record_is_healed(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync_every=1)
+    wal.append({"i": 0})
+    wal.append({"i": 1})
+    faults.configure("wal.fsync=enospc@once:1")
+    with pytest.raises(OSError):
+        wal.append({"i": 2})
+    faults.reset()
+    # The record hit the file but its fsync failed: written, not acked.
+    assert wal.last_seq == 3
+    assert wal.acked_seq == 2
+    wal.heal()
+    # heal() truncates past the acked horizon so the phantom never replays.
+    assert wal.last_seq == 2
+    assert [seq for seq, _ in wal.replay()] == [1, 2]
+    assert wal.append({"i": 2}) == 3
+    assert wal.acked_seq == 3
+    wal.close()
+
+
+def test_heal_requires_an_open_wal(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append({"i": 0})
+    wal.close()
+    with pytest.raises(IngestError):
+        wal.heal()
 
 
 def test_wal_path_must_be_a_directory(tmp_path):

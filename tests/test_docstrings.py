@@ -45,6 +45,8 @@ DOCUMENTED_MODULES = [
     SRC / "ingest" / "wal.py",
     SRC / "ingest" / "snapshot.py",
     SRC / "ingest" / "pipeline.py",
+    SRC / "faults" / "__init__.py",
+    SRC / "faults" / "plane.py",
     SRC / "obs" / "__init__.py",
     SRC / "obs" / "registry.py",
     SRC / "obs" / "trace.py",

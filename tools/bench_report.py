@@ -42,7 +42,11 @@ _NOTE_KEYS = (
     "batches_replayed",
     "peak_rss_gib", "objective", "generate_seconds",
     "server_p50_le", "server_p99_le", "queue_wait_mean", "service_time_mean",
-    "obs_overhead",
+    "obs_overhead", "faults_overhead",
+    "availability", "replica_kills", "respawns", "respawn_failures",
+    "parity_mismatches", "parity_ok", "pool_recovery_seconds",
+    "enter_latency_seconds", "faults_injected", "acked_writes",
+    "backoff_attempts", "backoff_sum_seconds",
 )
 
 
